@@ -1,0 +1,235 @@
+package ropsim
+
+// One benchmark per paper artifact: running `go test -bench .` exercises
+// every figure and table regenerator at reduced (Quick) scale and
+// reports headline shape metrics alongside timing. The full-scale
+// numbers in EXPERIMENTS.md come from `ropexp` with FullOptions.
+
+import (
+	"strconv"
+	"testing"
+)
+
+// benchOptions returns a scale small enough for benchmarking while
+// still covering dozens of refresh intervals.
+func benchOptions() ExpOptions {
+	o := QuickOptions()
+	o.Benches = []string{"libquantum", "lbm", "bzip2", "gobmk"}
+	o.Mixes = []Mix{{Name: "WLb", Members: []string{"GemsFDTD", "lbm", "bwaves", "libquantum"}}}
+	o.SRAMSizes = []int{16, 64}
+	o.LLCSizesMiB = []int{1, 4}
+	return o
+}
+
+func parseCell(b *testing.B, t *Table, row, col int) float64 {
+	b.Helper()
+	v, err := strconv.ParseFloat(t.Cell(row, col), 64)
+	if err != nil {
+		b.Fatalf("cell (%d,%d) of %s: %v", row, col, t.ID, err)
+	}
+	return v
+}
+
+func BenchmarkFig1RefreshOverhead(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		t, err := Fig1(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Last row is the average; column 3 is the degradation %.
+		b.ReportMetric(parseCell(b, t, len(t.Rows)-1, 3), "avg_degradation_%")
+	}
+}
+
+func BenchmarkFig2NonBlocking(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		f2, _, _, _, err := RefreshBehaviour(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(parseCell(b, f2, 0, 1), "nonblocking_1x")
+	}
+}
+
+func BenchmarkFig3BlockedCounts(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		_, f3, _, _, err := RefreshBehaviour(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(parseCell(b, f3, 0, 1), "mean_blocked")
+	}
+}
+
+func BenchmarkFig4EventCoverage(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		_, _, f4, _, err := RefreshBehaviour(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(parseCell(b, f4, 0, 3), "coverage_1x")
+	}
+}
+
+func BenchmarkTable1LambdaBeta(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		_, _, _, t1, err := RefreshBehaviour(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(parseCell(b, t1, 0, 1), "lambda_1x")
+	}
+}
+
+func BenchmarkFig7SingleCoreIPC(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		f7, _, _, err := Fig7to9(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(parseCell(b, f7, 0, 2), "libquantum_rop64_norm_ipc")
+	}
+}
+
+func BenchmarkFig8SingleCoreEnergy(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		_, f8, _, err := Fig7to9(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(parseCell(b, f8, 0, 2), "libquantum_rop64_norm_energy")
+	}
+}
+
+func BenchmarkFig9HitRate(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		_, _, f9, err := Fig7to9(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(parseCell(b, f9, 0, 2), "libquantum_hit64")
+	}
+}
+
+func BenchmarkFig10WeightedSpeedup(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		f10, _, err := Fig10and11(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(parseCell(b, f10, 0, 3), "ws_rop_vs_base")
+	}
+}
+
+func BenchmarkFig11MultiEnergy(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		_, f11, err := Fig10and11(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(parseCell(b, f11, 0, 3), "energy_rop_vs_base")
+	}
+}
+
+func BenchmarkFig12LLCSweepSpeedup(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		f12, _, _, err := Fig12to14(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(parseCell(b, f12, 0, 1), "ws_1MB")
+	}
+}
+
+func BenchmarkFig13LLCSweepEnergy(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		_, f13, _, err := Fig12to14(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(parseCell(b, f13, 0, 1), "energy_1MB")
+	}
+}
+
+func BenchmarkFig14LLCSweepHitRate(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		_, _, f14, err := Fig12to14(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(parseCell(b, f14, 0, 1), "hit_1MB")
+	}
+}
+
+func BenchmarkAblationGate(b *testing.B) {
+	o := benchOptions()
+	o.Benches = []string{"libquantum", "bzip2"}
+	for i := 0; i < b.N; i++ {
+		t, err := AblationGate(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(parseCell(b, t, 0, 1), "probabilistic_norm_ipc")
+	}
+}
+
+func BenchmarkAblationPredictor(b *testing.B) {
+	o := benchOptions()
+	o.Benches = []string{"libquantum", "bwaves"}
+	for i := 0; i < b.N; i++ {
+		t, err := AblationPredictor(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(parseCell(b, t, 0, 1), "table_norm_ipc")
+	}
+}
+
+func BenchmarkAblationFGR(b *testing.B) {
+	o := benchOptions()
+	o.Benches = []string{"libquantum", "lbm"}
+	for i := 0; i < b.N; i++ {
+		t, err := AblationFGR(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(parseCell(b, t, 0, 1), "base_1x_vs_ideal")
+	}
+}
+
+func BenchmarkPolicyComparison(b *testing.B) {
+	o := benchOptions()
+	o.Benches = []string{"libquantum", "bzip2"}
+	for i := 0; i < b.N; i++ {
+		t, err := PolicyComparison(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(parseCell(b, t, 0, 4), "rop_norm_ipc")
+	}
+}
+
+func BenchmarkFutureBankRefresh(b *testing.B) {
+	o := benchOptions()
+	o.Benches = []string{"libquantum", "lbm"}
+	for i := 0; i < b.N; i++ {
+		t, err := FutureBankRefresh(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(parseCell(b, t, 0, 3), "rop_bank_norm_ipc")
+	}
+}

@@ -1,0 +1,196 @@
+// Command ropexp regenerates the paper's evaluation artifacts. Each
+// experiment id corresponds to one figure or table; "all" runs the whole
+// evaluation (see DESIGN.md §4 for the index).
+//
+//	ropexp -exp fig1
+//	ropexp -exp fig2,fig3,fig4,tab1
+//	ropexp -exp all -quick
+//	ropexp -exp fig10 -v
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ropsim"
+)
+
+func main() {
+	var (
+		exps    = flag.String("exp", "all", "comma-separated experiment ids: fig1 fig2 fig3 fig4 tab1 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 abl-gate abl-pred abl-fgr abl-page policy future-bank, or all")
+		quickF  = flag.Bool("quick", false, "reduced run lengths (smoke test scale)")
+		insts   = flag.Int64("insts", 0, "override single-core instructions per run")
+		minsts  = flag.Int64("minsts", 0, "override per-core instructions of 4-core runs")
+		seed    = flag.Int64("seed", 1, "simulation seed")
+		verbose = flag.Bool("v", false, "log every completed run")
+		benches = flag.String("bench", "", "restrict to comma-separated benchmarks")
+	)
+	flag.Parse()
+
+	o := ropsim.FullOptions()
+	if *quickF {
+		o = ropsim.QuickOptions()
+	}
+	if *insts > 0 {
+		o.Instructions = *insts
+	}
+	if *minsts > 0 {
+		o.MultiInstructions = *minsts
+	}
+	o.Seed = *seed
+	if *verbose {
+		o.Progress = os.Stderr
+	}
+	if *benches != "" {
+		o.Benches = strings.Split(*benches, ",")
+	}
+
+	want := map[string]bool{}
+	for _, id := range strings.Split(*exps, ",") {
+		want[strings.TrimSpace(id)] = true
+	}
+	all := want["all"]
+	sel := func(ids ...string) bool {
+		if all {
+			return true
+		}
+		for _, id := range ids {
+			if want[id] {
+				return true
+			}
+		}
+		return false
+	}
+
+	out := os.Stdout
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	print := func(tables ...*ropsim.Table) {
+		for _, t := range tables {
+			t.Fprint(out)
+			fmt.Fprintln(out)
+		}
+	}
+
+	if sel("fig1") {
+		t, err := ropsim.Fig1(o)
+		if err != nil {
+			fail(err)
+		}
+		print(t)
+	}
+	if sel("fig2", "fig3", "fig4", "tab1") {
+		f2, f3, f4, t1, err := ropsim.RefreshBehaviour(o)
+		if err != nil {
+			fail(err)
+		}
+		var show []*ropsim.Table
+		if all || want["fig2"] {
+			show = append(show, f2)
+		}
+		if all || want["fig3"] {
+			show = append(show, f3)
+		}
+		if all || want["fig4"] {
+			show = append(show, f4)
+		}
+		if all || want["tab1"] {
+			show = append(show, t1)
+		}
+		print(show...)
+	}
+	if sel("fig7", "fig8", "fig9") {
+		f7, f8, f9, err := ropsim.Fig7to9(o)
+		if err != nil {
+			fail(err)
+		}
+		var show []*ropsim.Table
+		if all || want["fig7"] {
+			show = append(show, f7)
+		}
+		if all || want["fig8"] {
+			show = append(show, f8)
+		}
+		if all || want["fig9"] {
+			show = append(show, f9)
+		}
+		print(show...)
+	}
+	if sel("fig10", "fig11") {
+		f10, f11, err := ropsim.Fig10and11(o)
+		if err != nil {
+			fail(err)
+		}
+		var show []*ropsim.Table
+		if all || want["fig10"] {
+			show = append(show, f10)
+		}
+		if all || want["fig11"] {
+			show = append(show, f11)
+		}
+		print(show...)
+	}
+	if sel("fig12", "fig13", "fig14") {
+		f12, f13, f14, err := ropsim.Fig12to14(o)
+		if err != nil {
+			fail(err)
+		}
+		var show []*ropsim.Table
+		if all || want["fig12"] {
+			show = append(show, f12)
+		}
+		if all || want["fig13"] {
+			show = append(show, f13)
+		}
+		if all || want["fig14"] {
+			show = append(show, f14)
+		}
+		print(show...)
+	}
+	if sel("abl-gate") {
+		t, err := ropsim.AblationGate(o)
+		if err != nil {
+			fail(err)
+		}
+		print(t)
+	}
+	if sel("abl-pred") {
+		t, err := ropsim.AblationPredictor(o)
+		if err != nil {
+			fail(err)
+		}
+		print(t)
+	}
+	if sel("policy") {
+		t, err := ropsim.PolicyComparison(o)
+		if err != nil {
+			fail(err)
+		}
+		print(t)
+	}
+	if sel("abl-page") {
+		t, err := ropsim.AblationPagePolicy(o)
+		if err != nil {
+			fail(err)
+		}
+		print(t)
+	}
+	if sel("future-bank") {
+		t, err := ropsim.FutureBankRefresh(o)
+		if err != nil {
+			fail(err)
+		}
+		print(t)
+	}
+	if sel("abl-fgr") {
+		t, err := ropsim.AblationFGR(o)
+		if err != nil {
+			fail(err)
+		}
+		print(t)
+	}
+}

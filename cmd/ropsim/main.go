@@ -1,0 +1,114 @@
+// Command ropsim runs one memory-system simulation and prints its
+// metrics: per-core IPC, elapsed time, refresh counts, SRAM buffer
+// statistics and the energy breakdown.
+//
+// Examples:
+//
+//	ropsim -bench libquantum -mode rop
+//	ropsim -mix WL1 -mode baseline -insts 500000
+//	ropsim -bench lbm,bzip2,gcc,astar -mode rop -partition -llc 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ropsim"
+	"ropsim/internal/cache"
+)
+
+func main() {
+	var (
+		bench     = flag.String("bench", "libquantum", "benchmark name, or comma-separated list for multi-core")
+		mix       = flag.String("mix", "", "workload mix name (WL1-WL6); overrides -bench")
+		mode      = flag.String("mode", "baseline", "refresh mode: baseline | norefresh | rop | elastic | pausing | bankrefresh | rop-bank | subarray")
+		insts     = flag.Int64("insts", 2_000_000, "instructions per core")
+		sram      = flag.Int("sram", 64, "ROP SRAM buffer capacity in cache lines")
+		llcMiB    = flag.Int("llc", 0, "LLC size in MiB (0 = paper default for core count)")
+		seed      = flag.Int64("seed", 1, "simulation seed")
+		partition = flag.Bool("partition", false, "rank-aware (partitioned) address mapping")
+		train     = flag.Int("train", 0, "ROP training refreshes (0 = paper's 50)")
+		listFlag  = flag.Bool("list", false, "list benchmarks and mixes, then exit")
+	)
+	flag.Parse()
+
+	if *listFlag {
+		fmt.Println("benchmarks:", strings.Join(ropsim.Benchmarks(), " "))
+		for _, m := range ropsim.Mixes() {
+			fmt.Printf("%s: %s\n", m.Name, strings.Join(m.Members, " "))
+		}
+		return
+	}
+
+	benches := strings.Split(*bench, ",")
+	if *mix != "" {
+		found := false
+		for _, m := range ropsim.Mixes() {
+			if m.Name == *mix {
+				benches = m.Members
+				found = true
+			}
+		}
+		if !found {
+			fmt.Fprintf(os.Stderr, "unknown mix %q\n", *mix)
+			os.Exit(2)
+		}
+	}
+
+	cfg := ropsim.Default(benches...)
+	switch *mode {
+	case "baseline":
+		cfg.Mode = ropsim.ModeBaseline
+	case "norefresh":
+		cfg.Mode = ropsim.ModeNoRefresh
+	case "rop":
+		cfg.Mode = ropsim.ModeROP
+	case "elastic":
+		cfg.Mode = ropsim.ModeElastic
+	case "pausing":
+		cfg.Mode = ropsim.ModePausing
+	case "bankrefresh":
+		cfg.Mode = ropsim.ModeBankRefresh
+	case "rop-bank":
+		cfg.Mode = ropsim.ModeROPBank
+	case "subarray":
+		cfg.Mode = ropsim.ModeSubarrayRefresh
+	default:
+		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+	cfg.Instructions = *insts
+	cfg.SRAMLines = *sram
+	cfg.Seed = *seed
+	cfg.RankPartition = *partition
+	cfg.ROPTrainRefreshes = *train
+	if *llcMiB > 0 {
+		cfg.LLCBytes = *llcMiB * cache.MiB
+	}
+
+	res, err := ropsim.Run(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("mode=%s ranks=%d llc=%dMiB insts=%d seed=%d\n",
+		cfg.Mode, cfg.Ranks, cfg.LLCBytes/cache.MiB, cfg.Instructions, cfg.Seed)
+	for i, c := range res.Cores {
+		fmt.Printf("core %d %-11s IPC=%.4f memReads=%d memWrites=%d llcHitReads=%d\n",
+			i, c.Bench, c.IPC, c.MemReads, c.MemWrites, c.LLCHitReads)
+	}
+	fmt.Printf("elapsed=%d bus cycles (%.3f ms simulated)\n",
+		res.ElapsedBus, float64(res.ElapsedBus)*1.25e-6)
+	fmt.Printf("refreshes=%d meanReadLatency=%.1f cycles llcMissRate=%.3f\n",
+		res.Refreshes, res.MeanReadLatency, res.LLCMissRate)
+	if cfg.Mode == ropsim.ModeROP || cfg.Mode == ropsim.ModeROPBank {
+		fmt.Printf("sram: served=%d lookups=%d hits=%d hitRate=%.3f\n",
+			res.SRAMServed, res.SRAMLookups, res.SRAMHits, res.SRAMHitRate)
+	}
+	e := res.Energy
+	fmt.Printf("energy: total=%.4g J (background=%.3g actpre=%.3g read=%.3g write=%.3g refresh=%.3g sram=%.3g)\n",
+		e.Total(), e.BackgroundJ, e.ActPreJ, e.ReadJ, e.WriteJ, e.RefreshJ, e.SRAMJ)
+}

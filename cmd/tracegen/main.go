@@ -1,0 +1,64 @@
+// Command tracegen materializes a synthetic benchmark trace to a file in
+// the binary (ROP1) or text format, for inspection or for replay by
+// external tools.
+//
+//	tracegen -bench lbm -n 100000 -o lbm.trace
+//	tracegen -bench gcc -n 5000 -format text -o -
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"ropsim/internal/workload"
+)
+
+func main() {
+	var (
+		bench  = flag.String("bench", "libquantum", "benchmark to generate")
+		n      = flag.Int("n", 100_000, "number of records")
+		out    = flag.String("o", "-", "output file (- for stdout)")
+		format = flag.String("format", "binary", "binary | text")
+		seed   = flag.Int64("seed", 1, "generator seed")
+	)
+	flag.Parse()
+
+	prof, err := workload.Get(*bench)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	recs := workload.Take(workload.NewGenerator(prof, *seed), *n)
+
+	var w io.Writer = os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}()
+		w = f
+	}
+
+	switch *format {
+	case "binary":
+		err = workload.WriteBinary(w, recs)
+	case "text":
+		err = workload.WriteText(w, recs)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown format %q\n", *format)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

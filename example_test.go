@@ -1,0 +1,67 @@
+package ropsim_test
+
+import (
+	"fmt"
+
+	"ropsim"
+)
+
+// ExampleRun shows the minimal single-benchmark flow: configure, run,
+// read the metrics.
+func ExampleRun() {
+	cfg := ropsim.Default("libquantum")
+	cfg.Mode = ropsim.ModeROP
+	cfg.Instructions = 100_000
+	cfg.ROPTrainRefreshes = 4 // shorten training for this tiny run
+	res, err := ropsim.Run(cfg)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Cores[0].IPC > 0)
+	fmt.Println(res.Refreshes > 0)
+	// Output:
+	// true
+	// true
+}
+
+// ExampleWeightedSpeedup shows the paper's Eq. 4 on a 4-core run.
+func ExampleWeightedSpeedup() {
+	mix := ropsim.Mixes()[0] // WL1
+	cfg := ropsim.Default(mix.Members...)
+	cfg.Instructions = 50_000
+	cfg.ROPTrainRefreshes = 4
+	shared, err := ropsim.Run(cfg)
+	if err != nil {
+		panic(err)
+	}
+	// With alone-IPCs of 1.0 the weighted speedup is just the IPC sum,
+	// which for four cores is positive and at most 4.
+	ws := ropsim.WeightedSpeedup(shared, []float64{1, 1, 1, 1})
+	fmt.Println(ws > 0 && ws <= 4)
+	// Output:
+	// true
+}
+
+// ExampleBenchmarks lists the modeled SPEC CPU2006 benchmarks.
+func ExampleBenchmarks() {
+	fmt.Println(len(ropsim.Benchmarks()))
+	fmt.Println(ropsim.Benchmarks()[0])
+	// Output:
+	// 12
+	// perlbench
+}
+
+// ExampleTable shows the experiment-table rendering used by cmd/ropexp.
+func ExampleTable() {
+	t := &ropsim.Table{
+		ID:     "demo",
+		Title:  "demo table",
+		Header: []string{"bench", "value"},
+	}
+	t.AddRow("libquantum", 1.0425)
+	fmt.Print(t.String())
+	// Output:
+	// == demo: demo table ==
+	// bench       value
+	// libquantum  1.042
+}

@@ -1,0 +1,53 @@
+// Refresh analysis: reproduce the paper's §III study on one benchmark —
+// capture a baseline run's request/refresh timeline and report how many
+// refreshes block requests (Fig. 2), how many requests each blocking
+// refresh delays (Fig. 3), and the λ/β conditional probabilities that
+// drive the ROP prefetch gate (Table I).
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"ropsim"
+	"ropsim/internal/analysis"
+	"ropsim/internal/dram"
+	"ropsim/internal/event"
+)
+
+func main() {
+	bench := "bzip2"
+	if len(os.Args) > 1 {
+		bench = os.Args[1]
+	}
+
+	cfg := ropsim.Default(bench)
+	cfg.Instructions = 4_000_000
+	cfg.Capture = true
+	res, err := ropsim.Run(cfg)
+	if err != nil {
+		panic(err)
+	}
+
+	p := dram.DDR4_1600(ropsim.Refresh1x)
+	tl := analysis.NewTimeline(res.Capture, 1)
+	fmt.Printf("%s: %d refreshes, %d requests captured\n\n",
+		bench, tl.NumRefreshes(), len(res.Capture.Requests))
+
+	fmt.Println("Non-blocking refreshes (no read within k x tRFC of refresh start):")
+	for _, k := range []event.Cycle{1, 2, 4} {
+		fmt.Printf("  %dx: %.1f%%\n", k, tl.NonBlockingFraction(k*p.RFC)*100)
+	}
+
+	mean, max := tl.BlockedStats(p.RFC)
+	fmt.Printf("\nBlocked reads per blocking refresh: mean %.2f, max %d\n", mean, max)
+
+	fmt.Println("\nEvent statistics per observational window (k x tREFI):")
+	for _, k := range []event.Cycle{1, 2, 4} {
+		w := tl.Windows(k * p.REFI)
+		fmt.Printf("  %dx: E1=%.2f E2=%.2f coverage=%.2f lambda=%.2f beta=%.2f\n",
+			k, w.E1Fraction(), w.E2Fraction(), w.Coverage(), w.Lambda(), w.Beta())
+	}
+	fmt.Println("\nlambda = P{reads after refresh | requests before}; beta = P{quiet after | quiet before}.")
+	fmt.Println("High lambda and beta mean the ROP gate's prefetch decisions will be accurate.")
+}

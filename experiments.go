@@ -1,0 +1,527 @@
+package ropsim
+
+import (
+	"fmt"
+	"io"
+
+	"ropsim/internal/analysis"
+	"ropsim/internal/cache"
+	"ropsim/internal/dram"
+	"ropsim/internal/stats"
+)
+
+// ExpOptions scales the experiment harness. The paper simulates 1 B
+// instructions per benchmark; the harness defaults to a few million,
+// which still covers hundreds of refresh intervals per run — enough for
+// the statistics every artifact needs — while regenerating the whole
+// evaluation in minutes.
+type ExpOptions struct {
+	// Instructions is the per-core budget of single-core runs.
+	Instructions int64
+	// MultiInstructions is the per-core budget of 4-core runs.
+	MultiInstructions int64
+	// TrainRefreshes is the ROP training period (0 = the paper's 50).
+	TrainRefreshes int
+	// Seed drives workload generation and the prefetch gate.
+	Seed int64
+	// Benches restricts the benchmark set (nil = the paper's twelve).
+	Benches []string
+	// Mixes restricts the 4-core workloads (nil = WL1-WL6).
+	Mixes []Mix
+	// SRAMSizes lists the buffer capacities of Figs 7-9.
+	SRAMSizes []int
+	// LLCSizesMiB lists the LLC sweep sizes of Figs 12-14.
+	LLCSizesMiB []int
+	// Progress, when non-nil, receives one line per completed run.
+	Progress io.Writer
+}
+
+// FullOptions returns the experiment scale used for EXPERIMENTS.md.
+func FullOptions() ExpOptions {
+	return ExpOptions{
+		Instructions:      4_000_000,
+		MultiInstructions: 2_000_000,
+		Seed:              1,
+		SRAMSizes:         []int{16, 32, 64, 128},
+		LLCSizesMiB:       []int{1, 2, 4, 8},
+	}
+}
+
+// QuickOptions returns a reduced scale for smoke tests and benchmarks.
+func QuickOptions() ExpOptions {
+	o := FullOptions()
+	o.Instructions = 300_000
+	o.MultiInstructions = 120_000
+	o.TrainRefreshes = 8
+	return o
+}
+
+func (o *ExpOptions) benches() []string {
+	if len(o.Benches) > 0 {
+		return o.Benches
+	}
+	return Benchmarks()
+}
+
+func (o *ExpOptions) mixes() []Mix {
+	if len(o.Mixes) > 0 {
+		return o.Mixes
+	}
+	return Mixes()
+}
+
+func (o *ExpOptions) logf(format string, args ...any) {
+	if o.Progress != nil {
+		fmt.Fprintf(o.Progress, format+"\n", args...)
+	}
+}
+
+// single builds a single-core config for bench.
+func (o *ExpOptions) single(bench string, mode Mode) Config {
+	cfg := Default(bench)
+	cfg.Mode = mode
+	cfg.Instructions = o.Instructions
+	cfg.Seed = o.Seed
+	cfg.ROPTrainRefreshes = o.TrainRefreshes
+	return cfg
+}
+
+// multi builds a 4-core config for a mix.
+func (o *ExpOptions) multi(members []string, mode Mode, rankPartition bool) Config {
+	cfg := Default(members...)
+	cfg.Mode = mode
+	cfg.RankPartition = rankPartition
+	cfg.Instructions = o.MultiInstructions
+	cfg.Seed = o.Seed
+	cfg.ROPTrainRefreshes = o.TrainRefreshes
+	return cfg
+}
+
+func (o *ExpOptions) run(label string, cfg Config) (*Result, error) {
+	res, err := Run(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", label, err)
+	}
+	o.logf("  %-40s ipc0=%.4f elapsed=%d", label, res.Cores[0].IPC, res.ElapsedBus)
+	return res, nil
+}
+
+// Fig1 regenerates Figure 1: baseline vs idealized no-refresh IPC and
+// energy, i.e. the refresh overhead bound.
+func Fig1(o ExpOptions) (*Table, error) {
+	t := &Table{ID: "fig1", Title: "Refresh overhead: baseline vs no-refresh (per benchmark)",
+		Header: []string{"bench", "ipc_base", "ipc_noref", "perf_degradation_%", "energy_base_J", "energy_noref_J", "extra_energy_%"}}
+	var perf, energy stats.Mean
+	for _, b := range o.benches() {
+		rb, err := o.run("fig1/"+b+"/base", o.single(b, ModeBaseline))
+		if err != nil {
+			return nil, err
+		}
+		rn, err := o.run("fig1/"+b+"/noref", o.single(b, ModeNoRefresh))
+		if err != nil {
+			return nil, err
+		}
+		deg := (rn.Cores[0].IPC - rb.Cores[0].IPC) / rn.Cores[0].IPC * 100
+		extra := (rb.TotalEnergy() - rn.TotalEnergy()) / rn.TotalEnergy() * 100
+		perf.Observe(deg)
+		energy.Observe(extra)
+		t.AddRow(b, rb.Cores[0].IPC, rn.Cores[0].IPC, deg, rb.TotalEnergy(), rn.TotalEnergy(), extra)
+	}
+	t.AddRow("AVERAGE", "", "", perf.Value(), "", "", energy.Value())
+	return t, nil
+}
+
+// RefreshBehaviour regenerates the paper's §III refresh study from
+// captured baseline runs: Fig. 2 (non-blocking refresh fraction at
+// 1x/2x/4x the refresh cycle), Fig. 3 (blocked requests per blocking
+// refresh), Fig. 4 (E1/E2 event coverage), and Table I (λ and β at
+// 1x/2x/4x observational windows).
+func RefreshBehaviour(o ExpOptions) (fig2, fig3, fig4, tab1 *Table, err error) {
+	fig2 = &Table{ID: "fig2", Title: "Non-blocking refresh fraction (window = k x tRFC)",
+		Header: []string{"bench", "1x", "2x", "4x"}}
+	fig3 = &Table{ID: "fig3", Title: "Requests blocked per blocking refresh (window = tRFC)",
+		Header: []string{"bench", "mean", "max"}}
+	fig4 = &Table{ID: "fig4", Title: "E1+E2 event coverage (window = k x tREFI)",
+		Header: []string{"bench", "E1_1x", "E2_1x", "coverage_1x", "coverage_2x", "coverage_4x"}}
+	tab1 = &Table{ID: "tab1", Title: "Lambda and beta (window = k x tREFI)",
+		Header: []string{"bench", "lambda_1x", "beta_1x", "lambda_2x", "beta_2x", "lambda_4x", "beta_4x"}}
+
+	p := dram.DDR4_1600(Refresh1x)
+	for _, b := range o.benches() {
+		cfg := o.single(b, ModeBaseline)
+		cfg.Capture = true
+		res, err := o.run("refresh-behaviour/"+b, cfg)
+		if err != nil {
+			return nil, nil, nil, nil, err
+		}
+		tl := analysis.NewTimeline(res.Capture, cfg.Ranks)
+
+		fig2.AddRow(b,
+			tl.NonBlockingFraction(p.RFC),
+			tl.NonBlockingFraction(2*p.RFC),
+			tl.NonBlockingFraction(4*p.RFC))
+
+		mean, max := tl.BlockedStats(p.RFC)
+		fig3.AddRow(b, mean, max)
+
+		w1 := tl.Windows(p.REFI)
+		w2 := tl.Windows(2 * p.REFI)
+		w4 := tl.Windows(4 * p.REFI)
+		fig4.AddRow(b, w1.E1Fraction(), w1.E2Fraction(), w1.Coverage(), w2.Coverage(), w4.Coverage())
+		tab1.AddRow(b, w1.Lambda(), w1.Beta(), w2.Lambda(), w2.Beta(), w4.Lambda(), w4.Beta())
+	}
+	return fig2, fig3, fig4, tab1, nil
+}
+
+// Fig7to9 regenerates Figures 7-9: single-core IPC, energy (both
+// normalized to the baseline) and SRAM hit rate across buffer sizes.
+func Fig7to9(o ExpOptions) (fig7, fig8, fig9 *Table, err error) {
+	sizes := o.SRAMSizes
+	ipcHeader := []string{"bench"}
+	for _, s := range sizes {
+		ipcHeader = append(ipcHeader, fmt.Sprintf("ROP-%d", s))
+	}
+	ipcHeader = append(ipcHeader, "NoRefresh")
+	fig7 = &Table{ID: "fig7", Title: "Single-core IPC normalized to baseline", Header: ipcHeader}
+	fig8 = &Table{ID: "fig8", Title: "Single-core energy normalized to baseline", Header: ipcHeader}
+	hitHeader := []string{"bench"}
+	for _, s := range sizes {
+		hitHeader = append(hitHeader, fmt.Sprintf("%d", s))
+	}
+	fig9 = &Table{ID: "fig9", Title: "SRAM buffer hit rate by capacity", Header: hitHeader}
+
+	for _, b := range o.benches() {
+		rb, err := o.run("fig7/"+b+"/base", o.single(b, ModeBaseline))
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		rn, err := o.run("fig7/"+b+"/noref", o.single(b, ModeNoRefresh))
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		ipcRow := []any{b}
+		energyRow := []any{b}
+		hitRow := []any{b}
+		for _, s := range sizes {
+			cfg := o.single(b, ModeROP)
+			cfg.SRAMLines = s
+			rr, err := o.run(fmt.Sprintf("fig7/%s/rop%d", b, s), cfg)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			ipcRow = append(ipcRow, rr.Cores[0].IPC/rb.Cores[0].IPC)
+			energyRow = append(energyRow, rr.TotalEnergy()/rb.TotalEnergy())
+			hitRow = append(hitRow, rr.SRAMHitRate)
+		}
+		ipcRow = append(ipcRow, rn.Cores[0].IPC/rb.Cores[0].IPC)
+		energyRow = append(energyRow, rn.TotalEnergy()/rb.TotalEnergy())
+		fig7.AddRow(ipcRow...)
+		fig8.AddRow(energyRow...)
+		fig9.AddRow(hitRow...)
+	}
+	return fig7, fig8, fig9, nil
+}
+
+// multiSystems runs a mix under the paper's three systems and returns
+// (Baseline, Baseline-RP, ROP) results. The ROP system includes the
+// paper's rank-aware mapping.
+func (o *ExpOptions) multiSystems(m Mix, llcBytes int) (base, baseRP, rop *Result, err error) {
+	cfgB := o.multi(m.Members, ModeBaseline, false)
+	cfgRP := o.multi(m.Members, ModeBaseline, true)
+	cfgR := o.multi(m.Members, ModeROP, true)
+	if llcBytes > 0 {
+		cfgB.LLCBytes = llcBytes
+		cfgRP.LLCBytes = llcBytes
+		cfgR.LLCBytes = llcBytes
+	}
+	if base, err = o.run("multi/"+m.Name+"/base", cfgB); err != nil {
+		return
+	}
+	if baseRP, err = o.run("multi/"+m.Name+"/base-rp", cfgRP); err != nil {
+		return
+	}
+	rop, err = o.run("multi/"+m.Name+"/rop", cfgR)
+	return
+}
+
+// aloneIPCs computes per-member alone IPCs on the multi-core platform
+// (4 ranks, the given LLC), caching by benchmark.
+func (o *ExpOptions) aloneIPCs(members []string, llcBytes int, cache map[string]float64) ([]float64, error) {
+	out := make([]float64, len(members))
+	for i, b := range members {
+		if v, ok := cache[b]; ok {
+			out[i] = v
+			continue
+		}
+		cfg := o.multi([]string{b}, ModeBaseline, false)
+		cfg.Ranks = 4
+		if llcBytes > 0 {
+			cfg.LLCBytes = llcBytes
+		} else {
+			cfg.LLCBytes = Default("a", "b", "c", "d").LLCBytes
+		}
+		res, err := o.run("alone/"+b, cfg)
+		if err != nil {
+			return nil, err
+		}
+		cache[b] = res.Cores[0].IPC
+		out[i] = res.Cores[0].IPC
+	}
+	return out, nil
+}
+
+// Fig10and11 regenerates Figures 10-11: 4-core normalized weighted
+// speedup and energy for Baseline, Baseline-RP and ROP.
+func Fig10and11(o ExpOptions) (fig10, fig11 *Table, err error) {
+	fig10 = &Table{ID: "fig10", Title: "Normalized weighted speedup (4-core)",
+		Header: []string{"mix", "Baseline", "Baseline-RP", "ROP", "ROP_vs_Base"}}
+	fig11 = &Table{ID: "fig11", Title: "Normalized energy (4-core)",
+		Header: []string{"mix", "Baseline", "Baseline-RP", "ROP"}}
+	aloneCache := map[string]float64{}
+	var ratios []float64
+	for _, m := range o.mixes() {
+		alone, err := o.aloneIPCs(m.Members, 0, aloneCache)
+		if err != nil {
+			return nil, nil, err
+		}
+		base, baseRP, rop, err := o.multiSystems(m, 0)
+		if err != nil {
+			return nil, nil, err
+		}
+		wsB := WeightedSpeedup(base, alone)
+		wsRP := WeightedSpeedup(baseRP, alone)
+		wsR := WeightedSpeedup(rop, alone)
+		ratio := wsR / wsB
+		ratios = append(ratios, ratio)
+		fig10.AddRow(m.Name, 1.0, wsRP/wsB, ratio, ratio)
+		fig11.AddRow(m.Name, 1.0,
+			baseRP.TotalEnergy()/base.TotalEnergy(),
+			rop.TotalEnergy()/base.TotalEnergy())
+	}
+	fig10.AddRow("GEOMEAN", "", "", stats.GeoMean(ratios), stats.GeoMean(ratios))
+	return fig10, fig11, nil
+}
+
+// Fig12to14 regenerates Figures 12-14: the LLC-size sensitivity sweep of
+// weighted speedup, energy, and SRAM hit rate.
+func Fig12to14(o ExpOptions) (fig12, fig13, fig14 *Table, err error) {
+	header := []string{"mix"}
+	for _, mb := range o.LLCSizesMiB {
+		header = append(header, fmt.Sprintf("%dMB", mb))
+	}
+	fig12 = &Table{ID: "fig12", Title: "ROP weighted speedup vs Baseline by LLC size", Header: header}
+	fig13 = &Table{ID: "fig13", Title: "ROP energy vs Baseline by LLC size", Header: header}
+	fig14 = &Table{ID: "fig14", Title: "SRAM hit rate by LLC size", Header: header}
+
+	aloneCaches := map[int]map[string]float64{}
+	for _, m := range o.mixes() {
+		wsRow := []any{m.Name}
+		enRow := []any{m.Name}
+		hitRow := []any{m.Name}
+		for _, mb := range o.LLCSizesMiB {
+			llc := mb * cache.MiB
+			if aloneCaches[mb] == nil {
+				aloneCaches[mb] = map[string]float64{}
+			}
+			alone, err := o.aloneIPCs(m.Members, llc, aloneCaches[mb])
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			cfgB := o.multi(m.Members, ModeBaseline, false)
+			cfgB.LLCBytes = llc
+			base, err := o.run(fmt.Sprintf("fig12/%s/%dMB/base", m.Name, mb), cfgB)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			cfgR := o.multi(m.Members, ModeROP, true)
+			cfgR.LLCBytes = llc
+			rop, err := o.run(fmt.Sprintf("fig12/%s/%dMB/rop", m.Name, mb), cfgR)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			wsRow = append(wsRow, WeightedSpeedup(rop, alone)/WeightedSpeedup(base, alone))
+			enRow = append(enRow, rop.TotalEnergy()/base.TotalEnergy())
+			hitRow = append(hitRow, rop.SRAMHitRate)
+		}
+		fig12.AddRow(wsRow...)
+		fig13.AddRow(enRow...)
+		fig14.AddRow(hitRow...)
+	}
+	return fig12, fig13, fig14, nil
+}
+
+// AblationGate compares the paper's probabilistic λ/β gate against
+// always-prefetch and never-prefetch (drain-only) policies.
+func AblationGate(o ExpOptions) (*Table, error) {
+	t := &Table{ID: "abl-gate", Title: "Prefetch gate ablation (IPC normalized to baseline)",
+		Header: []string{"bench", "probabilistic", "always", "never"}}
+	for _, b := range o.benches() {
+		rb, err := o.run("abl-gate/"+b+"/base", o.single(b, ModeBaseline))
+		if err != nil {
+			return nil, err
+		}
+		row := []any{b}
+		for _, gate := range []GatePolicy{GateProbabilistic, GateAlways, GateNever} {
+			cfg := o.single(b, ModeROP)
+			cfg.ROPGate = gate
+			rr, err := o.run(fmt.Sprintf("abl-gate/%s/%v", b, gate), cfg)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, rr.Cores[0].IPC/rb.Cores[0].IPC)
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// AblationPredictor compares the paper's prediction table (with the
+// noise-tolerant update), the strict verbatim update rule, and the
+// original VLDP at rank scope.
+func AblationPredictor(o ExpOptions) (*Table, error) {
+	t := &Table{ID: "abl-pred", Title: "Predictor ablation (normalized IPC / SRAM hit rate)",
+		Header: []string{"bench", "table_ipc", "table_hit", "strict_ipc", "strict_hit", "vldp_ipc", "vldp_hit"}}
+	for _, b := range o.benches() {
+		rb, err := o.run("abl-pred/"+b+"/base", o.single(b, ModeBaseline))
+		if err != nil {
+			return nil, err
+		}
+		row := []any{b}
+		for _, variant := range []struct {
+			strict bool
+			pred   Predictor
+		}{{false, PredictorTable}, {true, PredictorTable}, {false, PredictorVLDP}} {
+			cfg := o.single(b, ModeROP)
+			cfg.ROPStrictTable = variant.strict
+			cfg.ROPPredictor = variant.pred
+			rr, err := o.run(fmt.Sprintf("abl-pred/%s/strict=%v/%v", b, variant.strict, variant.pred), cfg)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, rr.Cores[0].IPC/rb.Cores[0].IPC, rr.SRAMHitRate)
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// PolicyComparison runs the four refresh policies — auto-refresh
+// baseline, Elastic Refresh (related work), ROP, and the no-refresh
+// ideal — and reports IPC normalized to the baseline.
+func PolicyComparison(o ExpOptions) (*Table, error) {
+	t := &Table{ID: "policy", Title: "Refresh policy comparison (IPC normalized to baseline)",
+		Header: []string{"bench", "baseline", "elastic", "pausing", "rop", "norefresh"}}
+	for _, b := range o.benches() {
+		rb, err := o.run("policy/"+b+"/base", o.single(b, ModeBaseline))
+		if err != nil {
+			return nil, err
+		}
+		row := []any{b, 1.0}
+		for _, mode := range []Mode{ModeElastic, ModePausing, ModeROP, ModeNoRefresh} {
+			rr, err := o.run(fmt.Sprintf("policy/%s/%v", b, mode), o.single(b, mode))
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, rr.Cores[0].IPC/rb.Cores[0].IPC)
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// AblationFGR runs baseline and ROP under the JEDEC fine-grained refresh
+// modes (the paper's stated future-work direction), reporting the
+// remaining refresh overhead in each.
+func AblationFGR(o ExpOptions) (*Table, error) {
+	t := &Table{ID: "abl-fgr", Title: "Fine-grained refresh: IPC normalized to the same-mode no-refresh ideal",
+		Header: []string{"bench", "base_1x", "rop_1x", "base_2x", "rop_2x", "base_4x", "rop_4x"}}
+	benches := o.benches()
+	if len(benches) > 4 {
+		// The FGR sweep focuses on intensive benchmarks, as the paper's
+		// future-work discussion does.
+		benches = []string{"GemsFDTD", "lbm", "libquantum", "bwaves"}
+	}
+	for _, b := range benches {
+		row := []any{b}
+		for _, mode := range []RefreshMode{Refresh1x, Refresh2x, Refresh4x} {
+			cfgN := o.single(b, ModeNoRefresh)
+			cfgN.FGR = mode
+			rn, err := o.run(fmt.Sprintf("abl-fgr/%s/%v/noref", b, mode), cfgN)
+			if err != nil {
+				return nil, err
+			}
+			cfgB := o.single(b, ModeBaseline)
+			cfgB.FGR = mode
+			rb, err := o.run(fmt.Sprintf("abl-fgr/%s/%v/base", b, mode), cfgB)
+			if err != nil {
+				return nil, err
+			}
+			cfgR := o.single(b, ModeROP)
+			cfgR.FGR = mode
+			rr, err := o.run(fmt.Sprintf("abl-fgr/%s/%v/rop", b, mode), cfgR)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, rb.Cores[0].IPC/rn.Cores[0].IPC, rr.Cores[0].IPC/rn.Cores[0].IPC)
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// FutureBankRefresh evaluates the paper's §VII future-work direction:
+// bank-granularity refresh, with and without ROP on top, against the
+// rank-refresh baseline and the no-refresh ideal.
+func FutureBankRefresh(o ExpOptions) (*Table, error) {
+	t := &Table{ID: "future-bank", Title: "Finer refresh granularities (IPC normalized to rank-refresh baseline)",
+		Header: []string{"bench", "rank_baseline", "bank_refresh", "rop_bank", "subarray", "norefresh"}}
+	benches := o.benches()
+	if len(benches) > 6 {
+		benches = []string{"GemsFDTD", "lbm", "libquantum", "bwaves", "gcc", "cactusADM"}
+	}
+	for _, b := range benches {
+		rb, err := o.run("future-bank/"+b+"/base", o.single(b, ModeBaseline))
+		if err != nil {
+			return nil, err
+		}
+		row := []any{b, 1.0}
+		for _, mode := range []Mode{ModeBankRefresh, ModeROPBank, ModeSubarrayRefresh, ModeNoRefresh} {
+			rr, err := o.run(fmt.Sprintf("future-bank/%s/%v", b, mode), o.single(b, mode))
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, rr.Cores[0].IPC/rb.Cores[0].IPC)
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+
+// AblationPagePolicy compares the paper's open-page row policy against
+// closed-page, for the baseline and ROP systems.
+func AblationPagePolicy(o ExpOptions) (*Table, error) {
+	t := &Table{ID: "abl-page", Title: "Row-buffer policy ablation (IPC, absolute)",
+		Header: []string{"bench", "open_base", "closed_base", "open_rop", "closed_rop"}}
+	benches := o.benches()
+	if len(benches) > 4 {
+		benches = []string{"libquantum", "lbm", "gcc", "bzip2"}
+	}
+	for _, b := range benches {
+		row := []any{b}
+		for _, mode := range []Mode{ModeBaseline, ModeROP} {
+			for _, closed := range []bool{false, true} {
+				cfg := o.single(b, mode)
+				cfg.ClosedPage = closed
+				rr, err := o.run(fmt.Sprintf("abl-page/%s/%v/closed=%v", b, mode, closed), cfg)
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, rr.Cores[0].IPC)
+			}
+		}
+		// Reorder: open_base, closed_base, open_rop, closed_rop already.
+		t.AddRow(row...)
+	}
+	return t, nil
+}

@@ -1,0 +1,3 @@
+module ropsim
+
+go 1.22

@@ -1,0 +1,190 @@
+// Package addr implements physical-address decomposition for the
+// simulated DRAM system: splitting a cache-line address into channel,
+// rank, bank, row and column coordinates under the two mapping schemes
+// the paper evaluates — plain rank-interleaving (Baseline) and the
+// rank-aware partitioned mapping ROP uses to keep each application's
+// traffic on its own rank (paper §IV-A, "Rank-aware Mapping").
+package addr
+
+import "fmt"
+
+// LineBytes is the cache-line (and DRAM burst) size in bytes.
+const LineBytes = 64
+
+// Geometry describes the simulated DRAM organization. The paper's
+// configuration (Table III) is one DDR4 channel with 1 rank (single-core)
+// or 4 ranks (4-core), 8 banks per rank.
+type Geometry struct {
+	Channels    int // independent channels
+	Ranks       int // ranks per channel
+	Banks       int // banks per rank
+	Rows        int // rows per bank
+	ColumnLines int // cache lines per row (row size / LineBytes)
+}
+
+// DDR4Geometry returns the paper's DRAM organization with the given
+// number of ranks: 8 banks/rank, 8 KiB rows (128 lines), 32 Ki rows/bank
+// (2 GiB per rank).
+func DDR4Geometry(ranks int) Geometry {
+	return Geometry{
+		Channels:    1,
+		Ranks:       ranks,
+		Banks:       8,
+		Rows:        32768,
+		ColumnLines: 128,
+	}
+}
+
+// Validate reports an error when any dimension is non-positive or not a
+// power of two (the bit-slicing mappers require power-of-two sizes).
+func (g Geometry) Validate() error {
+	check := func(name string, v int) error {
+		if v <= 0 {
+			return fmt.Errorf("addr: %s must be positive, got %d", name, v)
+		}
+		if v&(v-1) != 0 {
+			return fmt.Errorf("addr: %s must be a power of two, got %d", name, v)
+		}
+		return nil
+	}
+	if err := check("Channels", g.Channels); err != nil {
+		return err
+	}
+	if err := check("Ranks", g.Ranks); err != nil {
+		return err
+	}
+	if err := check("Banks", g.Banks); err != nil {
+		return err
+	}
+	if err := check("Rows", g.Rows); err != nil {
+		return err
+	}
+	return check("ColumnLines", g.ColumnLines)
+}
+
+// TotalLines reports the number of cache lines the geometry addresses.
+func (g Geometry) TotalLines() uint64 {
+	return uint64(g.Channels) * uint64(g.Ranks) * uint64(g.Banks) *
+		uint64(g.Rows) * uint64(g.ColumnLines)
+}
+
+// Loc is a fully decomposed DRAM coordinate for one cache line.
+type Loc struct {
+	Channel int
+	Rank    int
+	Bank    int
+	Row     int
+	Col     int
+}
+
+// BankLine reports the cache-line offset of the location within its bank
+// (row-major). This is the "address" the ROP prediction table stores as
+// LastAddr (paper §IV-C: "cache line offset within the bank").
+func (l Loc) BankLine(g Geometry) int64 {
+	return int64(l.Row)*int64(g.ColumnLines) + int64(l.Col)
+}
+
+// LocFromBankLine reconstructs a Loc in the given channel/rank/bank from
+// a bank-line offset, wrapping modulo the bank size so that predicted
+// addresses that run off the end of the bank remain valid.
+func LocFromBankLine(g Geometry, channel, rank, bank int, line int64) Loc {
+	size := int64(g.Rows) * int64(g.ColumnLines)
+	line %= size
+	if line < 0 {
+		line += size
+	}
+	return Loc{
+		Channel: channel,
+		Rank:    rank,
+		Bank:    bank,
+		Row:     int(line / int64(g.ColumnLines)),
+		Col:     int(line % int64(g.ColumnLines)),
+	}
+}
+
+// Mapper converts a cache-line index (byte address / LineBytes) produced
+// by core src into a DRAM location.
+type Mapper interface {
+	// Map decodes line for the given source core.
+	Map(line uint64, src int) Loc
+	// Geometry reports the geometry the mapper targets.
+	Geometry() Geometry
+}
+
+// Interleaved is the baseline mapping: cache-line interleaving across
+// banks and ranks (the low-order line bits select bank, then rank, then
+// channel, then column, then row). Sequential streams fan out over every
+// bank and rank for bandwidth — and, within each bank, still walk
+// columns sequentially, preserving row-buffer locality. Because every
+// application's lines spread over all ranks, any rank's refresh stalls
+// every application: the interference the paper's Baseline exhibits.
+type Interleaved struct {
+	g Geometry
+}
+
+// NewInterleaved builds the baseline mapper. It panics on an invalid
+// geometry, which is a configuration bug.
+func NewInterleaved(g Geometry) *Interleaved {
+	if err := g.Validate(); err != nil {
+		panic(err)
+	}
+	return &Interleaved{g: g}
+}
+
+// Geometry implements Mapper.
+func (m *Interleaved) Geometry() Geometry { return m.g }
+
+// Map implements Mapper. The source core is ignored: all cores share the
+// full address space.
+func (m *Interleaved) Map(line uint64, _ int) Loc {
+	g := m.g
+	bank := int(line % uint64(g.Banks))
+	line /= uint64(g.Banks)
+	rank := int(line % uint64(g.Ranks))
+	line /= uint64(g.Ranks)
+	ch := int(line % uint64(g.Channels))
+	line /= uint64(g.Channels)
+	col := int(line % uint64(g.ColumnLines))
+	line /= uint64(g.ColumnLines)
+	row := int(line % uint64(g.Rows))
+	return Loc{Channel: ch, Rank: rank, Bank: bank, Row: row, Col: col}
+}
+
+// RankPartitioned assigns each source core a dedicated rank (paper's
+// rank-partitioning: core i's entire footprint lives in rank i mod
+// Ranks), eliminating inter-application rank interference and making the
+// per-rank access stream predictable for the ROP prefetcher.
+type RankPartitioned struct {
+	g Geometry
+}
+
+// NewRankPartitioned builds the rank-aware mapper. It panics on an
+// invalid geometry.
+func NewRankPartitioned(g Geometry) *RankPartitioned {
+	if err := g.Validate(); err != nil {
+		panic(err)
+	}
+	return &RankPartitioned{g: g}
+}
+
+// Geometry implements Mapper.
+func (m *RankPartitioned) Geometry() Geometry { return m.g }
+
+// Map implements Mapper: rank comes from the source core; the remaining
+// bits interleave banks at line granularity inside that rank, then
+// select column and row as in the baseline mapping.
+func (m *RankPartitioned) Map(line uint64, src int) Loc {
+	g := m.g
+	rank := src % g.Ranks
+	if rank < 0 {
+		rank += g.Ranks
+	}
+	bank := int(line % uint64(g.Banks))
+	line /= uint64(g.Banks)
+	ch := int(line % uint64(g.Channels))
+	line /= uint64(g.Channels)
+	col := int(line % uint64(g.ColumnLines))
+	line /= uint64(g.ColumnLines)
+	row := int(line % uint64(g.Rows))
+	return Loc{Channel: ch, Rank: rank, Bank: bank, Row: row, Col: col}
+}

@@ -1,0 +1,201 @@
+package addr
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDDR4GeometryValid(t *testing.T) {
+	for _, ranks := range []int{1, 2, 4} {
+		g := DDR4Geometry(ranks)
+		if err := g.Validate(); err != nil {
+			t.Errorf("DDR4Geometry(%d): %v", ranks, err)
+		}
+		if g.Ranks != ranks {
+			t.Errorf("Ranks = %d, want %d", g.Ranks, ranks)
+		}
+	}
+}
+
+func TestGeometryValidateRejects(t *testing.T) {
+	bad := []Geometry{
+		{Channels: 0, Ranks: 1, Banks: 8, Rows: 16, ColumnLines: 16},
+		{Channels: 1, Ranks: 3, Banks: 8, Rows: 16, ColumnLines: 16},
+		{Channels: 1, Ranks: 1, Banks: -8, Rows: 16, ColumnLines: 16},
+		{Channels: 1, Ranks: 1, Banks: 8, Rows: 17, ColumnLines: 16},
+		{Channels: 1, Ranks: 1, Banks: 8, Rows: 16, ColumnLines: 0},
+	}
+	for i, g := range bad {
+		if err := g.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted %+v", i, g)
+		}
+	}
+}
+
+func TestTotalLines(t *testing.T) {
+	g := Geometry{Channels: 1, Ranks: 2, Banks: 4, Rows: 8, ColumnLines: 16}
+	if got := g.TotalLines(); got != 2*4*8*16 {
+		t.Errorf("TotalLines = %d, want %d", got, 2*4*8*16)
+	}
+}
+
+func smallGeo() Geometry {
+	return Geometry{Channels: 1, Ranks: 4, Banks: 8, Rows: 64, ColumnLines: 16}
+}
+
+func TestInterleavedInRange(t *testing.T) {
+	g := smallGeo()
+	m := NewInterleaved(g)
+	f := func(line uint64) bool {
+		l := m.Map(line, 0)
+		return l.Channel >= 0 && l.Channel < g.Channels &&
+			l.Rank >= 0 && l.Rank < g.Ranks &&
+			l.Bank >= 0 && l.Bank < g.Banks &&
+			l.Row >= 0 && l.Row < g.Rows &&
+			l.Col >= 0 && l.Col < g.ColumnLines
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInterleavedBijectiveOverOneWrap(t *testing.T) {
+	// Property: within one full pass over the address space, the mapping
+	// is a bijection (no two lines collide).
+	g := Geometry{Channels: 1, Ranks: 2, Banks: 4, Rows: 8, ColumnLines: 4}
+	m := NewInterleaved(g)
+	seen := make(map[Loc]uint64)
+	for line := uint64(0); line < g.TotalLines(); line++ {
+		l := m.Map(line, 0)
+		if prev, dup := seen[l]; dup {
+			t.Fatalf("lines %d and %d both map to %+v", prev, line, l)
+		}
+		seen[l] = line
+	}
+	if uint64(len(seen)) != g.TotalLines() {
+		t.Fatalf("mapped %d distinct locations, want %d", len(seen), g.TotalLines())
+	}
+}
+
+func TestInterleavedFansOutBanksThenRanks(t *testing.T) {
+	g := smallGeo()
+	m := NewInterleaved(g)
+	// Consecutive lines walk the banks first, then the ranks.
+	for i := 0; i < g.Banks; i++ {
+		if got := m.Map(uint64(i), 0).Bank; got != i {
+			t.Errorf("line %d bank = %d, want %d", i, got, i)
+		}
+	}
+	a := m.Map(0, 0)
+	b := m.Map(uint64(g.Banks), 0)
+	if b.Rank != (a.Rank+1)%g.Ranks {
+		t.Errorf("line %d rank = %d, want next rank after %d", g.Banks, b.Rank, a.Rank)
+	}
+}
+
+func TestInterleavedBankStreamSequentialColumns(t *testing.T) {
+	// Within one bank, a sequential global stream walks columns
+	// sequentially (row-buffer locality preserved).
+	g := smallGeo()
+	m := NewInterleaved(g)
+	stride := uint64(g.Banks * g.Ranks * g.Channels)
+	prev := m.Map(3, 0) // bank 3
+	for i := uint64(1); i < 20; i++ {
+		cur := m.Map(3+i*stride, 0)
+		if cur.Bank != prev.Bank || cur.Rank != prev.Rank {
+			t.Fatalf("stride walk left the bank: %+v -> %+v", prev, cur)
+		}
+		wantCol := (prev.Col + 1) % g.ColumnLines
+		if cur.Col != wantCol {
+			t.Fatalf("columns not sequential: %+v -> %+v", prev, cur)
+		}
+		prev = cur
+	}
+}
+
+func TestInterleavedSpreadsRanks(t *testing.T) {
+	g := smallGeo()
+	m := NewInterleaved(g)
+	ranks := map[int]bool{}
+	// One burst of Banks*Ranks consecutive lines touches every rank.
+	for i := uint64(0); i < uint64(g.Banks*g.Ranks); i++ {
+		ranks[m.Map(i, 0).Rank] = true
+	}
+	if len(ranks) != g.Ranks {
+		t.Errorf("interleaved mapping touched %d ranks, want %d", len(ranks), g.Ranks)
+	}
+}
+
+func TestRankPartitionedPinsRank(t *testing.T) {
+	g := smallGeo()
+	m := NewRankPartitioned(g)
+	f := func(line uint64, src uint8) bool {
+		core := int(src % 4)
+		return m.Map(line, core).Rank == core%g.Ranks
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRankPartitionedInRange(t *testing.T) {
+	g := smallGeo()
+	m := NewRankPartitioned(g)
+	f := func(line uint64, src uint8) bool {
+		l := m.Map(line, int(src))
+		return l.Bank >= 0 && l.Bank < g.Banks &&
+			l.Row >= 0 && l.Row < g.Rows &&
+			l.Col >= 0 && l.Col < g.ColumnLines
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBankLineRoundTrip(t *testing.T) {
+	g := smallGeo()
+	for row := 0; row < g.Rows; row += 7 {
+		for col := 0; col < g.ColumnLines; col++ {
+			l := Loc{Channel: 0, Rank: 1, Bank: 3, Row: row, Col: col}
+			line := l.BankLine(g)
+			back := LocFromBankLine(g, 0, 1, 3, line)
+			if back != l {
+				t.Fatalf("round trip %+v -> %d -> %+v", l, line, back)
+			}
+		}
+	}
+}
+
+func TestLocFromBankLineWraps(t *testing.T) {
+	g := smallGeo()
+	size := int64(g.Rows) * int64(g.ColumnLines)
+	a := LocFromBankLine(g, 0, 0, 0, 5)
+	b := LocFromBankLine(g, 0, 0, 0, 5+size)
+	c := LocFromBankLine(g, 0, 0, 0, 5-size)
+	if a != b || a != c {
+		t.Errorf("wrap mismatch: %+v %+v %+v", a, b, c)
+	}
+	// Negative offsets stay in range.
+	l := LocFromBankLine(g, 0, 0, 0, -1)
+	if l.Row < 0 || l.Col < 0 || l.Row >= g.Rows || l.Col >= g.ColumnLines {
+		t.Errorf("negative bank line out of range: %+v", l)
+	}
+}
+
+func TestBankLineAdjacency(t *testing.T) {
+	// Property: consecutive bank lines differ by one column or wrap to
+	// the next row.
+	g := smallGeo()
+	f := func(raw uint16) bool {
+		line := int64(raw) % (int64(g.Rows)*int64(g.ColumnLines) - 1)
+		a := LocFromBankLine(g, 0, 0, 0, line)
+		b := LocFromBankLine(g, 0, 0, 0, line+1)
+		if a.Row == b.Row {
+			return b.Col == a.Col+1
+		}
+		return b.Row == a.Row+1 && b.Col == 0 && a.Col == g.ColumnLines-1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

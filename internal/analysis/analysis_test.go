@@ -1,0 +1,144 @@
+package analysis
+
+import (
+	"testing"
+
+	"ropsim/internal/event"
+	"ropsim/internal/memctrl"
+)
+
+// buildCapture makes a capture with refreshes at the given times on rank
+// 0 and requests at the given (time, isRead) pairs.
+func buildCapture(refs []event.Cycle, reqs [][2]int64) *memctrl.Capture {
+	c := &memctrl.Capture{}
+	for _, at := range refs {
+		c.Refresh(at, 0)
+	}
+	for _, r := range reqs {
+		c.Request(event.Cycle(r[0]), 0, r[1] == 1)
+	}
+	return c
+}
+
+func TestNonBlockingFraction(t *testing.T) {
+	// Refreshes at 1000 and 2000, L=100. A read at 1050 blocks the
+	// first; nothing in [2000,2100) so the second is non-blocking.
+	cap := buildCapture([]event.Cycle{1000, 2000}, [][2]int64{
+		{1050, 1}, {2150, 1},
+	})
+	tl := NewTimeline(cap, 1)
+	if got := tl.NonBlockingFraction(100); got != 0.5 {
+		t.Errorf("non-blocking = %g, want 0.5", got)
+	}
+	// With L=200 the read at 2150 blocks the second too.
+	if got := tl.NonBlockingFraction(200); got != 0 {
+		t.Errorf("non-blocking(200) = %g, want 0", got)
+	}
+}
+
+func TestWritesDoNotBlock(t *testing.T) {
+	cap := buildCapture([]event.Cycle{1000}, [][2]int64{{1050, 0}})
+	tl := NewTimeline(cap, 1)
+	if got := tl.NonBlockingFraction(100); got != 1 {
+		t.Errorf("write counted as blocking: %g", got)
+	}
+}
+
+func TestBlockedStats(t *testing.T) {
+	cap := buildCapture([]event.Cycle{1000, 2000, 3000}, [][2]int64{
+		{1010, 1}, {1020, 1}, {1030, 1}, // 3 blocked at first
+		{2050, 1}, // 1 blocked at second
+		// third refresh non-blocking
+	})
+	tl := NewTimeline(cap, 1)
+	mean, max := tl.BlockedStats(100)
+	if mean != 2 {
+		t.Errorf("mean blocked = %g, want 2", mean)
+	}
+	if max != 3 {
+		t.Errorf("max blocked = %d, want 3", max)
+	}
+}
+
+func TestBlockedStatsNoBlocking(t *testing.T) {
+	cap := buildCapture([]event.Cycle{1000}, nil)
+	tl := NewTimeline(cap, 1)
+	mean, max := tl.BlockedStats(100)
+	if mean != 0 || max != 0 {
+		t.Errorf("mean,max = %g,%d, want 0,0", mean, max)
+	}
+}
+
+func TestWindowStatsAllFourCategories(t *testing.T) {
+	// W=100. Refresh at 1000: B (write at 950), A (read at 1050) -> E1.
+	// Refresh at 2000: B (read at 1950), no A -> (1,0).
+	// Refresh at 3000: no B, A (read 3010) -> (0,1).
+	// Refresh at 4000: quiet -> E2.
+	cap := buildCapture(
+		[]event.Cycle{1000, 2000, 3000, 4000},
+		[][2]int64{{950, 0}, {1050, 1}, {1950, 1}, {3010, 1}},
+	)
+	tl := NewTimeline(cap, 1)
+	w := tl.Windows(100)
+	if w.Counts != [2][2]int64{{1, 1}, {1, 1}} {
+		t.Fatalf("counts = %v", w.Counts)
+	}
+	if w.Total() != 4 {
+		t.Errorf("total = %d", w.Total())
+	}
+	if w.E1Fraction() != 0.25 || w.E2Fraction() != 0.25 || w.Coverage() != 0.5 {
+		t.Errorf("E1=%g E2=%g cov=%g", w.E1Fraction(), w.E2Fraction(), w.Coverage())
+	}
+	if w.Lambda() != 0.5 || w.Beta() != 0.5 {
+		t.Errorf("lambda=%g beta=%g, want 0.5,0.5", w.Lambda(), w.Beta())
+	}
+}
+
+func TestWindowAfterCountsReadsOnly(t *testing.T) {
+	// A write after the refresh must not count toward A.
+	cap := buildCapture([]event.Cycle{1000}, [][2]int64{{950, 1}, {1050, 0}})
+	tl := NewTimeline(cap, 1)
+	w := tl.Windows(100)
+	if w.Counts[1][0] != 1 {
+		t.Errorf("counts = %v, want B>0,A=0", w.Counts)
+	}
+}
+
+func TestPerRankSeparation(t *testing.T) {
+	c := &memctrl.Capture{}
+	c.Refresh(1000, 0)
+	c.Refresh(1000, 1)
+	c.Request(1050, 1, true) // read on rank 1 only
+	tl := NewTimeline(c, 2)
+	if got := tl.NonBlockingFraction(100); got != 0.5 {
+		t.Errorf("non-blocking = %g, want 0.5 (rank isolation)", got)
+	}
+}
+
+func TestUnsortedCaptureHandled(t *testing.T) {
+	c := &memctrl.Capture{}
+	c.Refresh(2000, 0)
+	c.Refresh(1000, 0)
+	c.Request(2050, 0, true)
+	c.Request(950, 0, true)
+	tl := NewTimeline(c, 1)
+	if tl.NumRefreshes() != 2 {
+		t.Fatal("refresh count wrong")
+	}
+	w := tl.Windows(100)
+	// Refresh@1000: B>0 (950), A=0. Refresh@2000: B=0, A>0 (2050).
+	if w.Counts[1][0] != 1 || w.Counts[0][1] != 1 {
+		t.Errorf("counts = %v", w.Counts)
+	}
+}
+
+func TestEmptyTimeline(t *testing.T) {
+	tl := NewTimeline(&memctrl.Capture{}, 1)
+	if tl.NonBlockingFraction(100) != 0 {
+		t.Error("empty timeline non-blocking not 0")
+	}
+	w := tl.Windows(100)
+	if w.Lambda() != 0 || w.Beta() != 0 || w.Coverage() != 0 {
+		t.Error("empty stats not zero")
+	}
+}

@@ -1,0 +1,557 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ropsim/internal/addr"
+	"ropsim/internal/event"
+	"ropsim/internal/stats"
+	"ropsim/internal/vldp"
+)
+
+// State is the per-rank mode of the ROP state machine (paper §IV-C end):
+// Training (profiler collecting, SRAM off), Observing (λ/β known,
+// watching the window before each refresh), and Prefetching (a prefetch
+// was launched for the imminent refresh).
+type State int
+
+// ROP states.
+const (
+	Training State = iota
+	Observing
+	Prefetching
+)
+
+// String implements fmt.Stringer.
+func (s State) String() string {
+	switch s {
+	case Training:
+		return "Training"
+	case Observing:
+		return "Observing"
+	case Prefetching:
+		return "Prefetching"
+	}
+	return fmt.Sprintf("State(%d)", int(s))
+}
+
+// GatePolicy selects how the prefetch launch decision is made.
+type GatePolicy int
+
+// Gate policies. The paper's design is the probabilistic λ/β gate; the
+// other two exist for the ablation study.
+const (
+	// GateProbabilistic prefetches with probability λ when B>0 and 1-β
+	// when B=0 (paper §IV-B).
+	GateProbabilistic GatePolicy = iota
+	// GateAlways prefetches for every refresh once training completes.
+	GateAlways
+	// GateNever never prefetches (drain-only ROP).
+	GateNever
+)
+
+// String implements fmt.Stringer.
+func (g GatePolicy) String() string {
+	switch g {
+	case GateProbabilistic:
+		return "probabilistic"
+	case GateAlways:
+		return "always"
+	case GateNever:
+		return "never"
+	}
+	return fmt.Sprintf("GatePolicy(%d)", int(g))
+}
+
+// Predictor selects the candidate-generation algorithm.
+type Predictor int
+
+// Predictor kinds.
+const (
+	// PredictorTable is the paper's rank-scoped per-bank delta table.
+	PredictorTable Predictor = iota
+	// PredictorVLDP uses the original VLDP (DHB + cascaded DPTs) at
+	// rank scope, for the ablation against the paper's adaptation.
+	PredictorVLDP
+)
+
+// String implements fmt.Stringer.
+func (p Predictor) String() string {
+	switch p {
+	case PredictorTable:
+		return "table"
+	case PredictorVLDP:
+		return "vldp"
+	}
+	return fmt.Sprintf("Predictor(%d)", int(p))
+}
+
+// Config parameterizes the ROP engine. The zero value is invalid; use
+// DefaultConfig.
+type Config struct {
+	// SRAMLines is the prefetch buffer capacity in cache lines (the
+	// paper evaluates 16/32/64/128 and defaults to 64).
+	SRAMLines int
+	// TrainRefreshes is the training period length in refresh
+	// operations (paper: 50).
+	TrainRefreshes int
+	// HitThreshold sends a rank back to Training when the SRAM hit rate
+	// over an evaluation period falls below it (paper: 0.6).
+	HitThreshold float64
+	// WindowTREFI is the observational window length as a multiple of
+	// tREFI (paper: 1).
+	WindowTREFI float64
+	// EvalRefreshes is how many refreshes pass between hit-rate
+	// evaluations.
+	EvalRefreshes int
+	// MinEvalLookups is the minimum number of during-refresh reads in an
+	// evaluation period before the threshold applies; with fewer
+	// samples the hit rate is noise.
+	MinEvalLookups int64
+	// Seed feeds the probabilistic prefetch gate.
+	Seed int64
+
+	// Gate selects the launch policy (default: the paper's λ/β gate).
+	Gate GatePolicy
+	// StrictTable uses the paper's verbatim delta-replacement rule
+	// instead of the default noise-tolerant variant (see core.Table).
+	StrictTable bool
+	// Predictor selects the candidate generator (default: the paper's
+	// prediction table).
+	Predictor Predictor
+}
+
+// DefaultConfig returns the paper's configuration (§V-A).
+func DefaultConfig() Config {
+	return Config{
+		SRAMLines:      64,
+		TrainRefreshes: 50,
+		HitThreshold:   0.6,
+		WindowTREFI:    1,
+		EvalRefreshes:  32,
+		MinEvalLookups: 16,
+		Seed:           1,
+	}
+}
+
+// Validate reports an error for out-of-range parameters.
+func (c Config) Validate() error {
+	if c.SRAMLines <= 0 {
+		return fmt.Errorf("core: SRAMLines must be positive, got %d", c.SRAMLines)
+	}
+	if c.TrainRefreshes <= 0 {
+		return fmt.Errorf("core: TrainRefreshes must be positive, got %d", c.TrainRefreshes)
+	}
+	if c.HitThreshold < 0 || c.HitThreshold > 1 {
+		return fmt.Errorf("core: HitThreshold %g outside [0,1]", c.HitThreshold)
+	}
+	if c.WindowTREFI <= 0 {
+		return fmt.Errorf("core: WindowTREFI must be positive, got %g", c.WindowTREFI)
+	}
+	if c.EvalRefreshes <= 0 {
+		return fmt.Errorf("core: EvalRefreshes must be positive, got %d", c.EvalRefreshes)
+	}
+	return nil
+}
+
+// rankState is the per-rank half of the engine.
+type rankState struct {
+	state State
+	table *Table
+	vldp  *vldp.VLDP // only with PredictorVLDP
+	prof  *Profiler
+
+	lambda, beta float64
+	haveProbs    bool
+
+	// Observational-window bookkeeping: observedB counts requests since
+	// the last refresh start; after a refresh starts, reads count toward
+	// afterCount until afterDeadline, then the (B, A) pair is classified.
+	observedB       int
+	pendingClassify bool
+	pendingB        int
+	afterCount      int
+	afterDeadline   event.Cycle
+
+	// Hit-rate evaluation window.
+	lookupsAtEvalStart int64
+	hitsAtEvalStart    int64
+	refreshesSinceEval int
+
+	// Fill-session consumption feedback: how many of the lines loaded
+	// in this rank's previous session were actually served before the
+	// buffer moved on. -1 until the first session completes.
+	consumedEWMA float64
+}
+
+// Decision is the engine's verdict for one refresh. When Prefetch is
+// true the controller drains the rank, then asks GenerateCandidates for
+// the lines to fetch — deferring address generation to the last moment
+// keeps the predictions aligned with the stream position at freeze time.
+type Decision struct {
+	Prefetch bool
+}
+
+// Engine is the ROP controller-side model: one prediction table and
+// profiler per rank sharing one SRAM buffer.
+type Engine struct {
+	cfg    Config
+	geo    addr.Geometry
+	window event.Cycle
+	rfc    event.Cycle
+	rng    *rand.Rand
+	sram   *SRAM
+	ranks  []rankState
+
+	// RefreshesSeen counts OnRefreshStart calls; PrefetchLaunches counts
+	// positive decisions; GateSuppressed counts refreshes where the λ/β
+	// gate vetoed prefetching.
+	RefreshesSeen, PrefetchLaunches, GateSuppressed stats.Counter
+
+	// DebugMiss, when set, observes every frozen-probe miss (diagnostics).
+	DebugMiss func(l addr.Loc)
+	// DebugCandidates, when set, observes every candidate generation.
+	DebugCandidates func(rank int, locs []addr.Loc)
+}
+
+// NoteSessionEnd reports that a rank's fill session ended with the
+// given number of inserted lines still unconsumed (the controller calls
+// it just before the buffer is claimed for the next session). The
+// consumption estimate drives the next session's fill count.
+func (e *Engine) NoteSessionEnd(rank, inserted, leftover int) {
+	if rank < 0 || rank >= len(e.ranks) || inserted <= 0 {
+		return
+	}
+	consumed := float64(inserted - leftover)
+	if consumed < 0 {
+		consumed = 0
+	}
+	rs := &e.ranks[rank]
+	if rs.consumedEWMA < 0 {
+		rs.consumedEWMA = consumed
+	} else {
+		rs.consumedEWMA = 0.75*rs.consumedEWMA + 0.25*consumed
+	}
+}
+
+// NewEngine builds an engine for the given geometry, refresh interval
+// (tREFI, used to size the observational window) and refresh cycle time
+// (tRFC, used to estimate per-freeze demand). It panics on invalid
+// configuration.
+func NewEngine(cfg Config, geo addr.Geometry, refi, rfc event.Cycle) *Engine {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	if err := geo.Validate(); err != nil {
+		panic(err)
+	}
+	if refi <= 0 || rfc <= 0 {
+		panic("core: engine requires positive refresh timings")
+	}
+	e := &Engine{
+		cfg:    cfg,
+		geo:    geo,
+		window: event.Cycle(cfg.WindowTREFI * float64(refi)),
+		rfc:    rfc,
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		sram:   NewSRAM(cfg.SRAMLines),
+		ranks:  make([]rankState, geo.Ranks),
+	}
+	for r := range e.ranks {
+		if cfg.StrictTable {
+			e.ranks[r].table = NewStrictTable(geo.Banks)
+		} else {
+			e.ranks[r].table = NewTable(geo.Banks)
+		}
+		if cfg.Predictor == PredictorVLDP {
+			e.ranks[r].vldp = vldp.New(vldp.DefaultConfig())
+		}
+		e.ranks[r].prof = NewProfiler(cfg.TrainRefreshes)
+		e.ranks[r].consumedEWMA = -1
+	}
+	return e
+}
+
+// Buffer exposes the SRAM for the controller's fill and statistics paths.
+func (e *Engine) Buffer() *SRAM { return e.sram }
+
+// Config reports the engine configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// RankState reports the current state of a rank's state machine.
+func (e *Engine) RankState(rank int) State { return e.ranks[rank].state }
+
+// LambdaBeta reports the rank's current gate probabilities; ok is false
+// while the first training period is still running.
+func (e *Engine) LambdaBeta(rank int) (lambda, beta float64, ok bool) {
+	rs := &e.ranks[rank]
+	return rs.lambda, rs.beta, rs.haveProbs
+}
+
+// Table exposes a rank's prediction table for inspection.
+func (e *Engine) Table(rank int) *Table { return e.ranks[rank].table }
+
+// LineKey encodes a DRAM location as the global line key used by the
+// SRAM buffer.
+func (e *Engine) LineKey(l addr.Loc) uint64 {
+	g := e.geo
+	bankLine := uint64(l.BankLine(g))
+	bankIdx := uint64((l.Channel*g.Ranks+l.Rank)*g.Banks + l.Bank)
+	return bankIdx*uint64(g.Rows)*uint64(g.ColumnLines) + bankLine
+}
+
+// maybeClassify completes a pending (B, A) classification once the
+// after-window has elapsed.
+func (e *Engine) maybeClassify(rs *rankState, now event.Cycle) {
+	if rs.pendingClassify && now >= rs.afterDeadline {
+		e.classify(rs)
+	}
+}
+
+func (e *Engine) classify(rs *rankState) {
+	if rs.state == Training {
+		rs.prof.Record(rs.pendingB > 0, rs.afterCount > 0)
+	}
+	rs.pendingClassify = false
+}
+
+// OnRequest informs the engine of a demand request arriving at the
+// controller for the given location. Both reads and writes count toward
+// B; only reads count toward A (paper §IV-B).
+func (e *Engine) OnRequest(l addr.Loc, isRead bool, now event.Cycle) {
+	rs := &e.ranks[l.Rank]
+	e.maybeClassify(rs, now)
+	rs.observedB++
+	if rs.pendingClassify && isRead {
+		rs.afterCount++
+	}
+	// Only reads train the predictor: the buffer exists to serve reads,
+	// and writeback addresses (dirty evictions of long-cold lines) are
+	// unrelated to the forward stream — feeding them in breaks every
+	// other delta in write-heavy phases.
+	if isRead {
+		rs.table.Observe(l.Bank, l.BankLine(e.geo))
+		if rs.vldp != nil {
+			rs.vldp.Observe(uint64(l.Bank), l.BankLine(e.geo))
+		}
+	}
+}
+
+// OnRefreshStart tells the engine rank is about to refresh at cycle now
+// and returns the prefetch decision. When Decision.Prefetch is true the
+// controller drains the rank's pending reads, calls GenerateCandidates,
+// Acquires the buffer, fetches the candidates (Insert per completed
+// line), and only then issues the refresh.
+func (e *Engine) OnRefreshStart(rank int, now event.Cycle) Decision {
+	rs := &e.ranks[rank]
+	e.RefreshesSeen.Inc()
+	// A refresh arriving before the previous after-window closed (e.g.
+	// postponed unevenly) classifies with what was seen so far.
+	if rs.pendingClassify {
+		e.classify(rs)
+	}
+
+	b := rs.observedB
+	rs.observedB = 0
+	rs.pendingB = b
+	rs.afterCount = 0
+	rs.afterDeadline = now + e.window
+	rs.pendingClassify = true
+
+	var dec Decision
+	if rs.state != Training {
+		switch e.cfg.Gate {
+		case GateAlways:
+			dec.Prefetch = true
+		case GateNever:
+			dec.Prefetch = false
+		default:
+			if b > 0 {
+				dec.Prefetch = e.rng.Float64() < rs.lambda
+			} else {
+				dec.Prefetch = e.rng.Float64() >= rs.beta
+			}
+		}
+		if !dec.Prefetch {
+			e.GateSuppressed.Inc()
+		}
+	}
+	if dec.Prefetch {
+		rs.state = Prefetching
+		e.PrefetchLaunches.Inc()
+	}
+	// Window boundary: halve the pattern weights so the next window
+	// emphasizes fresh behaviour (the ratios candidates use survive).
+	rs.table.Decay()
+	return dec
+}
+
+// GenerateCandidates predicts the buffer contents for the rank's
+// imminent refresh from the prediction table's current state. The
+// controller calls it after draining, immediately before issuing fills,
+// so that demand reads consumed during the drain are already reflected
+// in LastAddr.
+func (e *Engine) GenerateCandidates(rank int) []addr.Loc {
+	rs := &e.ranks[rank]
+	// Fetch only what the buffer's lifetime can plausibly consume. The
+	// measured consumption of the rank's previous sessions feeds back,
+	// so over-fetching — pure bus waste, since the buffer moves to the
+	// next rank before extra lines are read — self-corrects. The
+	// feedback keeps modest headroom (1.15x + 4, floor 16): when demand
+	// exceeds capacity the estimate saturates at the full buffer, and
+	// when the buffer's lifetime truncates consumption the fill count
+	// settles just above what actually gets served.
+	capacity := e.cfg.SRAMLines
+	if rs.consumedEWMA >= 0 {
+		want := int(rs.consumedEWMA*1.15) + 4
+		if want < 16 {
+			want = 16
+		}
+		if want < capacity {
+			capacity = want
+		}
+	}
+	// Lead offset: the fills take roughly 6 bus cycles each plus closing
+	// overhead; at the arrival rate observed in the last window
+	// (pendingB requests per window), that many lines per bank will be
+	// consumed before the freeze and need no buffer depth.
+	fillCycles := 6*int64(capacity) + 60
+	if fillCycles > 500 {
+		fillCycles = 500 // large buffers fill concurrently with demand
+	}
+	lead := int(int64(rs.pendingB) * fillCycles / int64(e.window) / int64(e.geo.Banks))
+	if max := 2 * capacity / e.geo.Banks; lead > max {
+		lead = max
+	}
+	var locs []addr.Loc
+	if rs.vldp != nil {
+		// Original-VLDP ablation: split the capacity evenly over banks
+		// and walk each bank's DPT predictions past the lead offset.
+		depth := capacity / e.geo.Banks
+		if depth < 1 {
+			depth = 1
+		}
+		for b := 0; b < e.geo.Banks; b++ {
+			preds := rs.vldp.Predict(uint64(b), depth+lead)
+			if len(preds) > lead {
+				preds = preds[lead:]
+			} else {
+				preds = nil
+			}
+			for _, line := range preds {
+				locs = append(locs, addr.LocFromBankLine(e.geo, 0, rank, b, line))
+			}
+		}
+	} else {
+		locs = rs.table.CandidateLocs(e.geo, 0, rank, capacity, lead)
+	}
+	if e.DebugCandidates != nil {
+		e.DebugCandidates(rank, locs)
+	}
+	return locs
+}
+
+// ProbeRead asks whether a demand read can be served from the SRAM
+// buffer. frozen marks reads arriving while the rank is locked by its
+// refresh: only those probes count toward the paper's hit-rate metric
+// ("requests arriving during a refresh period", §V-B3). Reads between
+// fill completion and the freeze are served quietly — the buffer holds
+// valid data, and serving them avoids fetching the same line from DRAM
+// twice. Probes during Training always miss: the buffer is powered off
+// (paper §IV-B).
+func (e *Engine) ProbeRead(l addr.Loc, now event.Cycle, frozen bool) bool {
+	rs := &e.ranks[l.Rank]
+	e.maybeClassify(rs, now)
+	if rs.state == Training {
+		return false
+	}
+	if frozen {
+		hit := e.sram.Lookup(l.Rank, e.LineKey(l))
+		if e.DebugMiss != nil && !hit {
+			e.DebugMiss(l)
+		}
+		return hit
+	}
+	return e.sram.Serve(l.Rank, e.LineKey(l))
+}
+
+// OnWrite invalidates a buffered line that a posted write has made
+// stale (paper §IV-D). The controller calls it for every write to a
+// rank that currently owns the buffer, frozen or not, since the buffer
+// keeps serving until the next rank claims it.
+func (e *Engine) OnWrite(l addr.Loc) {
+	if e.sram.Owner() == l.Rank {
+		e.sram.Invalidate(e.LineKey(l))
+	}
+}
+
+// OnRefreshEnd tells the engine the rank's refresh completed. It runs
+// the state transitions: training completion, hit-rate fallback, and
+// Prefetching → Observing.
+func (e *Engine) OnRefreshEnd(rank int, now event.Cycle) {
+	rs := &e.ranks[rank]
+	e.maybeClassify(rs, now)
+	// The buffer is NOT released here: it keeps serving reads for this
+	// rank until the next rank's refresh claims it (paper §IV-A, ranks
+	// take turns), which lets the remaining prefetched lines be consumed
+	// instead of being re-fetched from DRAM.
+
+	switch rs.state {
+	case Training:
+		if rs.prof.Done() {
+			rs.lambda, rs.beta = rs.prof.LambdaBeta()
+			rs.haveProbs = true
+			rs.state = Observing
+			rs.refreshesSinceEval = 0
+			rs.lookupsAtEvalStart = e.sram.Lookups.Value()
+			rs.hitsAtEvalStart = e.sram.Hits.Value()
+		}
+	case Observing, Prefetching:
+		rs.state = Observing
+		rs.refreshesSinceEval++
+		if rs.refreshesSinceEval >= e.cfg.EvalRefreshes {
+			lookups := e.sram.Lookups.Value() - rs.lookupsAtEvalStart
+			hits := e.sram.Hits.Value() - rs.hitsAtEvalStart
+			if lookups >= e.cfg.MinEvalLookups &&
+				float64(hits) < e.cfg.HitThreshold*float64(lookups) {
+				rs.state = Training
+				rs.prof.Reset()
+			}
+			rs.refreshesSinceEval = 0
+			rs.lookupsAtEvalStart = e.sram.Lookups.Value()
+			rs.hitsAtEvalStart = e.sram.Hits.Value()
+		}
+	}
+}
+
+// GenerateBankCandidates predicts the buffer contents for one bank's
+// imminent per-bank refresh (the paper's §VII bank-granularity future
+// work): the full session capacity goes to the single bank that is
+// about to freeze.
+func (e *Engine) GenerateBankCandidates(rank, bank int) []addr.Loc {
+	rs := &e.ranks[rank]
+	capacity := e.cfg.SRAMLines
+	if rs.consumedEWMA >= 0 {
+		want := int(rs.consumedEWMA*1.15) + 4
+		if want < 8 {
+			want = 8
+		}
+		if want < capacity {
+			capacity = want
+		}
+	}
+	fillCycles := 6*int64(capacity) + 60
+	lead := int(int64(rs.pendingB) * fillCycles / int64(e.window) / int64(e.geo.Banks))
+	if lead > capacity/2 {
+		lead = capacity / 2
+	}
+	var locs []addr.Loc
+	for _, line := range rs.table.Candidates(bank, capacity, lead) {
+		locs = append(locs, addr.LocFromBankLine(e.geo, 0, rank, bank, line))
+	}
+	if e.DebugCandidates != nil {
+		e.DebugCandidates(rank, locs)
+	}
+	return locs
+}

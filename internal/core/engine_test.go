@@ -1,0 +1,323 @@
+package core
+
+import (
+	"testing"
+
+	"ropsim/internal/addr"
+	"ropsim/internal/event"
+)
+
+func engGeo() addr.Geometry {
+	return addr.Geometry{Channels: 1, Ranks: 2, Banks: 8, Rows: 256, ColumnLines: 32}
+}
+
+func newTestEngine(t *testing.T, mutate func(*Config)) *Engine {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.TrainRefreshes = 4
+	cfg.EvalRefreshes = 8
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	return NewEngine(cfg, engGeo(), 6240, 280)
+}
+
+// driveTraining pushes an engine's rank 0 through its training period
+// with a steady sequential stream so that λ=1 afterwards.
+func driveTraining(e *Engine, refi event.Cycle) event.Cycle {
+	now := event.Cycle(0)
+	line := int64(0)
+	for r := 0; r < e.Config().TrainRefreshes+1; r++ {
+		for i := 0; i < 20; i++ {
+			loc := addr.LocFromBankLine(engGeo(), 0, 0, 0, line)
+			e.OnRequest(loc, true, now)
+			line++
+			now += 10
+		}
+		now = event.Cycle(r+1) * refi
+		e.OnRefreshStart(0, now)
+		e.OnRefreshEnd(0, now+280)
+	}
+	return now
+}
+
+func TestEngineStartsInTraining(t *testing.T) {
+	e := newTestEngine(t, nil)
+	if e.RankState(0) != Training || e.RankState(1) != Training {
+		t.Error("engine not in Training initially")
+	}
+	if _, _, ok := e.LambdaBeta(0); ok {
+		t.Error("probabilities available before training")
+	}
+	// No prefetching during training.
+	dec := e.OnRefreshStart(0, 100)
+	if dec.Prefetch {
+		t.Error("prefetch launched during training")
+	}
+}
+
+func TestEngineTrainsThenObserves(t *testing.T) {
+	e := newTestEngine(t, nil)
+	driveTraining(e, 6240)
+	if e.RankState(0) != Observing {
+		t.Fatalf("state = %v, want Observing", e.RankState(0))
+	}
+	lambda, beta, ok := e.LambdaBeta(0)
+	if !ok {
+		t.Fatal("no probabilities after training")
+	}
+	// Steady traffic: every refresh saw B>0 and A>0, so λ=1 and β
+	// defaults to 1 (B=0 never seen).
+	if lambda != 1 || beta != 1 {
+		t.Errorf("lambda=%g beta=%g, want 1,1", lambda, beta)
+	}
+}
+
+func TestEnginePrefetchesAfterTraining(t *testing.T) {
+	e := newTestEngine(t, nil)
+	refi := event.Cycle(6240)
+	now := driveTraining(e, refi)
+
+	// One more window of sequential accesses, then a refresh: the gate
+	// (λ=1) must fire and candidates must follow the stream.
+	line := int64(1000)
+	for i := 0; i < 20; i++ {
+		loc := addr.LocFromBankLine(engGeo(), 0, 0, 0, line)
+		e.OnRequest(loc, true, now)
+		line++
+		now += 10
+	}
+	dec := e.OnRefreshStart(0, now+100)
+	if !dec.Prefetch {
+		t.Fatal("no prefetch decision with λ=1 and B>0")
+	}
+	lines := e.GenerateCandidates(0)
+	if len(lines) == 0 {
+		t.Fatal("prefetch without candidate lines")
+	}
+	if e.RankState(0) != Prefetching {
+		t.Errorf("state = %v, want Prefetching", e.RankState(0))
+	}
+	for _, l := range lines {
+		if l.Rank != 0 {
+			t.Errorf("candidate in wrong rank: %+v", l)
+		}
+	}
+	// Candidates continue the +1 stream.
+	first := lines[0]
+	if first.BankLine(engGeo()) != line-1+1 {
+		t.Errorf("first candidate bank line = %d, want %d", first.BankLine(engGeo()), line)
+	}
+}
+
+func TestEngineBufferServesReadsDuringRefresh(t *testing.T) {
+	e := newTestEngine(t, nil)
+	refi := event.Cycle(6240)
+	now := driveTraining(e, refi)
+	line := int64(5000)
+	for i := 0; i < 20; i++ {
+		e.OnRequest(addr.LocFromBankLine(engGeo(), 0, 0, 0, line), true, now)
+		line++
+		now += 10
+	}
+	dec := e.OnRefreshStart(0, now)
+	if !dec.Prefetch {
+		t.Fatal("no prefetch")
+	}
+	lines := e.GenerateCandidates(0)
+	if len(lines) == 0 {
+		t.Fatal("no candidates")
+	}
+	if !e.Buffer().Acquire(0) {
+		t.Fatal("buffer busy")
+	}
+	for _, l := range lines {
+		e.Buffer().Insert(e.LineKey(l))
+	}
+	// A read to the first predicted line during the refresh hits.
+	if !e.ProbeRead(lines[0], now+50, true) {
+		t.Error("probe missed a prefetched line")
+	}
+	// A read far away misses.
+	far := addr.LocFromBankLine(engGeo(), 0, 0, 3, 999)
+	if e.ProbeRead(far, now+60, true) {
+		t.Error("probe hit an absent line")
+	}
+	// Writes invalidate.
+	e.OnWrite(lines[0])
+	if e.ProbeRead(lines[0], now+70, true) {
+		t.Error("probe hit an invalidated line")
+	}
+	e.OnRefreshEnd(0, now+280)
+	// The buffer keeps serving its rank after the refresh (ranks take
+	// turns, paper §IV-A); the next Acquire claims and clears it.
+	if e.Buffer().Owner() != 0 {
+		t.Error("buffer dropped its rank at refresh end")
+	}
+	if !e.Buffer().Acquire(1) {
+		t.Error("next rank could not claim the buffer")
+	}
+	if e.Buffer().Len() != 0 {
+		t.Error("claim did not clear previous contents")
+	}
+}
+
+func TestEngineGateSuppressesQuietWindows(t *testing.T) {
+	// With β=1 learned from quiet training (no requests at all), B=0
+	// windows must never prefetch.
+	e := newTestEngine(t, nil)
+	now := event.Cycle(0)
+	for r := 0; r < e.Config().TrainRefreshes+1; r++ {
+		now += 6240
+		e.OnRefreshStart(0, now)
+		e.OnRefreshEnd(0, now+280)
+	}
+	if e.RankState(0) != Observing {
+		t.Fatalf("state = %v, want Observing", e.RankState(0))
+	}
+	_, beta, _ := e.LambdaBeta(0)
+	if beta != 1 {
+		t.Fatalf("beta = %g, want 1", beta)
+	}
+	suppressedBefore := e.GateSuppressed.Value()
+	for r := 0; r < 10; r++ {
+		now += 6240
+		dec := e.OnRefreshStart(0, now)
+		if dec.Prefetch {
+			t.Fatal("prefetch fired for B=0 with β=1")
+		}
+		e.OnRefreshEnd(0, now+280)
+	}
+	if e.GateSuppressed.Value() <= suppressedBefore {
+		t.Error("gate suppression not counted")
+	}
+}
+
+func TestEngineHitRateFallback(t *testing.T) {
+	// Force Observing, then deliver misses during refreshes: the rank
+	// must fall back to Training once the evaluation period elapses.
+	e := newTestEngine(t, func(c *Config) {
+		c.EvalRefreshes = 4
+		c.MinEvalLookups = 4
+	})
+	refi := event.Cycle(6240)
+	now := driveTraining(e, refi)
+
+	for r := 0; r < 6; r++ {
+		// Traffic so the gate keeps prefetching, but probe lines far
+		// from the prediction so every lookup misses.
+		line := int64(100000 + r*1000)
+		for i := 0; i < 10; i++ {
+			e.OnRequest(addr.LocFromBankLine(engGeo(), 0, 0, 1, line), true, now)
+			line += 97
+			now += 10
+		}
+		dec := e.OnRefreshStart(0, now)
+		if dec.Prefetch {
+			e.Buffer().Acquire(0)
+			for _, l := range e.GenerateCandidates(0) {
+				e.Buffer().Insert(e.LineKey(l))
+			}
+		}
+		for i := 0; i < 3; i++ {
+			e.ProbeRead(addr.LocFromBankLine(engGeo(), 0, 0, 5, int64(r*31+i)), now+10, true)
+		}
+		now += 280
+		e.OnRefreshEnd(0, now)
+		if e.RankState(0) == Training {
+			return // fallback happened
+		}
+		now += refi
+	}
+	t.Error("rank never fell back to Training despite low hit rate")
+}
+
+func TestEngineRanksIndependent(t *testing.T) {
+	e := newTestEngine(t, nil)
+	driveTraining(e, 6240)
+	if e.RankState(0) != Observing {
+		t.Fatal("rank 0 not trained")
+	}
+	if e.RankState(1) != Training {
+		t.Error("rank 1 trained without its own refreshes")
+	}
+}
+
+func TestEngineLineKeyUnique(t *testing.T) {
+	e := newTestEngine(t, nil)
+	g := engGeo()
+	seen := make(map[uint64]addr.Loc)
+	for rank := 0; rank < g.Ranks; rank++ {
+		for bank := 0; bank < g.Banks; bank++ {
+			for row := 0; row < 4; row++ {
+				for col := 0; col < g.ColumnLines; col++ {
+					l := addr.Loc{Rank: rank, Bank: bank, Row: row, Col: col}
+					k := e.LineKey(l)
+					if prev, dup := seen[k]; dup {
+						t.Fatalf("key collision: %+v and %+v", prev, l)
+					}
+					seen[k] = l
+				}
+			}
+		}
+	}
+}
+
+func TestEngineDeterministicDecisions(t *testing.T) {
+	run := func() []bool {
+		e := newTestEngine(t, func(c *Config) { c.Seed = 42 })
+		refi := event.Cycle(6240)
+		now := driveTraining(e, refi)
+		var decs []bool
+		line := int64(0)
+		for r := 0; r < 20; r++ {
+			if r%2 == 0 {
+				for i := 0; i < 5; i++ {
+					e.OnRequest(addr.LocFromBankLine(engGeo(), 0, 0, 0, line), true, now)
+					line++
+					now += 7
+				}
+			}
+			now += refi
+			decs = append(decs, e.OnRefreshStart(0, now).Prefetch)
+			e.OnRefreshEnd(0, now+280)
+		}
+		return decs
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d differs between identical runs", i)
+		}
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []func(*Config){
+		func(c *Config) { c.SRAMLines = 0 },
+		func(c *Config) { c.TrainRefreshes = 0 },
+		func(c *Config) { c.HitThreshold = 1.5 },
+		func(c *Config) { c.WindowTREFI = 0 },
+		func(c *Config) { c.EvalRefreshes = 0 },
+	}
+	for i, mutate := range bad {
+		c := DefaultConfig()
+		mutate(&c)
+		if c.Validate() == nil {
+			t.Errorf("case %d: Validate accepted bad config", i)
+		}
+	}
+}
+
+func TestStateString(t *testing.T) {
+	if Training.String() != "Training" || Observing.String() != "Observing" ||
+		Prefetching.String() != "Prefetching" {
+		t.Error("State.String wrong")
+	}
+	if State(99).String() == "" {
+		t.Error("unknown state has empty string")
+	}
+}

@@ -1,0 +1,73 @@
+package core
+
+// Profiler is the Pattern Profiler of paper §IV-B. During a training
+// period it classifies each refresh of a rank into the four (B, A)
+// categories — B is the number of requests in the observational window
+// before the refresh, A the number of read requests in the window after
+// it — and at the end of training emits the two conditional
+// probabilities λ = P{A>0 | B>0} and β = P{A=0 | B=0} (Eqs. 1-2) that
+// gate prefetching.
+type Profiler struct {
+	// counts[b][a] counts refreshes with (B>0)==b, (A>0)==a.
+	counts [2][2]int64
+	target int
+	seen   int
+}
+
+// NewProfiler builds a profiler whose training period spans the given
+// number of refresh operations (the paper uses 50).
+func NewProfiler(targetRefreshes int) *Profiler {
+	if targetRefreshes <= 0 {
+		panic("core: training period must cover at least one refresh")
+	}
+	return &Profiler{target: targetRefreshes}
+}
+
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Record classifies one refresh.
+func (p *Profiler) Record(bPositive, aPositive bool) {
+	p.counts[b2i(bPositive)][b2i(aPositive)]++
+	p.seen++
+}
+
+// Done reports whether the training period has covered enough refreshes.
+func (p *Profiler) Done() bool { return p.seen >= p.target }
+
+// Seen reports the number of refreshes classified so far.
+func (p *Profiler) Seen() int { return p.seen }
+
+// Counts returns the category occurrence counts indexed [B>0][A>0].
+func (p *Profiler) Counts() [2][2]int64 { return p.counts }
+
+// LambdaBeta computes the two conditional probabilities. When a
+// condition never occurred, the corresponding probability defaults to 1:
+// an unobserved B>0 case means "trust observed requests" (prefetch) and
+// an unobserved B=0 case means "trust silence" (do not prefetch) — the
+// conservative choices for each gate.
+func (p *Profiler) LambdaBeta() (lambda, beta float64) {
+	bPos := p.counts[1][0] + p.counts[1][1]
+	if bPos == 0 {
+		lambda = 1
+	} else {
+		lambda = float64(p.counts[1][1]) / float64(bPos)
+	}
+	bZero := p.counts[0][0] + p.counts[0][1]
+	if bZero == 0 {
+		beta = 1
+	} else {
+		beta = float64(p.counts[0][0]) / float64(bZero)
+	}
+	return lambda, beta
+}
+
+// Reset starts a new training period.
+func (p *Profiler) Reset() {
+	p.counts = [2][2]int64{}
+	p.seen = 0
+}

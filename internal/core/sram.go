@@ -1,0 +1,130 @@
+package core
+
+import "ropsim/internal/stats"
+
+// SRAM is the fully-associative prefetch buffer in the memory controller
+// (paper §IV-A). Ranks take turns using it: before a rank's refresh the
+// engine loads predicted lines, reads that arrive while the rank is
+// frozen are served from the buffer, and the buffer is released when the
+// refresh completes.
+//
+// Lines are keyed by a global line key (see Engine.lineKey). The buffer
+// holds at most its capacity; overflowing inserts are dropped, matching
+// the fixed hardware size.
+type SRAM struct {
+	capacity int
+	owner    int // rank currently using the buffer, -1 when free
+	lines    map[uint64]bool
+	used     map[uint64]bool // lines served at least once this session
+
+	// Inserted counts lines loaded; Dropped counts inserts beyond
+	// capacity (a well-behaved engine never exceeds the quota, but the
+	// buffer enforces its size regardless).
+	Inserted, Dropped stats.Counter
+	// Hits and Lookups cover reads attempted while a rank is frozen.
+	Hits, Lookups stats.Counter
+}
+
+// NewSRAM builds a buffer holding capacity cache lines.
+func NewSRAM(capacity int) *SRAM {
+	if capacity <= 0 {
+		panic("core: SRAM capacity must be positive")
+	}
+	return &SRAM{
+		capacity: capacity,
+		owner:    -1,
+		lines:    make(map[uint64]bool, capacity),
+		used:     make(map[uint64]bool, capacity),
+	}
+}
+
+// Capacity reports the buffer size in cache lines.
+func (s *SRAM) Capacity() int { return s.capacity }
+
+// Owner reports the rank currently holding the buffer, or -1.
+func (s *SRAM) Owner() int { return s.owner }
+
+// Len reports the number of valid lines.
+func (s *SRAM) Len() int { return len(s.lines) }
+
+// Acquire claims the buffer for a new fill session. Ranks take turns
+// using the buffer (paper §IV-A): each claim drops the previous
+// session's contents, whether they belonged to another rank or to an
+// earlier refresh of the same rank. It always succeeds — staggered
+// refreshes never overlap, so the previous owner's refresh is long over
+// by the time the buffer is claimed again.
+func (s *SRAM) Acquire(rank int) bool {
+	clear(s.lines)
+	clear(s.used)
+	s.owner = rank
+	return true
+}
+
+// Insert loads one line. Inserts beyond capacity are dropped.
+func (s *SRAM) Insert(key uint64) {
+	if s.owner == -1 {
+		panic("core: Insert without owner")
+	}
+	if len(s.lines) >= s.capacity && !s.lines[key] {
+		s.Dropped.Inc()
+		return
+	}
+	if !s.lines[key] {
+		s.lines[key] = true
+		s.Inserted.Inc()
+	}
+}
+
+// Lookup probes for a line on behalf of rank, counting the probe in the
+// hit-rate statistics. It reports false when the buffer belongs to a
+// different rank.
+func (s *SRAM) Lookup(rank int, key uint64) bool {
+	s.Lookups.Inc()
+	if s.owner != rank {
+		return false
+	}
+	if s.lines[key] {
+		s.Hits.Inc()
+		s.used[key] = true
+		return true
+	}
+	return false
+}
+
+// Serve probes for a line outside the frozen window (no hit-rate
+// statistics) and marks it consumed. It reports false when the buffer
+// belongs to a different rank.
+func (s *SRAM) Serve(rank int, key uint64) bool {
+	if s.owner != rank || !s.lines[key] {
+		return false
+	}
+	s.used[key] = true
+	return true
+}
+
+// UsedCount reports how many distinct lines this session has served.
+func (s *SRAM) UsedCount() int { return len(s.used) }
+
+// Contains probes without touching statistics.
+func (s *SRAM) Contains(key uint64) bool { return s.lines[key] }
+
+// Invalidate drops a line (a write to a buffered line during refresh
+// must invalidate the stale copy, §IV-D).
+func (s *SRAM) Invalidate(key uint64) {
+	delete(s.lines, key)
+}
+
+// Release clears the buffer and frees it for the next rank.
+func (s *SRAM) Release() {
+	s.owner = -1
+	clear(s.lines)
+	clear(s.used)
+}
+
+// HitRate reports hits/lookups, or fallback with no lookups.
+func (s *SRAM) HitRate(fallback float64) float64 {
+	if s.Lookups.Value() == 0 {
+		return fallback
+	}
+	return float64(s.Hits.Value()) / float64(s.Lookups.Value())
+}

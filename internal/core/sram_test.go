@@ -1,0 +1,131 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSRAMBasic(t *testing.T) {
+	s := NewSRAM(4)
+	if s.Owner() != -1 {
+		t.Fatal("fresh buffer has an owner")
+	}
+	if !s.Acquire(2) {
+		t.Fatal("Acquire failed on free buffer")
+	}
+	s.Insert(10)
+	s.Insert(11)
+	if !s.Lookup(2, 10) {
+		t.Error("miss on inserted line")
+	}
+	if s.Lookup(2, 99) {
+		t.Error("hit on absent line")
+	}
+	if s.Hits.Value() != 1 || s.Lookups.Value() != 2 {
+		t.Errorf("hits=%d lookups=%d", s.Hits.Value(), s.Lookups.Value())
+	}
+}
+
+func TestSRAMCapacityEnforced(t *testing.T) {
+	s := NewSRAM(3)
+	s.Acquire(0)
+	for k := uint64(0); k < 10; k++ {
+		s.Insert(k)
+	}
+	if s.Len() != 3 {
+		t.Errorf("len = %d, want 3", s.Len())
+	}
+	if s.Dropped.Value() != 7 {
+		t.Errorf("dropped = %d, want 7", s.Dropped.Value())
+	}
+}
+
+func TestSRAMOwnership(t *testing.T) {
+	s := NewSRAM(4)
+	s.Acquire(1)
+	s.Insert(5)
+	// Lookup by the wrong rank misses but still counts.
+	if s.Lookup(2, 5) {
+		t.Error("foreign rank hit the buffer")
+	}
+	if s.Lookups.Value() != 1 {
+		t.Error("foreign lookup not counted")
+	}
+	// Ranks take turns: the next claim steals and clears the buffer.
+	if !s.Acquire(2) {
+		t.Error("take-turns Acquire failed")
+	}
+	if s.Owner() != 2 {
+		t.Errorf("owner = %d, want 2", s.Owner())
+	}
+	if s.Contains(5) {
+		t.Error("claim kept the previous owner's lines")
+	}
+	// Re-acquire by the same rank also starts a fresh session.
+	s.Insert(7)
+	s.Acquire(2)
+	if s.Contains(7) {
+		t.Error("re-acquire kept stale lines")
+	}
+	s.Release()
+	if s.Owner() != -1 {
+		t.Error("Release did not free the buffer")
+	}
+}
+
+func TestSRAMInvalidate(t *testing.T) {
+	s := NewSRAM(4)
+	s.Acquire(0)
+	s.Insert(7)
+	s.Invalidate(7)
+	if s.Lookup(0, 7) {
+		t.Error("hit on invalidated line")
+	}
+}
+
+func TestSRAMInsertWithoutOwnerPanics(t *testing.T) {
+	s := NewSRAM(4)
+	defer func() {
+		if recover() == nil {
+			t.Error("Insert without owner did not panic")
+		}
+	}()
+	s.Insert(1)
+}
+
+func TestSRAMHitRate(t *testing.T) {
+	s := NewSRAM(4)
+	if got := s.HitRate(0.5); got != 0.5 {
+		t.Errorf("fallback hit rate = %g", got)
+	}
+	s.Acquire(0)
+	s.Insert(1)
+	s.Lookup(0, 1)
+	s.Lookup(0, 2)
+	if got := s.HitRate(0); got != 0.5 {
+		t.Errorf("hit rate = %g, want 0.5", got)
+	}
+}
+
+func TestSRAMNeverExceedsCapacity(t *testing.T) {
+	// Property: under arbitrary insert/invalidate sequences, occupancy
+	// stays within capacity and duplicate inserts are idempotent.
+	f := func(keys []uint16) bool {
+		s := NewSRAM(8)
+		s.Acquire(0)
+		for i, k := range keys {
+			if i%5 == 4 {
+				s.Invalidate(uint64(k))
+			} else {
+				s.Insert(uint64(k))
+			}
+			if s.Len() > 8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,338 @@
+// Package core implements the paper's contribution: Refresh-Oriented
+// Prefetching (ROP). It contains the Pattern Profiler (paper §IV-B), the
+// rank-scoped prediction table adapted from VLDP (paper §IV-C), the
+// fully-associative SRAM prefetch buffer, and the Engine tying them into
+// the Training → Observing → Prefetching state machine that the memory
+// controller drives around each refresh operation.
+package core
+
+import "ropsim/internal/addr"
+
+// freqHalveAt is the frequency ceiling: when any pattern frequency
+// reaches it, all three are halved (paper §IV-C: "When any of the three
+// frequencies overflows ... all of them are reduced to a half"). The
+// paper sizes each counter field small (the 204-bit entry); the exact
+// width is immaterial as long as halving preserves the ratios.
+const freqHalveAt = 1 << 16
+
+// TableEntry records the access patterns observed on one bank during the
+// observational window (paper Fig. 6): the last accessed bank line and
+// three delta patterns (1-, 2- and 3-delta) with their repeat
+// frequencies.
+type TableEntry struct {
+	Valid    bool
+	LastAddr int64 // cache-line offset within the bank
+
+	// Anchor is the last address that followed the dominant pattern;
+	// candidate generation starts here so that a single irregular access
+	// (which moves LastAddr somewhere unrelated) does not derail the
+	// predictions for a whole refresh (noise-tolerant mode only).
+	Anchor int64
+
+	Delta1 int64
+	F1     uint32
+	// Conf is a VLDP-style 2-bit confidence on Delta1: an off-pattern
+	// delta decrements it instead of resetting the pattern, and only a
+	// persistent change replaces Delta1 (noise-tolerant mode only).
+	Conf   uint8
+	Delta2 [2]int64
+	F2     uint32
+	Delta3 [3]int64
+	F3     uint32
+
+	// Tumbling collectors: every two accesses form a two-delta tuple,
+	// every three a three-delta tuple (paper §IV-C).
+	pend2 [2]int64
+	n2    int
+	pend3 [3]int64
+	n3    int
+}
+
+// FreqSum reports f1+f2+f3, the entry's weight in the per-bank prefetch
+// quota (paper Eq. 3).
+func (e *TableEntry) FreqSum() int64 {
+	return int64(e.F1) + int64(e.F2) + int64(e.F3)
+}
+
+// Table is the per-rank prediction table: one entry per bank
+// (paper §IV-C: "The number of entries in the prediction table is equal
+// to the number of banks in a rank").
+//
+// Two update policies exist. The strict policy is the paper's verbatim
+// §IV-C rule: any off-pattern delta immediately replaces the pattern and
+// zeroes its frequency. The default noise-tolerant policy adds a 2-bit
+// confidence (in the spirit of the VLDP tables the design derives from)
+// so a single irregular access does not erase an established streak —
+// without it, one stray access right before a refresh starves that
+// bank's prefetch quota. The ablation benchmarks compare both.
+type Table struct {
+	entries []TableEntry
+	strict  bool
+}
+
+// NewTable builds a noise-tolerant table for a rank with the given
+// number of banks.
+func NewTable(banks int) *Table {
+	if banks <= 0 {
+		panic("core: table needs at least one bank")
+	}
+	return &Table{entries: make([]TableEntry, banks)}
+}
+
+// NewStrictTable builds a table with the paper's verbatim update rule.
+func NewStrictTable(banks int) *Table {
+	t := NewTable(banks)
+	t.strict = true
+	return t
+}
+
+// Banks reports the number of entries.
+func (t *Table) Banks() int { return len(t.entries) }
+
+// Entry returns the entry for bank (for inspection and tests).
+func (t *Table) Entry(bank int) *TableEntry { return &t.entries[bank] }
+
+// Observe records an access to the given bank line, updating the delta
+// patterns (see Table for the two update policies).
+func (t *Table) Observe(bank int, line int64) {
+	e := &t.entries[bank]
+	if !e.Valid {
+		e.Valid = true
+		e.LastAddr = line
+		e.Anchor = line
+		return
+	}
+	d := line - e.LastAddr
+	e.LastAddr = line
+	if d == 0 {
+		return
+	}
+
+	switch {
+	case d == e.Delta1:
+		e.F1++
+		if e.Conf < 3 {
+			e.Conf++
+		}
+		e.Anchor = line
+	case !t.strict && e.Conf > 0:
+		// Tolerated outlier: keep the established one-delta pattern.
+		// The tuple collectors below still see the delta — multi-delta
+		// patterns (e.g. 2,2,5) look like noise to the one-delta slot
+		// but are exactly what Delta2/Delta3 learn.
+		e.Conf--
+	default:
+		e.Delta1 = d
+		e.F1 = 0
+		e.Conf = 0
+		e.Anchor = line
+	}
+
+	e.pend2[e.n2] = d
+	e.n2++
+	if e.n2 == 2 {
+		if e.pend2 == e.Delta2 {
+			e.F2++
+		} else {
+			e.Delta2 = e.pend2
+			e.F2 = 0
+		}
+		e.n2 = 0
+	}
+
+	e.pend3[e.n3] = d
+	e.n3++
+	if e.n3 == 3 {
+		if e.pend3 == e.Delta3 {
+			e.F3++
+		} else {
+			e.Delta3 = e.pend3
+			e.F3 = 0
+		}
+		e.n3 = 0
+	}
+
+	if e.F1 >= freqHalveAt || e.F2 >= freqHalveAt || e.F3 >= freqHalveAt {
+		e.F1 /= 2
+		e.F2 /= 2
+		e.F3 /= 2
+	}
+}
+
+// Decay halves every frequency. The engine calls it at each window
+// boundary so that pattern weights emphasize the most recent window while
+// retaining longer-lived patterns across windows.
+func (t *Table) Decay() {
+	for i := range t.entries {
+		e := &t.entries[i]
+		e.F1 /= 2
+		e.F2 /= 2
+		e.F3 /= 2
+	}
+}
+
+// Reset clears all entries.
+func (t *Table) Reset() {
+	for i := range t.entries {
+		t.entries[i] = TableEntry{}
+	}
+}
+
+// Quotas splits the SRAM capacity c across banks proportionally to each
+// bank's frequency sum (paper Eq. 3), using largest-remainder rounding so
+// that the quotas sum to at most c. Banks with zero frequency get zero.
+func (t *Table) Quotas(c int) []int {
+	quotas := make([]int, len(t.entries))
+	var total int64
+	for i := range t.entries {
+		total += t.entries[i].FreqSum()
+	}
+	if total == 0 || c <= 0 {
+		return quotas
+	}
+	type rem struct {
+		bank int
+		frac int64
+	}
+	rems := make([]rem, 0, len(t.entries))
+	used := 0
+	for i := range t.entries {
+		share := t.entries[i].FreqSum() * int64(c)
+		quotas[i] = int(share / total)
+		used += quotas[i]
+		rems = append(rems, rem{bank: i, frac: share % total})
+	}
+	// Distribute the remainder to the largest fractional shares,
+	// breaking ties by bank index for determinism.
+	for used < c {
+		best := -1
+		for j := range rems {
+			if rems[j].frac == 0 {
+				continue
+			}
+			if best == -1 || rems[j].frac > rems[best].frac {
+				best = j
+			}
+		}
+		if best == -1 {
+			break
+		}
+		quotas[rems[best].bank]++
+		rems[best].frac = 0
+		used++
+	}
+	return quotas
+}
+
+// Candidates predicts up to quota bank lines for the given bank,
+// following the three identified patterns relative to the anchor with
+// the per-pattern split of §IV-C: n_k = f_k * quota / (f1+f2+f3). lead
+// skips that many pattern steps before collecting: the skipped lines
+// will be consumed by demand traffic while the prefetch fills are still
+// in flight, so spending buffer depth on them is wasted (they are served
+// from DRAM at normal latency either way).
+func (t *Table) Candidates(bank, quota, lead int) []int64 {
+	e := &t.entries[bank]
+	sum := e.FreqSum()
+	if !e.Valid || sum == 0 || quota <= 0 {
+		return nil
+	}
+	if lead < 0 {
+		lead = 0
+	}
+	n1 := int(int64(e.F1) * int64(quota) / sum)
+	n2 := int(int64(e.F2) * int64(quota) / sum)
+	n3 := quota - n1 - n2
+	if e.F3 == 0 {
+		// Give pattern 3's rounding slack to the strongest pattern.
+		if e.F1 >= e.F2 {
+			n1 += n3
+		} else {
+			n2 += n3
+		}
+		n3 = 0
+	}
+
+	// When the one-delta pattern dominates, predictions anchor at the
+	// last on-pattern address: after a stray access, LastAddr points
+	// somewhere unrelated but the stream resumes from the anchor. For
+	// tuple-dominated entries the anchor phase is not tracked, so the
+	// plain LastAddr applies. The lead offset advances the base along
+	// the dominant pattern.
+	base := e.LastAddr
+	if e.Delta1 != 0 && e.F1 >= e.F2 && e.F1 >= e.F3 {
+		base = e.Anchor
+		if lead > 0 {
+			base += e.Delta1 * int64(lead)
+		}
+	}
+
+	seen := make(map[int64]bool, quota)
+	out := make([]int64, 0, quota)
+	add := func(line int64) {
+		if line != e.LastAddr && line != base && !seen[line] {
+			seen[line] = true
+			out = append(out, line)
+		}
+	}
+
+	if e.F1 > 0 && e.Delta1 != 0 {
+		line := base
+		for k := 0; k < n1; k++ {
+			line += e.Delta1
+			add(line)
+		}
+	}
+	if e.F2 > 0 && (e.Delta2[0] != 0 || e.Delta2[1] != 0) {
+		line := base
+		for k := 0; k < n2; k++ {
+			line += e.Delta2[k%2]
+			add(line)
+		}
+	}
+	if e.F3 > 0 && (e.Delta3[0] != 0 || e.Delta3[1] != 0 || e.Delta3[2] != 0) {
+		line := base
+		for k := 0; k < n3; k++ {
+			line += e.Delta3[k%3]
+			add(line)
+		}
+	}
+	// For uniform strides the three patterns predict the same lines and
+	// dedup under-fills the quota; extend the dominant pattern so the
+	// bank still contributes its full share B_i.
+	if len(out) < quota {
+		line := base
+		switch {
+		case e.F1 >= e.F2 && e.F1 >= e.F3 && e.Delta1 != 0:
+			for k := 0; len(out) < quota && k < 4*quota; k++ {
+				line += e.Delta1
+				add(line)
+			}
+		case e.F2 >= e.F3 && (e.Delta2[0] != 0 || e.Delta2[1] != 0):
+			for k := 0; len(out) < quota && k < 4*quota; k++ {
+				line += e.Delta2[k%2]
+				add(line)
+			}
+		case e.Delta3[0] != 0 || e.Delta3[1] != 0 || e.Delta3[2] != 0:
+			for k := 0; len(out) < quota && k < 4*quota; k++ {
+				line += e.Delta3[k%3]
+				add(line)
+			}
+		}
+	}
+	return out
+}
+
+// CandidateLocs converts Candidates output for every bank into full DRAM
+// locations in the given rank, honouring the per-bank quotas and the
+// per-bank lead offset.
+func (t *Table) CandidateLocs(g addr.Geometry, channel, rank, capacity, lead int) []addr.Loc {
+	quotas := t.Quotas(capacity)
+	var locs []addr.Loc
+	for b := range t.entries {
+		for _, line := range t.Candidates(b, quotas[b], lead) {
+			locs = append(locs, addr.LocFromBankLine(g, channel, rank, b, line))
+		}
+	}
+	return locs
+}

@@ -1,0 +1,335 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ropsim/internal/addr"
+)
+
+func TestTableSingleDelta(t *testing.T) {
+	tb := NewTable(8)
+	line := int64(100)
+	for i := 0; i < 10; i++ {
+		tb.Observe(3, line)
+		line += 2
+	}
+	e := tb.Entry(3)
+	if e.Delta1 != 2 {
+		t.Errorf("Delta1 = %d, want 2", e.Delta1)
+	}
+	// 10 observations: first sets LastAddr, second sets Delta1 (f1=0),
+	// remaining 8 repeat it.
+	if e.F1 != 8 {
+		t.Errorf("F1 = %d, want 8", e.F1)
+	}
+	if e.LastAddr != line-2 {
+		t.Errorf("LastAddr = %d, want %d", e.LastAddr, line-2)
+	}
+}
+
+func TestStrictTableDeltaChangeResets(t *testing.T) {
+	// Paper §IV-C verbatim: any off-pattern delta replaces the pattern.
+	tb := NewStrictTable(8)
+	tb.Observe(0, 0)
+	tb.Observe(0, 2)
+	tb.Observe(0, 4) // f1=1 for delta 2
+	tb.Observe(0, 9) // delta 5: reset
+	e := tb.Entry(0)
+	if e.Delta1 != 5 || e.F1 != 0 {
+		t.Errorf("Delta1=%d F1=%d, want 5, 0", e.Delta1, e.F1)
+	}
+}
+
+func TestTolerantTableSurvivesOutlier(t *testing.T) {
+	// Noise-tolerant policy: one stray delta neither replaces the
+	// pattern nor moves the anchor.
+	tb := NewTable(8)
+	line := int64(0)
+	for i := 0; i < 10; i++ {
+		tb.Observe(0, line)
+		line += 2
+	}
+	anchor := tb.Entry(0).Anchor
+	tb.Observe(0, 999) // outlier
+	e := tb.Entry(0)
+	if e.Delta1 != 2 {
+		t.Errorf("outlier replaced Delta1: %d", e.Delta1)
+	}
+	if e.Anchor != anchor {
+		t.Errorf("outlier moved anchor: %d -> %d", anchor, e.Anchor)
+	}
+	// The stream resumes: predictions continue from the anchor.
+	cands := tb.Candidates(0, 4, 0)
+	if len(cands) == 0 || cands[0] != anchor+2 {
+		t.Errorf("candidates after outlier = %v, want to start at %d", cands, anchor+2)
+	}
+}
+
+func TestTolerantTableReplacesPersistentChange(t *testing.T) {
+	tb := NewTable(8)
+	line := int64(0)
+	for i := 0; i < 10; i++ {
+		tb.Observe(0, line)
+		line += 2
+	}
+	// A persistent switch to stride 7 must eventually win.
+	for i := 0; i < 10; i++ {
+		tb.Observe(0, line)
+		line += 7
+	}
+	if got := tb.Entry(0).Delta1; got != 7 {
+		t.Errorf("Delta1 = %d after persistent change, want 7", got)
+	}
+}
+
+func TestTableTwoDeltaTumbling(t *testing.T) {
+	tb := NewTable(8)
+	line := int64(0)
+	deltas := []int64{1, 3}
+	// 1+2k observations produce k complete two-delta tuples.
+	tb.Observe(0, line)
+	for i := 0; i < 12; i++ {
+		line += deltas[i%2]
+		tb.Observe(0, line)
+	}
+	e := tb.Entry(0)
+	if e.Delta2 != [2]int64{1, 3} {
+		t.Errorf("Delta2 = %v, want [1 3]", e.Delta2)
+	}
+	// 6 tuples: first sets the pattern (f2=0), 5 repeats.
+	if e.F2 != 5 {
+		t.Errorf("F2 = %d, want 5", e.F2)
+	}
+}
+
+func TestTableThreeDeltaTumbling(t *testing.T) {
+	tb := NewTable(8)
+	line := int64(0)
+	deltas := []int64{2, 2, 5}
+	tb.Observe(0, line)
+	for i := 0; i < 18; i++ {
+		line += deltas[i%3]
+		tb.Observe(0, line)
+	}
+	e := tb.Entry(0)
+	if e.Delta3 != [3]int64{2, 2, 5} {
+		t.Errorf("Delta3 = %v, want [2 2 5]", e.Delta3)
+	}
+	if e.F3 != 5 { // 6 triples, first sets
+		t.Errorf("F3 = %d, want 5", e.F3)
+	}
+}
+
+func TestTableZeroDeltaIgnored(t *testing.T) {
+	tb := NewTable(8)
+	tb.Observe(0, 7)
+	tb.Observe(0, 7)
+	tb.Observe(0, 8)
+	tb.Observe(0, 9)
+	e := tb.Entry(0)
+	if e.Delta1 != 1 || e.F1 != 1 {
+		t.Errorf("duplicate access poisoned pattern: Delta1=%d F1=%d", e.Delta1, e.F1)
+	}
+}
+
+func TestTableDecay(t *testing.T) {
+	tb := NewTable(8)
+	line := int64(0)
+	for i := 0; i < 11; i++ {
+		tb.Observe(0, line)
+		line++
+	}
+	f := tb.Entry(0).F1
+	tb.Decay()
+	if tb.Entry(0).F1 != f/2 {
+		t.Errorf("F1 after decay = %d, want %d", tb.Entry(0).F1, f/2)
+	}
+}
+
+func TestTableReset(t *testing.T) {
+	tb := NewTable(4)
+	tb.Observe(1, 5)
+	tb.Observe(1, 6)
+	tb.Reset()
+	if tb.Entry(1).Valid || tb.Entry(1).F1 != 0 {
+		t.Error("Reset left state behind")
+	}
+}
+
+func TestQuotasProportionalAndBounded(t *testing.T) {
+	tb := NewTable(4)
+	// Bank 0: 9 repeats of delta 1. Bank 1: 3 repeats. Banks 2,3: none.
+	line := int64(0)
+	for i := 0; i < 11; i++ {
+		tb.Observe(0, line)
+		line++
+	}
+	line = 0
+	for i := 0; i < 5; i++ {
+		tb.Observe(1, line)
+		line++
+	}
+	quotas := tb.Quotas(64)
+	total := 0
+	for _, q := range quotas {
+		total += q
+	}
+	if total > 64 {
+		t.Errorf("quotas sum to %d > capacity", total)
+	}
+	if quotas[0] <= quotas[1] {
+		t.Errorf("bank 0 quota %d not greater than bank 1 quota %d", quotas[0], quotas[1])
+	}
+	if quotas[2] != 0 || quotas[3] != 0 {
+		t.Errorf("idle banks got quota: %v", quotas)
+	}
+}
+
+func TestQuotasZeroWhenNoPatterns(t *testing.T) {
+	tb := NewTable(8)
+	for _, q := range tb.Quotas(64) {
+		if q != 0 {
+			t.Fatalf("empty table produced quotas")
+		}
+	}
+}
+
+func TestQuotasSumNeverExceedsCapacity(t *testing.T) {
+	// Property: for arbitrary frequency patterns, sum(quotas) <= C.
+	f := func(freqs [6]uint8, c uint8) bool {
+		tb := NewTable(6)
+		for b, n := range freqs {
+			line := int64(0)
+			for i := 0; i < int(n%40)+2; i++ {
+				tb.Observe(b, line)
+				line++
+			}
+		}
+		capacity := int(c%128) + 1
+		total := 0
+		for _, q := range tb.Quotas(capacity) {
+			total += q
+		}
+		return total <= capacity
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCandidatesFollowDelta(t *testing.T) {
+	tb := NewTable(8)
+	line := int64(50)
+	for i := 0; i < 12; i++ {
+		tb.Observe(2, line)
+		line += 4
+	}
+	last := line - 4
+	cands := tb.Candidates(2, 8, 0)
+	if len(cands) != 8 {
+		t.Fatalf("got %d candidates, want 8", len(cands))
+	}
+	for i, c := range cands {
+		want := last + int64(i+1)*4
+		if c != want {
+			t.Errorf("candidate %d = %d, want %d", i, c, want)
+		}
+	}
+}
+
+func TestCandidatesMixedPatterns(t *testing.T) {
+	tb := NewTable(8)
+	// Alternating +1/+3 builds both a two-delta pattern and (weak)
+	// one-delta patterns.
+	line := int64(0)
+	deltas := []int64{1, 3}
+	tb.Observe(0, line)
+	for i := 0; i < 40; i++ {
+		line += deltas[i%2]
+		tb.Observe(0, line)
+	}
+	cands := tb.Candidates(0, 10, 0)
+	if len(cands) == 0 {
+		t.Fatal("no candidates for two-delta pattern")
+	}
+	// All candidates must lie ahead of LastAddr.
+	last := tb.Entry(0).LastAddr
+	for _, c := range cands {
+		if c <= last {
+			t.Errorf("candidate %d not ahead of LastAddr %d", c, last)
+		}
+	}
+}
+
+func TestCandidatesEmptyWithoutPatterns(t *testing.T) {
+	tb := NewTable(8)
+	if got := tb.Candidates(0, 16, 0); got != nil {
+		t.Errorf("candidates from empty entry: %v", got)
+	}
+	tb.Observe(0, 5)
+	if got := tb.Candidates(0, 16, 0); got != nil {
+		t.Errorf("candidates after one access: %v", got)
+	}
+}
+
+func TestCandidatesDeduped(t *testing.T) {
+	// Property: candidates are unique and never equal LastAddr.
+	f := func(seed uint8) bool {
+		tb := NewTable(2)
+		line := int64(0)
+		step := int64(seed%5) + 1
+		for i := 0; i < 30; i++ {
+			tb.Observe(0, line)
+			line += step
+		}
+		cands := tb.Candidates(0, 20, 0)
+		seen := map[int64]bool{}
+		for _, c := range cands {
+			if seen[c] || c == tb.Entry(0).LastAddr {
+				return false
+			}
+			seen[c] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCandidateLocsRespectGeometry(t *testing.T) {
+	g := addr.Geometry{Channels: 1, Ranks: 2, Banks: 4, Rows: 32, ColumnLines: 16}
+	tb := NewTable(4)
+	line := int64(30 * 16) // near the end of the bank: forces wrapping
+	for i := 0; i < 20; i++ {
+		tb.Observe(1, line)
+		line += 3
+	}
+	locs := tb.CandidateLocs(g, 0, 1, 16, 0)
+	if len(locs) == 0 {
+		t.Fatal("no candidate locs")
+	}
+	for _, l := range locs {
+		if l.Rank != 1 || l.Bank != 1 {
+			t.Errorf("loc in wrong rank/bank: %+v", l)
+		}
+		if l.Row < 0 || l.Row >= g.Rows || l.Col < 0 || l.Col >= g.ColumnLines {
+			t.Errorf("loc out of range: %+v", l)
+		}
+	}
+}
+
+func TestFreqHalving(t *testing.T) {
+	tb := NewTable(1)
+	line := int64(0)
+	// Drive F1 to the halving threshold.
+	tb.Observe(0, line)
+	for i := uint32(0); i < freqHalveAt+2; i++ {
+		line++
+		tb.Observe(0, line)
+	}
+	if f := tb.Entry(0).F1; f >= freqHalveAt {
+		t.Errorf("F1 = %d, halving never applied", f)
+	}
+}

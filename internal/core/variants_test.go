@@ -1,0 +1,170 @@
+package core
+
+import (
+	"testing"
+
+	"ropsim/internal/addr"
+	"ropsim/internal/event"
+)
+
+// Tests for the ablation variants, session feedback, and the per-bank
+// candidate path.
+
+func TestGatePolicyStrings(t *testing.T) {
+	if GateProbabilistic.String() != "probabilistic" ||
+		GateAlways.String() != "always" || GateNever.String() != "never" {
+		t.Error("GatePolicy.String wrong")
+	}
+	if PredictorTable.String() != "table" || PredictorVLDP.String() != "vldp" {
+		t.Error("Predictor.String wrong")
+	}
+	if GatePolicy(99).String() == "" || Predictor(99).String() == "" {
+		t.Error("unknown enum values produce empty strings")
+	}
+}
+
+func TestGateAlwaysAndNever(t *testing.T) {
+	for _, gate := range []GatePolicy{GateAlways, GateNever} {
+		e := newTestEngine(t, func(c *Config) { c.Gate = gate })
+		now := driveTraining(e, 6240)
+		// Quiet window: probabilistic would usually skip; Always must
+		// fire, Never must not.
+		now += 6240
+		dec := e.OnRefreshStart(0, now)
+		switch gate {
+		case GateAlways:
+			if !dec.Prefetch {
+				t.Error("GateAlways did not prefetch")
+			}
+		case GateNever:
+			if dec.Prefetch {
+				t.Error("GateNever prefetched")
+			}
+		}
+		e.OnRefreshEnd(0, now+280)
+	}
+}
+
+func TestVLDPPredictorGeneratesCandidates(t *testing.T) {
+	e := newTestEngine(t, func(c *Config) { c.Predictor = PredictorVLDP })
+	refi := event.Cycle(6240)
+	now := driveTraining(e, refi)
+	// Feed a clean stride so the VLDP DPTs lock in.
+	line := int64(2000)
+	for i := 0; i < 40; i++ {
+		e.OnRequest(addr.LocFromBankLine(engGeo(), 0, 0, 0, line), true, now)
+		line += 2
+		now += 10
+	}
+	dec := e.OnRefreshStart(0, now)
+	if !dec.Prefetch {
+		t.Fatal("no prefetch decision")
+	}
+	locs := e.GenerateCandidates(0)
+	if len(locs) == 0 {
+		t.Fatal("VLDP predictor produced no candidates")
+	}
+	for _, l := range locs {
+		if l.Rank != 0 {
+			t.Errorf("candidate in wrong rank: %+v", l)
+		}
+	}
+}
+
+func TestGenerateBankCandidates(t *testing.T) {
+	e := newTestEngine(t, nil)
+	now := driveTraining(e, 6240)
+	line := int64(3000)
+	for i := 0; i < 30; i++ {
+		e.OnRequest(addr.LocFromBankLine(engGeo(), 0, 0, 5, line), true, now)
+		line++
+		now += 10
+	}
+	e.OnRefreshStart(0, now)
+	locs := e.GenerateBankCandidates(0, 5)
+	if len(locs) == 0 {
+		t.Fatal("no bank candidates")
+	}
+	for _, l := range locs {
+		if l.Bank != 5 || l.Rank != 0 {
+			t.Errorf("bank candidate escaped target bank: %+v", l)
+		}
+	}
+	// A bank with no observed pattern yields nothing.
+	if locs := e.GenerateBankCandidates(0, 7); len(locs) != 0 {
+		t.Errorf("idle bank produced candidates: %v", locs)
+	}
+}
+
+func TestNoteSessionEndFeedback(t *testing.T) {
+	e := newTestEngine(t, nil)
+	now := driveTraining(e, 6240)
+	line := int64(9000)
+	feed := func() {
+		for i := 0; i < 30; i++ {
+			e.OnRequest(addr.LocFromBankLine(engGeo(), 0, 0, 0, line), true, now)
+			line++
+			now += 10
+		}
+	}
+	feed()
+	e.OnRefreshStart(0, now)
+	first := e.GenerateCandidates(0)
+	if len(first) == 0 {
+		t.Fatal("no candidates")
+	}
+	// Report a tiny consumption: the next session must shrink.
+	e.NoteSessionEnd(0, len(first), len(first)-3)
+	e.OnRefreshEnd(0, now+280)
+	now += 6240
+	feed()
+	e.OnRefreshStart(0, now)
+	second := e.GenerateCandidates(0)
+	if len(second) >= len(first) {
+		t.Errorf("capacity did not shrink after low consumption: %d -> %d",
+			len(first), len(second))
+	}
+	// Out-of-range and no-insert reports are ignored.
+	e.NoteSessionEnd(-1, 10, 0)
+	e.NoteSessionEnd(0, 0, 0)
+}
+
+func TestSRAMServeMarksUsage(t *testing.T) {
+	s := NewSRAM(4)
+	s.Acquire(1)
+	s.Insert(42)
+	if s.UsedCount() != 0 {
+		t.Fatal("fresh insert counted as used")
+	}
+	if !s.Serve(1, 42) {
+		t.Fatal("Serve missed a present line")
+	}
+	if s.Serve(2, 42) {
+		t.Error("Serve hit for the wrong rank")
+	}
+	if s.Serve(1, 99) {
+		t.Error("Serve hit an absent line")
+	}
+	if s.UsedCount() != 1 {
+		t.Errorf("UsedCount = %d, want 1", s.UsedCount())
+	}
+	// Frozen-path lookups also mark usage; duplicates do not
+	// double-count.
+	s.Lookup(1, 42)
+	if s.UsedCount() != 1 {
+		t.Errorf("UsedCount after duplicate = %d, want 1", s.UsedCount())
+	}
+	if s.Capacity() != 4 {
+		t.Errorf("Capacity = %d", s.Capacity())
+	}
+}
+
+func TestEngineAccessors(t *testing.T) {
+	e := newTestEngine(t, nil)
+	if e.Table(0) == nil || e.Table(0).Banks() != engGeo().Banks {
+		t.Error("Table accessor wrong")
+	}
+	if e.Buffer() == nil {
+		t.Error("Buffer accessor nil")
+	}
+}

@@ -1,0 +1,319 @@
+// Package cpu models the processor front-end of the simulation: a
+// trace-driven core that retires one instruction per CPU cycle between
+// memory stalls and exploits memory-level parallelism the way the
+// paper's out-of-order cores do — loads overlap until either the MSHRs
+// fill or the oldest incomplete load falls outside the reorder window.
+// Writes are posted and only stall on queue backpressure.
+package cpu
+
+import (
+	"fmt"
+
+	"ropsim/internal/event"
+	"ropsim/internal/stats"
+	"ropsim/internal/workload"
+)
+
+// ReadStatus is the outcome of a Memory.Read call.
+type ReadStatus int
+
+// Read outcomes.
+const (
+	// ReadHit completed in the LLC; the callback will not run.
+	ReadHit ReadStatus = iota
+	// ReadMiss was accepted by the memory system; the callback runs when
+	// data returns.
+	ReadMiss
+	// ReadRejected means the memory system is full; retry after the
+	// space notification.
+	ReadRejected
+)
+
+// Memory is the core's view of the memory hierarchy (LLC + controller).
+// Implementations must be driven by the same event queue as the core.
+type Memory interface {
+	// Read looks up a cache line for core src. On ReadMiss, done fires
+	// when the data arrives.
+	Read(line uint64, src int, done func(event.Cycle)) ReadStatus
+	// Write posts a store. It reports false when the system is full.
+	Write(line uint64, src int) bool
+}
+
+// Config parameterizes the core model.
+type Config struct {
+	// ROBWindow is how many younger instructions may retire past an
+	// incomplete load before the core stalls.
+	ROBWindow int
+	// MSHRs bounds outstanding LLC misses.
+	MSHRs int
+	// HitExtraCPU is the un-hidden latency of an LLC hit in CPU cycles.
+	HitExtraCPU int
+}
+
+// DefaultConfig returns the configuration used in the experiments: a
+// 192-entry window, 8 MSHRs, and mostly-hidden LLC hits.
+func DefaultConfig() Config {
+	return Config{ROBWindow: 192, MSHRs: 8, HitExtraCPU: 2}
+}
+
+// Validate reports an error for impossible parameters.
+func (c Config) Validate() error {
+	if c.ROBWindow <= 0 || c.MSHRs <= 0 || c.HitExtraCPU < 0 {
+		return fmt.Errorf("cpu: bad config %+v", c)
+	}
+	return nil
+}
+
+// inflight tracks one outstanding load.
+type inflight struct {
+	instPos int64 // instruction count at issue
+	done    bool
+	doneAt  event.CPUCycle
+}
+
+// Core replays one benchmark trace against a Memory.
+type Core struct {
+	cfg   Config
+	id    int
+	trace workload.Stream
+	mem   Memory
+	q     *event.Queue
+	limit int64 // instructions to retire
+
+	cpuNow    event.CPUCycle
+	instCount int64
+	pending   *workload.Record // fetched but not yet issued memory op
+	gapLeft   int64            // compute instructions still owed before pending
+	loads     []inflight       // oldest first
+
+	waitingSpace bool
+	finished     bool
+	onFinish     func()
+
+	// Statistics.
+	MemReads, MemWrites, LLCHitReads stats.Counter
+	StallMSHR, StallROB              stats.Counter
+}
+
+// New builds a core that will retire limit instructions from trace.
+func New(cfg Config, id int, trace workload.Stream, mem Memory, q *event.Queue, limit int64) *Core {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	if limit <= 0 {
+		panic("cpu: instruction limit must be positive")
+	}
+	return &Core{cfg: cfg, id: id, trace: trace, mem: mem, q: q, limit: limit}
+}
+
+// Start begins execution; onFinish runs once when the core has retired
+// its instruction limit and all outstanding loads have returned.
+func (c *Core) Start(onFinish func()) {
+	c.onFinish = onFinish
+	c.q.Schedule(c.q.Now(), func(now event.Cycle) { c.step(now) })
+}
+
+// Finished reports whether the core completed its run.
+func (c *Core) Finished() bool { return c.finished }
+
+// Cycles reports the CPU cycles consumed so far (final value after
+// finish).
+func (c *Core) Cycles() event.CPUCycle { return c.cpuNow }
+
+// Instructions reports retired instructions.
+func (c *Core) Instructions() int64 { return c.instCount }
+
+// IPC reports instructions per CPU cycle (0 before any progress).
+func (c *Core) IPC() float64 {
+	if c.cpuNow == 0 {
+		return 0
+	}
+	return float64(c.instCount) / float64(c.cpuNow)
+}
+
+// NotifySpace retries a memory operation rejected for queue space.
+func (c *Core) NotifySpace() {
+	if c.waitingSpace && !c.finished {
+		c.waitingSpace = false
+		now := c.q.Now()
+		c.q.Schedule(now, func(at event.Cycle) { c.step(at) })
+	}
+}
+
+// oldestIncomplete returns the index of the oldest incomplete load, or
+// -1 when none.
+func (c *Core) oldestIncomplete() int {
+	for i := range c.loads {
+		if !c.loads[i].done {
+			return i
+		}
+	}
+	return -1
+}
+
+// reapLoads drops completed loads from the front of the window.
+func (c *Core) reapLoads() {
+	i := 0
+	for i < len(c.loads) && c.loads[i].done {
+		i++
+	}
+	if i > 0 {
+		c.loads = append(c.loads[:0], c.loads[i:]...)
+	}
+}
+
+// stalled reports whether the core cannot issue its next operation, and
+// which completion will unblock it.
+func (c *Core) stalled() bool {
+	c.reapLoads()
+	if len(c.loads) >= c.cfg.MSHRs {
+		c.StallMSHR.Inc()
+		return true
+	}
+	if oi := c.oldestIncomplete(); oi >= 0 &&
+		c.instCount-c.loads[oi].instPos >= int64(c.cfg.ROBWindow) {
+		c.StallROB.Inc()
+		return true
+	}
+	return false
+}
+
+// step advances execution as far as possible at bus-cycle now, then
+// either schedules its next action or parks waiting for a completion or
+// space notification.
+func (c *Core) step(now event.Cycle) {
+	if c.finished {
+		return
+	}
+	sync := func() {
+		if busCPU := event.ToCPU(now); c.cpuNow < busCPU {
+			c.cpuNow = busCPU
+		}
+	}
+	for {
+		if c.instCount >= c.limit {
+			c.pending = nil
+			c.maybeFinish()
+			return
+		}
+		c.reapLoads()
+
+		if c.pending == nil {
+			rec, ok := c.trace.Next()
+			if !ok {
+				// Trace exhausted early: treat as finished.
+				c.limit = c.instCount
+				c.maybeFinish()
+				return
+			}
+			c.pending = &rec
+			c.gapLeft = int64(rec.Gap)
+		}
+
+		// Retire the compute gap at 1 IPC, but never move more than
+		// ROBWindow instructions past an incomplete load: the window
+		// fills and the core stalls mid-gap.
+		if c.gapLeft > 0 {
+			allowed := c.gapLeft
+			if oi := c.oldestIncomplete(); oi >= 0 {
+				room := c.loads[oi].instPos + int64(c.cfg.ROBWindow) - c.instCount
+				if room < allowed {
+					allowed = room
+				}
+			}
+			if rem := c.limit - c.instCount; rem < allowed {
+				allowed = rem
+			}
+			if allowed > 0 {
+				sync()
+				c.instCount += allowed
+				c.cpuNow += event.CPUCycle(allowed)
+				c.gapLeft -= allowed
+			}
+			if c.instCount >= c.limit {
+				c.pending = nil
+				c.maybeFinish()
+				return
+			}
+			if c.gapLeft > 0 {
+				c.StallROB.Inc()
+				return // the oldest load's completion resumes us
+			}
+		}
+
+		if c.stalled() {
+			// Do not advance cpuNow: the core resumes at the completion
+			// that unblocks it, not at unrelated events.
+			return
+		}
+		sync()
+
+		// The memory operation issues at its CPU time; if that is in the
+		// future of the bus clock, come back then.
+		opBus := event.ToBus(c.cpuNow)
+		if opBus > now {
+			c.q.Schedule(opBus, func(at event.Cycle) { c.step(at) })
+			return
+		}
+		rec := *c.pending
+		if rec.Write {
+			if !c.mem.Write(rec.Line, c.id) {
+				c.waitingSpace = true
+				return
+			}
+			c.MemWrites.Inc()
+		} else {
+			pos := c.instCount
+			status := c.mem.Read(rec.Line, c.id, func(at event.Cycle) { c.loadDone(pos, at) })
+			switch status {
+			case ReadRejected:
+				c.waitingSpace = true
+				return
+			case ReadHit:
+				c.LLCHitReads.Inc()
+				c.cpuNow += event.CPUCycle(c.cfg.HitExtraCPU)
+			case ReadMiss:
+				c.MemReads.Inc()
+				c.loads = append(c.loads, inflight{instPos: pos})
+			}
+		}
+		c.pending = nil
+		c.instCount++
+		c.cpuNow++
+	}
+}
+
+// loadDone handles a memory read completion.
+func (c *Core) loadDone(instPos int64, at event.Cycle) {
+	for i := range c.loads {
+		if c.loads[i].instPos == instPos && !c.loads[i].done {
+			c.loads[i].done = true
+			c.loads[i].doneAt = event.ToCPU(at)
+			break
+		}
+	}
+	if c.finished {
+		return
+	}
+	if c.instCount >= c.limit {
+		// The run is over; this completion may be the last one holding
+		// up the finish.
+		c.maybeFinish()
+		return
+	}
+	c.q.Schedule(at, func(n event.Cycle) { c.step(n) })
+}
+
+// maybeFinish completes the run once every outstanding load returned.
+func (c *Core) maybeFinish() {
+	c.reapLoads()
+	if c.oldestIncomplete() >= 0 {
+		return // remaining completions re-enter via loadDone -> step
+	}
+	if !c.finished {
+		c.finished = true
+		if c.onFinish != nil {
+			c.onFinish()
+		}
+	}
+}

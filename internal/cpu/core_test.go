@@ -1,0 +1,228 @@
+package cpu
+
+import (
+	"testing"
+
+	"ropsim/internal/event"
+	"ropsim/internal/workload"
+)
+
+// fakeMem is a deterministic Memory: lines below hitBelow hit, others
+// miss with a fixed latency.
+type fakeMem struct {
+	q        *event.Queue
+	hitBelow uint64
+	missLat  event.Cycle
+	rejects  int // reject the first N operations
+	space    func()
+
+	reads, writes, misses int
+}
+
+func (m *fakeMem) Read(line uint64, src int, done func(event.Cycle)) ReadStatus {
+	if m.rejects > 0 {
+		m.rejects--
+		return ReadRejected
+	}
+	m.reads++
+	if line < m.hitBelow {
+		return ReadHit
+	}
+	m.misses++
+	m.q.Schedule(m.q.Now()+m.missLat, func(at event.Cycle) { done(at) })
+	return ReadMiss
+}
+
+func (m *fakeMem) Write(line uint64, src int) bool {
+	if m.rejects > 0 {
+		m.rejects--
+		if m.space != nil {
+			sp := m.space
+			m.q.Schedule(m.q.Now()+5, func(event.Cycle) { sp() })
+		}
+		return false
+	}
+	m.writes++
+	return true
+}
+
+// trace builds a SliceStream of n records with fixed gap and line
+// assignment fn.
+func trace(n int, gap uint32, line func(i int) uint64, write bool) *workload.SliceStream {
+	recs := make([]workload.Record, n)
+	for i := range recs {
+		recs[i] = workload.Record{Gap: gap, Line: line(i), Write: write}
+	}
+	return workload.NewSliceStream(recs)
+}
+
+func runCore(t *testing.T, cfg Config, tr workload.Stream, mem *fakeMem, limit int64) *Core {
+	t.Helper()
+	q := mem.q
+	c := New(cfg, 0, tr, mem, q, limit)
+	finished := false
+	c.Start(func() { finished = true })
+	mem.space = c.NotifySpace
+	q.Run(10_000_000)
+	if !finished {
+		t.Fatal("core never finished")
+	}
+	return c
+}
+
+func TestPureComputeIPC(t *testing.T) {
+	q := &event.Queue{}
+	mem := &fakeMem{q: q, hitBelow: 1 << 62, missLat: 100}
+	cfg := DefaultConfig()
+	cfg.HitExtraCPU = 0
+	c := runCore(t, cfg, trace(10, 99, func(i int) uint64 { return uint64(i) }, false), mem, 1000)
+	// All hits with no extra latency: IPC = 1.
+	if got := c.IPC(); got < 0.99 || got > 1.01 {
+		t.Errorf("IPC = %g, want ≈1", got)
+	}
+	if c.LLCHitReads.Value() != 10 {
+		t.Errorf("hits = %d, want 10", c.LLCHitReads.Value())
+	}
+}
+
+func TestHitLatencyLowersIPC(t *testing.T) {
+	q := &event.Queue{}
+	mem := &fakeMem{q: q, hitBelow: 1 << 62, missLat: 100}
+	cfg := DefaultConfig()
+	cfg.HitExtraCPU = 10
+	c := runCore(t, cfg, trace(50, 9, func(i int) uint64 { return uint64(i) }, false), mem, 500)
+	// Each of 50 ops adds 10 extra cycles on 500 instructions.
+	want := 500.0 / 1000.0
+	if got := c.IPC(); got < want*0.95 || got > want*1.05 {
+		t.Errorf("IPC = %g, want ≈%g", got, want)
+	}
+}
+
+func TestMissesOverlapWithMLP(t *testing.T) {
+	q := &event.Queue{}
+	lat := event.Cycle(100) // 400 CPU cycles
+	mem := &fakeMem{q: q, hitBelow: 0, missLat: lat}
+	cfg := DefaultConfig()
+	cfg.MSHRs = 8
+	cfg.ROBWindow = 1000
+	// 8 back-to-back misses (gap 0): they all overlap.
+	c := runCore(t, cfg, trace(8, 0, func(i int) uint64 { return uint64(i + 1000) }, false), mem, 9)
+	serial := 8 * 400
+	if int(c.Cycles()) >= serial/2 {
+		t.Errorf("8 misses took %d CPU cycles; expected strong overlap (serial %d)", c.Cycles(), serial)
+	}
+}
+
+func TestMSHRLimitSerializes(t *testing.T) {
+	q := &event.Queue{}
+	lat := event.Cycle(100)
+	mem := &fakeMem{q: q, hitBelow: 0, missLat: lat}
+	cfg := DefaultConfig()
+	cfg.MSHRs = 1
+	cfg.ROBWindow = 1000
+	c := runCore(t, cfg, trace(8, 0, func(i int) uint64 { return uint64(i + 1000) }, false), mem, 9)
+	// With one MSHR, loads serialize: at least 7 full latencies.
+	if int(c.Cycles()) < 7*400 {
+		t.Errorf("8 misses with 1 MSHR took only %d CPU cycles", c.Cycles())
+	}
+	if c.StallMSHR.Value() == 0 {
+		t.Error("no MSHR stalls recorded")
+	}
+}
+
+func TestROBWindowStalls(t *testing.T) {
+	q := &event.Queue{}
+	lat := event.Cycle(250) // 1000 CPU cycles
+	mem := &fakeMem{q: q, hitBelow: 0, missLat: lat}
+	cfg := DefaultConfig()
+	cfg.MSHRs = 8
+	cfg.ROBWindow = 64
+	// One miss then a long compute stretch: the window fills and the
+	// core must wait out the miss latency.
+	recs := []workload.Record{
+		{Gap: 0, Line: 1 << 30},
+		{Gap: 5000, Line: 0}, // hit far later
+	}
+	c := runCore(t, cfg, workload.NewSliceStream(recs), mem, 5003)
+	// Progress past the window stalls until the load returns (~1000
+	// cycles), then compute resumes: total ≥ 1000 + (5000-64).
+	if int(c.Cycles()) < 5900 {
+		t.Errorf("cycles = %d, want ≥ 5900 (ROB stall enforced)", c.Cycles())
+	}
+	if c.StallROB.Value() == 0 {
+		t.Error("no ROB stalls recorded")
+	}
+}
+
+func TestWriteBackpressure(t *testing.T) {
+	q := &event.Queue{}
+	mem := &fakeMem{q: q, hitBelow: 1 << 62, missLat: 10, rejects: 3}
+	c := runCore(t, DefaultConfig(), trace(5, 10, func(i int) uint64 { return uint64(i) }, true), mem, 100)
+	if mem.writes != 5 {
+		t.Errorf("writes = %d, want 5 (rejected ops must retry)", mem.writes)
+	}
+	if !c.Finished() {
+		t.Error("core stuck after rejections")
+	}
+}
+
+func TestFinishWaitsForOutstandingLoads(t *testing.T) {
+	q := &event.Queue{}
+	mem := &fakeMem{q: q, hitBelow: 0, missLat: 500}
+	cfg := DefaultConfig()
+	c := New(cfg, 0, trace(2, 0, func(i int) uint64 { return uint64(i + 10) }, false), mem, q, 3)
+	finishedAt := event.Cycle(-1)
+	c.Start(func() { finishedAt = q.Now() })
+	q.Run(1_000_000)
+	if finishedAt < 500 {
+		t.Errorf("finished at %d, before miss latency %d elapsed", finishedAt, 500)
+	}
+	if !c.Finished() {
+		t.Fatal("not finished")
+	}
+}
+
+func TestInstructionLimitRespected(t *testing.T) {
+	q := &event.Queue{}
+	mem := &fakeMem{q: q, hitBelow: 1 << 62, missLat: 10}
+	c := runCore(t, DefaultConfig(), trace(1000, 7, func(i int) uint64 { return uint64(i) }, false), mem, 100)
+	if c.Instructions() != 100 {
+		t.Errorf("instructions = %d, want exactly 100", c.Instructions())
+	}
+}
+
+func TestTraceExhaustionFinishes(t *testing.T) {
+	q := &event.Queue{}
+	mem := &fakeMem{q: q, hitBelow: 1 << 62, missLat: 10}
+	c := runCore(t, DefaultConfig(), trace(3, 5, func(i int) uint64 { return uint64(i) }, false), mem, 1<<40)
+	if !c.Finished() {
+		t.Error("core did not finish on trace exhaustion")
+	}
+	if c.Instructions() != 3*(5+1) {
+		t.Errorf("instructions = %d, want 18", c.Instructions())
+	}
+}
+
+func TestGapLargerThanRemainingLimit(t *testing.T) {
+	q := &event.Queue{}
+	mem := &fakeMem{q: q, hitBelow: 1 << 62, missLat: 10}
+	c := runCore(t, DefaultConfig(), trace(5, 1000, func(i int) uint64 { return uint64(i) }, false), mem, 500)
+	if c.Instructions() != 500 {
+		t.Errorf("instructions = %d, want 500 (gap truncated at limit)", c.Instructions())
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i, cfg := range []Config{
+		{ROBWindow: 0, MSHRs: 8, HitExtraCPU: 1},
+		{ROBWindow: 64, MSHRs: 0, HitExtraCPU: 1},
+		{ROBWindow: 64, MSHRs: 8, HitExtraCPU: -1},
+	} {
+		if cfg.Validate() == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}

@@ -1,0 +1,468 @@
+package dram
+
+import (
+	"fmt"
+
+	"ropsim/internal/addr"
+	"ropsim/internal/event"
+	"ropsim/internal/stats"
+)
+
+// CommandKind enumerates the DRAM commands the controller can issue.
+type CommandKind int
+
+// DRAM command kinds.
+const (
+	CmdACT CommandKind = iota
+	CmdPRE
+	CmdRD
+	CmdWR
+	CmdREF
+)
+
+// String implements fmt.Stringer.
+func (k CommandKind) String() string {
+	switch k {
+	case CmdACT:
+		return "ACT"
+	case CmdPRE:
+		return "PRE"
+	case CmdRD:
+		return "RD"
+	case CmdWR:
+		return "WR"
+	case CmdREF:
+		return "REF"
+	}
+	return fmt.Sprintf("CommandKind(%d)", int(k))
+}
+
+// Command is one issued DRAM command, used by the validity checker and
+// by trace capture.
+type Command struct {
+	Kind CommandKind
+	At   event.Cycle
+	Rank int
+	Bank int // unused for REF
+	Row  int // ACT only
+	Col  int // RD/WR only
+}
+
+const noRow = -1
+
+// bank holds the per-bank state machine: which row is open and the
+// earliest cycle at which each command class may next be issued.
+type bank struct {
+	openRow int64 // noRow when precharged
+
+	actAllowed event.Cycle // earliest next ACT
+	preAllowed event.Cycle // earliest next PRE
+	rdAllowed  event.Cycle // earliest next RD (row must also be open)
+	wrAllowed  event.Cycle // earliest next WR
+
+	refBusyUntil event.Cycle // bank locked by a per-bank refresh
+
+	// saRefBusyUntil locks individual subarrays (subarray-level
+	// refresh); lazily allocated.
+	saRefBusyUntil []event.Cycle
+}
+
+// rank holds per-rank constraints shared by its banks.
+type rank struct {
+	banks []bank
+
+	rrdAllowed   event.Cycle    // ACT-to-ACT across banks (tRRD)
+	faw          [4]event.Cycle // times of the last four ACTs
+	fawIdx       int
+	rdAfterWrite event.Cycle // tWTR: end of write data + WTR
+	refBusyUntil event.Cycle // rank frozen by refresh until this cycle
+}
+
+// Device models one DRAM channel: its ranks, banks and shared data bus.
+// The controller asks Earliest* for the first legal issue cycle of a
+// command and then commits it with Issue*.
+type Device struct {
+	p     Params
+	geo   addr.Geometry
+	ranks []rank
+
+	busFreeAt   event.Cycle // data bus free from this cycle on
+	lastBusRank int         // rank that last owned the data bus
+
+	// Counters feed the energy model and the experiment reports.
+	NumACT, NumPRE, NumRD, NumWR, NumREF stats.Counter
+	// RefLockedCycles accumulates the total time ranks spent locked by
+	// refresh activity (full refreshes and paused segments alike), for
+	// energy accounting under partial-refresh policies.
+	RefLockedCycles stats.Counter
+}
+
+// NewDevice builds a device for one channel of the given geometry. It
+// panics on invalid parameters: both are fixed configuration.
+func NewDevice(p Params, geo addr.Geometry) *Device {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	if err := geo.Validate(); err != nil {
+		panic(err)
+	}
+	d := &Device{p: p, geo: geo, lastBusRank: -1}
+	d.ranks = make([]rank, geo.Ranks)
+	for r := range d.ranks {
+		d.ranks[r].banks = make([]bank, geo.Banks)
+		for b := range d.ranks[r].banks {
+			d.ranks[r].banks[b].openRow = noRow
+		}
+		for i := range d.ranks[r].faw {
+			d.ranks[r].faw[i] = fawNever
+		}
+	}
+	return d
+}
+
+// Params reports the device timing parameters.
+func (d *Device) Params() Params { return d.p }
+
+// Geometry reports the device geometry.
+func (d *Device) Geometry() addr.Geometry { return d.geo }
+
+// OpenRow reports the row open in the given bank, or -1 when precharged.
+func (d *Device) OpenRow(rankID, bankID int) int64 {
+	return d.ranks[rankID].banks[bankID].openRow
+}
+
+// Refreshing reports whether the rank is frozen by a refresh at cycle
+// now.
+func (d *Device) Refreshing(rankID int, now event.Cycle) bool {
+	return now < d.ranks[rankID].refBusyUntil
+}
+
+// BankRefreshing reports whether the bank is locked by a per-bank
+// refresh at cycle now.
+func (d *Device) BankRefreshing(rankID, bankID int, now event.Cycle) bool {
+	return now < d.ranks[rankID].banks[bankID].refBusyUntil
+}
+
+// SubarrayOf reports which subarray a row belongs to.
+func (d *Device) SubarrayOf(row int) int {
+	if d.p.Subarrays <= 0 {
+		return 0
+	}
+	per := d.geo.Rows / d.p.Subarrays
+	if per == 0 {
+		return 0
+	}
+	sa := row / per
+	if sa >= d.p.Subarrays {
+		sa = d.p.Subarrays - 1
+	}
+	return sa
+}
+
+// SubarrayRefreshing reports whether the subarray holding row is locked
+// by a subarray-level refresh at cycle now.
+func (d *Device) SubarrayRefreshing(rankID, bankID, row int, now event.Cycle) bool {
+	bk := &d.ranks[rankID].banks[bankID]
+	if bk.saRefBusyUntil == nil {
+		return false
+	}
+	return now < bk.saRefBusyUntil[d.SubarrayOf(row)]
+}
+
+// EarliestREFsa reports the first cycle ≥ now at which a subarray-level
+// refresh of the given subarray is legal. The subarray's rows need not
+// be closed — only ACTs targeting the refreshing subarray conflict — but
+// an open row inside it must be precharged first; callers ensure that.
+func (d *Device) EarliestREFsa(now event.Cycle, rankID, bankID, sa int) event.Cycle {
+	rk := &d.ranks[rankID]
+	bk := &rk.banks[bankID]
+	t := maxCycle(now, rk.refBusyUntil, bk.refBusyUntil)
+	if bk.saRefBusyUntil != nil {
+		t = maxCycle(t, bk.saRefBusyUntil[sa])
+	}
+	return t
+}
+
+// IssueREFsa commits a subarray-level refresh: only the target subarray
+// locks, for tRFCsa. The bank's other subarrays keep operating (their
+// ACTs proceed). It returns the unlock cycle.
+func (d *Device) IssueREFsa(at event.Cycle, rankID, bankID, sa int) event.Cycle {
+	if d.p.RFCsa <= 0 || d.p.Subarrays <= 0 {
+		panic("dram: REFsa without subarray timing")
+	}
+	if sa < 0 || sa >= d.p.Subarrays {
+		panic("dram: subarray out of range")
+	}
+	bk := &d.ranks[rankID].banks[bankID]
+	if bk.openRow != noRow && d.SubarrayOf(int(bk.openRow)) == sa {
+		panic("dram: REFsa with the target subarray's row open")
+	}
+	if bk.saRefBusyUntil == nil {
+		bk.saRefBusyUntil = make([]event.Cycle, d.p.Subarrays)
+	}
+	end := at + d.p.RFCsa
+	bk.saRefBusyUntil[sa] = end
+	d.NumREF.Inc()
+	d.RefLockedCycles.Add(int64(d.p.RFCsa))
+	return end
+}
+
+// EarliestREFpb reports the first cycle ≥ now at which a per-bank
+// refresh of the given (closed) bank is legal.
+func (d *Device) EarliestREFpb(now event.Cycle, rankID, bankID int) event.Cycle {
+	rk := &d.ranks[rankID]
+	bk := &rk.banks[bankID]
+	return maxCycle(now, bk.actAllowed, bk.refBusyUntil, rk.refBusyUntil)
+}
+
+// IssueREFpb commits a per-bank refresh: only the target bank locks for
+// tRFCpb; sibling banks keep operating. It returns the unlock cycle.
+func (d *Device) IssueREFpb(at event.Cycle, rankID, bankID int) event.Cycle {
+	rk := &d.ranks[rankID]
+	bk := &rk.banks[bankID]
+	if bk.openRow != noRow {
+		panic("dram: REFpb with open bank")
+	}
+	if d.p.RFCpb <= 0 {
+		panic("dram: REFpb without RFCpb timing")
+	}
+	end := at + d.p.RFCpb
+	bk.refBusyUntil = end
+	bk.actAllowed = maxCycle(bk.actAllowed, end)
+	d.NumREF.Inc()
+	d.RefLockedCycles.Add(int64(d.p.RFCpb))
+	return end
+}
+
+// RefreshEnd reports when the rank's current refresh lock ends (a cycle
+// in the past if the rank is not refreshing).
+func (d *Device) RefreshEnd(rankID int) event.Cycle {
+	return d.ranks[rankID].refBusyUntil
+}
+
+func maxCycle(vs ...event.Cycle) event.Cycle {
+	m := vs[0]
+	for _, v := range vs[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// fawNever marks an empty slot in the four-activate ring buffer.
+const fawNever = event.Cycle(-1)
+
+// fawAllowed reports the earliest cycle a new ACT satisfies the
+// four-activate window: the fourth-newest ACT must be at least tFAW old.
+func (r *rank) fawAllowed(p Params) event.Cycle {
+	oldest := r.faw[r.fawIdx] // ring buffer: current index holds the 4th-newest
+	if oldest == fawNever {
+		return 0
+	}
+	return oldest + event.Cycle(p.FAW)
+}
+
+// EarliestACT reports the first cycle ≥ now at which ACT(rank,bank) is
+// legal. The bank must be precharged; callers check OpenRow first.
+func (d *Device) EarliestACT(now event.Cycle, rankID, bankID int) event.Cycle {
+	rk := &d.ranks[rankID]
+	bk := &rk.banks[bankID]
+	return maxCycle(now, bk.actAllowed, bk.refBusyUntil, rk.rrdAllowed, rk.fawAllowed(d.p), rk.refBusyUntil)
+}
+
+// EarliestACTRow is EarliestACT extended with subarray-level refresh
+// awareness: an ACT into a refreshing subarray waits for its unlock.
+func (d *Device) EarliestACTRow(now event.Cycle, rankID, bankID, row int) event.Cycle {
+	t := d.EarliestACT(now, rankID, bankID)
+	bk := &d.ranks[rankID].banks[bankID]
+	if bk.saRefBusyUntil != nil {
+		t = maxCycle(t, bk.saRefBusyUntil[d.SubarrayOf(row)])
+	}
+	return t
+}
+
+// IssueACT commits an activate at cycle at (which must come from
+// EarliestACT or later). It opens the row and advances timing state.
+func (d *Device) IssueACT(at event.Cycle, rankID, bankID, row int) {
+	rk := &d.ranks[rankID]
+	bk := &rk.banks[bankID]
+	if bk.openRow != noRow {
+		panic("dram: ACT on bank with open row")
+	}
+	bk.openRow = int64(row)
+	bk.rdAllowed = maxCycle(bk.rdAllowed, at+event.Cycle(d.p.RCD))
+	bk.wrAllowed = maxCycle(bk.wrAllowed, at+event.Cycle(d.p.RCD))
+	bk.preAllowed = maxCycle(bk.preAllowed, at+event.Cycle(d.p.RAS))
+	bk.actAllowed = maxCycle(bk.actAllowed, at+event.Cycle(d.p.RC))
+	rk.rrdAllowed = maxCycle(rk.rrdAllowed, at+event.Cycle(d.p.RRD))
+	rk.faw[rk.fawIdx] = at
+	rk.fawIdx = (rk.fawIdx + 1) % len(rk.faw)
+	d.NumACT.Inc()
+}
+
+// EarliestPRE reports the first cycle ≥ now at which PRE(rank,bank) is
+// legal.
+func (d *Device) EarliestPRE(now event.Cycle, rankID, bankID int) event.Cycle {
+	rk := &d.ranks[rankID]
+	bk := &rk.banks[bankID]
+	return maxCycle(now, bk.preAllowed, rk.refBusyUntil)
+}
+
+// IssuePRE commits a precharge: closes the row and starts tRP.
+func (d *Device) IssuePRE(at event.Cycle, rankID, bankID int) {
+	bk := &d.ranks[rankID].banks[bankID]
+	if bk.openRow == noRow {
+		panic("dram: PRE on precharged bank")
+	}
+	bk.openRow = noRow
+	bk.actAllowed = maxCycle(bk.actAllowed, at+event.Cycle(d.p.RP))
+	d.NumPRE.Inc()
+}
+
+// busAvailable reports the first cycle ≥ want at which the data bus is
+// free for rankID, including the rank-to-rank switch penalty.
+func (d *Device) busAvailable(want event.Cycle, rankID int) event.Cycle {
+	free := d.busFreeAt
+	if d.lastBusRank >= 0 && d.lastBusRank != rankID {
+		free += event.Cycle(d.p.RTR)
+	}
+	return maxCycle(want, free)
+}
+
+// EarliestRD reports the first cycle ≥ now at which RD(rank,bank) is
+// legal. The target row must already be open.
+func (d *Device) EarliestRD(now event.Cycle, rankID, bankID int) event.Cycle {
+	rk := &d.ranks[rankID]
+	bk := &rk.banks[bankID]
+	t := maxCycle(now, bk.rdAllowed, rk.rdAfterWrite, rk.refBusyUntil)
+	// The burst occupies the bus [t+CL, t+CL+BL/2); push t until it fits.
+	for {
+		dataStart := t + event.Cycle(d.p.CL)
+		avail := d.busAvailable(dataStart, rankID)
+		if avail == dataStart {
+			return t
+		}
+		t += avail - dataStart
+	}
+}
+
+// IssueRD commits a read. It returns the cycle at which the burst
+// completes (data available to the controller).
+func (d *Device) IssueRD(at event.Cycle, rankID, bankID int) event.Cycle {
+	rk := &d.ranks[rankID]
+	bk := &rk.banks[bankID]
+	if bk.openRow == noRow {
+		panic("dram: RD on precharged bank")
+	}
+	bk.rdAllowed = maxCycle(bk.rdAllowed, at+event.Cycle(d.p.CCD))
+	bk.wrAllowed = maxCycle(bk.wrAllowed, at+event.Cycle(d.p.CCD))
+	bk.preAllowed = maxCycle(bk.preAllowed, at+event.Cycle(d.p.RTP))
+	dataStart := at + event.Cycle(d.p.CL)
+	dataEnd := dataStart + d.p.DataCycles()
+	d.busFreeAt = dataEnd
+	d.lastBusRank = rankID
+	// Column commands to sibling banks share the command/column pipes.
+	for b := range rk.banks {
+		rk.banks[b].rdAllowed = maxCycle(rk.banks[b].rdAllowed, at+event.Cycle(d.p.CCD))
+		rk.banks[b].wrAllowed = maxCycle(rk.banks[b].wrAllowed, at+event.Cycle(d.p.CCD))
+	}
+	d.NumRD.Inc()
+	return dataEnd
+}
+
+// EarliestWR reports the first cycle ≥ now at which WR(rank,bank) is
+// legal. The target row must already be open.
+func (d *Device) EarliestWR(now event.Cycle, rankID, bankID int) event.Cycle {
+	rk := &d.ranks[rankID]
+	bk := &rk.banks[bankID]
+	t := maxCycle(now, bk.wrAllowed, rk.refBusyUntil)
+	for {
+		dataStart := t + event.Cycle(d.p.CWL)
+		avail := d.busAvailable(dataStart, rankID)
+		if avail == dataStart {
+			return t
+		}
+		t += avail - dataStart
+	}
+}
+
+// IssueWR commits a write. It returns the cycle at which the write data
+// burst has been transferred.
+func (d *Device) IssueWR(at event.Cycle, rankID, bankID int) event.Cycle {
+	rk := &d.ranks[rankID]
+	bk := &rk.banks[bankID]
+	if bk.openRow == noRow {
+		panic("dram: WR on precharged bank")
+	}
+	dataStart := at + event.Cycle(d.p.CWL)
+	dataEnd := dataStart + d.p.DataCycles()
+	bk.preAllowed = maxCycle(bk.preAllowed, dataEnd+event.Cycle(d.p.WR))
+	rk.rdAfterWrite = maxCycle(rk.rdAfterWrite, dataEnd+event.Cycle(d.p.WTR))
+	d.busFreeAt = dataEnd
+	d.lastBusRank = rankID
+	for b := range rk.banks {
+		rk.banks[b].rdAllowed = maxCycle(rk.banks[b].rdAllowed, at+event.Cycle(d.p.CCD))
+		rk.banks[b].wrAllowed = maxCycle(rk.banks[b].wrAllowed, at+event.Cycle(d.p.CCD))
+	}
+	d.NumWR.Inc()
+	return dataEnd
+}
+
+// AllBanksClosed reports whether every bank in the rank is precharged —
+// the precondition for REF.
+func (d *Device) AllBanksClosed(rankID int) bool {
+	for b := range d.ranks[rankID].banks {
+		if d.ranks[rankID].banks[b].openRow != noRow {
+			return false
+		}
+	}
+	return true
+}
+
+// EarliestREF reports the first cycle ≥ now at which REF(rank) is legal,
+// assuming all banks are (or will be by then) precharged. Callers must
+// ensure AllBanksClosed before issuing.
+func (d *Device) EarliestREF(now event.Cycle, rankID int) event.Cycle {
+	rk := &d.ranks[rankID]
+	t := maxCycle(now, rk.refBusyUntil)
+	for b := range rk.banks {
+		// tRP must have elapsed since the closing PRE; actAllowed encodes it.
+		t = maxCycle(t, rk.banks[b].actAllowed)
+	}
+	return t
+}
+
+// IssueREF commits a refresh: the rank is frozen for tRFC and no bank may
+// activate until the refresh completes. It returns the unlock cycle.
+func (d *Device) IssueREF(at event.Cycle, rankID int) event.Cycle {
+	end := d.lockForRefresh(at, rankID, d.p.RFC)
+	d.NumREF.Inc()
+	return end
+}
+
+// IssueREFSegment commits one pausable-refresh segment (Refresh Pausing,
+// Nair et al. HPCA'13): the rank freezes for dur instead of the full
+// tRFC. The caller accounts for how many segments complete one logical
+// refresh. It returns the unlock cycle.
+func (d *Device) IssueREFSegment(at event.Cycle, rankID int, dur event.Cycle) event.Cycle {
+	if dur <= 0 {
+		panic("dram: non-positive refresh segment")
+	}
+	return d.lockForRefresh(at, rankID, dur)
+}
+
+// lockForRefresh freezes the rank for dur starting at at.
+func (d *Device) lockForRefresh(at event.Cycle, rankID int, dur event.Cycle) event.Cycle {
+	rk := &d.ranks[rankID]
+	if !d.AllBanksClosed(rankID) {
+		panic("dram: REF with open banks")
+	}
+	end := at + dur
+	rk.refBusyUntil = end
+	for b := range rk.banks {
+		rk.banks[b].actAllowed = maxCycle(rk.banks[b].actAllowed, end)
+	}
+	d.RefLockedCycles.Add(int64(dur))
+	return end
+}

@@ -1,0 +1,517 @@
+package dram
+
+import (
+	"math/rand"
+	"testing"
+
+	"ropsim/internal/addr"
+	"ropsim/internal/event"
+)
+
+func testGeo() addr.Geometry {
+	return addr.Geometry{Channels: 1, Ranks: 2, Banks: 8, Rows: 128, ColumnLines: 32}
+}
+
+func TestParamsValidate(t *testing.T) {
+	for _, mode := range []RefreshMode{Refresh1x, Refresh2x, Refresh4x} {
+		p := DDR4_1600(mode)
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+	}
+	bad := DDR4_1600(Refresh1x)
+	bad.RCD = 0
+	if bad.Validate() == nil {
+		t.Error("Validate accepted zero RCD")
+	}
+	bad = DDR4_1600(Refresh1x)
+	bad.RC = 1
+	if bad.Validate() == nil {
+		t.Error("Validate accepted RC < RAS+RP")
+	}
+}
+
+func TestRefreshDutyCycle(t *testing.T) {
+	p := DDR4_1600(Refresh1x)
+	d := p.RefreshDutyCycle()
+	// 280/6240 ≈ 4.49%.
+	if d < 0.04 || d > 0.05 {
+		t.Errorf("duty cycle = %g, want ≈0.045", d)
+	}
+	if NoRefresh(p).RefreshDutyCycle() != 0 {
+		t.Error("NoRefresh duty cycle non-zero")
+	}
+}
+
+func TestFGRModesShorterRFC(t *testing.T) {
+	p1, p2, p4 := DDR4_1600(Refresh1x), DDR4_1600(Refresh2x), DDR4_1600(Refresh4x)
+	if !(p1.RFC > p2.RFC && p2.RFC > p4.RFC) {
+		t.Errorf("RFC should shrink with finer modes: %d %d %d", p1.RFC, p2.RFC, p4.RFC)
+	}
+	if !(p1.REFI > p2.REFI && p2.REFI > p4.REFI) {
+		t.Errorf("REFI should shrink with finer modes: %d %d %d", p1.REFI, p2.REFI, p4.REFI)
+	}
+}
+
+func TestBasicReadTiming(t *testing.T) {
+	p := DDR4_1600(Refresh1x)
+	d := NewDevice(p, testGeo())
+	at := d.EarliestACT(0, 0, 0)
+	if at != 0 {
+		t.Fatalf("first ACT at %d, want 0", at)
+	}
+	d.IssueACT(at, 0, 0, 7)
+	rd := d.EarliestRD(at, 0, 0)
+	if rd != at+event.Cycle(p.RCD) {
+		t.Fatalf("first RD at %d, want %d", rd, at+event.Cycle(p.RCD))
+	}
+	done := d.IssueRD(rd, 0, 0)
+	want := rd + event.Cycle(p.CL) + p.DataCycles()
+	if done != want {
+		t.Fatalf("read data done at %d, want %d", done, want)
+	}
+}
+
+func TestRowBufferHitFasterThanConflict(t *testing.T) {
+	p := DDR4_1600(Refresh1x)
+	// Hit: ACT once, two reads.
+	d := NewDevice(p, testGeo())
+	d.IssueACT(0, 0, 0, 1)
+	r1 := d.EarliestRD(event.Cycle(p.RCD), 0, 0)
+	done1 := d.IssueRD(r1, 0, 0)
+	r2 := d.EarliestRD(done1, 0, 0)
+	hitDone := d.IssueRD(r2, 0, 0)
+
+	// Conflict: ACT row 1, read, then PRE + ACT row 2, read.
+	d2 := NewDevice(p, testGeo())
+	d2.IssueACT(0, 0, 0, 1)
+	r1 = d2.EarliestRD(event.Cycle(p.RCD), 0, 0)
+	done1 = d2.IssueRD(r1, 0, 0)
+	pre := d2.EarliestPRE(done1, 0, 0)
+	d2.IssuePRE(pre, 0, 0)
+	act := d2.EarliestACT(pre, 0, 0)
+	d2.IssueACT(act, 0, 0, 2)
+	r2 = d2.EarliestRD(act, 0, 0)
+	confDone := d2.IssueRD(r2, 0, 0)
+
+	if hitDone >= confDone {
+		t.Errorf("row hit (%d) not faster than conflict (%d)", hitDone, confDone)
+	}
+}
+
+func TestRefreshFreezesRank(t *testing.T) {
+	p := DDR4_1600(Refresh1x)
+	d := NewDevice(p, testGeo())
+	at := d.EarliestREF(0, 0)
+	end := d.IssueREF(at, 0)
+	if end != at+p.RFC {
+		t.Fatalf("refresh end = %d, want %d", end, at+p.RFC)
+	}
+	if !d.Refreshing(0, at) || !d.Refreshing(0, end-1) || d.Refreshing(0, end) {
+		t.Error("Refreshing window wrong")
+	}
+	// ACT to the refreshing rank must wait for the unlock.
+	if got := d.EarliestACT(at, 0, 0); got != end {
+		t.Errorf("ACT during refresh at %d, want %d", got, end)
+	}
+	// The other rank is unaffected.
+	if got := d.EarliestACT(at, 1, 0); got != at {
+		t.Errorf("ACT on other rank delayed to %d, want %d", got, at)
+	}
+}
+
+func TestRefreshRequiresClosedBanks(t *testing.T) {
+	d := NewDevice(DDR4_1600(Refresh1x), testGeo())
+	d.IssueACT(0, 0, 3, 1)
+	if d.AllBanksClosed(0) {
+		t.Fatal("AllBanksClosed with open bank")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("IssueREF with open bank did not panic")
+		}
+	}()
+	d.IssueREF(100, 0)
+}
+
+func TestFAWLimitsActivates(t *testing.T) {
+	p := DDR4_1600(Refresh1x)
+	d := NewDevice(p, testGeo())
+	var last event.Cycle
+	var times []event.Cycle
+	for b := 0; b < 5; b++ {
+		at := d.EarliestACT(last, 0, b)
+		d.IssueACT(at, 0, b, 1)
+		times = append(times, at)
+		last = at
+	}
+	if times[4]-times[0] < event.Cycle(p.FAW) {
+		t.Errorf("5th ACT at %d, 1st at %d: violates tFAW=%d", times[4], times[0], p.FAW)
+	}
+	for i := 1; i < len(times); i++ {
+		if times[i]-times[i-1] < event.Cycle(p.RRD) {
+			t.Errorf("ACTs %d apart, violates tRRD=%d", times[i]-times[i-1], p.RRD)
+		}
+	}
+}
+
+func TestWriteToReadTurnaround(t *testing.T) {
+	p := DDR4_1600(Refresh1x)
+	d := NewDevice(p, testGeo())
+	d.IssueACT(0, 0, 0, 1)
+	w := d.EarliestWR(event.Cycle(p.RCD), 0, 0)
+	wEnd := d.IssueWR(w, 0, 0)
+	r := d.EarliestRD(w+1, 0, 0)
+	if r < wEnd+event.Cycle(p.WTR) {
+		t.Errorf("read at %d violates tWTR (write data end %d)", r, wEnd)
+	}
+}
+
+func TestDataBusSerializesReads(t *testing.T) {
+	p := DDR4_1600(Refresh1x)
+	d := NewDevice(p, testGeo())
+	d.IssueACT(0, 0, 0, 1)
+	a2 := d.EarliestACT(0, 0, 1)
+	d.IssueACT(a2, 0, 1, 1)
+	t1 := d.EarliestRD(a2+event.Cycle(p.RCD), 0, 0)
+	done1 := d.IssueRD(t1, 0, 0)
+	t2 := d.EarliestRD(t1, 0, 1)
+	done2 := d.IssueRD(t2, 0, 1)
+	if done2 < done1+p.DataCycles() {
+		t.Errorf("bursts overlap: done1=%d done2=%d", done1, done2)
+	}
+}
+
+// TestDeviceMatchesChecker drives the device with a random but
+// greedy-legal command stream and cross-checks every issued command
+// against the independent timing checker.
+func TestDeviceMatchesChecker(t *testing.T) {
+	geo := testGeo()
+	for _, mode := range []RefreshMode{Refresh1x, Refresh4x} {
+		p := DDR4_1600(mode)
+		d := NewDevice(p, geo)
+		c := NewChecker(p, geo)
+		rng := rand.New(rand.NewSource(42))
+		now := event.Cycle(0)
+		issue := func(cmd Command) {
+			if err := c.Check(cmd); err != nil {
+				t.Fatalf("mode %s: device issued illegal command: %v", mode, err)
+			}
+		}
+		for i := 0; i < 3000; i++ {
+			r := rng.Intn(geo.Ranks)
+			b := rng.Intn(geo.Banks)
+			switch op := rng.Intn(10); {
+			case op < 4: // column access, activating if needed
+				row := rng.Intn(geo.Rows)
+				if open := d.OpenRow(r, b); open != noRow && open != int64(row) {
+					at := d.EarliestPRE(now, r, b)
+					d.IssuePRE(at, r, b)
+					issue(Command{Kind: CmdPRE, At: at, Rank: r, Bank: b})
+					now = at
+				}
+				if d.OpenRow(r, b) == noRow {
+					at := d.EarliestACT(now, r, b)
+					d.IssueACT(at, r, b, row)
+					issue(Command{Kind: CmdACT, At: at, Rank: r, Bank: b, Row: row})
+					now = at
+				}
+				if rng.Intn(2) == 0 {
+					at := d.EarliestRD(now, r, b)
+					d.IssueRD(at, r, b)
+					issue(Command{Kind: CmdRD, At: at, Rank: r, Bank: b})
+					now = at
+				} else {
+					at := d.EarliestWR(now, r, b)
+					d.IssueWR(at, r, b)
+					issue(Command{Kind: CmdWR, At: at, Rank: r, Bank: b})
+					now = at
+				}
+			case op < 5: // precharge if open
+				if d.OpenRow(r, b) != noRow {
+					at := d.EarliestPRE(now, r, b)
+					d.IssuePRE(at, r, b)
+					issue(Command{Kind: CmdPRE, At: at, Rank: r, Bank: b})
+					now = at
+				}
+			case op < 6: // refresh rank r
+				for ob := 0; ob < geo.Banks; ob++ {
+					if d.OpenRow(r, ob) != noRow {
+						at := d.EarliestPRE(now, r, ob)
+						d.IssuePRE(at, r, ob)
+						issue(Command{Kind: CmdPRE, At: at, Rank: r, Bank: ob})
+						now = at
+					}
+				}
+				at := d.EarliestREF(now, r)
+				d.IssueREF(at, r)
+				issue(Command{Kind: CmdREF, At: at, Rank: r})
+				now = at
+			default: // idle a little
+				now += event.Cycle(rng.Intn(20))
+			}
+		}
+	}
+}
+
+func TestCheckerCatchesViolations(t *testing.T) {
+	p := DDR4_1600(Refresh1x)
+	geo := testGeo()
+
+	cases := []struct {
+		name string
+		cmds []Command
+	}{
+		{"RD before ACT", []Command{{Kind: CmdRD, At: 0, Rank: 0, Bank: 0}}},
+		{"double ACT", []Command{
+			{Kind: CmdACT, At: 0, Rank: 0, Bank: 0, Row: 1},
+			{Kind: CmdACT, At: 100, Rank: 0, Bank: 0, Row: 2},
+		}},
+		{"tRCD violated", []Command{
+			{Kind: CmdACT, At: 0, Rank: 0, Bank: 0, Row: 1},
+			{Kind: CmdRD, At: 1, Rank: 0, Bank: 0},
+		}},
+		{"tRAS violated", []Command{
+			{Kind: CmdACT, At: 0, Rank: 0, Bank: 0, Row: 1},
+			{Kind: CmdPRE, At: 5, Rank: 0, Bank: 0},
+		}},
+		{"REF with open bank", []Command{
+			{Kind: CmdACT, At: 0, Rank: 0, Bank: 0, Row: 1},
+			{Kind: CmdREF, At: 100, Rank: 0},
+		}},
+		{"access during refresh", []Command{
+			{Kind: CmdREF, At: 0, Rank: 0},
+			{Kind: CmdACT, At: 10, Rank: 0, Bank: 0, Row: 1},
+		}},
+		{"tRRD violated", []Command{
+			{Kind: CmdACT, At: 0, Rank: 0, Bank: 0, Row: 1},
+			{Kind: CmdACT, At: 1, Rank: 0, Bank: 1, Row: 1},
+		}},
+	}
+	for _, tc := range cases {
+		c := NewChecker(p, geo)
+		var err error
+		for _, cmd := range tc.cmds {
+			if err = c.Check(cmd); err != nil {
+				break
+			}
+		}
+		if err == nil {
+			t.Errorf("%s: checker accepted illegal stream", tc.name)
+		}
+	}
+}
+
+func TestCheckerAcceptsLegalStream(t *testing.T) {
+	p := DDR4_1600(Refresh1x)
+	c := NewChecker(p, testGeo())
+	cmds := []Command{
+		{Kind: CmdACT, At: 0, Rank: 0, Bank: 0, Row: 1},
+		{Kind: CmdRD, At: event.Cycle(p.RCD), Rank: 0, Bank: 0},
+		{Kind: CmdPRE, At: 100, Rank: 0, Bank: 0},
+		{Kind: CmdREF, At: 200, Rank: 0},
+		{Kind: CmdACT, At: 200 + p.RFC, Rank: 0, Bank: 0, Row: 2},
+	}
+	for i, cmd := range cmds {
+		if err := c.Check(cmd); err != nil {
+			t.Fatalf("command %d: %v", i, err)
+		}
+	}
+}
+
+func TestCommandCounters(t *testing.T) {
+	d := NewDevice(DDR4_1600(Refresh1x), testGeo())
+	d.IssueACT(0, 0, 0, 1)
+	d.IssueRD(d.EarliestRD(50, 0, 0), 0, 0)
+	d.IssueWR(d.EarliestWR(100, 0, 0), 0, 0)
+	d.IssuePRE(d.EarliestPRE(200, 0, 0), 0, 0)
+	d.IssueREF(d.EarliestREF(400, 0), 0)
+	if d.NumACT.Value() != 1 || d.NumRD.Value() != 1 || d.NumWR.Value() != 1 ||
+		d.NumPRE.Value() != 1 || d.NumREF.Value() != 1 {
+		t.Errorf("counters: ACT=%d RD=%d WR=%d PRE=%d REF=%d, want all 1",
+			d.NumACT.Value(), d.NumRD.Value(), d.NumWR.Value(),
+			d.NumPRE.Value(), d.NumREF.Value())
+	}
+}
+
+func TestPerBankRefreshIsolatesBanks(t *testing.T) {
+	p := DDR4_1600(Refresh1x)
+	d := NewDevice(p, testGeo())
+	end := d.IssueREFpb(100, 0, 3)
+	if end != 100+p.RFCpb {
+		t.Fatalf("REFpb end = %d, want %d", end, 100+p.RFCpb)
+	}
+	if !d.BankRefreshing(0, 3, 100) || d.BankRefreshing(0, 3, end) {
+		t.Error("bank refresh window wrong")
+	}
+	if d.BankRefreshing(0, 2, 150) {
+		t.Error("sibling bank marked refreshing")
+	}
+	// ACT to the refreshing bank waits; sibling bank proceeds.
+	if got := d.EarliestACT(150, 0, 3); got != end {
+		t.Errorf("ACT on refreshing bank at %d, want %d", got, end)
+	}
+	if got := d.EarliestACT(150, 0, 2); got != 150 {
+		t.Errorf("ACT on sibling bank delayed to %d", got)
+	}
+	// The whole rank is NOT refreshing.
+	if d.Refreshing(0, 150) {
+		t.Error("rank-level refreshing set by per-bank refresh")
+	}
+}
+
+func TestPerBankRefreshAccounting(t *testing.T) {
+	p := DDR4_1600(Refresh1x)
+	d := NewDevice(p, testGeo())
+	d.IssueREFpb(0, 0, 0)
+	d.IssueREFpb(0, 1, 5)
+	if d.NumREF.Value() != 2 {
+		t.Errorf("NumREF = %d, want 2", d.NumREF.Value())
+	}
+	if d.RefLockedCycles.Value() != 2*int64(p.RFCpb) {
+		t.Errorf("RefLockedCycles = %d, want %d", d.RefLockedCycles.Value(), 2*int64(p.RFCpb))
+	}
+}
+
+func TestPerBankRefreshRequiresClosedBank(t *testing.T) {
+	d := NewDevice(DDR4_1600(Refresh1x), testGeo())
+	d.IssueACT(0, 0, 3, 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("REFpb on open bank did not panic")
+		}
+	}()
+	d.IssueREFpb(100, 0, 3)
+}
+
+func TestSegmentRefreshLocksForDuration(t *testing.T) {
+	p := DDR4_1600(Refresh1x)
+	d := NewDevice(p, testGeo())
+	end := d.IssueREFSegment(50, 1, 35)
+	if end != 85 {
+		t.Fatalf("segment end = %d, want 85", end)
+	}
+	if !d.Refreshing(1, 84) || d.Refreshing(1, 85) {
+		t.Error("segment lock window wrong")
+	}
+	if d.RefLockedCycles.Value() != 35 {
+		t.Errorf("RefLockedCycles = %d, want 35", d.RefLockedCycles.Value())
+	}
+	// NumREF counts logical refreshes only, not segments.
+	if d.NumREF.Value() != 0 {
+		t.Errorf("NumREF = %d, want 0 for a bare segment", d.NumREF.Value())
+	}
+}
+
+func TestSubarrayRefreshIsolation(t *testing.T) {
+	p := DDR4_1600(Refresh1x)
+	d := NewDevice(p, testGeo())
+	geo := testGeo()
+	rowsPerSA := geo.Rows / p.Subarrays
+	// Refresh subarray 0 of bank 2.
+	end := d.IssueREFsa(100, 0, 2, 0)
+	if end != 100+p.RFCsa {
+		t.Fatalf("REFsa end = %d, want %d", end, 100+p.RFCsa)
+	}
+	// A row in subarray 0 waits; a row in subarray 1 proceeds.
+	if got := d.EarliestACTRow(120, 0, 2, 0); got != end {
+		t.Errorf("ACT into refreshing subarray at %d, want %d", got, end)
+	}
+	if got := d.EarliestACTRow(120, 0, 2, rowsPerSA); got != 120 {
+		t.Errorf("ACT into sibling subarray delayed to %d", got)
+	}
+	// Neither the bank nor the rank is globally refreshing.
+	if d.BankRefreshing(0, 2, 120) || d.Refreshing(0, 120) {
+		t.Error("coarser-grained refreshing flags set by REFsa")
+	}
+	if !d.SubarrayRefreshing(0, 2, 0, 120) || d.SubarrayRefreshing(0, 2, rowsPerSA, 120) {
+		t.Error("SubarrayRefreshing window wrong")
+	}
+}
+
+func TestSubarrayOf(t *testing.T) {
+	p := DDR4_1600(Refresh1x)
+	d := NewDevice(p, testGeo())
+	geo := testGeo()
+	per := geo.Rows / p.Subarrays
+	if d.SubarrayOf(0) != 0 || d.SubarrayOf(per-1) != 0 || d.SubarrayOf(per) != 1 {
+		t.Error("SubarrayOf boundaries wrong")
+	}
+	if d.SubarrayOf(geo.Rows-1) != p.Subarrays-1 {
+		t.Error("last row not in last subarray")
+	}
+}
+
+func TestSubarrayRefreshRejectsOpenTargetRow(t *testing.T) {
+	p := DDR4_1600(Refresh1x)
+	d := NewDevice(p, testGeo())
+	d.IssueACT(0, 0, 1, 2) // row 2 is in subarray 0
+	defer func() {
+		if recover() == nil {
+			t.Error("REFsa with open row in the target subarray did not panic")
+		}
+	}()
+	d.IssueREFsa(100, 0, 1, 0)
+}
+
+func TestDeviceAccessorsAndEarliestRefVariants(t *testing.T) {
+	p := DDR4_1600(Refresh1x)
+	d := NewDevice(p, testGeo())
+	if d.Params().Name != p.Name {
+		t.Error("Params accessor wrong")
+	}
+	if d.Geometry().Banks != testGeo().Banks {
+		t.Error("Geometry accessor wrong")
+	}
+	// EarliestREFpb honours a bank's own lock.
+	end := d.IssueREFpb(10, 0, 1)
+	if got := d.EarliestREFpb(20, 0, 1); got != end {
+		t.Errorf("EarliestREFpb during lock = %d, want %d", got, end)
+	}
+	if got := d.EarliestREFpb(20, 0, 2); got != 20 {
+		t.Errorf("EarliestREFpb on free bank = %d, want 20", got)
+	}
+	if d.RefreshEnd(0) != 0 {
+		t.Errorf("RefreshEnd = %d, want 0 (rank never rank-refreshed)", d.RefreshEnd(0))
+	}
+	refEnd := d.IssueREF(d.EarliestREF(1000, 1), 1)
+	if d.RefreshEnd(1) != refEnd {
+		t.Errorf("RefreshEnd = %d, want %d", d.RefreshEnd(1), refEnd)
+	}
+	// EarliestREFsa honours existing subarray locks.
+	saEnd := d.IssueREFsa(2000, 0, 3, 2)
+	if got := d.EarliestREFsa(2010, 0, 3, 2); got != saEnd {
+		t.Errorf("EarliestREFsa during lock = %d, want %d", got, saEnd)
+	}
+	if got := d.EarliestREFsa(2010, 0, 3, 1); got != 2010 {
+		t.Errorf("EarliestREFsa on free subarray = %d, want 2010", got)
+	}
+}
+
+func TestCommandKindStrings(t *testing.T) {
+	for k, want := range map[CommandKind]string{
+		CmdACT: "ACT", CmdPRE: "PRE", CmdRD: "RD", CmdWR: "WR", CmdREF: "REF",
+	} {
+		if k.String() != want {
+			t.Errorf("%v.String() = %q, want %q", int(k), k.String(), want)
+		}
+	}
+	if CommandKind(42).String() == "" {
+		t.Error("unknown kind empty string")
+	}
+	for _, m := range []RefreshMode{Refresh1x, Refresh2x, Refresh4x, RefreshMode(9)} {
+		if m.String() == "" {
+			t.Errorf("mode %d empty string", int(m))
+		}
+	}
+}
+
+func TestIssueREFSegmentRejectsBadDuration(t *testing.T) {
+	d := NewDevice(DDR4_1600(Refresh1x), testGeo())
+	defer func() {
+		if recover() == nil {
+			t.Error("zero-duration segment did not panic")
+		}
+	}()
+	d.IssueREFSegment(10, 0, 0)
+}

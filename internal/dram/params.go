@@ -1,0 +1,158 @@
+// Package dram models DDR4 devices at command granularity: per-bank and
+// per-rank state machines, JEDEC timing constraints, the shared data bus,
+// and refresh locking. It is the substrate the paper implemented inside
+// DRAMSim2; the memory controller in internal/memctrl drives it.
+//
+// All times are in DRAM bus-clock cycles (event.Cycle, tCK = 1.25 ns at
+// DDR4-1600).
+package dram
+
+import (
+	"fmt"
+
+	"ropsim/internal/event"
+)
+
+// RefreshMode selects the JEDEC DDR4 fine-grained-refresh mode. The paper
+// evaluates 1x (Table III) and names finer granularities as future work.
+type RefreshMode int
+
+// Fine-grained refresh modes defined by JESD79-4.
+const (
+	Refresh1x RefreshMode = iota // tREFI = 7.8 µs, full tRFC
+	Refresh2x                    // tREFI halved, shorter tRFC
+	Refresh4x                    // tREFI quartered, shortest tRFC
+)
+
+// String implements fmt.Stringer.
+func (m RefreshMode) String() string {
+	switch m {
+	case Refresh1x:
+		return "1x"
+	case Refresh2x:
+		return "2x"
+	case Refresh4x:
+		return "4x"
+	}
+	return fmt.Sprintf("RefreshMode(%d)", int(m))
+}
+
+// Params holds the timing parameters of a DDR4 speed bin, in bus cycles.
+type Params struct {
+	Name string
+
+	CL  int // CAS (read) latency
+	CWL int // CAS write latency
+	RCD int // ACT to internal read/write
+	RP  int // PRE to ACT
+	RAS int // ACT to PRE
+	RC  int // ACT to ACT, same bank
+	BL  int // burst length in transfers (data occupies BL/2 cycles)
+	CCD int // column command to column command
+	RRD int // ACT to ACT, different banks, same rank
+	FAW int // four-activate window
+	WR  int // write recovery (end of write data to PRE)
+	WTR int // end of write data to read command, same rank
+	RTP int // read to PRE
+	RTR int // rank-to-rank data-bus switch penalty
+
+	REFI event.Cycle // average refresh interval
+	RFC  event.Cycle // refresh cycle time (rank locked)
+	// RFCpb is the per-bank refresh cycle time for bank-level refresh
+	// (the paper's §VII future-work granularity; timing in the class of
+	// LPDDR4/DDR5 same-bank refresh): only the refreshed bank locks, for
+	// much less than the all-bank tRFC.
+	RFCpb event.Cycle
+	// RFCsa is the per-subarray refresh cycle time for subarray-level
+	// refresh (the paper's §VII finest granularity; requires SALP-style
+	// per-subarray sense amplifiers): only the refreshed subarray of one
+	// bank locks.
+	RFCsa event.Cycle
+	// Subarrays is how many subarrays each bank divides into.
+	Subarrays int
+}
+
+// DataCycles reports how long one burst occupies the data bus.
+func (p Params) DataCycles() event.Cycle { return event.Cycle(p.BL / 2) }
+
+// RefreshDutyCycle reports tRFC/tREFI, the fraction of time a rank is
+// frozen by refresh (paper §II-B).
+func (p Params) RefreshDutyCycle() float64 {
+	if p.REFI == 0 {
+		return 0
+	}
+	return float64(p.RFC) / float64(p.REFI)
+}
+
+// Validate reports an error for non-positive core timings.
+func (p Params) Validate() error {
+	for _, f := range []struct {
+		name string
+		v    int
+	}{
+		{"CL", p.CL}, {"CWL", p.CWL}, {"RCD", p.RCD}, {"RP", p.RP},
+		{"RAS", p.RAS}, {"RC", p.RC}, {"BL", p.BL}, {"CCD", p.CCD},
+		{"RRD", p.RRD}, {"FAW", p.FAW}, {"WR", p.WR}, {"WTR", p.WTR},
+		{"RTP", p.RTP},
+	} {
+		if f.v <= 0 {
+			return fmt.Errorf("dram: %s must be positive, got %d", f.name, f.v)
+		}
+	}
+	if p.BL%2 != 0 {
+		return fmt.Errorf("dram: BL must be even, got %d", p.BL)
+	}
+	if p.REFI > 0 && p.RFC <= 0 {
+		return fmt.Errorf("dram: RFC must be positive when REFI is set")
+	}
+	if p.RC < p.RAS+p.RP {
+		return fmt.Errorf("dram: RC (%d) < RAS+RP (%d)", p.RC, p.RAS+p.RP)
+	}
+	return nil
+}
+
+// DDR4_1600 returns the paper's device: DDR4-1600 timings for 8 Gb chips
+// (Table III: tREFI = 7.8 µs, tRFC = 350 ns in 1x mode) under the given
+// fine-grained refresh mode.
+func DDR4_1600(mode RefreshMode) Params {
+	p := Params{
+		Name: "DDR4-1600/8Gb/" + mode.String(),
+		CL:   11, // 13.75 ns
+		CWL:  9,  // 11.25 ns
+		RCD:  11, // 13.75 ns
+		RP:   11, // 13.75 ns
+		RAS:  28, // 35 ns
+		RC:   39, // 48.75 ns
+		BL:   8,  // 64-byte line over a 64-bit bus
+		CCD:  4,  // tCCD_L
+		RRD:  6,  // 7.5 ns
+		FAW:  28, // 35 ns
+		WR:   12, // 15 ns
+		WTR:  6,  // 7.5 ns
+		RTP:  6,  // 7.5 ns
+		RTR:  2,  // rank switch bubble
+	}
+	p.Subarrays = 8
+	switch mode {
+	case Refresh1x:
+		p.REFI, p.RFC, p.RFCpb, p.RFCsa = 6240, 280, 112, 48 // 350/140/60 ns
+	case Refresh2x:
+		p.REFI, p.RFC, p.RFCpb, p.RFCsa = 3120, 208, 88, 40 // 260/110/50 ns
+	case Refresh4x:
+		p.REFI, p.RFC, p.RFCpb, p.RFCsa = 1560, 128, 56, 32 // 160/70/40 ns
+	default:
+		panic(fmt.Sprintf("dram: unknown refresh mode %d", int(mode)))
+	}
+	return p
+}
+
+// NoRefresh returns p with refresh disabled (the paper's idealized
+// "no-refresh" memory used to bound refresh overheads, §III-A).
+func NoRefresh(p Params) Params {
+	p.Name += "/norefresh"
+	p.REFI = 0
+	p.RFC = 0
+	p.RFCpb = 0
+	p.RFCsa = 0
+	return p
+}

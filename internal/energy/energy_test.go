@@ -1,0 +1,128 @@
+package energy
+
+import (
+	"testing"
+
+	"ropsim/internal/dram"
+)
+
+func TestParamsValidate(t *testing.T) {
+	if err := DDR4Power().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := DDR4Power()
+	bad.IDD3N = 10 // below IDD2N
+	if bad.Validate() == nil {
+		t.Error("accepted IDD3N < IDD2N")
+	}
+	bad = DDR4Power()
+	bad.VDD = 0
+	if bad.Validate() == nil {
+		t.Error("accepted zero VDD")
+	}
+}
+
+func TestSRAMAccessTable(t *testing.T) {
+	// Table III values, exactly.
+	cases := map[int]float64{16: 0.0132, 32: 0.0135, 64: 0.0137, 128: 0.0152}
+	for lines, want := range cases {
+		if got := SRAMAccessNJ(lines); got != want {
+			t.Errorf("SRAMAccessNJ(%d) = %g, want %g", lines, got, want)
+		}
+	}
+	// Nearest-size fallback.
+	if got := SRAMAccessNJ(60); got != 0.0137 {
+		t.Errorf("SRAMAccessNJ(60) = %g, want 64-line value", got)
+	}
+	if got := SRAMAccessNJ(1000); got != 0.0152 {
+		t.Errorf("SRAMAccessNJ(1000) = %g, want 128-line value", got)
+	}
+}
+
+func TestIdleEnergyIsBackgroundOnly(t *testing.T) {
+	p := DDR4Power()
+	d := dram.DDR4_1600(dram.Refresh1x)
+	b := Compute(p, d, 1_000_000, Counts{Ranks: 1}, SRAMCounts{Lines: 64})
+	if b.BackgroundJ <= 0 {
+		t.Error("idle run has zero background energy")
+	}
+	if b.ActPreJ != 0 || b.ReadJ != 0 || b.WriteJ != 0 || b.RefreshJ != 0 || b.SRAMJ != 0 {
+		t.Errorf("idle run has dynamic energy: %+v", b)
+	}
+	if b.Total() != b.BackgroundJ {
+		t.Error("Total mismatch")
+	}
+}
+
+func TestRefreshAddsEnergy(t *testing.T) {
+	p := DDR4Power()
+	d := dram.DDR4_1600(dram.Refresh1x)
+	elapsed := 100 * d.REFI
+	without := Compute(p, d, elapsed, Counts{Ranks: 1}, SRAMCounts{Lines: 64})
+	with := Compute(p, d, elapsed, Counts{Ranks: 1, REF: 100}, SRAMCounts{Lines: 64})
+	if with.Total() <= without.Total() {
+		t.Error("refreshes did not add energy")
+	}
+	// Refresh overhead at idle should be a noticeable but minority
+	// share (order 10-20% for these parameters).
+	frac := with.RefreshJ / with.Total()
+	if frac < 0.05 || frac > 0.5 {
+		t.Errorf("refresh fraction %.3f outside plausible band", frac)
+	}
+}
+
+func TestLongerRunsCostMore(t *testing.T) {
+	p := DDR4Power()
+	d := dram.DDR4_1600(dram.Refresh1x)
+	c := Counts{Ranks: 2, ACT: 1000, RD: 5000, WR: 2000, REF: 50}
+	short := Compute(p, d, 1_000_000, c, SRAMCounts{Lines: 64})
+	long := Compute(p, d, 2_000_000, c, SRAMCounts{Lines: 64})
+	if long.Total() <= short.Total() {
+		t.Error("longer elapsed time did not increase energy")
+	}
+	if long.ReadJ != short.ReadJ || long.RefreshJ != short.RefreshJ {
+		t.Error("command energies changed with elapsed time")
+	}
+}
+
+func TestCommandEnergiesScaleLinearly(t *testing.T) {
+	p := DDR4Power()
+	d := dram.DDR4_1600(dram.Refresh1x)
+	one := Compute(p, d, 1_000_000, Counts{Ranks: 1, RD: 1000}, SRAMCounts{Lines: 64})
+	two := Compute(p, d, 1_000_000, Counts{Ranks: 1, RD: 2000}, SRAMCounts{Lines: 64})
+	if diff := two.ReadJ - 2*one.ReadJ; diff > 1e-15 || diff < -1e-15 {
+		t.Errorf("read energy not linear: %g vs %g", two.ReadJ, 2*one.ReadJ)
+	}
+}
+
+func TestSRAMEnergyCounted(t *testing.T) {
+	p := DDR4Power()
+	d := dram.DDR4_1600(dram.Refresh1x)
+	b := Compute(p, d, 1000, Counts{Ranks: 1}, SRAMCounts{Reads: 100, Writes: 50, Lines: 16})
+	want := 150 * 0.0132e-9
+	if diff := b.SRAMJ - want; diff > 1e-18 || diff < -1e-18 {
+		t.Errorf("SRAMJ = %g, want %g", b.SRAMJ, want)
+	}
+}
+
+func TestActiveStandbyCapped(t *testing.T) {
+	// Absurd ACT counts cannot push active time beyond elapsed time.
+	p := DDR4Power()
+	d := dram.DDR4_1600(dram.Refresh1x)
+	b := Compute(p, d, 1000, Counts{Ranks: 1, ACT: 1 << 40}, SRAMCounts{Lines: 64})
+	// Background energy is bounded by all-active for the whole run.
+	maxBg := p.VDD * 1e-3 * float64(p.ChipsPerRank) * p.IDD3N *
+		float64(1000) * 1.25e-9
+	if b.BackgroundJ > maxBg*1.0001 {
+		t.Errorf("background %g exceeds all-active bound %g", b.BackgroundJ, maxBg)
+	}
+}
+
+func TestComputePanicsOnBadInput(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Compute accepted zero ranks")
+		}
+	}()
+	Compute(DDR4Power(), dram.DDR4_1600(dram.Refresh1x), 10, Counts{}, SRAMCounts{Lines: 64})
+}

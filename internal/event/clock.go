@@ -1,0 +1,42 @@
+// Package event provides the discrete-event machinery shared by the
+// simulator: a deterministic event queue and the two clock domains the
+// system runs in (CPU core clock and DRAM bus clock).
+package event
+
+// The simulated system has two clock domains. The DRAM bus clock is the
+// memory-controller clock: one Cycle per DDR4 tCK (1.25 ns at
+// DDR4-1600). The CPU clock runs an integer multiple faster; the paper's
+// configuration (Table III) pairs an out-of-order core with DDR4-1600,
+// which we model as a 3.2 GHz core, i.e. a 4:1 ratio.
+
+// Cycle is a point in time measured in DRAM bus clock cycles.
+type Cycle int64
+
+// CPUCycle is a point in time measured in CPU core clock cycles.
+type CPUCycle int64
+
+// CPUPerBus is the number of CPU cycles per DRAM bus cycle.
+const CPUPerBus = 4
+
+// ToBus converts a CPU-clock time to the bus-clock time that contains it
+// (rounding up: an event at CPU cycle c is visible to the controller at
+// the first bus edge at or after c).
+func ToBus(c CPUCycle) Cycle {
+	if c <= 0 {
+		return 0
+	}
+	return Cycle((int64(c) + CPUPerBus - 1) / CPUPerBus)
+}
+
+// ToCPU converts a bus-clock time to the CPU-clock time of the same edge.
+func ToCPU(c Cycle) CPUCycle {
+	return CPUCycle(int64(c) * CPUPerBus)
+}
+
+// PicosPerBusCycle is the DDR4-1600 bus clock period (tCK) in picoseconds.
+const PicosPerBusCycle = 1250
+
+// Seconds converts a bus-cycle count to seconds of simulated time.
+func Seconds(c Cycle) float64 {
+	return float64(c) * float64(PicosPerBusCycle) * 1e-12
+}

@@ -1,0 +1,190 @@
+package event
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestClockConversionRoundTrip(t *testing.T) {
+	for _, c := range []Cycle{0, 1, 5, 100, 6240} {
+		if got := ToBus(ToCPU(c)); got != c {
+			t.Errorf("ToBus(ToCPU(%d)) = %d", c, got)
+		}
+	}
+}
+
+func TestToBusRoundsUp(t *testing.T) {
+	cases := []struct {
+		cpu  CPUCycle
+		want Cycle
+	}{
+		{0, 0}, {1, 1}, {3, 1}, {4, 1}, {5, 2}, {8, 2}, {9, 3},
+	}
+	for _, c := range cases {
+		if got := ToBus(c.cpu); got != c.want {
+			t.Errorf("ToBus(%d) = %d, want %d", c.cpu, got, c.want)
+		}
+	}
+}
+
+func TestToBusNeverEarly(t *testing.T) {
+	// Property: the bus edge ToBus returns is never before the CPU event.
+	f := func(raw int32) bool {
+		c := CPUCycle(raw)
+		if c < 0 {
+			c = -c
+		}
+		bus := ToBus(c)
+		return ToCPU(bus) >= c && ToCPU(bus) < c+CPUPerBus
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSeconds(t *testing.T) {
+	// tREFI = 6240 cycles at 1.25 ns should be 7.8 µs.
+	got := Seconds(6240)
+	want := 7.8e-6
+	if diff := got - want; diff > 1e-12 || diff < -1e-12 {
+		t.Errorf("Seconds(6240) = %g, want %g", got, want)
+	}
+}
+
+func TestQueueOrdersByTime(t *testing.T) {
+	var q Queue
+	var fired []Cycle
+	times := []Cycle{5, 3, 9, 1, 7}
+	for _, at := range times {
+		at := at
+		q.Schedule(at, func(now Cycle) { fired = append(fired, now) })
+	}
+	q.Run(100)
+	if !sort.SliceIsSorted(fired, func(i, j int) bool { return fired[i] < fired[j] }) {
+		t.Errorf("events fired out of order: %v", fired)
+	}
+	if len(fired) != len(times) {
+		t.Errorf("fired %d events, want %d", len(fired), len(times))
+	}
+}
+
+func TestQueueFIFOWithinCycle(t *testing.T) {
+	var q Queue
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		q.Schedule(42, func(Cycle) { order = append(order, i) })
+	}
+	q.Run(100)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-cycle events reordered: %v", order)
+		}
+	}
+}
+
+func TestQueueNowAdvances(t *testing.T) {
+	var q Queue
+	q.Schedule(10, func(now Cycle) {
+		if now != 10 {
+			t.Errorf("callback now = %d, want 10", now)
+		}
+	})
+	q.Step()
+	if q.Now() != 10 {
+		t.Errorf("Now() = %d, want 10", q.Now())
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	var q Queue
+	q.Schedule(10, func(Cycle) {})
+	q.Step()
+	defer func() {
+		if recover() == nil {
+			t.Error("scheduling into the past did not panic")
+		}
+	}()
+	q.Schedule(5, func(Cycle) {})
+}
+
+func TestRunUntilStopsAtLimit(t *testing.T) {
+	var q Queue
+	count := 0
+	for _, at := range []Cycle{1, 2, 3, 10, 20} {
+		q.Schedule(at, func(Cycle) { count++ })
+	}
+	n := q.RunUntil(5)
+	if n != 3 || count != 3 {
+		t.Errorf("RunUntil(5) dispatched %d (count %d), want 3", n, count)
+	}
+	if q.Len() != 2 {
+		t.Errorf("queue has %d pending, want 2", q.Len())
+	}
+}
+
+func TestQueueSelfScheduling(t *testing.T) {
+	var q Queue
+	hops := 0
+	var hop func(now Cycle)
+	hop = func(now Cycle) {
+		hops++
+		if hops < 5 {
+			q.Schedule(now+3, hop)
+		}
+	}
+	q.Schedule(0, hop)
+	q.Run(100)
+	if hops != 5 {
+		t.Errorf("hops = %d, want 5", hops)
+	}
+	if q.Now() != 12 {
+		t.Errorf("final Now = %d, want 12", q.Now())
+	}
+}
+
+func TestQueueRandomizedOrdering(t *testing.T) {
+	// Property: for any random schedule, dispatch order is sorted by
+	// (time, insertion order).
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		var q Queue
+		type key struct {
+			at  Cycle
+			seq int
+		}
+		var want []key
+		var got []key
+		n := rng.Intn(200)
+		for i := 0; i < n; i++ {
+			at := Cycle(rng.Intn(50))
+			k := key{at, i}
+			want = append(want, k)
+			q.Schedule(at, func(Cycle) { got = append(got, k) })
+		}
+		sort.SliceStable(want, func(i, j int) bool { return want[i].at < want[j].at })
+		q.Run(n + 1)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: dispatched %d, want %d", trial, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: position %d = %v, want %v", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestPeekTime(t *testing.T) {
+	var q Queue
+	if _, ok := q.PeekTime(); ok {
+		t.Error("PeekTime on empty queue reported ok")
+	}
+	q.Schedule(17, func(Cycle) {})
+	at, ok := q.PeekTime()
+	if !ok || at != 17 {
+		t.Errorf("PeekTime = %d,%v, want 17,true", at, ok)
+	}
+}

@@ -1,0 +1,109 @@
+package event
+
+import "container/heap"
+
+// Event is a callback scheduled to run at a bus-clock time. Events
+// scheduled for the same cycle fire in insertion order, which keeps the
+// simulation deterministic regardless of heap internals.
+type Event struct {
+	At Cycle
+	Fn func(now Cycle)
+
+	seq int64
+}
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].At != h[j].At {
+		return h[i].At < h[j].At
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(*Event)) }
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Queue is a deterministic discrete-event queue. The zero value is ready
+// to use.
+type Queue struct {
+	h   eventHeap
+	seq int64
+	now Cycle
+}
+
+// Now reports the time of the most recently dispatched event.
+func (q *Queue) Now() Cycle { return q.now }
+
+// Len reports the number of pending events.
+func (q *Queue) Len() int { return len(q.h) }
+
+// Schedule enqueues fn to run at cycle at. Scheduling in the past (before
+// the currently dispatching event) panics: it would silently reorder
+// time and corrupt the simulation.
+func (q *Queue) Schedule(at Cycle, fn func(now Cycle)) {
+	if at < q.now {
+		panic("event: scheduling into the past")
+	}
+	q.seq++
+	heap.Push(&q.h, &Event{At: at, Fn: fn, seq: q.seq})
+}
+
+// PeekTime returns the time of the next pending event. ok is false when
+// the queue is empty.
+func (q *Queue) PeekTime() (at Cycle, ok bool) {
+	if len(q.h) == 0 {
+		return 0, false
+	}
+	return q.h[0].At, true
+}
+
+// Step dispatches the single earliest pending event. It reports false
+// when the queue is empty.
+func (q *Queue) Step() bool {
+	if len(q.h) == 0 {
+		return false
+	}
+	e := heap.Pop(&q.h).(*Event)
+	q.now = e.At
+	e.Fn(e.At)
+	return true
+}
+
+// RunUntil dispatches events in order until the queue is empty or the
+// next event lies strictly beyond limit. It returns the number of events
+// dispatched.
+func (q *Queue) RunUntil(limit Cycle) int {
+	n := 0
+	for {
+		at, ok := q.PeekTime()
+		if !ok || at > limit {
+			return n
+		}
+		q.Step()
+		n++
+	}
+}
+
+// Run dispatches events until the queue is empty or maxEvents have been
+// dispatched (a safety net against runaway self-scheduling). It returns
+// the number dispatched.
+func (q *Queue) Run(maxEvents int) int {
+	n := 0
+	for n < maxEvents && q.Step() {
+		n++
+	}
+	return n
+}

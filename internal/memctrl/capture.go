@@ -1,0 +1,48 @@
+package memctrl
+
+import (
+	"ropsim/internal/dram"
+	"ropsim/internal/event"
+)
+
+// ReqEvent records one demand request arrival for offline analysis.
+type ReqEvent struct {
+	At     event.Cycle
+	Rank   int
+	IsRead bool
+}
+
+// RefEvent records one issued refresh.
+type RefEvent struct {
+	At   event.Cycle
+	Rank int
+}
+
+// Capture accumulates the request/refresh timeline the paper's §III
+// analysis runs over (Figs 2-4, Table I). Command capture is optional
+// and used by the timing-validation tests.
+type Capture struct {
+	Requests  []ReqEvent
+	Refreshes []RefEvent
+
+	// StoreCommands enables full DRAM command capture.
+	StoreCommands bool
+	Commands      []dram.Command
+}
+
+// Request records a demand request arrival.
+func (c *Capture) Request(at event.Cycle, rank int, isRead bool) {
+	c.Requests = append(c.Requests, ReqEvent{At: at, Rank: rank, IsRead: isRead})
+}
+
+// Refresh records a REF issue.
+func (c *Capture) Refresh(at event.Cycle, rank int) {
+	c.Refreshes = append(c.Refreshes, RefEvent{At: at, Rank: rank})
+}
+
+// Command records a DRAM command when StoreCommands is set.
+func (c *Capture) Command(cmd dram.Command) {
+	if c.StoreCommands {
+		c.Commands = append(c.Commands, cmd)
+	}
+}

@@ -1,0 +1,705 @@
+// Package memctrl implements the simulated memory controller: read and
+// write transaction queues with FR-FCFS scheduling and batched write
+// drain, the per-rank refresh state machine (auto-refresh baseline,
+// idealized no-refresh, and the paper's ROP mode with pre-refresh drain
+// and prefetch), and the SRAM service path that answers reads while a
+// rank is frozen.
+package memctrl
+
+import (
+	"fmt"
+
+	"ropsim/internal/addr"
+	"ropsim/internal/core"
+	"ropsim/internal/dram"
+	"ropsim/internal/event"
+	"ropsim/internal/stats"
+)
+
+// Mode selects the refresh handling policy.
+type Mode int
+
+// Refresh handling modes.
+const (
+	// ModeBaseline is JEDEC auto-refresh: when a refresh is due the rank
+	// closes its banks and freezes for tRFC; conflicting requests wait.
+	ModeBaseline Mode = iota
+	// ModeNoRefresh is the idealized refresh-free memory used to bound
+	// refresh overheads (paper §III-A).
+	ModeNoRefresh
+	// ModeROP adds the paper's contribution: pre-refresh drain, the
+	// probabilistic prefetcher, and SRAM service during the freeze.
+	ModeROP
+	// ModeElastic is Elastic Refresh (Stuecheli et al., MICRO'10), one
+	// of the paper's related-work baselines: a due refresh is postponed
+	// while demand reads are pending, up to the JEDEC limit of eight
+	// outstanding refreshes, and issued during idle gaps.
+	ModeElastic
+	// ModePausing is Refresh Pausing (Nair et al., HPCA'13), another
+	// related-work baseline: a refresh proceeds in tRFC/8 segments and
+	// pauses between segments to service pending reads, resuming when
+	// the rank's queue drains (with a re-lock overhead per resume).
+	ModePausing
+	// ModeBankRefresh refreshes one bank at a time (tREFIpb = tREFI /
+	// banks apart, tRFCpb each): the paper's §VII future-work
+	// granularity. Sibling banks keep serving during a bank's refresh.
+	ModeBankRefresh
+	// ModeROPBank combines bank-level refresh with ROP: before a bank
+	// refreshes, its predicted lines are staged in the SRAM buffer, so
+	// even the refreshed bank keeps answering reads.
+	ModeROPBank
+	// ModeSubarrayRefresh refreshes one subarray at a time (the paper's
+	// §VII finest granularity, SALP-style): only rows of the refreshing
+	// subarray conflict; the rest of the bank keeps serving.
+	ModeSubarrayRefresh
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case ModeBaseline:
+		return "baseline"
+	case ModeNoRefresh:
+		return "norefresh"
+	case ModeROP:
+		return "rop"
+	case ModeElastic:
+		return "elastic"
+	case ModePausing:
+		return "pausing"
+	case ModeBankRefresh:
+		return "bankrefresh"
+	case ModeROPBank:
+		return "rop-bank"
+	case ModeSubarrayRefresh:
+		return "subarray"
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// Config parameterizes the controller. Table III: 64-entry read and
+// write queues, FR-FCFS, writes scheduled in batches.
+type Config struct {
+	Mode Mode
+
+	ReadQueueCap  int
+	WriteQueueCap int
+	// Write drain watermarks: draining starts at WriteHigh pending
+	// writes (or when reads are idle) and stops at WriteLow.
+	WriteHigh int
+	WriteLow  int
+
+	// MaxRefreshDelay bounds how long the ROP drain/prefetch phase may
+	// postpone a due refresh, in tREFI units (JEDEC allows up to 8).
+	MaxRefreshDelay float64
+
+	// SRAMLatency is the bus-cycle latency of an SRAM buffer hit
+	// (Table III: 3 CPU cycles ≈ 1 bus cycle; rounded up to 1).
+	SRAMLatency event.Cycle
+
+	// ROP configures the prefetch engine (ModeROP only).
+	ROP core.Config
+
+	// ClosedPage selects the closed-page row policy: banks precharge as
+	// soon as no queued request wants their open row (the paper's
+	// configuration is open-page; this is an ablation knob).
+	ClosedPage bool
+
+	// Capture enables request/refresh trace capture for the offline
+	// refresh-blocking analysis (Figs 2-4, Table I).
+	Capture bool
+}
+
+// DefaultConfig returns the paper's controller configuration for the
+// given mode.
+func DefaultConfig(mode Mode) Config {
+	return Config{
+		Mode:            mode,
+		ReadQueueCap:    64,
+		WriteQueueCap:   64,
+		WriteHigh:       48,
+		WriteLow:        16,
+		MaxRefreshDelay: 0.5,
+		SRAMLatency:     1,
+		ROP:             core.DefaultConfig(),
+	}
+}
+
+// Validate reports an error for impossible configurations.
+func (c Config) Validate() error {
+	if c.ReadQueueCap <= 0 || c.WriteQueueCap <= 0 {
+		return fmt.Errorf("memctrl: non-positive queue capacity")
+	}
+	if c.WriteLow < 0 || c.WriteHigh <= c.WriteLow || c.WriteHigh > c.WriteQueueCap {
+		return fmt.Errorf("memctrl: bad write watermarks low=%d high=%d cap=%d",
+			c.WriteLow, c.WriteHigh, c.WriteQueueCap)
+	}
+	if c.MaxRefreshDelay < 0 || c.MaxRefreshDelay > 8 {
+		return fmt.Errorf("memctrl: MaxRefreshDelay %g outside [0,8]", c.MaxRefreshDelay)
+	}
+	if c.SRAMLatency < 0 {
+		return fmt.Errorf("memctrl: negative SRAM latency")
+	}
+	if c.Mode == ModeROP || c.Mode == ModeROPBank {
+		return c.ROP.Validate()
+	}
+	return nil
+}
+
+// request is one queued transaction.
+type request struct {
+	loc      addr.Loc
+	arrive   event.Cycle
+	src      int
+	prefetch bool // ROP fill, not a demand access
+	done     func(event.Cycle)
+}
+
+// Controller drives one DRAM channel.
+type Controller struct {
+	cfg Config
+	dev *dram.Device
+	q   *event.Queue
+	geo addr.Geometry
+
+	readQ    []*request
+	writeQ   []*request
+	fillQ    []*request // ROP prefetch fills for the rank about to refresh
+	draining bool       // write batch in progress
+
+	refresh []rankRefresh
+	rop     *core.Engine
+
+	wakeAt  event.Cycle // next scheduled tick (-1 when none)
+	spaceFn func()      // back-pressure notification to the cores
+
+	capture *Capture
+
+	// sessionInsertedMark is the SRAM insert counter at the start of the
+	// current fill session (consumption feedback, see startFills).
+	sessionInsertedMark int64
+
+	// Statistics.
+	ReadsServed, WritesServed stats.Counter
+	SRAMServed                stats.Counter
+	PrefetchFillsIssued       stats.Counter
+	ReadLatency               stats.Mean // bus cycles, arrival to data
+	QueueFullEvents           stats.Counter
+	RefreshesIssued           stats.Counter
+	RefreshPostponedCycles    stats.Mean // REF issue minus due time
+	FillsDropped              stats.Counter
+	FillPhaseCycles           stats.Mean
+	PrefetchThrottled         stats.Counter
+}
+
+// New builds a controller for the given device, driven by queue q. It
+// panics on invalid configuration.
+func New(cfg Config, dev *dram.Device, q *event.Queue) *Controller {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	geo := dev.Geometry()
+	p0 := dev.Params()
+	if p0.REFI > 0 {
+		switch cfg.Mode {
+		case ModeBankRefresh, ModeROPBank:
+			if p0.RFCpb <= 0 {
+				panic("memctrl: bank-refresh mode requires RFCpb timing")
+			}
+		case ModeSubarrayRefresh:
+			if p0.RFCsa <= 0 || p0.Subarrays <= 0 {
+				panic("memctrl: subarray-refresh mode requires RFCsa/Subarrays timing")
+			}
+		}
+	}
+	c := &Controller{
+		cfg:    cfg,
+		dev:    dev,
+		q:      q,
+		geo:    geo,
+		wakeAt: -1,
+	}
+	p := dev.Params()
+	if cfg.Mode != ModeNoRefresh && p.REFI > 0 {
+		c.refresh = make([]rankRefresh, geo.Ranks)
+		cadence := p.REFI
+		switch cfg.Mode {
+		case ModeBankRefresh, ModeROPBank:
+			cadence = p.REFI / event.Cycle(geo.Banks)
+		case ModeSubarrayRefresh:
+			cadence = p.REFI / event.Cycle(geo.Banks*p.Subarrays)
+			if cadence < 1 {
+				cadence = 1
+			}
+		}
+		for r := range c.refresh {
+			// Stagger rank refreshes across the cadence interval so that
+			// at most one rank is frozen at a time (and the shared SRAM
+			// buffer is never contended).
+			c.refresh[r].due = cadence * event.Cycle(r+1) / event.Cycle(geo.Ranks)
+		}
+	}
+	if p.REFI > 0 {
+		switch cfg.Mode {
+		case ModeROP:
+			c.rop = core.NewEngine(cfg.ROP, geo, p.REFI, p.RFC)
+		case ModeROPBank:
+			// Bank-level refresh: the observational window and freeze
+			// length shrink to the per-bank schedule.
+			c.rop = core.NewEngine(cfg.ROP, geo, p.REFI/event.Cycle(geo.Banks), p.RFCpb)
+		}
+	}
+	if cfg.Capture {
+		c.capture = &Capture{}
+	}
+	// Prime the tick loop so refreshes happen even before any request
+	// arrives (an idle DRAM still refreshes).
+	if next, ok := c.nextRefreshDue(); ok {
+		c.ensureWake(next)
+	}
+	return c
+}
+
+// ROP exposes the prefetch engine (nil unless ModeROP).
+func (c *Controller) ROP() *core.Engine { return c.rop }
+
+// Device exposes the DRAM device (for energy accounting).
+func (c *Controller) Device() *dram.Device { return c.dev }
+
+// Capture returns the trace capture, or nil when disabled.
+func (c *Controller) CaptureLog() *Capture { return c.capture }
+
+// SetSpaceNotify registers fn to run when queue space frees up after a
+// rejected enqueue.
+func (c *Controller) SetSpaceNotify(fn func()) { c.spaceFn = fn }
+
+// ReadQueueLen reports current read queue occupancy.
+func (c *Controller) ReadQueueLen() int { return len(c.readQ) }
+
+// WriteQueueLen reports current write queue occupancy.
+func (c *Controller) WriteQueueLen() int { return len(c.writeQ) }
+
+// ensureWake schedules a tick at cycle at if none is scheduled earlier.
+func (c *Controller) ensureWake(at event.Cycle) {
+	if now := c.q.Now(); at < now {
+		at = now
+	}
+	if c.wakeAt >= 0 && c.wakeAt <= at {
+		return
+	}
+	if debugWake != nil {
+		debugWake("arm", c.q.Now(), at, int(c.wakeAt))
+	}
+	c.wakeAt = at
+	c.q.Schedule(at, c.tick)
+}
+
+// debugWake is a test hook.
+var debugWake func(what string, now, at event.Cycle, wakeAt int)
+
+// EnqueueRead submits a demand read. done runs when the data is
+// available. It reports false when the read queue is full (the paper's
+// command-queue-seizure backpressure).
+func (c *Controller) EnqueueRead(loc addr.Loc, src int, done func(event.Cycle)) bool {
+	now := c.q.Now()
+	if len(c.readQ) >= c.cfg.ReadQueueCap {
+		c.QueueFullEvents.Inc()
+		return false
+	}
+	if c.capture != nil {
+		c.capture.Request(now, loc.Rank, true)
+	}
+	if c.rop != nil {
+		c.rop.OnRequest(loc, true, now)
+		// A read arriving while its rank is frozen — or while the buffer
+		// already holds the line ahead of the freeze — is served from
+		// the SRAM buffer (the paper's central mechanism).
+		frozen := c.dev.Refreshing(loc.Rank, now)
+		if c.bankMode() {
+			frozen = c.dev.BankRefreshing(loc.Rank, loc.Bank, now)
+		}
+		if c.rop.ProbeRead(loc, now, frozen) {
+			c.SRAMServed.Inc()
+			c.ReadsServed.Inc()
+			fin := now + c.cfg.SRAMLatency
+			c.ReadLatency.Observe(float64(fin - now))
+			if done != nil {
+				c.q.Schedule(fin, func(at event.Cycle) { done(at) })
+			}
+			return true
+		}
+	}
+	c.readQ = append(c.readQ, &request{loc: loc, arrive: now, src: src, done: done})
+	c.ensureWake(now)
+	return true
+}
+
+// EnqueueWrite submits a posted write. It reports false when the write
+// queue is full.
+func (c *Controller) EnqueueWrite(loc addr.Loc, src int) bool {
+	now := c.q.Now()
+	if len(c.writeQ) >= c.cfg.WriteQueueCap {
+		c.QueueFullEvents.Inc()
+		return false
+	}
+	if c.capture != nil {
+		c.capture.Request(now, loc.Rank, false)
+	}
+	if c.rop != nil {
+		c.rop.OnRequest(loc, false, now)
+		c.rop.OnWrite(loc)
+	}
+	c.writeQ = append(c.writeQ, &request{loc: loc, arrive: now, src: src})
+	c.ensureWake(now)
+	return true
+}
+
+// Idle reports whether the controller has no pending work at all.
+func (c *Controller) Idle() bool {
+	if len(c.readQ) > 0 || len(c.writeQ) > 0 || len(c.fillQ) > 0 {
+		return false
+	}
+	for r := range c.refresh {
+		if c.refresh[r].phase != refIdle {
+			return false
+		}
+	}
+	return true
+}
+
+// tick is the per-cycle scheduling step: at most one command on the
+// channel per bus cycle, refresh actions first, then FR-FCFS.
+//
+// ensureWake may leave superseded tick events in the queue (it only
+// tracks the earliest); a tick that does not match wakeAt is stale and
+// must be a no-op, otherwise duplicate tick chains accumulate.
+func (c *Controller) tick(now event.Cycle) {
+	if now != c.wakeAt {
+		if debugWake != nil {
+			debugWake("stale", now, now, int(c.wakeAt))
+		}
+		return
+	}
+	c.wakeAt = -1
+
+	issued := c.refreshStep(now)
+	if !issued {
+		issued = c.scheduleStep(now)
+	}
+	var closeRetry event.Cycle
+	if !issued && c.cfg.ClosedPage {
+		issued, closeRetry = c.closeIdleRows(now)
+	}
+
+	// Decide when to wake next: immediately while work remains, or at
+	// the earliest refresh due time when idle.
+	if issued || !c.Idle() {
+		c.ensureWake(now + 1)
+		return
+	}
+	if closeRetry > 0 {
+		c.ensureWake(closeRetry)
+		return
+	}
+	if next, ok := c.nextRefreshDue(); ok {
+		c.ensureWake(next)
+	}
+}
+
+// nextRefreshDue reports the earliest refresh due time across ranks.
+func (c *Controller) nextRefreshDue() (event.Cycle, bool) {
+	var best event.Cycle
+	found := false
+	for r := range c.refresh {
+		if !found || c.refresh[r].due < best {
+			best = c.refresh[r].due
+			found = true
+		}
+	}
+	return best, found
+}
+
+// rankBlocked reports whether demand traffic to the rank must hold off
+// because of refresh activity.
+func (c *Controller) rankBlocked(rank int, now event.Cycle) bool {
+	if c.dev.Refreshing(rank, now) {
+		return true
+	}
+	if c.refresh == nil {
+		return false
+	}
+	ph := c.refresh[rank].phase
+	// During closing, the rank must quiesce. During ROP draining, demand
+	// reads to the rank are allowed (they are being drained).
+	return ph == refClosing
+}
+
+// bankMode reports whether refresh runs at bank granularity.
+func (c *Controller) bankMode() bool {
+	return c.cfg.Mode == ModeBankRefresh || c.cfg.Mode == ModeROPBank
+}
+
+// reqBlocked reports whether a queued demand request must hold off for
+// refresh activity. Bank modes block only the bank being refreshed;
+// rank modes quiesce the whole rank.
+func (c *Controller) reqBlocked(req *request, now event.Cycle) bool {
+	if req.prefetch {
+		return false
+	}
+	if c.bankMode() {
+		if c.refresh != nil {
+			rr := &c.refresh[req.loc.Rank]
+			if rr.phase == refClosing && rr.targetBank == req.loc.Bank {
+				return true
+			}
+		}
+		return c.dev.BankRefreshing(req.loc.Rank, req.loc.Bank, now)
+	}
+	return c.rankBlocked(req.loc.Rank, now)
+}
+
+// completeRead finishes a demand read or prefetch fill at dataAt.
+func (c *Controller) completeRead(req *request, dataAt event.Cycle) {
+	if req.prefetch {
+		c.PrefetchFillsIssued.Inc()
+		if c.rop != nil {
+			key := c.rop.LineKey(req.loc)
+			buf := c.rop.Buffer()
+			if buf.Owner() == req.loc.Rank {
+				c.q.Schedule(dataAt, func(event.Cycle) {
+					// Re-check ownership at fill time: the refresh may
+					// have completed and released the buffer.
+					if buf.Owner() == req.loc.Rank {
+						buf.Insert(key)
+					}
+				})
+			}
+		}
+		// Read merging: queued demand reads for the same line ride the
+		// fill's data burst instead of fetching from DRAM again.
+		kept := c.readQ[:0]
+		merged := false
+		for _, dr := range c.readQ {
+			if dr.loc == req.loc {
+				c.ReadsServed.Inc()
+				c.ReadLatency.Observe(float64(dataAt - dr.arrive))
+				if dr.done != nil {
+					done := dr.done
+					c.q.Schedule(dataAt, func(at event.Cycle) { done(at) })
+				}
+				merged = true
+				continue
+			}
+			kept = append(kept, dr)
+		}
+		if merged {
+			c.readQ = kept
+			c.notifySpace()
+		}
+		return
+	}
+	c.ReadsServed.Inc()
+	c.ReadLatency.Observe(float64(dataAt - req.arrive))
+	if req.done != nil {
+		done := req.done
+		c.q.Schedule(dataAt, func(at event.Cycle) { done(at) })
+	}
+	// Symmetric merge: a pending prefetch fill for the same line rides
+	// this demand burst into the buffer.
+	for i, f := range c.fillQ {
+		if f.loc == req.loc {
+			c.fillQ = append(c.fillQ[:i], c.fillQ[i+1:]...)
+			if c.rop != nil {
+				key := c.rop.LineKey(req.loc)
+				buf := c.rop.Buffer()
+				if buf.Owner() == req.loc.Rank {
+					c.q.Schedule(dataAt, func(event.Cycle) {
+						if buf.Owner() == req.loc.Rank {
+							buf.Insert(key)
+						}
+					})
+				}
+			}
+			break
+		}
+	}
+}
+
+// scheduleStep picks and issues at most one demand/fill command using
+// FR-FCFS: row hits first (oldest first), then the oldest request's
+// bank-preparation command. It reports whether a command was issued.
+func (c *Controller) scheduleStep(now event.Cycle) bool {
+	// Choose the candidate set: prefetch fills and demand reads compete
+	// first; writes only during a drain batch or when reads are absent.
+	if c.draining {
+		if len(c.writeQ) <= c.cfg.WriteLow {
+			c.draining = false
+		}
+	} else if len(c.writeQ) >= c.cfg.WriteHigh ||
+		(len(c.readQ) == 0 && len(c.fillQ) == 0 && len(c.writeQ) > 0) {
+		c.draining = true
+	}
+
+	// Demand reads come first; prefetch fills ride in leftover slots
+	// (paper §IV-D: drained requests are issued, prefetches
+	// opportunistically alongside). An active fill window takes priority
+	// over write drain batches: fills have a hard deadline before the
+	// refresh freezes the rank, writes are posted and can wait.
+	if !c.draining || len(c.fillQ) > 0 {
+		if c.issueFrom(&c.readQ, now, false) {
+			return true
+		}
+		if len(c.fillQ) > 0 && c.issueFrom(&c.fillQ, now, false) {
+			return true
+		}
+		if c.draining {
+			return c.issueFrom(&c.writeQ, now, true)
+		}
+		return false
+	}
+	if c.issueFrom(&c.writeQ, now, true) {
+		return true
+	}
+	// Drain mode with nothing issuable: let reads through anyway so a
+	// blocked write bank does not stall ready reads.
+	return c.issueFrom(&c.readQ, now, false)
+}
+
+// issueFrom applies FR-FCFS to one queue. It reports whether a command
+// was issued (RD/WR data, ACT, or PRE).
+func (c *Controller) issueFrom(queue *[]*request, now event.Cycle, isWrite bool) bool {
+	// Pass 1: oldest row hit whose column command is legal now.
+	for i, req := range *queue {
+		if c.reqBlocked(req, now) {
+			continue
+		}
+		if c.dev.Refreshing(req.loc.Rank, now) {
+			continue
+		}
+		if c.dev.OpenRow(req.loc.Rank, req.loc.Bank) != int64(req.loc.Row) {
+			continue
+		}
+		if isWrite {
+			if c.dev.EarliestWR(now, req.loc.Rank, req.loc.Bank) == now {
+				c.dev.IssueWR(now, req.loc.Rank, req.loc.Bank)
+				if c.capture != nil {
+					c.capture.Command(dram.Command{Kind: dram.CmdWR, At: now,
+						Rank: req.loc.Rank, Bank: req.loc.Bank, Col: req.loc.Col})
+				}
+				c.WritesServed.Inc()
+				c.removeFrom(queue, i)
+				return true
+			}
+			continue
+		}
+		if c.dev.EarliestRD(now, req.loc.Rank, req.loc.Bank) == now {
+			dataAt := c.dev.IssueRD(now, req.loc.Rank, req.loc.Bank)
+			if c.capture != nil {
+				c.capture.Command(dram.Command{Kind: dram.CmdRD, At: now,
+					Rank: req.loc.Rank, Bank: req.loc.Bank, Col: req.loc.Col})
+			}
+			c.completeRead(req, dataAt)
+			c.removeFrom(queue, i)
+			return true
+		}
+	}
+	// Pass 2: oldest request that needs bank preparation.
+	for _, req := range *queue {
+		if c.reqBlocked(req, now) {
+			continue
+		}
+		if c.dev.Refreshing(req.loc.Rank, now) {
+			continue
+		}
+		open := c.dev.OpenRow(req.loc.Rank, req.loc.Bank)
+		if open == int64(req.loc.Row) {
+			continue // row hit not yet legal; wait rather than churn
+		}
+		if open >= 0 {
+			if c.dev.EarliestPRE(now, req.loc.Rank, req.loc.Bank) == now {
+				c.dev.IssuePRE(now, req.loc.Rank, req.loc.Bank)
+				if c.capture != nil {
+					c.capture.Command(dram.Command{Kind: dram.CmdPRE, At: now,
+						Rank: req.loc.Rank, Bank: req.loc.Bank})
+				}
+				return true
+			}
+			continue
+		}
+		if c.dev.EarliestACTRow(now, req.loc.Rank, req.loc.Bank, req.loc.Row) == now {
+			c.dev.IssueACT(now, req.loc.Rank, req.loc.Bank, req.loc.Row)
+			if c.capture != nil {
+				c.capture.Command(dram.Command{Kind: dram.CmdACT, At: now,
+					Rank: req.loc.Rank, Bank: req.loc.Bank, Row: req.loc.Row})
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// removeFrom deletes entry i from the given queue and wakes any core
+// waiting for queue space.
+func (c *Controller) removeFrom(queue *[]*request, i int) {
+	*queue = append((*queue)[:i], (*queue)[i+1:]...)
+	if queue != &c.fillQ {
+		c.notifySpace()
+	}
+}
+
+func (c *Controller) notifySpace() {
+	if c.spaceFn != nil {
+		c.spaceFn()
+	}
+}
+
+// closeIdleRows implements the closed-page policy: precharge one open
+// bank whose row no queued request wants. It reports whether a PRE was
+// issued and, when one is pending but not yet legal, the earliest cycle
+// to retry.
+func (c *Controller) closeIdleRows(now event.Cycle) (bool, event.Cycle) {
+	var retry event.Cycle
+	for r := 0; r < c.geo.Ranks; r++ {
+		for b := 0; b < c.geo.Banks; b++ {
+			open := c.dev.OpenRow(r, b)
+			if open < 0 || c.rowWanted(r, b, int(open)) {
+				continue
+			}
+			at := c.dev.EarliestPRE(now, r, b)
+			if at == now {
+				c.dev.IssuePRE(now, r, b)
+				if c.capture != nil {
+					c.capture.Command(dram.Command{Kind: dram.CmdPRE, At: now, Rank: r, Bank: b})
+				}
+				return true, 0
+			}
+			if retry == 0 || at < retry {
+				retry = at
+			}
+		}
+	}
+	return false, retry
+}
+
+// rowWanted reports whether any queued request targets the open row.
+func (c *Controller) rowWanted(rank, bank, row int) bool {
+	for _, q := range [][]*request{c.readQ, c.writeQ, c.fillQ} {
+		for _, req := range q {
+			if req.loc.Rank == rank && req.loc.Bank == bank && req.loc.Row == row {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// SetDebugWake installs the wake test hook (diagnostics).
+func SetDebugWake(fn func(what string, now, at int64, wakeAt int)) {
+	if fn == nil {
+		debugWake = nil
+		return
+	}
+	debugWake = func(what string, now, at event.Cycle, wakeAt int) {
+		fn(what, int64(now), int64(at), wakeAt)
+	}
+}

@@ -1,0 +1,576 @@
+package memctrl
+
+import (
+	"ropsim/internal/dram"
+	"ropsim/internal/event"
+)
+
+// debugElastic is a test hook.
+var debugElastic func(now, due event.Cycle, backlog, readq int)
+
+// refPhase is the per-rank refresh state.
+type refPhase int
+
+const (
+	// refIdle: no refresh activity; waiting for the next due time.
+	refIdle refPhase = iota
+	// refDraining (ROP only): demand reads to the rank are drained
+	// before the rank freezes (paper §IV-D).
+	refDraining
+	// refFilling (ROP only): predicted lines are fetched into the SRAM
+	// buffer. Candidates are generated at the drain/fill boundary so
+	// they reflect the stream position right before the freeze.
+	refFilling
+	// refPaused (ModePausing): a partially-completed refresh waits for
+	// the rank's pending reads to drain before its next segment.
+	refPaused
+	// refClosing: open banks are being precharged so REF can issue.
+	refClosing
+	// refRefreshing: REF issued; the rank is frozen until refEnd.
+	refRefreshing
+)
+
+// drainFracREFI bounds the drain phase as a fraction of tREFI; the fill
+// phase is bounded by Config.MaxRefreshDelay overall.
+const drainFracREFI = 0.03
+
+// maxElasticBacklog is the JEDEC limit on outstanding postponed
+// refreshes (ModeElastic).
+const maxElasticBacklog = 8
+
+// pauseSegments is how many pausable segments one refresh divides into
+// (ModePausing), and pauseResumeOverhead the extra cycles each resumed
+// segment costs for re-locking.
+const (
+	pauseSegments       = 8
+	pauseResumeOverhead = 4
+)
+
+// rankRefresh tracks one rank's refresh progress.
+type rankRefresh struct {
+	// backlog counts refreshes owed but postponed (ModeElastic).
+	backlog int
+	// segDone counts completed segments of the in-flight pausable
+	// refresh (ModePausing).
+	segDone int
+	// targetBank is the bank being refreshed this round (bank modes);
+	// banks take turns round-robin.
+	targetBank int
+	// targetSA is the subarray being refreshed (ModeSubarrayRefresh).
+	targetSA      int
+	phase         refPhase
+	due           event.Cycle // scheduled tREFI boundary of the next refresh
+	drainDeadline event.Cycle // drain must finish by here (ROP)
+	deadline      event.Cycle // fills must finish by here (ROP)
+	refEnd        event.Cycle // unlock time of the in-flight refresh
+	fillStart     event.Cycle // when the fill phase began
+	wantPrefetch  bool        // the engine's gate decision for this refresh
+}
+
+// refreshStep advances every rank's refresh state machine and issues at
+// most one command (PRE or REF). It reports whether a command was
+// issued this cycle.
+func (c *Controller) refreshStep(now event.Cycle) bool {
+	for r := range c.refresh {
+		rr := &c.refresh[r]
+		progress := true
+		for progress {
+			progress = false
+			switch rr.phase {
+			case refIdle:
+				if c.cfg.Mode == ModeSubarrayRefresh {
+					if now >= rr.due {
+						rr.phase = refClosing
+						progress = true
+					}
+					break
+				}
+				if c.bankMode() {
+					if now >= rr.due {
+						c.beginBankRefresh(r, now)
+						progress = true
+					}
+					break
+				}
+				if c.cfg.Mode == ModeElastic {
+					if debugElastic != nil {
+						debugElastic(now, rr.due, rr.backlog, len(c.readQ))
+					}
+					if now >= rr.due {
+						rr.backlog++
+						rr.due += c.dev.Params().REFI
+						progress = true
+					}
+					// Issue owed refreshes in idle gaps, or forcibly at
+					// the JEDEC backlog limit.
+					if rr.backlog > 0 &&
+						(rr.backlog >= maxElasticBacklog || !c.hasDemandReads(r)) {
+						rr.phase = refClosing
+						progress = true
+					}
+					break
+				}
+				if now >= rr.due {
+					c.beginRefresh(r, now)
+					progress = true
+				}
+			case refDraining:
+				if c.bankMode() {
+					if now >= rr.drainDeadline || !c.hasBankReads(r, rr.targetBank) {
+						c.startBankFills(r, now)
+						progress = true
+					}
+					break
+				}
+				if now >= rr.drainDeadline || !c.hasDemandReads(r) {
+					c.startFills(r, now)
+					progress = true
+				}
+			case refFilling:
+				if now >= rr.deadline || !c.hasFills(r) {
+					c.FillPhaseCycles.Observe(float64(now - rr.fillStart))
+					c.dropFills(r)
+					rr.phase = refClosing
+					progress = true
+				}
+			case refClosing:
+				if c.cfg.Mode == ModeSubarrayRefresh {
+					if c.closeSubarrayStep(r, now) {
+						return true
+					}
+					break
+				}
+				if c.bankMode() {
+					if c.closeBankStep(r, now) {
+						return true
+					}
+					break
+				}
+				if c.closeStep(r, now) {
+					return true
+				}
+			case refPaused:
+				// Resume once the rank's reads drained, or when the
+				// remaining segments would no longer fit before the
+				// next due time.
+				if !c.hasDemandReads(r) || c.pausingForced(r, now) {
+					rr.phase = refClosing
+					progress = true
+				}
+			case refRefreshing:
+				if now >= rr.refEnd {
+					if c.cfg.Mode == ModeSubarrayRefresh {
+						rr.phase = refIdle
+						progress = true
+						break
+					}
+					if c.bankMode() {
+						rr.phase = refIdle
+						if c.rop != nil {
+							c.rop.OnRefreshEnd(r, now)
+						}
+						progress = true
+						break
+					}
+					if c.cfg.Mode == ModePausing && rr.segDone < pauseSegments {
+						if c.hasDemandReads(r) && !c.pausingForced(r, now) {
+							rr.phase = refPaused
+						} else {
+							rr.phase = refClosing
+						}
+						progress = true
+						break
+					}
+					rr.segDone = 0
+					rr.phase = refIdle
+					if c.rop != nil {
+						c.rop.OnRefreshEnd(r, now)
+					}
+					progress = true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// beginRefresh runs when a rank's refresh becomes due: in ROP mode it
+// consults the engine and starts the drain phase; the baseline proceeds
+// straight to closing banks.
+func (c *Controller) beginRefresh(rank int, now event.Cycle) {
+	rr := &c.refresh[rank]
+	if c.rop == nil {
+		rr.phase = refClosing
+		return
+	}
+	refi := float64(c.dev.Params().REFI)
+	dec := c.rop.OnRefreshStart(rank, now)
+	rr.wantPrefetch = dec.Prefetch
+	// Load-aware throttle: when the shared channel is bandwidth-bound
+	// (deep read queue), prefetch fills cannot add throughput — every
+	// mispredicted fill is pure bus waste — so the launch is skipped.
+	// The drain optimization still applies.
+	if len(c.readQ) >= c.cfg.ReadQueueCap/4 {
+		rr.wantPrefetch = false
+		c.PrefetchThrottled.Inc()
+	}
+	rr.drainDeadline = now + event.Cycle(drainFracREFI*refi)
+	// The fill budget scales with the buffer and with how many ranks
+	// share the channel (each fill needs ~6 bus cycles of leftover
+	// bandwidth, and other ranks' demand traffic shrinks the leftover).
+	// MaxRefreshDelay still bounds the total postponement (JEDEC allows
+	// up to 8 tREFI), and the per-rank stagger keeps fill sessions of
+	// consecutive ranks from overlapping.
+	fillBudget := event.Cycle((6*c.cfg.ROP.SRAMLines + 200) * (c.geo.Ranks + 1) / 2)
+	if stagger := c.dev.Params().REFI / event.Cycle(c.geo.Ranks); fillBudget > stagger*3/4 {
+		fillBudget = stagger * 3 / 4
+	}
+	if bound := event.Cycle(c.cfg.MaxRefreshDelay * refi); rr.drainDeadline+fillBudget > now+bound {
+		fillBudget = now + bound - rr.drainDeadline
+	}
+	rr.deadline = rr.drainDeadline + fillBudget
+	rr.phase = refDraining
+}
+
+// startFills ends the drain phase: candidates are generated from the
+// table's current state and queued as prefetch fills.
+func (c *Controller) startFills(rank int, now event.Cycle) {
+	rr := &c.refresh[rank]
+	rr.phase = refClosing
+	if !rr.wantPrefetch {
+		return
+	}
+	locs := c.rop.GenerateCandidates(rank)
+	if len(locs) == 0 {
+		return
+	}
+	// Close out the previous session's consumption accounting before
+	// the buffer is claimed for this one.
+	buf := c.rop.Buffer()
+	if prev := buf.Owner(); prev >= 0 {
+		inserted := int(buf.Inserted.Value() - c.sessionInsertedMark)
+		c.rop.NoteSessionEnd(prev, inserted, inserted-buf.UsedCount())
+	}
+	if !buf.Acquire(rank) {
+		return
+	}
+	c.sessionInsertedMark = buf.Inserted.Value()
+	for _, loc := range locs {
+		c.fillQ = append(c.fillQ, &request{loc: loc, arrive: now, prefetch: true})
+	}
+	rr.fillStart = now
+	rr.phase = refFilling
+}
+
+// hasDemandReads reports whether any queued demand read targets rank.
+func (c *Controller) hasDemandReads(rank int) bool {
+	for _, req := range c.readQ {
+		if req.loc.Rank == rank {
+			return true
+		}
+	}
+	return false
+}
+
+// hasFills reports whether any prefetch fill for rank is still pending.
+func (c *Controller) hasFills(rank int) bool {
+	for _, req := range c.fillQ {
+		if req.loc.Rank == rank {
+			return true
+		}
+	}
+	return false
+}
+
+// dropFills abandons any prefetch fills for the rank that did not make
+// the drain deadline; whatever was inserted into the buffer stays.
+func (c *Controller) dropFills(rank int) {
+	kept := c.fillQ[:0]
+	for _, req := range c.fillQ {
+		if req.loc.Rank != rank {
+			kept = append(kept, req)
+		} else {
+			c.FillsDropped.Inc()
+		}
+	}
+	c.fillQ = kept
+}
+
+// closeStep precharges one open bank, or issues REF once the rank is
+// quiesced. It reports whether a command was issued.
+func (c *Controller) closeStep(rank int, now event.Cycle) bool {
+	rr := &c.refresh[rank]
+	geo := c.geo
+	for b := 0; b < geo.Banks; b++ {
+		if c.dev.OpenRow(rank, b) < 0 {
+			continue
+		}
+		if c.dev.EarliestPRE(now, rank, b) == now {
+			c.dev.IssuePRE(now, rank, b)
+			if c.capture != nil {
+				c.capture.Command(dram.Command{Kind: dram.CmdPRE, At: now, Rank: rank, Bank: b})
+			}
+			return true
+		}
+		return false // a bank is open but PRE is not yet legal: wait
+	}
+	if c.dev.EarliestREF(now, rank) != now {
+		return false
+	}
+	if c.cfg.Mode == ModePausing {
+		return c.issueSegment(rank, now)
+	}
+	end := c.dev.IssueREF(now, rank)
+	if c.capture != nil {
+		c.capture.Refresh(now, rank)
+		c.capture.Command(dram.Command{Kind: dram.CmdREF, At: now, Rank: rank})
+	}
+	c.RefreshesIssued.Inc()
+	if c.cfg.Mode == ModeElastic {
+		// Elastic accounting: due already advanced when the refresh
+		// became owed; the postponement is how far behind schedule this
+		// issue is.
+		rr.backlog--
+		behind := now - (rr.due - c.dev.Params().REFI*event.Cycle(rr.backlog+1))
+		c.RefreshPostponedCycles.Observe(float64(behind))
+	} else {
+		c.RefreshPostponedCycles.Observe(float64(now - rr.due))
+		rr.due += c.dev.Params().REFI
+	}
+	rr.refEnd = end
+	rr.phase = refRefreshing
+
+	// Reads that are still queued for this rank ride out the freeze
+	// unless the SRAM buffer can serve them right now.
+	if c.rop != nil {
+		c.probeQueuedReads(rank, now)
+	}
+	return true
+}
+
+// pausingForced reports whether a paused refresh must push through: the
+// remaining segments (with closing slack) no longer fit before the next
+// tREFI boundary.
+func (c *Controller) pausingForced(rank int, now event.Cycle) bool {
+	rr := &c.refresh[rank]
+	p := c.dev.Params()
+	segLen := p.RFC / pauseSegments
+	remaining := event.Cycle(pauseSegments-rr.segDone) * (segLen + pauseResumeOverhead + 20)
+	// The in-flight refresh must finish before the next one is due.
+	return now+remaining >= rr.due+p.REFI
+}
+
+// issueSegment issues one pausable-refresh segment for ModePausing. The
+// logical refresh completes (and the schedule advances) when the last
+// segment ends.
+func (c *Controller) issueSegment(rank int, now event.Cycle) bool {
+	rr := &c.refresh[rank]
+	p := c.dev.Params()
+	segLen := p.RFC / pauseSegments
+	dur := segLen
+	if rr.segDone > 0 {
+		dur += pauseResumeOverhead
+	}
+	if rr.segDone == pauseSegments-1 {
+		dur += p.RFC % pauseSegments // remainder sticks to the last segment
+	}
+	end := c.dev.IssueREFSegment(now, rank, dur)
+	rr.segDone++
+	rr.refEnd = end
+	rr.phase = refRefreshing
+	if rr.segDone == pauseSegments {
+		if c.capture != nil {
+			c.capture.Refresh(now, rank)
+		}
+		c.RefreshesIssued.Inc()
+		c.RefreshPostponedCycles.Observe(float64(end - rr.due))
+		rr.due += p.REFI
+	}
+	return true
+}
+
+// probeQueuedReads serves queued demand reads to the frozen rank from
+// the SRAM buffer where possible.
+func (c *Controller) probeQueuedReads(rank int, now event.Cycle) {
+	kept := c.readQ[:0]
+	for _, req := range c.readQ {
+		if req.loc.Rank == rank && !req.prefetch && c.rop.ProbeRead(req.loc, now, true) {
+			c.SRAMServed.Inc()
+			c.ReadsServed.Inc()
+			fin := now + c.cfg.SRAMLatency
+			c.ReadLatency.Observe(float64(fin - req.arrive))
+			if req.done != nil {
+				done := req.done
+				c.q.Schedule(fin, func(at event.Cycle) { done(at) })
+			}
+			continue
+		}
+		kept = append(kept, req)
+	}
+	if len(kept) != len(c.readQ) {
+		c.readQ = kept
+		c.notifySpace()
+	}
+}
+
+// SetDebugElastic installs the elastic-refresh test hook (diagnostics).
+func SetDebugElastic(fn func(now, due int64, backlog, readq int)) {
+	if fn == nil {
+		debugElastic = nil
+		return
+	}
+	debugElastic = func(now, due event.Cycle, backlog, readq int) {
+		fn(int64(now), int64(due), backlog, readq)
+	}
+}
+
+// beginBankRefresh starts one bank's refresh round (bank modes). Under
+// ModeROPBank the engine's gate decides whether the bank's predicted
+// lines are staged first.
+func (c *Controller) beginBankRefresh(rank int, now event.Cycle) {
+	rr := &c.refresh[rank]
+	if c.rop == nil {
+		rr.phase = refClosing
+		return
+	}
+	cadence := float64(c.dev.Params().REFI) / float64(c.geo.Banks)
+	dec := c.rop.OnRefreshStart(rank, now)
+	rr.wantPrefetch = dec.Prefetch
+	rr.drainDeadline = now + event.Cycle(0.1*cadence)
+	rr.deadline = now + event.Cycle(0.5*cadence)
+	rr.phase = refDraining
+}
+
+// hasBankReads reports whether any queued demand read targets the bank.
+func (c *Controller) hasBankReads(rank, bank int) bool {
+	for _, req := range c.readQ {
+		if req.loc.Rank == rank && req.loc.Bank == bank {
+			return true
+		}
+	}
+	return false
+}
+
+// startBankFills generates and queues the target bank's prefetch fills.
+func (c *Controller) startBankFills(rank int, now event.Cycle) {
+	rr := &c.refresh[rank]
+	rr.phase = refClosing
+	if !rr.wantPrefetch {
+		return
+	}
+	locs := c.rop.GenerateBankCandidates(rank, rr.targetBank)
+	if len(locs) == 0 {
+		return
+	}
+	buf := c.rop.Buffer()
+	if prev := buf.Owner(); prev >= 0 {
+		inserted := int(buf.Inserted.Value() - c.sessionInsertedMark)
+		c.rop.NoteSessionEnd(prev, inserted, inserted-buf.UsedCount())
+	}
+	if !buf.Acquire(rank) {
+		return
+	}
+	c.sessionInsertedMark = buf.Inserted.Value()
+	for _, loc := range locs {
+		c.fillQ = append(c.fillQ, &request{loc: loc, arrive: now, prefetch: true})
+	}
+	rr.fillStart = now
+	rr.phase = refFilling
+}
+
+// closeBankStep precharges the target bank if needed and issues its
+// per-bank refresh. It reports whether a command was issued.
+func (c *Controller) closeBankStep(rank int, now event.Cycle) bool {
+	rr := &c.refresh[rank]
+	b := rr.targetBank
+	if c.dev.OpenRow(rank, b) >= 0 {
+		if c.dev.EarliestPRE(now, rank, b) == now {
+			c.dev.IssuePRE(now, rank, b)
+			if c.capture != nil {
+				c.capture.Command(dram.Command{Kind: dram.CmdPRE, At: now, Rank: rank, Bank: b})
+			}
+			return true
+		}
+		return false
+	}
+	if c.dev.EarliestREFpb(now, rank, b) != now {
+		return false
+	}
+	end := c.dev.IssueREFpb(now, rank, b)
+	if c.capture != nil {
+		c.capture.Refresh(now, rank)
+	}
+	c.RefreshesIssued.Inc()
+	c.RefreshPostponedCycles.Observe(float64(now - rr.due))
+	rr.refEnd = end
+	rr.due += c.dev.Params().REFI / event.Cycle(c.geo.Banks)
+	rr.phase = refRefreshing
+	if c.rop != nil {
+		c.probeQueuedBankReads(rank, b, now)
+	}
+	rr.targetBank = (rr.targetBank + 1) % c.geo.Banks
+	return true
+}
+
+// probeQueuedBankReads serves queued reads to the frozen bank from the
+// SRAM buffer where possible.
+func (c *Controller) probeQueuedBankReads(rank, bank int, now event.Cycle) {
+	kept := c.readQ[:0]
+	for _, req := range c.readQ {
+		if req.loc.Rank == rank && req.loc.Bank == bank && !req.prefetch &&
+			c.rop.ProbeRead(req.loc, now, true) {
+			c.SRAMServed.Inc()
+			c.ReadsServed.Inc()
+			fin := now + c.cfg.SRAMLatency
+			c.ReadLatency.Observe(float64(fin - req.arrive))
+			if req.done != nil {
+				done := req.done
+				c.q.Schedule(fin, func(at event.Cycle) { done(at) })
+			}
+			continue
+		}
+		kept = append(kept, req)
+	}
+	if len(kept) != len(c.readQ) {
+		c.readQ = kept
+		c.notifySpace()
+	}
+}
+
+// closeSubarrayStep precharges the target subarray's open row (if any)
+// and issues its refresh. It reports whether a command was issued.
+func (c *Controller) closeSubarrayStep(rank int, now event.Cycle) bool {
+	rr := &c.refresh[rank]
+	p := c.dev.Params()
+	b, sa := rr.targetBank, rr.targetSA
+	if open := c.dev.OpenRow(rank, b); open >= 0 && c.dev.SubarrayOf(int(open)) == sa {
+		if c.dev.EarliestPRE(now, rank, b) == now {
+			c.dev.IssuePRE(now, rank, b)
+			if c.capture != nil {
+				c.capture.Command(dram.Command{Kind: dram.CmdPRE, At: now, Rank: rank, Bank: b})
+			}
+			return true
+		}
+		return false
+	}
+	if c.dev.EarliestREFsa(now, rank, b, sa) != now {
+		return false
+	}
+	end := c.dev.IssueREFsa(now, rank, b, sa)
+	if c.capture != nil {
+		c.capture.Refresh(now, rank)
+	}
+	c.RefreshesIssued.Inc()
+	c.RefreshPostponedCycles.Observe(float64(now - rr.due))
+	rr.refEnd = end
+	rr.due += p.REFI / event.Cycle(c.geo.Banks*p.Subarrays)
+	rr.phase = refRefreshing
+	// Advance the round-robin target: subarrays within a bank, then the
+	// next bank.
+	rr.targetSA++
+	if rr.targetSA >= p.Subarrays {
+		rr.targetSA = 0
+		rr.targetBank = (rr.targetBank + 1) % c.geo.Banks
+	}
+	return true
+}

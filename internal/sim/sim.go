@@ -1,0 +1,431 @@
+// Package sim wires the full simulated system together — workload
+// generators, trace-driven cores, the shared LLC, the address mapper,
+// the memory controller with its refresh policy, and the energy model —
+// and runs single-core or multiprogrammed experiments, producing the
+// metrics the paper reports (IPC, weighted speedup inputs, energy, SRAM
+// buffer hit rate).
+package sim
+
+import (
+	"fmt"
+
+	"ropsim/internal/addr"
+	"ropsim/internal/cache"
+	"ropsim/internal/core"
+	"ropsim/internal/cpu"
+	"ropsim/internal/dram"
+	"ropsim/internal/energy"
+	"ropsim/internal/event"
+	"ropsim/internal/memctrl"
+	"ropsim/internal/workload"
+)
+
+// Config describes one simulation run.
+type Config struct {
+	// Benches lists the benchmark per core (one entry = single-core).
+	Benches []string
+	// Traces, when non-nil, replaces the named generators with explicit
+	// record streams (one per core, parallel to Benches, which then only
+	// labels the cores). Streams are consumed destructively; reuse
+	// requires fresh streams.
+	Traces []workload.Stream
+	// Mode selects baseline auto-refresh, idealized no-refresh, or ROP.
+	Mode memctrl.Mode
+	// RankPartition maps each core onto its own rank (the paper's
+	// rank-aware mapping; Baseline-RP and ROP use it, Baseline does not).
+	RankPartition bool
+	// Ranks is the rank count (paper: 1 single-core, 4 for 4 cores).
+	Ranks int
+	// LLCBytes sizes the shared last-level cache.
+	LLCBytes int
+	// SRAMLines sizes the ROP prefetch buffer.
+	SRAMLines int
+	// ROPTrainRefreshes overrides the ROP training period length when
+	// positive (the paper uses 50; short test runs use less).
+	ROPTrainRefreshes int
+	// ROPGate selects the prefetch launch policy (ablations).
+	ROPGate core.GatePolicy
+	// ROPStrictTable uses the paper's verbatim delta-replacement rule.
+	ROPStrictTable bool
+	// ROPPredictor selects the candidate generator (ablations).
+	ROPPredictor core.Predictor
+	// FGR selects the fine-grained refresh mode (paper default 1x).
+	FGR dram.RefreshMode
+	// Instructions is the per-core instruction budget.
+	Instructions int64
+	// Seed drives workload generation and the ROP gate.
+	Seed int64
+	// ClosedPage selects the closed-page row policy (default: the
+	// paper's open-page policy).
+	ClosedPage bool
+	// Capture records the request/refresh timeline for offline analysis.
+	Capture bool
+	// CPU configures the core model.
+	CPU cpu.Config
+}
+
+// Default returns the paper's configuration for the given benchmarks:
+// single-core runs use 1 rank and a 2 MB LLC; multiprogrammed runs use
+// 4 ranks and 4 MB (§V-A).
+func Default(benches ...string) Config {
+	cfg := Config{
+		Benches:      benches,
+		Mode:         memctrl.ModeBaseline,
+		Ranks:        1,
+		LLCBytes:     2 * cache.MiB,
+		SRAMLines:    64,
+		FGR:          dram.Refresh1x,
+		Instructions: 2_000_000,
+		Seed:         1,
+		CPU:          cpu.DefaultConfig(),
+	}
+	if len(benches) > 1 {
+		cfg.Ranks = 4
+		cfg.LLCBytes = 4 * cache.MiB
+	}
+	return cfg
+}
+
+// Validate reports an error for impossible configurations.
+func (c Config) Validate() error {
+	if len(c.Benches) == 0 {
+		return fmt.Errorf("sim: no benchmarks")
+	}
+	if c.Traces == nil {
+		for _, b := range c.Benches {
+			if _, err := workload.Get(b); err != nil {
+				return err
+			}
+		}
+	} else if len(c.Traces) != len(c.Benches) {
+		return fmt.Errorf("sim: %d traces for %d cores", len(c.Traces), len(c.Benches))
+	}
+	if c.Ranks <= 0 {
+		return fmt.Errorf("sim: ranks must be positive")
+	}
+	if c.Instructions <= 0 {
+		return fmt.Errorf("sim: instruction budget must be positive")
+	}
+	if c.SRAMLines <= 0 {
+		return fmt.Errorf("sim: SRAM lines must be positive")
+	}
+	if err := cache.DefaultConfig(c.LLCBytes).Validate(); err != nil {
+		return err
+	}
+	return c.CPU.Validate()
+}
+
+// CoreResult is one core's outcome.
+type CoreResult struct {
+	Bench        string
+	IPC          float64
+	Instructions int64
+	CPUCycles    event.CPUCycle
+	MemReads     int64
+	MemWrites    int64
+	LLCHitReads  int64
+}
+
+// Result is the outcome of one run.
+type Result struct {
+	Cores      []CoreResult
+	ElapsedBus event.Cycle
+
+	Energy energy.Breakdown
+
+	// SRAM buffer statistics (ModeROP only; zero otherwise).
+	SRAMHitRate float64
+	SRAMLookups int64
+	SRAMHits    int64
+	SRAMServed  int64
+
+	Refreshes       int64
+	MeanReadLatency float64 // bus cycles, queue arrival to data
+	LLCMissRate     float64
+
+	// Capture is the recorded timeline when Config.Capture was set.
+	Capture *memctrl.Capture
+}
+
+// TotalEnergy reports the run's total energy in joules.
+func (r *Result) TotalEnergy() float64 { return r.Energy.Total() }
+
+// coreKey embeds the source core into a trace line index so that core
+// address spaces never alias in the LLC or in DRAM.
+func coreKey(line uint64, src int) uint64 {
+	return line | uint64(src)<<44
+}
+
+// memSystem adapts LLC + mapper + controller to the cpu.Memory
+// interface. Victim writebacks and write-allocate fetches that hit queue
+// backpressure park in pending lists and retry when space frees.
+type memSystem struct {
+	llc     *cache.Cache
+	mapper  addr.Mapper
+	ctrl    *memctrl.Controller
+	readCap int
+	wrCap   int
+
+	pendingWB    []uint64 // victim keys awaiting write enqueue
+	pendingFetch []uint64 // write-allocate fetches awaiting read enqueue
+	cores        []*cpu.Core
+}
+
+func (m *memSystem) locOf(key uint64) addr.Loc {
+	return m.mapper.Map(key, int(key>>44))
+}
+
+// flushPending retries parked writebacks and fetches after space frees.
+func (m *memSystem) flushPending() {
+	for len(m.pendingWB) > 0 && m.ctrl.WriteQueueLen() < m.wrCap {
+		key := m.pendingWB[0]
+		if !m.ctrl.EnqueueWrite(m.locOf(key), int(key>>44)) {
+			break
+		}
+		m.pendingWB = m.pendingWB[1:]
+	}
+	for len(m.pendingFetch) > 0 && m.ctrl.ReadQueueLen() < m.readCap {
+		key := m.pendingFetch[0]
+		if !m.ctrl.EnqueueRead(m.locOf(key), int(key>>44), nil) {
+			break
+		}
+		m.pendingFetch = m.pendingFetch[1:]
+	}
+}
+
+// onSpace runs on controller queue-space notifications.
+func (m *memSystem) onSpace() {
+	m.flushPending()
+	for _, c := range m.cores {
+		c.NotifySpace()
+	}
+}
+
+// handleEviction queues the writeback of a dirty victim.
+func (m *memSystem) handleEviction(res cache.Result) {
+	if !res.EvictedValid {
+		return
+	}
+	key := res.EvictedLine
+	if len(m.pendingWB) > 0 || !m.ctrl.EnqueueWrite(m.locOf(key), int(key>>44)) {
+		m.pendingWB = append(m.pendingWB, key)
+	}
+}
+
+// Read implements cpu.Memory.
+func (m *memSystem) Read(line uint64, src int, done func(event.Cycle)) cpu.ReadStatus {
+	if m.ctrl.ReadQueueLen() >= m.readCap {
+		return cpu.ReadRejected
+	}
+	key := coreKey(line, src)
+	res := m.llc.Access(key, false)
+	if res.Hit {
+		return cpu.ReadHit
+	}
+	if !m.ctrl.EnqueueRead(m.mapper.Map(key, src), src, done) {
+		// The capacity check above makes this unreachable; treat it as
+		// rejection if a policy ever changes.
+		return cpu.ReadRejected
+	}
+	m.handleEviction(res)
+	return cpu.ReadMiss
+}
+
+// Write implements cpu.Memory. A write miss allocates in the LLC and
+// fetches the line from memory (write-allocate); the dirty data reaches
+// DRAM later as a victim writeback.
+func (m *memSystem) Write(line uint64, src int) bool {
+	// Require room for the worst case (fetch + victim writeback) before
+	// mutating the LLC, so rejected writes have no side effects.
+	if m.ctrl.WriteQueueLen() >= m.wrCap || m.ctrl.ReadQueueLen() >= m.readCap {
+		return false
+	}
+	key := coreKey(line, src)
+	res := m.llc.Access(key, true)
+	if !res.Hit {
+		if !m.ctrl.EnqueueRead(m.mapper.Map(key, src), src, nil) {
+			m.pendingFetch = append(m.pendingFetch, key)
+		}
+		m.handleEviction(res)
+	}
+	return true
+}
+
+// DebugHook, when set, observes the controller right after construction
+// (diagnostics only).
+var DebugHook func(*memctrl.Controller)
+
+// Run executes one simulation. It returns an error when the
+// configuration is invalid or the run fails to converge.
+func Run(cfg Config) (*Result, error) {
+	res, _, _, err := run(cfg)
+	return res, err
+}
+
+// run is the Run body, also returning the device and controller for
+// RunDebug.
+func run(cfg Config) (*Result, *dram.Device, *memctrl.Controller, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, nil, nil, err
+	}
+
+	q := &event.Queue{}
+	geo := addr.DDR4Geometry(cfg.Ranks)
+	params := dram.DDR4_1600(cfg.FGR)
+	if cfg.Mode == memctrl.ModeNoRefresh {
+		params = dram.NoRefresh(params)
+	}
+	dev := dram.NewDevice(params, geo)
+
+	mcfg := memctrl.DefaultConfig(cfg.Mode)
+	mcfg.Capture = cfg.Capture
+	mcfg.ClosedPage = cfg.ClosedPage
+	mcfg.ROP.SRAMLines = cfg.SRAMLines
+	mcfg.ROP.Seed = cfg.Seed*7919 + 13
+	if cfg.ROPTrainRefreshes > 0 {
+		mcfg.ROP.TrainRefreshes = cfg.ROPTrainRefreshes
+	}
+	mcfg.ROP.Gate = cfg.ROPGate
+	mcfg.ROP.StrictTable = cfg.ROPStrictTable
+	mcfg.ROP.Predictor = cfg.ROPPredictor
+	ctrl := memctrl.New(mcfg, dev, q)
+	if DebugHook != nil {
+		DebugHook(ctrl)
+	}
+
+	var mapper addr.Mapper
+	if cfg.RankPartition {
+		mapper = addr.NewRankPartitioned(geo)
+	} else {
+		mapper = addr.NewInterleaved(geo)
+	}
+
+	ms := &memSystem{
+		llc:     cache.New(cache.DefaultConfig(cfg.LLCBytes)),
+		mapper:  mapper,
+		ctrl:    ctrl,
+		readCap: mcfg.ReadQueueCap,
+		wrCap:   mcfg.WriteQueueCap,
+	}
+	ctrl.SetSpaceNotify(ms.onSpace)
+
+	remaining := len(cfg.Benches)
+	cores := make([]*cpu.Core, len(cfg.Benches))
+	for i, bench := range cfg.Benches {
+		var stream workload.Stream
+		if cfg.Traces != nil {
+			stream = cfg.Traces[i]
+		} else {
+			prof := workload.MustGet(bench)
+			stream = workload.NewGenerator(prof, cfg.Seed*1_000_003+int64(i)*97+int64(len(bench)))
+		}
+		cores[i] = cpu.New(cfg.CPU, i, stream, ms, q, cfg.Instructions)
+	}
+	ms.cores = cores
+	for _, c := range cores {
+		c := c
+		c.Start(func() { remaining-- })
+	}
+
+	// Run until every core finishes. The event bound is generous (some
+	// hundreds of events per instruction would be pathological); a run
+	// that exceeds it is livelocked and reports an error instead of
+	// spinning forever.
+	maxEvents := 1000 * cfg.Instructions * int64(len(cfg.Benches)+1)
+	var dispatched int64
+	for remaining > 0 {
+		if !q.Step() {
+			return nil, nil, nil, fmt.Errorf("sim: event queue drained with %d cores unfinished", remaining)
+		}
+		dispatched++
+		if dispatched > maxEvents {
+			return nil, nil, nil, fmt.Errorf("sim: exceeded %d events with %d cores unfinished (livelock?)",
+				maxEvents, remaining)
+		}
+	}
+
+	// Pure-compute phases advance core time without any event-queue
+	// activity, so the wall clock is the later of the last event and the
+	// slowest core's own clock — and the controller must keep running
+	// (refreshing) through that tail so refresh counts and energy cover
+	// the whole run.
+	elapsed := q.Now()
+	for _, c := range cores {
+		if b := event.ToBus(c.Cycles()); b > elapsed {
+			elapsed = b
+		}
+	}
+	q.RunUntil(elapsed)
+	res := &Result{ElapsedBus: elapsed, Capture: ctrl.CaptureLog()}
+	for i, c := range cores {
+		res.Cores = append(res.Cores, CoreResult{
+			Bench:        cfg.Benches[i],
+			IPC:          c.IPC(),
+			Instructions: c.Instructions(),
+			CPUCycles:    c.Cycles(),
+			MemReads:     c.MemReads.Value(),
+			MemWrites:    c.MemWrites.Value(),
+			LLCHitReads:  c.LLCHitReads.Value(),
+		})
+	}
+	res.Refreshes = ctrl.RefreshesIssued.Value()
+	res.MeanReadLatency = ctrl.ReadLatency.Value()
+	if total := ms.llc.Hits.Value() + ms.llc.Misses.Value(); total > 0 {
+		res.LLCMissRate = float64(ms.llc.Misses.Value()) / float64(total)
+	}
+
+	var sramCounts energy.SRAMCounts
+	sramCounts.Lines = cfg.SRAMLines
+	if rop := ctrl.ROP(); rop != nil {
+		buf := rop.Buffer()
+		res.SRAMLookups = buf.Lookups.Value()
+		res.SRAMHits = buf.Hits.Value()
+		res.SRAMHitRate = buf.HitRate(0)
+		res.SRAMServed = ctrl.SRAMServed.Value()
+		sramCounts.Reads = buf.Lookups.Value()
+		sramCounts.Writes = buf.Inserted.Value()
+	}
+	res.Energy = energy.Compute(energy.DDR4Power(), params, elapsed, energy.Counts{
+		ACT:             dev.NumACT.Value(),
+		RD:              dev.NumRD.Value(),
+		WR:              dev.NumWR.Value(),
+		REF:             dev.NumREF.Value(),
+		RefLockedCycles: dev.RefLockedCycles.Value(),
+		Ranks:           cfg.Ranks,
+	}, sramCounts)
+	return res, dev, ctrl, nil
+}
+
+// WeightedSpeedup computes Σ IPC_shared/IPC_alone (paper Eq. 4) given
+// the shared-run result and per-benchmark alone IPCs keyed by core
+// index.
+func WeightedSpeedup(shared *Result, alone []float64) float64 {
+	if len(alone) != len(shared.Cores) {
+		panic("sim: alone IPC count mismatch")
+	}
+	ws := 0.0
+	for i, c := range shared.Cores {
+		if alone[i] > 0 {
+			ws += c.IPC / alone[i]
+		}
+	}
+	return ws
+}
+
+// DebugResult bundles a Result with the live device and controller so
+// exploratory tools can inspect raw counters. Tests and experiments use
+// Run; this is a diagnostics door.
+type DebugResult struct {
+	Result *Result
+	Dev    *dram.Device
+	Ctrl   *memctrl.Controller
+}
+
+// RunDebug is Run, returning the internals alongside the result.
+func RunDebug(cfg Config) (*DebugResult, error) {
+	res, dev, ctrl, err := run(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &DebugResult{Result: res, Dev: dev, Ctrl: ctrl}, nil
+}

@@ -1,0 +1,234 @@
+package sim
+
+import (
+	"testing"
+
+	"ropsim/internal/analysis"
+	"ropsim/internal/cache"
+	"ropsim/internal/memctrl"
+	"ropsim/internal/workload"
+)
+
+// quick shrinks a config for fast tests.
+func quick(cfg Config, insts int64) Config {
+	cfg.Instructions = insts
+	cfg.ROPTrainRefreshes = 8
+	return cfg
+}
+
+func TestSingleCoreBaselineRuns(t *testing.T) {
+	cfg := quick(Default("libquantum"), 300_000)
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cores) != 1 {
+		t.Fatalf("cores = %d", len(res.Cores))
+	}
+	c := res.Cores[0]
+	if c.Instructions != 300_000 {
+		t.Errorf("instructions = %d", c.Instructions)
+	}
+	if c.IPC <= 0 || c.IPC > 1 {
+		t.Errorf("IPC = %g outside (0,1]", c.IPC)
+	}
+	if c.MemReads == 0 {
+		t.Error("intensive benchmark produced no memory reads")
+	}
+	if res.Refreshes == 0 {
+		t.Error("baseline run issued no refreshes")
+	}
+	if res.TotalEnergy() <= 0 {
+		t.Error("no energy accounted")
+	}
+}
+
+func TestNoRefreshFasterThanBaseline(t *testing.T) {
+	base := quick(Default("lbm"), 400_000)
+	nore := base
+	nore.Mode = memctrl.ModeNoRefresh
+	rb, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rn, err := Run(nore)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rn.Refreshes != 0 {
+		t.Error("no-refresh run refreshed")
+	}
+	if rn.Cores[0].IPC <= rb.Cores[0].IPC {
+		t.Errorf("no-refresh IPC %.4f not above baseline %.4f",
+			rn.Cores[0].IPC, rb.Cores[0].IPC)
+	}
+}
+
+func TestROPBetweenBaselineAndNoRefresh(t *testing.T) {
+	cfgB := quick(Default("libquantum"), 400_000)
+	cfgR := cfgB
+	cfgR.Mode = memctrl.ModeROP
+	rb, err := Run(cfgB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr, err := Run(cfgR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.Cores[0].IPC <= rb.Cores[0].IPC {
+		t.Errorf("ROP IPC %.4f not above baseline %.4f on streaming benchmark",
+			rr.Cores[0].IPC, rb.Cores[0].IPC)
+	}
+	if rr.SRAMLookups == 0 {
+		t.Error("ROP run recorded no SRAM lookups")
+	}
+	if rr.SRAMHitRate < 0 || rr.SRAMHitRate > 1 {
+		t.Errorf("hit rate %g outside [0,1]", rr.SRAMHitRate)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	cfg := quick(Default("bwaves"), 150_000)
+	cfg.Mode = memctrl.ModeROP
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cores[0].IPC != b.Cores[0].IPC || a.ElapsedBus != b.ElapsedBus ||
+		a.SRAMHits != b.SRAMHits || a.TotalEnergy() != b.TotalEnergy() {
+		t.Error("identical configs produced different results")
+	}
+}
+
+func TestSeedChangesRun(t *testing.T) {
+	cfg := quick(Default("bwaves"), 150_000)
+	cfg2 := cfg
+	cfg2.Seed = 99
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ElapsedBus == b.ElapsedBus && a.Cores[0].IPC == b.Cores[0].IPC {
+		t.Error("different seeds produced identical results (suspicious)")
+	}
+}
+
+func TestMultiProgramRuns(t *testing.T) {
+	cfg := quick(Default("lbm", "libquantum", "bzip2", "gobmk"), 120_000)
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cores) != 4 {
+		t.Fatalf("cores = %d", len(res.Cores))
+	}
+	for i, c := range res.Cores {
+		if c.IPC <= 0 {
+			t.Errorf("core %d (%s) IPC = %g", i, c.Bench, c.IPC)
+		}
+	}
+	if res.Refreshes == 0 {
+		t.Error("no refreshes in 4-rank run")
+	}
+}
+
+func TestRankPartitionChangesBehaviour(t *testing.T) {
+	cfg := quick(Default("lbm", "libquantum", "bzip2", "gobmk"), 120_000)
+	rp := cfg
+	rp.RankPartition = true
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(rp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ElapsedBus == b.ElapsedBus {
+		t.Error("rank partitioning had no effect at all (suspicious)")
+	}
+}
+
+func TestLLCSizeAffectsMissRate(t *testing.T) {
+	// The LLC-size sensitivity of Figs 12-14 rests on the workload
+	// generators producing reuse distances spread across the 1-8 MB
+	// range. Drive the LLC directly from the generator (no timing sim)
+	// so the test can afford enough accesses to exercise big caches.
+	missRate := func(llcBytes int) float64 {
+		g := workload.NewGenerator(workload.MustGet("bzip2"), 7)
+		llc := cache.New(cache.DefaultConfig(llcBytes))
+		for i := 0; i < 400_000; i++ {
+			r, _ := g.Next()
+			llc.Access(r.Line, r.Write)
+		}
+		return 1 - llc.HitRate()
+	}
+	m1 := missRate(1 * cache.MiB)
+	m8 := missRate(8 * cache.MiB)
+	if m8 >= m1 {
+		t.Errorf("8MB miss rate %.3f not below 1MB %.3f", m8, m1)
+	}
+	// The gap must be material, not rounding noise.
+	if m1-m8 < 0.05 {
+		t.Errorf("miss-rate spread %.3f too small for LLC sensitivity", m1-m8)
+	}
+}
+
+func TestCaptureFeedsAnalysis(t *testing.T) {
+	cfg := quick(Default("libquantum"), 250_000)
+	cfg.Capture = true
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Capture == nil || len(res.Capture.Refreshes) == 0 {
+		t.Fatal("no capture")
+	}
+	tl := analysis.NewTimeline(res.Capture, cfg.Ranks)
+	if tl.NumRefreshes() == 0 {
+		t.Fatal("timeline empty")
+	}
+	w := tl.Windows(6240)
+	// libquantum streams continuously: coverage must be high and λ near 1.
+	if w.Lambda() < 0.9 {
+		t.Errorf("libquantum lambda = %.2f, want ≥0.9", w.Lambda())
+	}
+	if w.Coverage() < 0.8 {
+		t.Errorf("coverage = %.2f, want ≥0.8", w.Coverage())
+	}
+}
+
+func TestWeightedSpeedup(t *testing.T) {
+	shared := &Result{Cores: []CoreResult{{IPC: 0.5}, {IPC: 0.25}}}
+	ws := WeightedSpeedup(shared, []float64{1.0, 0.5})
+	if ws != 1.0 {
+		t.Errorf("WS = %g, want 1.0", ws)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	bad := []func(*Config){
+		func(c *Config) { c.Benches = nil },
+		func(c *Config) { c.Benches = []string{"nope"} },
+		func(c *Config) { c.Ranks = 0 },
+		func(c *Config) { c.Instructions = 0 },
+		func(c *Config) { c.SRAMLines = 0 },
+		func(c *Config) { c.LLCBytes = 12345 },
+	}
+	for i, mutate := range bad {
+		cfg := Default("lbm")
+		mutate(&cfg)
+		if _, err := Run(cfg); err == nil {
+			t.Errorf("case %d: Run accepted bad config", i)
+		}
+	}
+}

@@ -1,0 +1,231 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Errorf("Value = %d, want 5", c.Value())
+	}
+	c.Reset()
+	if c.Value() != 0 {
+		t.Errorf("Value after Reset = %d", c.Value())
+	}
+}
+
+func TestCounterNegativePanics(t *testing.T) {
+	var c Counter
+	defer func() {
+		if recover() == nil {
+			t.Error("negative Add did not panic")
+		}
+	}()
+	c.Add(-1)
+}
+
+func TestMean(t *testing.T) {
+	var m Mean
+	if m.Value() != 0 {
+		t.Errorf("empty Mean.Value = %g", m.Value())
+	}
+	for _, v := range []float64{1, 2, 3, 4} {
+		m.Observe(v)
+	}
+	if m.Value() != 2.5 {
+		t.Errorf("Mean = %g, want 2.5", m.Value())
+	}
+	if m.N() != 4 || m.Sum() != 10 {
+		t.Errorf("N=%d Sum=%g, want 4, 10", m.N(), m.Sum())
+	}
+}
+
+func TestMeanBounded(t *testing.T) {
+	// Property: mean lies within [min, max] of the samples.
+	f := func(vs []float64) bool {
+		var m Mean
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, v := range vs {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e300/float64(len(vs)+1) {
+				// Skip inputs whose running sum would overflow float64;
+				// the accumulator does not guard against that by design.
+				return true
+			}
+			m.Observe(v)
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+		if len(vs) == 0 {
+			return m.Value() == 0
+		}
+		// Allow tiny float slack.
+		eps := 1e-9 * (math.Abs(lo) + math.Abs(hi) + 1)
+		return m.Value() >= lo-eps && m.Value() <= hi+eps
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRatio(t *testing.T) {
+	var r Ratio
+	if got := r.Value(0.5); got != 0.5 {
+		t.Errorf("empty Ratio.Value = %g, want fallback 0.5", got)
+	}
+	r.ObserveHit(true)
+	r.ObserveHit(true)
+	r.ObserveHit(false)
+	r.ObserveHit(true)
+	if got := r.Value(0); got != 0.75 {
+		t.Errorf("Ratio = %g, want 0.75", got)
+	}
+}
+
+func TestRatioInUnitInterval(t *testing.T) {
+	f := func(hits []bool) bool {
+		var r Ratio
+		for _, h := range hits {
+			r.ObserveHit(h)
+		}
+		v := r.Value(0)
+		return v >= 0 && v <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram(1, 5, 10)
+	for _, v := range []int64{0, 0, 3, 7, 9, 10, 100} {
+		h.Observe(v)
+	}
+	want := []int64{2, 1, 2, 2} // [-inf,1) [1,5) [5,10) [10,inf)
+	for i, w := range want {
+		if h.Bucket(i) != w {
+			t.Errorf("bucket %d = %d, want %d", i, h.Bucket(i), w)
+		}
+	}
+	if h.N() != 7 {
+		t.Errorf("N = %d, want 7", h.N())
+	}
+	if h.Max() != 100 {
+		t.Errorf("Max = %d, want 100", h.Max())
+	}
+}
+
+func TestHistogramMean(t *testing.T) {
+	h := NewHistogram(100)
+	for _, v := range []int64{2, 4, 6} {
+		h.Observe(v)
+	}
+	if h.Mean() != 4 {
+		t.Errorf("Mean = %g, want 4", h.Mean())
+	}
+}
+
+func TestHistogramCountPreserved(t *testing.T) {
+	// Property: total bucket counts equal samples observed.
+	f := func(vs []int64) bool {
+		h := NewHistogram(-10, 0, 10, 1000)
+		for _, v := range vs {
+			h.Observe(v)
+		}
+		var total int64
+		for i := 0; i < h.NumBuckets(); i++ {
+			total += h.Bucket(i)
+		}
+		return total == int64(len(vs)) && h.N() == int64(len(vs))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogramBadBoundsPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("non-increasing bounds did not panic")
+		}
+	}()
+	NewHistogram(5, 5)
+}
+
+func TestGeoMean(t *testing.T) {
+	got := GeoMean([]float64{1, 4})
+	if math.Abs(got-2) > 1e-12 {
+		t.Errorf("GeoMean(1,4) = %g, want 2", got)
+	}
+	if GeoMean(nil) != 0 {
+		t.Errorf("GeoMean(nil) = %g, want 0", GeoMean(nil))
+	}
+	// Non-positive values are skipped.
+	got = GeoMean([]float64{-1, 0, 9})
+	if math.Abs(got-9) > 1e-12 {
+		t.Errorf("GeoMean(-1,0,9) = %g, want 9", got)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	if Min(2, 3) != 2 || Min(3, 2) != 2 {
+		t.Error("Min wrong")
+	}
+	if Max(2, 3) != 3 || Max(3, 2) != 3 {
+		t.Error("Max wrong")
+	}
+}
+
+func TestHistogramString(t *testing.T) {
+	h := NewHistogram(10, 20)
+	if h.String() != "(empty)" {
+		t.Errorf("empty histogram String = %q", h.String())
+	}
+	h.Observe(5)
+	h.Observe(15)
+	h.Observe(25)
+	s := h.String()
+	for _, want := range []string{"[", ":1", "inf"} {
+		if !contains(s, want) {
+			t.Errorf("histogram String %q missing %q", s, want)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+func TestMeanReset(t *testing.T) {
+	var m Mean
+	m.Observe(5)
+	m.Reset()
+	if m.N() != 0 || m.Value() != 0 || m.Sum() != 0 {
+		t.Error("Mean.Reset incomplete")
+	}
+}
+
+func TestRatioReset(t *testing.T) {
+	var r Ratio
+	r.ObserveHit(true)
+	r.Reset()
+	if r.Num != 0 || r.Den != 0 {
+		t.Error("Ratio.Reset incomplete")
+	}
+}
+
+func TestHistogramEmptyMeanMax(t *testing.T) {
+	h := NewHistogram(10)
+	if h.Mean() != 0 || h.Max() != 0 {
+		t.Error("empty histogram mean/max non-zero")
+	}
+}

@@ -1,0 +1,215 @@
+// Package vldp implements the Variable Length Delta Prefetcher of
+// Shevgoor et al. (MICRO'15), the algorithm the paper adapts for its
+// refresh-oriented prediction table (paper §IV-C). The original VLDP is
+// kept here as an ablation baseline: a Delta History Buffer (DHB) tracks
+// per-page access history and cascaded Delta Prediction Tables (DPTs)
+// map variable-length delta histories to the next predicted delta,
+// preferring the longest matching history.
+package vldp
+
+import "fmt"
+
+// Config sizes the predictor tables.
+type Config struct {
+	DHBEntries int // tracked pages (LRU)
+	DPTEntries int // entries per delta prediction table (direct mapped)
+	Levels     int // number of DPTs / maximum history length (1..4)
+}
+
+// DefaultConfig mirrors the MICRO'15 structure sizes at small scale:
+// 16 DHB entries, 64-entry DPTs, 3 levels.
+func DefaultConfig() Config {
+	return Config{DHBEntries: 16, DPTEntries: 64, Levels: 3}
+}
+
+// Validate reports an error for impossible configurations.
+func (c Config) Validate() error {
+	if c.DHBEntries <= 0 || c.DPTEntries <= 0 {
+		return fmt.Errorf("vldp: non-positive table size %+v", c)
+	}
+	if c.Levels < 1 || c.Levels > 4 {
+		return fmt.Errorf("vldp: Levels must be 1..4, got %d", c.Levels)
+	}
+	if c.DPTEntries&(c.DPTEntries-1) != 0 {
+		return fmt.Errorf("vldp: DPTEntries must be a power of two, got %d", c.DPTEntries)
+	}
+	return nil
+}
+
+// dhbEntry tracks one page's recent behaviour.
+type dhbEntry struct {
+	page       uint64
+	lastOffset int64
+	deltas     [4]int64 // most recent last
+	numDeltas  int
+	lastUsed   uint64 // LRU stamp
+}
+
+// dptEntry is one direct-mapped predictor slot.
+type dptEntry struct {
+	key   uint64
+	delta int64
+	conf  int8 // 0..3 saturating
+	valid bool
+}
+
+// VLDP is the predictor. Not safe for concurrent use.
+type VLDP struct {
+	cfg   Config
+	dhb   []dhbEntry
+	dpts  [][]dptEntry // dpts[l] predicts from history length l+1
+	clock uint64
+}
+
+// New builds a predictor. It panics on invalid configuration.
+func New(cfg Config) *VLDP {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	v := &VLDP{cfg: cfg}
+	v.dhb = make([]dhbEntry, 0, cfg.DHBEntries)
+	v.dpts = make([][]dptEntry, cfg.Levels)
+	for l := range v.dpts {
+		v.dpts[l] = make([]dptEntry, cfg.DPTEntries)
+	}
+	return v
+}
+
+// hashKey mixes a delta history of the given length into a table key.
+func hashKey(deltas []int64) uint64 {
+	h := uint64(1469598103934665603) // FNV offset basis
+	for _, d := range deltas {
+		h ^= uint64(d)
+		h *= 1099511628211
+	}
+	return h
+}
+
+// findDHB returns the entry for page, or nil.
+func (v *VLDP) findDHB(page uint64) *dhbEntry {
+	for i := range v.dhb {
+		if v.dhb[i].page == page {
+			return &v.dhb[i]
+		}
+	}
+	return nil
+}
+
+// allocDHB evicts the LRU entry if needed and returns a fresh entry for
+// page.
+func (v *VLDP) allocDHB(page uint64) *dhbEntry {
+	if len(v.dhb) < cap(v.dhb) {
+		v.dhb = append(v.dhb, dhbEntry{page: page})
+		return &v.dhb[len(v.dhb)-1]
+	}
+	victim := 0
+	for i := range v.dhb {
+		if v.dhb[i].lastUsed < v.dhb[victim].lastUsed {
+			victim = i
+		}
+	}
+	v.dhb[victim] = dhbEntry{page: page}
+	return &v.dhb[victim]
+}
+
+// trainDPT updates level l (history length l+1) with key -> delta using
+// 2-bit saturating confidence.
+func (v *VLDP) trainDPT(l int, key uint64, delta int64) {
+	e := &v.dpts[l][key&uint64(v.cfg.DPTEntries-1)]
+	if e.valid && e.key == key {
+		if e.delta == delta {
+			if e.conf < 3 {
+				e.conf++
+			}
+		} else {
+			if e.conf > 0 {
+				e.conf--
+			} else {
+				e.delta = delta
+			}
+		}
+		return
+	}
+	// Miss: replace only unconfident occupants (simple decay policy).
+	if !e.valid || e.conf == 0 {
+		*e = dptEntry{key: key, delta: delta, conf: 1, valid: true}
+	} else {
+		e.conf--
+	}
+}
+
+// lookupDPT returns the predicted delta for the given history, trying the
+// longest history first. ok is false when no table has a confident match.
+func (v *VLDP) lookupDPT(hist []int64) (delta int64, ok bool) {
+	maxLen := len(hist)
+	if maxLen > v.cfg.Levels {
+		maxLen = v.cfg.Levels
+	}
+	for l := maxLen; l >= 1; l-- {
+		key := hashKey(hist[len(hist)-l:])
+		e := &v.dpts[l-1][key&uint64(v.cfg.DPTEntries-1)]
+		if e.valid && e.key == key && e.conf >= 1 {
+			return e.delta, true
+		}
+	}
+	return 0, false
+}
+
+// Observe records an access to the given page at the given line offset,
+// training the DPTs.
+func (v *VLDP) Observe(page uint64, offset int64) {
+	v.clock++
+	e := v.findDHB(page)
+	if e == nil {
+		e = v.allocDHB(page)
+		e.lastOffset = offset
+		e.lastUsed = v.clock
+		return
+	}
+	e.lastUsed = v.clock
+	delta := offset - e.lastOffset
+	e.lastOffset = offset
+	if delta == 0 {
+		return
+	}
+	// Train every history length ending just before this delta.
+	for l := 1; l <= v.cfg.Levels && l <= e.numDeltas; l++ {
+		key := hashKey(e.deltas[e.numDeltas-l : e.numDeltas])
+		v.trainDPT(l-1, key, delta)
+	}
+	if e.numDeltas == len(e.deltas) {
+		copy(e.deltas[:], e.deltas[1:])
+		e.numDeltas--
+	}
+	e.deltas[e.numDeltas] = delta
+	e.numDeltas++
+}
+
+// Predict returns up to n predicted future line offsets for the page,
+// walking the DPTs speculatively (each predicted delta is appended to a
+// shadow history, as in the original design).
+func (v *VLDP) Predict(page uint64, n int) []int64 {
+	e := v.findDHB(page)
+	if e == nil || e.numDeltas == 0 {
+		return nil
+	}
+	hist := append([]int64(nil), e.deltas[:e.numDeltas]...)
+	offset := e.lastOffset
+	var out []int64
+	for i := 0; i < n; i++ {
+		delta, ok := v.lookupDPT(hist)
+		if !ok {
+			break
+		}
+		offset += delta
+		out = append(out, offset)
+		hist = append(hist, delta)
+		if len(hist) > 4 {
+			hist = hist[1:]
+		}
+	}
+	return out
+}
+
+// TrackedPages reports how many pages the DHB currently tracks.
+func (v *VLDP) TrackedPages() int { return len(v.dhb) }

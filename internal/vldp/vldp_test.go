@@ -1,0 +1,172 @@
+package vldp
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		{DHBEntries: 0, DPTEntries: 64, Levels: 3},
+		{DHBEntries: 16, DPTEntries: 0, Levels: 3},
+		{DHBEntries: 16, DPTEntries: 63, Levels: 3},
+		{DHBEntries: 16, DPTEntries: 64, Levels: 0},
+		{DHBEntries: 16, DPTEntries: 64, Levels: 5},
+	}
+	for i, c := range bad {
+		if c.Validate() == nil {
+			t.Errorf("case %d accepted: %+v", i, c)
+		}
+	}
+}
+
+func TestLearnsConstantStride(t *testing.T) {
+	v := New(DefaultConfig())
+	off := int64(0)
+	for i := 0; i < 50; i++ {
+		v.Observe(1, off)
+		off += 3
+	}
+	preds := v.Predict(1, 4)
+	if len(preds) != 4 {
+		t.Fatalf("got %d predictions, want 4", len(preds))
+	}
+	want := off - 3 // last observed offset
+	for i, p := range preds {
+		want += 3
+		if p != want {
+			t.Errorf("prediction %d = %d, want %d", i, p, want)
+		}
+	}
+}
+
+func TestLearnsTwoDeltaPattern(t *testing.T) {
+	// Alternating +1,+3 requires history length 1 to be ambiguous and
+	// length >=2 to disambiguate: VLDP's whole point.
+	v := New(DefaultConfig())
+	off := int64(0)
+	deltas := []int64{1, 3}
+	for i := 0; i < 200; i++ {
+		v.Observe(7, off)
+		off += deltas[i%2]
+	}
+	last := off - deltas[(200-1)%2]
+	preds := v.Predict(7, 4)
+	if len(preds) != 4 {
+		t.Fatalf("got %d predictions, want 4", len(preds))
+	}
+	// Continue the alternation from the last observed position. The
+	// delta recorded by the final Observe is deltas[198%2], so the next
+	// true delta is deltas[(199+i)%2].
+	want := last
+	for i, p := range preds {
+		want += deltas[(199+i)%2]
+		if p != want {
+			t.Errorf("prediction %d = %d, want %d (preds %v)", i, p, want, preds)
+			break
+		}
+	}
+}
+
+func TestLearnsThreeDeltaPattern(t *testing.T) {
+	v := New(DefaultConfig())
+	off := int64(0)
+	deltas := []int64{2, 2, 5}
+	for i := 0; i < 300; i++ {
+		v.Observe(3, off)
+		off += deltas[i%3]
+	}
+	preds := v.Predict(3, 6)
+	if len(preds) < 3 {
+		t.Fatalf("got %d predictions, want >=3", len(preds))
+	}
+	// The sum of any 3 consecutive predicted deltas must be 9 once the
+	// pattern is locked in.
+	base := off - deltas[(300-1)%3]
+	if preds[2]-base != 9 {
+		t.Errorf("3-step lookahead advanced %d, want 9 (preds %v)", preds[2]-base, preds)
+	}
+}
+
+func TestUnknownPageNoPrediction(t *testing.T) {
+	v := New(DefaultConfig())
+	if preds := v.Predict(99, 4); preds != nil {
+		t.Errorf("prediction for untracked page: %v", preds)
+	}
+	v.Observe(99, 5)
+	if preds := v.Predict(99, 4); len(preds) != 0 {
+		t.Errorf("prediction after single access: %v", preds)
+	}
+}
+
+func TestDHBEviction(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.DHBEntries = 4
+	v := New(cfg)
+	// Three accesses per page: the third trains the level-1 DPT (the
+	// first yields no delta, the second's delta has no prior history).
+	for page := uint64(0); page < 10; page++ {
+		v.Observe(page, 0)
+		v.Observe(page, 1)
+		v.Observe(page, 2)
+	}
+	if got := v.TrackedPages(); got != 4 {
+		t.Errorf("tracked pages = %d, want 4", got)
+	}
+	// The oldest pages are evicted; the newest still predict.
+	if preds := v.Predict(9, 1); len(preds) == 0 {
+		t.Error("newest page lost its history")
+	}
+	if preds := v.Predict(0, 1); len(preds) != 0 {
+		t.Errorf("evicted page still predicts: %v", preds)
+	}
+}
+
+func TestNoiseDoesNotCrash(t *testing.T) {
+	v := New(DefaultConfig())
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 5000; i++ {
+		v.Observe(uint64(rng.Intn(32)), rng.Int63n(1<<20))
+	}
+	for page := uint64(0); page < 32; page++ {
+		v.Predict(page, 8)
+	}
+}
+
+func TestRepeatedOffsetIgnored(t *testing.T) {
+	// Zero deltas (same line re-accessed) must not poison the history.
+	v := New(DefaultConfig())
+	off := int64(0)
+	for i := 0; i < 100; i++ {
+		v.Observe(1, off)
+		v.Observe(1, off) // duplicate
+		off += 2
+	}
+	preds := v.Predict(1, 2)
+	if len(preds) != 2 || preds[1]-preds[0] != 2 {
+		t.Errorf("stride with duplicates mispredicted: %v", preds)
+	}
+}
+
+func TestPatternSwitchRelearns(t *testing.T) {
+	v := New(DefaultConfig())
+	off := int64(0)
+	for i := 0; i < 100; i++ {
+		v.Observe(1, off)
+		off += 1
+	}
+	for i := 0; i < 400; i++ {
+		v.Observe(1, off)
+		off += 5
+	}
+	preds := v.Predict(1, 2)
+	if len(preds) < 1 {
+		t.Fatal("no predictions after relearn")
+	}
+	if preds[0]-(off-5) != 5 {
+		t.Errorf("first prediction delta = %d, want 5", preds[0]-(off-5))
+	}
+}

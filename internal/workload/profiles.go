@@ -1,0 +1,311 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DeltaChoice is one stride behaviour of a benchmark's streaming
+// accesses: a repeating delta sequence (in cache lines) chosen with the
+// given weight. Sequences of length 1, 2 and 3 exercise the Delta1,
+// Delta2 and Delta3 pattern slots of the ROP prediction table
+// (paper §IV-C). Random marks irregular jumps instead of a sequence.
+type DeltaChoice struct {
+	Seq    []int64
+	Weight float64
+	Random bool
+}
+
+// Profile parameterizes one synthetic benchmark. Times are measured in
+// instructions (the core retires ~1 instruction per CPU cycle between
+// memory stalls, so instruction counts approximate CPU cycles).
+//
+// The ON/OFF phase structure is what shapes the paper's Table I
+// probabilities: benchmarks that are always ON produce high λ and low β;
+// benchmarks with phases much longer than the observational window
+// produce high λ *and* high β; sparse Poisson-like benchmarks produce
+// low λ.
+type Profile struct {
+	Name      string
+	Intensive bool // paper Table II classification
+
+	// OnGapMean is the mean non-memory instruction gap between LLC
+	// accesses during an ON phase.
+	OnGapMean float64
+	// OnMeanInsts / OffMeanInsts are mean phase lengths in instructions.
+	// OffMeanInsts == 0 means the benchmark never pauses (always ON).
+	OnMeanInsts  float64
+	OffMeanInsts float64
+
+	// StreamFrac is the fraction of accesses that walk the streaming
+	// region (LLC-missing); the rest hit the hot working set.
+	StreamFrac float64
+	// WSLines is the hot working-set size in cache lines; it controls
+	// LLC sensitivity (Figs 12-14).
+	WSLines int
+	// FootprintLines is the streaming region size in cache lines.
+	FootprintLines int
+
+	// ReadFrac is the fraction of loads.
+	ReadFrac float64
+
+	// Deltas are the streaming stride behaviours.
+	Deltas []DeltaChoice
+}
+
+// Validate reports an error for out-of-range parameters.
+func (p Profile) Validate() error {
+	if p.Name == "" {
+		return fmt.Errorf("workload: profile without name")
+	}
+	if p.OnGapMean < 0 || p.OnMeanInsts < 0 || p.OffMeanInsts < 0 {
+		return fmt.Errorf("workload: %s: negative phase parameter", p.Name)
+	}
+	if p.OffMeanInsts > 0 && p.OnMeanInsts <= 0 {
+		return fmt.Errorf("workload: %s: OFF phases require positive OnMeanInsts", p.Name)
+	}
+	if p.StreamFrac < 0 || p.StreamFrac > 1 {
+		return fmt.Errorf("workload: %s: StreamFrac %g outside [0,1]", p.Name, p.StreamFrac)
+	}
+	if p.ReadFrac < 0 || p.ReadFrac > 1 {
+		return fmt.Errorf("workload: %s: ReadFrac %g outside [0,1]", p.Name, p.ReadFrac)
+	}
+	if p.WSLines <= 0 || p.FootprintLines <= 0 {
+		return fmt.Errorf("workload: %s: non-positive region size", p.Name)
+	}
+	if len(p.Deltas) == 0 {
+		return fmt.Errorf("workload: %s: no delta choices", p.Name)
+	}
+	total := 0.0
+	for _, d := range p.Deltas {
+		if d.Weight <= 0 {
+			return fmt.Errorf("workload: %s: non-positive delta weight", p.Name)
+		}
+		if !d.Random && len(d.Seq) == 0 {
+			return fmt.Errorf("workload: %s: empty delta sequence", p.Name)
+		}
+		if len(d.Seq) > 3 {
+			return fmt.Errorf("workload: %s: delta sequence longer than 3", p.Name)
+		}
+		total += d.Weight
+	}
+	if total <= 0 {
+		return fmt.Errorf("workload: %s: zero total delta weight", p.Name)
+	}
+	return nil
+}
+
+// Lines per MiB of footprint (64-byte lines).
+const linesPerMiB = 1 << 20 / 64
+
+// profiles is the benchmark table. The ON/OFF and gap parameters are
+// calibrated so that the memory-level arrival process reproduces each
+// benchmark's Table I λ/β class and Table II intensity class under the
+// paper's configuration (2 MB LLC, DDR4-1600, tREFI = 7.8 µs ≈ 25k
+// instructions).
+var profiles = map[string]Profile{
+	"lbm": {
+		Name: "lbm", Intensive: true,
+		// Streaming, write-heavy, never pauses: λ≈0.99, β≈0.
+		OnGapMean:  60,
+		StreamFrac: 0.92, WSLines: 1 * linesPerMiB / 2, FootprintLines: 48 * linesPerMiB,
+		ReadFrac: 0.55,
+		Deltas: []DeltaChoice{
+			{Seq: []int64{1}, Weight: 0.8},
+			{Seq: []int64{2}, Weight: 0.2},
+		},
+	},
+	"libquantum": {
+		Name: "libquantum", Intensive: true,
+		// Pure sequential sweep over a large vector: λ≈0.99, β≈0.04.
+		OnGapMean:  70,
+		StreamFrac: 0.97, WSLines: linesPerMiB / 4, FootprintLines: 32 * linesPerMiB,
+		ReadFrac: 0.75,
+		Deltas: []DeltaChoice{
+			{Seq: []int64{1}, Weight: 1},
+		},
+	},
+	"bwaves": {
+		Name: "bwaves", Intensive: true,
+		// Strided multi-delta sweeps, always on: λ≈0.93, β≈0.
+		OnGapMean:  85,
+		StreamFrac: 0.85, WSLines: 1 * linesPerMiB, FootprintLines: 40 * linesPerMiB,
+		ReadFrac: 0.7,
+		Deltas: []DeltaChoice{
+			{Seq: []int64{1, 1, 6}, Weight: 0.6},
+			{Seq: []int64{1}, Weight: 0.3},
+			{Random: true, Weight: 0.1},
+		},
+	},
+	"GemsFDTD": {
+		Name: "GemsFDTD", Intensive: true,
+		// Long compute-update sweeps with brief stencil boundaries:
+		// λ≈0.99, β≈0.68.
+		OnGapMean: 75, OnMeanInsts: 600_000, OffMeanInsts: 110_000,
+		StreamFrac: 0.8, WSLines: 6 * linesPerMiB, FootprintLines: 48 * linesPerMiB,
+		ReadFrac: 0.65,
+		Deltas: []DeltaChoice{
+			{Seq: []int64{2}, Weight: 0.5},
+			{Seq: []int64{1, 3}, Weight: 0.4},
+			{Random: true, Weight: 0.1},
+		},
+	},
+	"gcc": {
+		Name: "gcc", Intensive: true,
+		// Phase-structured (parse/optimize alternation) with both phases
+		// much longer than the window: λ≈0.97, β≈0.96.
+		OnGapMean: 90, OnMeanInsts: 500_000, OffMeanInsts: 500_000,
+		StreamFrac: 0.6, WSLines: 2 * linesPerMiB, FootprintLines: 24 * linesPerMiB,
+		ReadFrac: 0.72,
+		Deltas: []DeltaChoice{
+			{Seq: []int64{1}, Weight: 0.6},
+			{Random: true, Weight: 0.4},
+		},
+	},
+	"cactusADM": {
+		Name: "cactusADM", Intensive: true,
+		// Stencil sweeps with OFF gaps comparable to the window, so
+		// B=0 windows often see requests after all: λ≈0.78, β≈0.54.
+		OnGapMean: 90, OnMeanInsts: 45_000, OffMeanInsts: 65_000,
+		StreamFrac: 0.7, WSLines: 5 * linesPerMiB, FootprintLines: 32 * linesPerMiB,
+		ReadFrac: 0.6,
+		Deltas: []DeltaChoice{
+			{Seq: []int64{4}, Weight: 0.55},
+			{Seq: []int64{1}, Weight: 0.2},
+			{Random: true, Weight: 0.25},
+		},
+	},
+	"wrf": {
+		Name: "wrf", Intensive: false,
+		// Very long active and idle phases: λ≈0.99, β≈1.0, modest rate.
+		OnGapMean: 120, OnMeanInsts: 1_200_000, OffMeanInsts: 1_200_000,
+		StreamFrac: 0.55, WSLines: 4 * linesPerMiB, FootprintLines: 24 * linesPerMiB,
+		ReadFrac: 0.68,
+		Deltas: []DeltaChoice{
+			{Seq: []int64{1}, Weight: 0.5},
+			{Seq: []int64{2, 5}, Weight: 0.3},
+			{Random: true, Weight: 0.2},
+		},
+	},
+	"bzip2": {
+		Name: "bzip2", Intensive: false,
+		// Bursty block compression: λ≈0.84, β≈0.94.
+		OnGapMean: 220, OnMeanInsts: 130_000, OffMeanInsts: 400_000,
+		StreamFrac: 0.5, WSLines: 3 * linesPerMiB, FootprintLines: 16 * linesPerMiB,
+		ReadFrac: 0.7,
+		Deltas: []DeltaChoice{
+			{Seq: []int64{1}, Weight: 0.7},
+			{Random: true, Weight: 0.3},
+		},
+	},
+	"perlbench": {
+		Name: "perlbench", Intensive: false,
+		// Sparse, weakly clustered arrivals: λ≈0.40, β≈0.73.
+		OnGapMean:  42_000,
+		StreamFrac: 0.35, WSLines: linesPerMiB / 2, FootprintLines: 8 * linesPerMiB,
+		ReadFrac: 0.8,
+		Deltas: []DeltaChoice{
+			{Random: true, Weight: 0.7},
+			{Seq: []int64{1}, Weight: 0.3},
+		},
+	},
+	"astar": {
+		Name: "astar", Intensive: false,
+		// Pathfinding bursts between long planning lulls: λ≈0.76, β≈0.97.
+		OnGapMean: 160, OnMeanInsts: 80_000, OffMeanInsts: 900_000,
+		StreamFrac: 0.45, WSLines: 5 * linesPerMiB / 2, FootprintLines: 12 * linesPerMiB,
+		ReadFrac: 0.78,
+		Deltas: []DeltaChoice{
+			{Random: true, Weight: 0.5},
+			{Seq: []int64{1}, Weight: 0.3},
+			{Seq: []int64{3, 7}, Weight: 0.2},
+		},
+	},
+	"omnetpp": {
+		Name: "omnetpp", Intensive: false,
+		// Event-queue bursts: λ≈0.78, β≈0.95.
+		OnGapMean: 150, OnMeanInsts: 85_000, OffMeanInsts: 520_000,
+		StreamFrac: 0.5, WSLines: 3 * linesPerMiB, FootprintLines: 16 * linesPerMiB,
+		ReadFrac: 0.75,
+		Deltas: []DeltaChoice{
+			{Random: true, Weight: 0.6},
+			{Seq: []int64{1}, Weight: 0.4},
+		},
+	},
+	"gobmk": {
+		Name: "gobmk", Intensive: false,
+		// Very sparse, near-isolated accesses: λ≈0.20, β≈0.88.
+		OnGapMean:  75_000,
+		StreamFrac: 0.3, WSLines: 3 * linesPerMiB / 2, FootprintLines: 8 * linesPerMiB,
+		ReadFrac: 0.82,
+		Deltas: []DeltaChoice{
+			{Random: true, Weight: 0.8},
+			{Seq: []int64{1}, Weight: 0.2},
+		},
+	},
+}
+
+// Names returns the benchmark names in deterministic (sorted) order.
+func Names() []string {
+	out := make([]string, 0, len(profiles))
+	for n := range profiles {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// PaperOrder lists the benchmarks in the order of the paper's Table I.
+func PaperOrder() []string {
+	return []string{
+		"perlbench", "bzip2", "gobmk", "GemsFDTD", "libquantum", "lbm",
+		"omnetpp", "astar", "wrf", "gcc", "bwaves", "cactusADM",
+	}
+}
+
+// Get returns the profile for a benchmark name.
+func Get(name string) (Profile, error) {
+	p, ok := profiles[name]
+	if !ok {
+		return Profile{}, fmt.Errorf("workload: unknown benchmark %q", name)
+	}
+	return p, nil
+}
+
+// MustGet is Get for static benchmark names; it panics on unknown names.
+func MustGet(name string) Profile {
+	p, err := Get(name)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Mix is a multiprogrammed workload: one benchmark per core.
+type Mix struct {
+	Name    string
+	Members []string
+}
+
+// Mixes returns the paper's six 4-core workload combinations (Table II;
+// see DESIGN.md §1 for how the unreadable checkmark matrix was resolved).
+func Mixes() []Mix {
+	return []Mix{
+		{Name: "WL1", Members: []string{"GemsFDTD", "lbm", "bwaves", "libquantum"}},
+		{Name: "WL2", Members: []string{"gcc", "cactusADM", "libquantum", "bwaves"}},
+		{Name: "WL3", Members: []string{"GemsFDTD", "lbm", "wrf", "bzip2"}},
+		{Name: "WL4", Members: []string{"gcc", "libquantum", "astar", "omnetpp"}},
+		{Name: "WL5", Members: []string{"cactusADM", "perlbench", "gobmk", "bzip2"}},
+		{Name: "WL6", Members: []string{"wrf", "perlbench", "astar", "gobmk"}},
+	}
+}
+
+// GetMix returns the mix with the given name.
+func GetMix(name string) (Mix, error) {
+	for _, m := range Mixes() {
+		if m.Name == name {
+			return m, nil
+		}
+	}
+	return Mix{}, fmt.Errorf("workload: unknown mix %q", name)
+}

@@ -1,0 +1,211 @@
+// Package workload models the paper's benchmark suite. SPEC CPU2006
+// binaries (run under Zsim+Pin in the paper) are not available offline,
+// so each benchmark is modeled as a parameterized, deterministic trace
+// generator whose memory-controller-visible behaviour — intensity,
+// working-set size, row/bank locality, multi-delta stride structure, and
+// arrival burstiness — reproduces the published characteristics the ROP
+// mechanism depends on (see DESIGN.md §1).
+//
+// A trace is a stream of Records at the LLC-access level: the core front
+// end (internal/cpu) replays it against a simulated LLC, and the misses
+// form the memory-controller request stream.
+package workload
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Record is one memory operation in a trace.
+type Record struct {
+	// Gap is the number of non-memory instructions executed since the
+	// previous memory operation.
+	Gap uint32
+	// Line is the cache-line index in the benchmark's address space.
+	Line uint64
+	// Write marks store operations; everything else is a load.
+	Write bool
+}
+
+// Stream produces trace records. Implementations must be deterministic
+// for a fixed construction seed.
+type Stream interface {
+	// Next returns the next record. ok is false when the stream is
+	// exhausted (generators are typically infinite).
+	Next() (r Record, ok bool)
+}
+
+// SliceStream replays a fixed record slice.
+type SliceStream struct {
+	recs []Record
+	pos  int
+}
+
+// NewSliceStream builds a stream over recs (not copied).
+func NewSliceStream(recs []Record) *SliceStream {
+	return &SliceStream{recs: recs}
+}
+
+// Next implements Stream.
+func (s *SliceStream) Next() (Record, bool) {
+	if s.pos >= len(s.recs) {
+		return Record{}, false
+	}
+	r := s.recs[s.pos]
+	s.pos++
+	return r, true
+}
+
+// Reset rewinds the stream to the beginning.
+func (s *SliceStream) Reset() { s.pos = 0 }
+
+// Take materializes up to n records from a stream.
+func Take(s Stream, n int) []Record {
+	out := make([]Record, 0, n)
+	for len(out) < n {
+		r, ok := s.Next()
+		if !ok {
+			break
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// binaryMagic identifies the binary trace format.
+var binaryMagic = [4]byte{'R', 'O', 'P', '1'}
+
+// WriteBinary encodes records to w in the compact binary trace format:
+// a 4-byte magic followed by varint-encoded (gap, line-delta zigzag,
+// flags) triples.
+func WriteBinary(w io.Writer, recs []Record) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(binaryMagic[:]); err != nil {
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	prevLine := uint64(0)
+	for _, r := range recs {
+		n := binary.PutUvarint(buf[:], uint64(r.Gap))
+		if _, err := bw.Write(buf[:n]); err != nil {
+			return err
+		}
+		delta := int64(r.Line) - int64(prevLine)
+		n = binary.PutVarint(buf[:], delta)
+		if _, err := bw.Write(buf[:n]); err != nil {
+			return err
+		}
+		prevLine = r.Line
+		flag := byte(0)
+		if r.Write {
+			flag = 1
+		}
+		if err := bw.WriteByte(flag); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary decodes a binary trace written by WriteBinary.
+func ReadBinary(r io.Reader) ([]Record, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("workload: reading magic: %w", err)
+	}
+	if magic != binaryMagic {
+		return nil, errors.New("workload: not a ROP1 binary trace")
+	}
+	var recs []Record
+	prevLine := uint64(0)
+	for {
+		gap, err := binary.ReadUvarint(br)
+		if err == io.EOF {
+			return recs, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("workload: reading gap: %w", err)
+		}
+		if gap > 1<<32-1 {
+			return nil, fmt.Errorf("workload: gap %d overflows uint32", gap)
+		}
+		delta, err := binary.ReadVarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("workload: reading line delta: %w", err)
+		}
+		line := uint64(int64(prevLine) + delta)
+		prevLine = line
+		flag, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("workload: reading flags: %w", err)
+		}
+		if flag > 1 {
+			return nil, fmt.Errorf("workload: bad flag byte %#x", flag)
+		}
+		recs = append(recs, Record{Gap: uint32(gap), Line: line, Write: flag == 1})
+	}
+}
+
+// WriteText encodes records to w in a human-readable one-per-line format:
+// "<gap> <line-hex> R|W".
+func WriteText(w io.Writer, recs []Record) error {
+	bw := bufio.NewWriter(w)
+	for _, r := range recs {
+		op := "R"
+		if r.Write {
+			op = "W"
+		}
+		if _, err := fmt.Fprintf(bw, "%d %x %s\n", r.Gap, r.Line, op); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadText decodes the text format written by WriteText. Blank lines and
+// lines starting with '#' are ignored.
+func ReadText(r io.Reader) ([]Record, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var recs []Record
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("workload: line %d: want 3 fields, got %d", lineNo, len(fields))
+		}
+		gap, err := strconv.ParseUint(fields[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("workload: line %d: gap: %w", lineNo, err)
+		}
+		addr, err := strconv.ParseUint(fields[1], 16, 64)
+		if err != nil {
+			return nil, fmt.Errorf("workload: line %d: line: %w", lineNo, err)
+		}
+		var write bool
+		switch fields[2] {
+		case "R":
+			write = false
+		case "W":
+			write = true
+		default:
+			return nil, fmt.Errorf("workload: line %d: op %q", lineNo, fields[2])
+		}
+		recs = append(recs, Record{Gap: uint32(gap), Line: addr, Write: write})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return recs, nil
+}

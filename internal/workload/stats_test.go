@@ -1,0 +1,178 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// Statistical property tests: the generators must deliver the
+// distributional features the experiments depend on, for any seed.
+
+func TestReadFractionPropertyAllProfiles(t *testing.T) {
+	f := func(seedRaw int64) bool {
+		seed := seedRaw%1000 + 1
+		for _, name := range Names() {
+			p := MustGet(name)
+			g := NewGenerator(p, seed)
+			reads := 0
+			const n = 4000
+			for i := 0; i < n; i++ {
+				r, _ := g.Next()
+				if !r.Write {
+					reads++
+				}
+			}
+			got := float64(reads) / n
+			if math.Abs(got-p.ReadFrac) > 0.05 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStreamFractionProperty(t *testing.T) {
+	f := func(seedRaw int64) bool {
+		seed := seedRaw%1000 + 1
+		for _, name := range []string{"lbm", "gcc", "perlbench"} {
+			p := MustGet(name)
+			g := NewGenerator(p, seed)
+			stream := 0
+			const n = 4000
+			for i := 0; i < n; i++ {
+				r, _ := g.Next()
+				if int64(r.Line) >= streamBase {
+					stream++
+				}
+			}
+			got := float64(stream) / n
+			if math.Abs(got-p.StreamFrac) > 0.05 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntensityRanking(t *testing.T) {
+	// The Table II classification must be visible in the traces at the
+	// memory level: instructions per *LLC-missing* access (streaming
+	// accesses always miss) must be clearly smaller for every intensive
+	// benchmark than for every non-intensive one.
+	instsPerMiss := func(name string) float64 {
+		p := MustGet(name)
+		g := NewGenerator(p, 3)
+		var insts, misses float64
+		const n = 30000
+		for i := 0; i < n; i++ {
+			r, _ := g.Next()
+			insts += float64(r.Gap) + 1
+			if int64(r.Line) >= streamBase {
+				misses++
+			}
+		}
+		if misses == 0 {
+			return math.Inf(1)
+		}
+		return insts / misses
+	}
+	worstIntensive, bestNon := 0.0, math.Inf(1)
+	for _, name := range Names() {
+		m := instsPerMiss(name)
+		if MustGet(name).Intensive {
+			if m > worstIntensive {
+				worstIntensive = m
+			}
+		} else if m < bestNon {
+			bestNon = m
+		}
+	}
+	if worstIntensive >= bestNon {
+		t.Errorf("intensity classes overlap: worst intensive %.0f insts/miss ≥ best non-intensive %.0f",
+			worstIntensive, bestNon)
+	}
+}
+
+func TestHotReuseProducesRepeats(t *testing.T) {
+	// The reuse machinery must revisit lines: over a long window, a
+	// benchmark with a hot set sees a substantial fraction of repeated
+	// lines (this is what gives the LLC something to hit).
+	g := NewGenerator(MustGet("gcc"), 11)
+	seen := map[uint64]bool{}
+	repeats, hot := 0, 0
+	for i := 0; i < 60000; i++ {
+		r, _ := g.Next()
+		if int64(r.Line) >= streamBase {
+			continue
+		}
+		hot++
+		if seen[r.Line] {
+			repeats++
+		}
+		seen[r.Line] = true
+	}
+	if hot == 0 {
+		t.Fatal("no hot accesses")
+	}
+	if frac := float64(repeats) / float64(hot); frac < 0.3 {
+		t.Errorf("hot repeat fraction %.2f, want ≥0.3", frac)
+	}
+}
+
+func TestReuseDistanceSpansLLCSizes(t *testing.T) {
+	// Reuse distances must be spread (not all short, not all beyond any
+	// cache): measure stack-distance-proxy = gap in access index between
+	// a line's consecutive uses.
+	g := NewGenerator(MustGet("bzip2"), 5)
+	lastUse := map[uint64]int{}
+	short, mid, long := 0, 0, 0
+	idx := 0
+	for i := 0; i < 200000; i++ {
+		r, _ := g.Next()
+		if int64(r.Line) >= streamBase {
+			continue
+		}
+		idx++
+		if prev, ok := lastUse[r.Line]; ok {
+			d := idx - prev
+			switch {
+			case d < 4096:
+				short++
+			case d < 65536:
+				mid++
+			default:
+				long++
+			}
+		}
+		lastUse[r.Line] = idx
+	}
+	if short == 0 || mid == 0 {
+		t.Errorf("reuse distances not spread: short=%d mid=%d long=%d", short, mid, long)
+	}
+}
+
+func TestOnOffDutyCycle(t *testing.T) {
+	// For phase-structured benchmarks the fraction of instructions spent
+	// in ON phases must approximate OnMean/(OnMean+OffMean).
+	p := MustGet("gcc")
+	g := NewGenerator(p, 9)
+	var memInsts, totalInsts float64
+	const n = 50000
+	for i := 0; i < n; i++ {
+		r, _ := g.Next()
+		totalInsts += float64(r.Gap) + 1
+		memInsts += p.OnGapMean + 1
+	}
+	wantOnFrac := p.OnMeanInsts / (p.OnMeanInsts + p.OffMeanInsts)
+	gotOnFrac := memInsts / totalInsts
+	if math.Abs(gotOnFrac-wantOnFrac) > 0.12 {
+		t.Errorf("ON duty cycle %.2f, want ≈%.2f", gotOnFrac, wantOnFrac)
+	}
+}

@@ -1,0 +1,114 @@
+// Package ropsim is a from-scratch Go reproduction of "ROP: Alleviating
+// Refresh Overheads via Reviving the Memory System in Frozen Cycles"
+// (Huang et al., ICPP 2016). It bundles a cycle-level DDR4 memory-system
+// simulator, a memory controller with auto-refresh / idealized
+// no-refresh / ROP refresh policies, the ROP refresh-oriented prefetcher
+// (pattern profiler, rank-scoped prediction table, SRAM buffer), a
+// trace-driven multi-core front end with a shared LLC, synthetic
+// SPEC-CPU2006-like workload models, and an energy model — plus the
+// experiment harness that regenerates every figure and table of the
+// paper's evaluation.
+//
+// Quick start:
+//
+//	cfg := ropsim.Default("libquantum")
+//	cfg.Mode = ropsim.ModeROP
+//	res, err := ropsim.Run(cfg)
+//
+// See the examples/ directory for runnable programs and EXPERIMENTS.md
+// for the paper-versus-measured record.
+package ropsim
+
+import (
+	"ropsim/internal/core"
+	"ropsim/internal/dram"
+	"ropsim/internal/memctrl"
+	"ropsim/internal/sim"
+	"ropsim/internal/workload"
+)
+
+// Config describes one simulation run. It is the simulator-level
+// configuration re-exported for library users.
+type Config = sim.Config
+
+// Result is a simulation outcome.
+type Result = sim.Result
+
+// CoreResult is one core's outcome within a Result.
+type CoreResult = sim.CoreResult
+
+// Mode selects the refresh handling policy.
+type Mode = memctrl.Mode
+
+// Refresh handling modes.
+const (
+	// ModeBaseline is JEDEC auto-refresh (the paper's Baseline).
+	ModeBaseline = memctrl.ModeBaseline
+	// ModeNoRefresh is the idealized refresh-free memory.
+	ModeNoRefresh = memctrl.ModeNoRefresh
+	// ModeROP enables the paper's refresh-oriented prefetching.
+	ModeROP = memctrl.ModeROP
+	// ModeElastic is the Elastic Refresh related-work baseline
+	// (postpone refreshes into idle gaps, up to eight outstanding).
+	ModeElastic = memctrl.ModeElastic
+	// ModePausing is the Refresh Pausing related-work baseline
+	// (interruptible refreshes in tRFC/8 segments).
+	ModePausing = memctrl.ModePausing
+	// ModeBankRefresh refreshes one bank at a time (future work §VII).
+	ModeBankRefresh = memctrl.ModeBankRefresh
+	// ModeROPBank combines bank-level refresh with ROP prefetching.
+	ModeROPBank = memctrl.ModeROPBank
+	// ModeSubarrayRefresh refreshes one subarray at a time (§VII).
+	ModeSubarrayRefresh = memctrl.ModeSubarrayRefresh
+)
+
+// GatePolicy selects how ROP decides to launch a prefetch.
+type GatePolicy = core.GatePolicy
+
+// Gate policies (ablations; the paper's design is GateProbabilistic).
+const (
+	GateProbabilistic = core.GateProbabilistic
+	GateAlways        = core.GateAlways
+	GateNever         = core.GateNever
+)
+
+// Predictor selects ROP's candidate generator.
+type Predictor = core.Predictor
+
+// Predictor kinds.
+const (
+	PredictorTable = core.PredictorTable
+	PredictorVLDP  = core.PredictorVLDP
+)
+
+// RefreshMode selects the JEDEC fine-grained refresh mode.
+type RefreshMode = dram.RefreshMode
+
+// Fine-grained refresh modes.
+const (
+	Refresh1x = dram.Refresh1x
+	Refresh2x = dram.Refresh2x
+	Refresh4x = dram.Refresh4x
+)
+
+// Default returns the paper's configuration for the given benchmarks
+// (single-core: 1 rank, 2 MB LLC; multiprogram: 4 ranks, 4 MB LLC).
+func Default(benches ...string) Config { return sim.Default(benches...) }
+
+// Run executes one simulation.
+func Run(cfg Config) (*Result, error) { return sim.Run(cfg) }
+
+// WeightedSpeedup computes Σ IPC_shared/IPC_alone (paper Eq. 4).
+func WeightedSpeedup(shared *Result, alone []float64) float64 {
+	return sim.WeightedSpeedup(shared, alone)
+}
+
+// Benchmarks lists the modeled SPEC CPU2006 benchmarks in the paper's
+// Table I order.
+func Benchmarks() []string { return workload.PaperOrder() }
+
+// Mix is a multiprogrammed 4-core workload.
+type Mix = workload.Mix
+
+// Mixes returns the paper's six workload combinations WL1-WL6.
+func Mixes() []Mix { return workload.Mixes() }

@@ -1,0 +1,291 @@
+package ropsim
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// tinyOptions is the smallest scale that still produces non-degenerate
+// statistics for integration tests.
+func tinyOptions() ExpOptions {
+	o := QuickOptions()
+	o.Benches = []string{"libquantum", "bzip2"}
+	o.Mixes = []Mix{{Name: "WLt", Members: []string{"libquantum", "lbm", "bzip2", "gobmk"}}}
+	o.SRAMSizes = []int{16, 64}
+	o.LLCSizesMiB = []int{1, 4}
+	return o
+}
+
+func cellFloat(t *testing.T, tb *Table, row, col int) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(tb.Cell(row, col), 64)
+	if err != nil {
+		t.Fatalf("cell (%d,%d) of %s = %q: %v", row, col, tb.ID, tb.Cell(row, col), err)
+	}
+	return v
+}
+
+func TestFacadeRun(t *testing.T) {
+	cfg := Default("libquantum")
+	cfg.Mode = ModeROP
+	cfg.Instructions = 200_000
+	cfg.ROPTrainRefreshes = 5
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cores[0].IPC <= 0 {
+		t.Error("no IPC")
+	}
+	if len(Benchmarks()) != 12 || len(Mixes()) != 6 {
+		t.Error("benchmark/mix registry wrong")
+	}
+}
+
+func TestFig1Shape(t *testing.T) {
+	o := tinyOptions()
+	tb, err := Fig1(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != len(o.Benches)+1 {
+		t.Fatalf("rows = %d, want %d", len(tb.Rows), len(o.Benches)+1)
+	}
+	// libquantum (intensive) must degrade more than bzip2 (not).
+	lq := cellFloat(t, tb, 0, 3)
+	bz := cellFloat(t, tb, 1, 3)
+	if lq <= bz {
+		t.Errorf("libquantum degradation %.2f%% not above bzip2 %.2f%%", lq, bz)
+	}
+	// Refresh must cost energy.
+	if extra := cellFloat(t, tb, 0, 6); extra <= 0 {
+		t.Errorf("refresh extra energy = %.2f%%, want positive", extra)
+	}
+}
+
+func TestRefreshBehaviourShape(t *testing.T) {
+	o := tinyOptions()
+	// Long enough that bzip2 cycles through several ON/OFF phases.
+	o.Instructions = 2_500_000
+	f2, f3, f4, t1, err := RefreshBehaviour(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fig 2: non-blocking fraction decreases (or stays) as the window
+	// grows, and bzip2 (bursty, row 1) has more non-blocking refreshes
+	// than libquantum (row 0).
+	nb1 := cellFloat(t, f2, 0, 1)
+	nb4 := cellFloat(t, f2, 0, 3)
+	if nb4 > nb1 {
+		t.Errorf("non-blocking grew with window: %g -> %g", nb1, nb4)
+	}
+	if cellFloat(t, f2, 1, 1) <= cellFloat(t, f2, 0, 1) {
+		t.Error("bursty benchmark not more non-blocking than streaming one")
+	}
+	// Fig 3: blocked counts are small positive numbers for libquantum.
+	if mean := cellFloat(t, f3, 0, 1); mean <= 0 || mean > 64 {
+		t.Errorf("mean blocked = %g, implausible", mean)
+	}
+	// Fig 4: the two dominant events must cover most refreshes.
+	if cov := cellFloat(t, f4, 0, 3); cov < 0.5 {
+		t.Errorf("coverage = %g, want ≥0.5", cov)
+	}
+	// Table I: libquantum streams, so λ≈1.
+	if l := cellFloat(t, t1, 0, 1); l < 0.9 {
+		t.Errorf("libquantum lambda = %g, want ≥0.9", l)
+	}
+}
+
+func TestFig7to9Shape(t *testing.T) {
+	o := tinyOptions()
+	o.Benches = []string{"libquantum"}
+	o.Instructions = 700_000
+	f7, f8, f9, err := Fig7to9(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Normalized no-refresh IPC (last column) bounds ROP from above and
+	// both exceed the baseline (1.0) for a streaming benchmark.
+	rop := cellFloat(t, f7, 0, 2) // ROP-64
+	ideal := cellFloat(t, f7, 0, 3)
+	if rop < 1.0 {
+		t.Errorf("ROP normalized IPC %.4f below baseline", rop)
+	}
+	if ideal < rop-0.005 {
+		t.Errorf("no-refresh %.4f not above ROP %.4f", ideal, rop)
+	}
+	// Energy: ROP must not cost more than baseline by much.
+	if e := cellFloat(t, f8, 0, 2); e > 1.02 {
+		t.Errorf("ROP energy %.4f well above baseline", e)
+	}
+	// Hit rate within [0,1].
+	if h := cellFloat(t, f9, 0, 2); h < 0 || h > 1 {
+		t.Errorf("hit rate %g outside [0,1]", h)
+	}
+}
+
+func TestFig10and11Shape(t *testing.T) {
+	o := tinyOptions()
+	f10, f11, err := Fig10and11(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rank partitioning must help an intensive mix.
+	if rp := cellFloat(t, f10, 0, 2); rp < 1.0 {
+		t.Errorf("Baseline-RP speedup %.4f below baseline", rp)
+	}
+	if ws := cellFloat(t, f10, 0, 3); ws < 0.9 {
+		t.Errorf("ROP weighted speedup %.4f implausibly low", ws)
+	}
+	if en := cellFloat(t, f11, 0, 3); en > 1.1 {
+		t.Errorf("ROP energy %.4f far above baseline", en)
+	}
+}
+
+func TestFig12to14Shape(t *testing.T) {
+	o := tinyOptions()
+	f12, f13, f14, err := Fig12to14(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f12.Rows) != 1 || len(f12.Rows[0]) != 3 {
+		t.Fatalf("fig12 shape wrong: %v", f12.Rows)
+	}
+	for col := 1; col <= 2; col++ {
+		if ws := cellFloat(t, f12, 0, col); ws < 0.8 || ws > 3 {
+			t.Errorf("fig12 col %d = %g implausible", col, ws)
+		}
+		if en := cellFloat(t, f13, 0, col); en < 0.3 || en > 1.2 {
+			t.Errorf("fig13 col %d = %g implausible", col, en)
+		}
+		if h := cellFloat(t, f14, 0, col); h < 0 || h > 1 {
+			t.Errorf("fig14 col %d = %g outside [0,1]", col, h)
+		}
+	}
+}
+
+func TestAblations(t *testing.T) {
+	o := tinyOptions()
+	o.Benches = []string{"libquantum"}
+	g, err := AblationGate(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Rows) != 1 || len(g.Rows[0]) != 4 {
+		t.Fatalf("gate ablation shape: %v", g.Rows)
+	}
+	p, err := AblationPredictor(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Rows) != 1 || len(p.Rows[0]) != 7 {
+		t.Fatalf("predictor ablation shape: %v", p.Rows)
+	}
+	f, err := AblationFGR(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// FGR 1x baseline must lose IPC vs its ideal; values in (0.5, 1.01].
+	for col := 1; col <= 6; col++ {
+		v := cellFloat(t, f, 0, col)
+		if v < 0.5 || v > 1.01 {
+			t.Errorf("fgr col %d = %g implausible", col, v)
+		}
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{ID: "x", Title: "demo", Header: []string{"a", "bb"}}
+	tb.AddRow("r1", 0.123456)
+	tb.AddRow("row2", 7)
+	s := tb.String()
+	if !strings.Contains(s, "== x: demo ==") {
+		t.Errorf("missing title: %q", s)
+	}
+	if !strings.Contains(s, "0.1235") {
+		t.Errorf("float not formatted: %q", s)
+	}
+	if tb.Cell(1, 1) != "7" {
+		t.Errorf("Cell = %q", tb.Cell(1, 1))
+	}
+	if tb.Cell(9, 9) != "" {
+		t.Error("out-of-range Cell not empty")
+	}
+}
+
+func TestQuickAndFullOptions(t *testing.T) {
+	q, f := QuickOptions(), FullOptions()
+	if q.Instructions >= f.Instructions {
+		t.Error("quick not smaller than full")
+	}
+	if len(f.SRAMSizes) != 4 || len(f.LLCSizesMiB) != 4 {
+		t.Error("full sweep sizes wrong")
+	}
+}
+
+func TestPolicyComparison(t *testing.T) {
+	o := tinyOptions()
+	o.Benches = []string{"lbm"}
+	o.Instructions = 500_000
+	tb, err := PolicyComparison(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 1 || len(tb.Rows[0]) != 6 {
+		t.Fatalf("policy table shape: %v", tb.Rows)
+	}
+	base := cellFloat(t, tb, 0, 1)
+	noref := cellFloat(t, tb, 0, 5)
+	if base != 1 {
+		t.Errorf("baseline column = %g, want 1", base)
+	}
+	// The no-refresh ideal dominates every policy on a streaming
+	// benchmark.
+	for col := 2; col <= 4; col++ {
+		if v := cellFloat(t, tb, 0, col); v > noref+1e-9 {
+			t.Errorf("policy col %d (%g) above no-refresh (%g)", col, v, noref)
+		}
+	}
+}
+
+func TestFutureBankRefresh(t *testing.T) {
+	o := tinyOptions()
+	o.Benches = []string{"libquantum"}
+	o.Instructions = 600_000
+	tb, err := FutureBankRefresh(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 1 || len(tb.Rows[0]) != 6 {
+		t.Fatalf("future-bank table shape: %v", tb.Rows)
+	}
+	bank := cellFloat(t, tb, 0, 2)
+	ropBank := cellFloat(t, tb, 0, 3)
+	noref := cellFloat(t, tb, 0, 5)
+	// Bank-level refresh must not lose to the rank baseline, and ROP on
+	// top must not exceed the ideal.
+	if bank < 0.995 {
+		t.Errorf("bank refresh normalized IPC %g below baseline", bank)
+	}
+	if ropBank > noref+0.002 {
+		t.Errorf("rop-bank %g above no-refresh %g", ropBank, noref)
+	}
+}
+
+func TestAblationPagePolicy(t *testing.T) {
+	o := tinyOptions()
+	o.Benches = []string{"libquantum"}
+	tb, err := AblationPagePolicy(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 1 || len(tb.Rows[0]) != 5 {
+		t.Fatalf("abl-page shape: %v", tb.Rows)
+	}
+	for col := 1; col <= 4; col++ {
+		if v := cellFloat(t, tb, 0, col); v <= 0 || v > 1 {
+			t.Errorf("abl-page col %d = %g outside (0,1]", col, v)
+		}
+	}
+}

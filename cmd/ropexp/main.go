@@ -5,7 +5,13 @@
 //	ropexp -exp fig1
 //	ropexp -exp fig2,fig3,fig4,tab1
 //	ropexp -exp all -quick
+//	ropexp -exp all -jobs 8 -progress
 //	ropexp -exp fig10 -v
+//
+// Independent simulation runs are fanned across -jobs worker goroutines
+// (default: GOMAXPROCS). The rendered tables are byte-identical for any
+// -jobs value and a fixed seed: results are assembled by submission
+// order, never completion order.
 package main
 
 import (
@@ -15,17 +21,20 @@ import (
 	"strings"
 
 	"ropsim"
+	"ropsim/internal/runner"
 )
 
 func main() {
 	var (
-		exps    = flag.String("exp", "all", "comma-separated experiment ids: fig1 fig2 fig3 fig4 tab1 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 abl-gate abl-pred abl-fgr abl-page policy future-bank, or all")
-		quickF  = flag.Bool("quick", false, "reduced run lengths (smoke test scale)")
-		insts   = flag.Int64("insts", 0, "override single-core instructions per run")
-		minsts  = flag.Int64("minsts", 0, "override per-core instructions of 4-core runs")
-		seed    = flag.Int64("seed", 1, "simulation seed")
-		verbose = flag.Bool("v", false, "log every completed run")
-		benches = flag.String("bench", "", "restrict to comma-separated benchmarks")
+		exps     = flag.String("exp", "all", "comma-separated experiment ids: fig1 fig2 fig3 fig4 tab1 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 abl-gate abl-pred abl-fgr abl-page policy future-bank, or all")
+		quickF   = flag.Bool("quick", false, "reduced run lengths (smoke test scale)")
+		insts    = flag.Int64("insts", 0, "override single-core instructions per run")
+		minsts   = flag.Int64("minsts", 0, "override per-core instructions of 4-core runs")
+		seed     = flag.Int64("seed", 1, "simulation seed")
+		verbose  = flag.Bool("v", false, "log every completed run")
+		benches  = flag.String("bench", "", "restrict to comma-separated benchmarks")
+		jobs     = flag.Int("jobs", 0, "parallel simulation workers (0 = GOMAXPROCS, 1 = serial)")
+		progress = flag.Bool("progress", false, "print per-run progress with ETA to stderr")
 	)
 	flag.Parse()
 
@@ -45,6 +54,22 @@ func main() {
 	}
 	if *benches != "" {
 		o.Benches = strings.Split(*benches, ",")
+	}
+
+	// One pool serves every selected experiment, so the final stats
+	// line covers the whole evaluation.
+	pool := runner.New(*jobs)
+	o.Jobs = pool.Jobs()
+	o.Pool = pool
+	if *progress {
+		pool.SetProgress(func(ev runner.Event) {
+			if ev.Err != nil {
+				fmt.Fprintf(os.Stderr, "[%d/%d] %s FAILED: %v\n", ev.Completed, ev.Submitted, ev.Label, ev.Err)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "[%d/%d] %-40s %8s  eta %s\n",
+				ev.Completed, ev.Submitted, ev.Label, ev.Duration.Round(1e6), ev.ETA.Round(1e8))
+		})
 	}
 
 	want := map[string]bool{}
@@ -192,5 +217,9 @@ func main() {
 			fail(err)
 		}
 		print(t)
+	}
+
+	if s := pool.Stats(); s.Completed > 0 {
+		fmt.Fprintf(os.Stderr, "runner: %s\n", s)
 	}
 }

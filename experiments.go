@@ -1,12 +1,15 @@
 package ropsim
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"sync"
 
 	"ropsim/internal/analysis"
 	"ropsim/internal/cache"
 	"ropsim/internal/dram"
+	"ropsim/internal/runner"
 	"ropsim/internal/stats"
 )
 
@@ -33,7 +36,23 @@ type ExpOptions struct {
 	// LLCSizesMiB lists the LLC sweep sizes of Figs 12-14.
 	LLCSizesMiB []int
 	// Progress, when non-nil, receives one line per completed run.
+	// Workers log concurrently; lines are serialized but their order is
+	// scheduling-dependent. The rendered tables are not.
 	Progress io.Writer
+	// Jobs is the worker count each experiment fans its independent
+	// simulations across: 0 selects GOMAXPROCS, 1 forces serial
+	// execution. Tables are byte-identical regardless of Jobs — results
+	// are keyed by submission index, never completion order (the
+	// serial-vs-parallel equivalence test enforces this).
+	Jobs int
+	// Ctx, when non-nil, cancels in-flight experiments: queued runs are
+	// skipped and the experiment returns the context's error.
+	Ctx context.Context
+	// Pool, when non-nil, schedules every batch and accumulates runner
+	// statistics (runs, wall time, speedup vs serial) across
+	// experiments; cmd/ropexp shares one pool across the evaluation.
+	// Nil = each experiment uses a private pool of Jobs workers.
+	Pool *runner.Pool
 }
 
 // FullOptions returns the experiment scale used for EXPERIMENTS.md.
@@ -70,10 +89,31 @@ func (o *ExpOptions) mixes() []Mix {
 	return Mixes()
 }
 
+// progressMu serializes Progress writes from concurrent workers.
+var progressMu sync.Mutex
+
 func (o *ExpOptions) logf(format string, args ...any) {
 	if o.Progress != nil {
+		progressMu.Lock()
 		fmt.Fprintf(o.Progress, format+"\n", args...)
+		progressMu.Unlock()
 	}
+}
+
+// pool returns the scheduler for one experiment: the shared Pool when
+// set, otherwise a private pool of Jobs workers.
+func (o *ExpOptions) pool() *runner.Pool {
+	if o.Pool != nil {
+		return o.Pool
+	}
+	return runner.New(o.Jobs)
+}
+
+func (o *ExpOptions) ctx() context.Context {
+	if o.Ctx != nil {
+		return o.Ctx
+	}
+	return context.Background()
 }
 
 // single builds a single-core config for bench.
@@ -97,13 +137,28 @@ func (o *ExpOptions) multi(members []string, mode Mode, rankPartition bool) Conf
 	return cfg
 }
 
-func (o *ExpOptions) run(label string, cfg Config) (*Result, error) {
+// runOne executes one simulation and logs its completion.
+func (o *ExpOptions) runOne(label string, cfg Config) (*Result, error) {
 	res, err := Run(cfg)
 	if err != nil {
-		return nil, fmt.Errorf("%s: %w", label, err)
+		return nil, err
 	}
 	o.logf("  %-40s ipc0=%.4f elapsed=%d", label, res.Cores[0].IPC, res.ElapsedBus)
 	return res, nil
+}
+
+// task wraps one (label, Config) run for batch submission. The runner
+// wraps any error with the label.
+func (o *ExpOptions) task(label string, cfg Config) runner.Task[*Result] {
+	return runner.Task[*Result]{Label: label, Run: func(context.Context) (*Result, error) {
+		return o.runOne(label, cfg)
+	}}
+}
+
+// runBatch fans the tasks across the experiment's pool and returns the
+// results in submission order.
+func (o *ExpOptions) runBatch(tasks []runner.Task[*Result]) ([]*Result, error) {
+	return runner.Run(o.ctx(), o.pool(), tasks)
 }
 
 // Fig1 regenerates Figure 1: baseline vs idealized no-refresh IPC and
@@ -111,16 +166,20 @@ func (o *ExpOptions) run(label string, cfg Config) (*Result, error) {
 func Fig1(o ExpOptions) (*Table, error) {
 	t := &Table{ID: "fig1", Title: "Refresh overhead: baseline vs no-refresh (per benchmark)",
 		Header: []string{"bench", "ipc_base", "ipc_noref", "perf_degradation_%", "energy_base_J", "energy_noref_J", "extra_energy_%"}}
+	benches := o.benches()
+	tasks := make([]runner.Task[*Result], 0, 2*len(benches))
+	for _, b := range benches {
+		tasks = append(tasks,
+			o.task("fig1/"+b+"/base", o.single(b, ModeBaseline)),
+			o.task("fig1/"+b+"/noref", o.single(b, ModeNoRefresh)))
+	}
+	results, err := o.runBatch(tasks)
+	if err != nil {
+		return nil, err
+	}
 	var perf, energy stats.Mean
-	for _, b := range o.benches() {
-		rb, err := o.run("fig1/"+b+"/base", o.single(b, ModeBaseline))
-		if err != nil {
-			return nil, err
-		}
-		rn, err := o.run("fig1/"+b+"/noref", o.single(b, ModeNoRefresh))
-		if err != nil {
-			return nil, err
-		}
+	for i, b := range benches {
+		rb, rn := results[2*i], results[2*i+1]
 		deg := (rn.Cores[0].IPC - rb.Cores[0].IPC) / rn.Cores[0].IPC * 100
 		extra := (rb.TotalEnergy() - rn.TotalEnergy()) / rn.TotalEnergy() * 100
 		perf.Observe(deg)
@@ -146,15 +205,23 @@ func RefreshBehaviour(o ExpOptions) (fig2, fig3, fig4, tab1 *Table, err error) {
 	tab1 = &Table{ID: "tab1", Title: "Lambda and beta (window = k x tREFI)",
 		Header: []string{"bench", "lambda_1x", "beta_1x", "lambda_2x", "beta_2x", "lambda_4x", "beta_4x"}}
 
-	p := dram.DDR4_1600(Refresh1x)
-	for _, b := range o.benches() {
+	benches := o.benches()
+	ranks := make([]int, len(benches))
+	tasks := make([]runner.Task[*Result], 0, len(benches))
+	for i, b := range benches {
 		cfg := o.single(b, ModeBaseline)
 		cfg.Capture = true
-		res, err := o.run("refresh-behaviour/"+b, cfg)
-		if err != nil {
-			return nil, nil, nil, nil, err
-		}
-		tl := analysis.NewTimeline(res.Capture, cfg.Ranks)
+		ranks[i] = cfg.Ranks
+		tasks = append(tasks, o.task("refresh-behaviour/"+b, cfg))
+	}
+	results, err := o.runBatch(tasks)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+
+	p := dram.DDR4_1600(Refresh1x)
+	for i, b := range benches {
+		tl := analysis.NewTimeline(results[i].Capture, ranks[i])
 
 		fig2.AddRow(b,
 			tl.NonBlockingFraction(p.RFC),
@@ -190,25 +257,31 @@ func Fig7to9(o ExpOptions) (fig7, fig8, fig9 *Table, err error) {
 	}
 	fig9 = &Table{ID: "fig9", Title: "SRAM buffer hit rate by capacity", Header: hitHeader}
 
-	for _, b := range o.benches() {
-		rb, err := o.run("fig7/"+b+"/base", o.single(b, ModeBaseline))
-		if err != nil {
-			return nil, nil, nil, err
-		}
-		rn, err := o.run("fig7/"+b+"/noref", o.single(b, ModeNoRefresh))
-		if err != nil {
-			return nil, nil, nil, err
-		}
-		ipcRow := []any{b}
-		energyRow := []any{b}
-		hitRow := []any{b}
+	benches := o.benches()
+	stride := 2 + len(sizes) // base, noref, then one ROP run per size
+	tasks := make([]runner.Task[*Result], 0, stride*len(benches))
+	for _, b := range benches {
+		tasks = append(tasks,
+			o.task("fig7/"+b+"/base", o.single(b, ModeBaseline)),
+			o.task("fig7/"+b+"/noref", o.single(b, ModeNoRefresh)))
 		for _, s := range sizes {
 			cfg := o.single(b, ModeROP)
 			cfg.SRAMLines = s
-			rr, err := o.run(fmt.Sprintf("fig7/%s/rop%d", b, s), cfg)
-			if err != nil {
-				return nil, nil, nil, err
-			}
+			tasks = append(tasks, o.task(fmt.Sprintf("fig7/%s/rop%d", b, s), cfg))
+		}
+	}
+	results, err := o.runBatch(tasks)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+
+	for i, b := range benches {
+		rb, rn := results[i*stride], results[i*stride+1]
+		ipcRow := []any{b}
+		energyRow := []any{b}
+		hitRow := []any{b}
+		for j := range sizes {
+			rr := results[i*stride+2+j]
 			ipcRow = append(ipcRow, rr.Cores[0].IPC/rb.Cores[0].IPC)
 			energyRow = append(energyRow, rr.TotalEnergy()/rb.TotalEnergy())
 			hitRow = append(hitRow, rr.SRAMHitRate)
@@ -222,52 +295,58 @@ func Fig7to9(o ExpOptions) (fig7, fig8, fig9 *Table, err error) {
 	return fig7, fig8, fig9, nil
 }
 
-// multiSystems runs a mix under the paper's three systems and returns
-// (Baseline, Baseline-RP, ROP) results. The ROP system includes the
-// paper's rank-aware mapping.
-func (o *ExpOptions) multiSystems(m Mix, llcBytes int) (base, baseRP, rop *Result, err error) {
-	cfgB := o.multi(m.Members, ModeBaseline, false)
-	cfgRP := o.multi(m.Members, ModeBaseline, true)
-	cfgR := o.multi(m.Members, ModeROP, true)
-	if llcBytes > 0 {
-		cfgB.LLCBytes = llcBytes
-		cfgRP.LLCBytes = llcBytes
-		cfgR.LLCBytes = llcBytes
-	}
-	if base, err = o.run("multi/"+m.Name+"/base", cfgB); err != nil {
-		return
-	}
-	if baseRP, err = o.run("multi/"+m.Name+"/base-rp", cfgRP); err != nil {
-		return
-	}
-	rop, err = o.run("multi/"+m.Name+"/rop", cfgR)
-	return
+// aloneKey identifies one memoized alone-IPC run: the benchmark and the
+// LLC size it ran under (0 = the multiprogram default).
+type aloneKey struct {
+	bench string
+	llc   int
 }
 
-// aloneIPCs computes per-member alone IPCs on the multi-core platform
-// (4 ranks, the given LLC), caching by benchmark.
-func (o *ExpOptions) aloneIPCs(members []string, llcBytes int, cache map[string]float64) ([]float64, error) {
-	out := make([]float64, len(members))
-	for i, b := range members {
-		if v, ok := cache[b]; ok {
-			out[i] = v
-			continue
-		}
-		cfg := o.multi([]string{b}, ModeBaseline, false)
+// aloneIPC computes (once per key, concurrency-safe) the alone IPC of
+// bench on the multi-core platform: 4 ranks and the given LLC.
+func (o *ExpOptions) aloneIPC(bench string, llcBytes int, memo *runner.Memo[aloneKey, float64]) (float64, error) {
+	return memo.Do(aloneKey{bench, llcBytes}, func() (float64, error) {
+		cfg := o.multi([]string{bench}, ModeBaseline, false)
 		cfg.Ranks = 4
 		if llcBytes > 0 {
 			cfg.LLCBytes = llcBytes
 		} else {
 			cfg.LLCBytes = Default("a", "b", "c", "d").LLCBytes
 		}
-		res, err := o.run("alone/"+b, cfg)
+		res, err := o.runOne("alone/"+bench, cfg)
+		if err != nil {
+			return 0, err
+		}
+		return res.Cores[0].IPC, nil
+	})
+}
+
+// aloneIPCs resolves the per-member alone IPCs of a mix through the
+// memo (all cache hits when the batch pre-warmed it).
+func (o *ExpOptions) aloneIPCs(members []string, llcBytes int, memo *runner.Memo[aloneKey, float64]) ([]float64, error) {
+	out := make([]float64, len(members))
+	for i, b := range members {
+		v, err := o.aloneIPC(b, llcBytes, memo)
 		if err != nil {
 			return nil, err
 		}
-		cache[b] = res.Cores[0].IPC
-		out[i] = res.Cores[0].IPC
+		out[i] = v
 	}
 	return out, nil
+}
+
+// aloneTask warms the alone-IPC memo for one (bench, LLC) key as part
+// of a batch; the result is read back through the memo, so the task's
+// own *Result slot stays nil.
+func (o *ExpOptions) aloneTask(bench string, llcBytes int, memo *runner.Memo[aloneKey, float64]) runner.Task[*Result] {
+	label := "alone/" + bench
+	if llcBytes > 0 {
+		label = fmt.Sprintf("alone/%s/%dMB", bench, llcBytes/cache.MiB)
+	}
+	return runner.Task[*Result]{Label: label, Run: func(context.Context) (*Result, error) {
+		_, err := o.aloneIPC(bench, llcBytes, memo)
+		return nil, err
+	}}
 }
 
 // Fig10and11 regenerates Figures 10-11: 4-core normalized weighted
@@ -277,17 +356,38 @@ func Fig10and11(o ExpOptions) (fig10, fig11 *Table, err error) {
 		Header: []string{"mix", "Baseline", "Baseline-RP", "ROP", "ROP_vs_Base"}}
 	fig11 = &Table{ID: "fig11", Title: "Normalized energy (4-core)",
 		Header: []string{"mix", "Baseline", "Baseline-RP", "ROP"}}
-	aloneCache := map[string]float64{}
+
+	mixes := o.mixes()
+	memo := &runner.Memo[aloneKey, float64]{}
+	var tasks []runner.Task[*Result]
+	seen := map[string]bool{}
+	for _, m := range mixes {
+		for _, b := range m.Members {
+			if !seen[b] {
+				seen[b] = true
+				tasks = append(tasks, o.aloneTask(b, 0, memo))
+			}
+		}
+	}
+	sysBase := len(tasks)
+	for _, m := range mixes {
+		tasks = append(tasks,
+			o.task("multi/"+m.Name+"/base", o.multi(m.Members, ModeBaseline, false)),
+			o.task("multi/"+m.Name+"/base-rp", o.multi(m.Members, ModeBaseline, true)),
+			o.task("multi/"+m.Name+"/rop", o.multi(m.Members, ModeROP, true)))
+	}
+	results, err := o.runBatch(tasks)
+	if err != nil {
+		return nil, nil, err
+	}
+
 	var ratios []float64
-	for _, m := range o.mixes() {
-		alone, err := o.aloneIPCs(m.Members, 0, aloneCache)
+	for i, m := range mixes {
+		alone, err := o.aloneIPCs(m.Members, 0, memo)
 		if err != nil {
 			return nil, nil, err
 		}
-		base, baseRP, rop, err := o.multiSystems(m, 0)
-		if err != nil {
-			return nil, nil, err
-		}
+		base, baseRP, rop := results[sysBase+3*i], results[sysBase+3*i+1], results[sysBase+3*i+2]
 		wsB := WeightedSpeedup(base, alone)
 		wsRP := WeightedSpeedup(baseRP, alone)
 		wsR := WeightedSpeedup(rop, alone)
@@ -313,32 +413,53 @@ func Fig12to14(o ExpOptions) (fig12, fig13, fig14 *Table, err error) {
 	fig13 = &Table{ID: "fig13", Title: "ROP energy vs Baseline by LLC size", Header: header}
 	fig14 = &Table{ID: "fig14", Title: "SRAM hit rate by LLC size", Header: header}
 
-	aloneCaches := map[int]map[string]float64{}
-	for _, m := range o.mixes() {
+	mixes := o.mixes()
+	memo := &runner.Memo[aloneKey, float64]{}
+	var tasks []runner.Task[*Result]
+	seen := map[aloneKey]bool{}
+	for _, mb := range o.LLCSizesMiB {
+		llc := mb * cache.MiB
+		for _, m := range mixes {
+			for _, b := range m.Members {
+				key := aloneKey{b, llc}
+				if !seen[key] {
+					seen[key] = true
+					tasks = append(tasks, o.aloneTask(b, llc, memo))
+				}
+			}
+		}
+	}
+	sysBase := len(tasks)
+	for _, m := range mixes {
+		for _, mb := range o.LLCSizesMiB {
+			llc := mb * cache.MiB
+			cfgB := o.multi(m.Members, ModeBaseline, false)
+			cfgB.LLCBytes = llc
+			cfgR := o.multi(m.Members, ModeROP, true)
+			cfgR.LLCBytes = llc
+			tasks = append(tasks,
+				o.task(fmt.Sprintf("fig12/%s/%dMB/base", m.Name, mb), cfgB),
+				o.task(fmt.Sprintf("fig12/%s/%dMB/rop", m.Name, mb), cfgR))
+		}
+	}
+	results, err := o.runBatch(tasks)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+
+	idx := sysBase
+	for _, m := range mixes {
 		wsRow := []any{m.Name}
 		enRow := []any{m.Name}
 		hitRow := []any{m.Name}
 		for _, mb := range o.LLCSizesMiB {
 			llc := mb * cache.MiB
-			if aloneCaches[mb] == nil {
-				aloneCaches[mb] = map[string]float64{}
-			}
-			alone, err := o.aloneIPCs(m.Members, llc, aloneCaches[mb])
+			alone, err := o.aloneIPCs(m.Members, llc, memo)
 			if err != nil {
 				return nil, nil, nil, err
 			}
-			cfgB := o.multi(m.Members, ModeBaseline, false)
-			cfgB.LLCBytes = llc
-			base, err := o.run(fmt.Sprintf("fig12/%s/%dMB/base", m.Name, mb), cfgB)
-			if err != nil {
-				return nil, nil, nil, err
-			}
-			cfgR := o.multi(m.Members, ModeROP, true)
-			cfgR.LLCBytes = llc
-			rop, err := o.run(fmt.Sprintf("fig12/%s/%dMB/rop", m.Name, mb), cfgR)
-			if err != nil {
-				return nil, nil, nil, err
-			}
+			base, rop := results[idx], results[idx+1]
+			idx += 2
 			wsRow = append(wsRow, WeightedSpeedup(rop, alone)/WeightedSpeedup(base, alone))
 			enRow = append(enRow, rop.TotalEnergy()/base.TotalEnergy())
 			hitRow = append(hitRow, rop.SRAMHitRate)
@@ -355,20 +476,27 @@ func Fig12to14(o ExpOptions) (fig12, fig13, fig14 *Table, err error) {
 func AblationGate(o ExpOptions) (*Table, error) {
 	t := &Table{ID: "abl-gate", Title: "Prefetch gate ablation (IPC normalized to baseline)",
 		Header: []string{"bench", "probabilistic", "always", "never"}}
-	for _, b := range o.benches() {
-		rb, err := o.run("abl-gate/"+b+"/base", o.single(b, ModeBaseline))
-		if err != nil {
-			return nil, err
-		}
-		row := []any{b}
-		for _, gate := range []GatePolicy{GateProbabilistic, GateAlways, GateNever} {
+	benches := o.benches()
+	gates := []GatePolicy{GateProbabilistic, GateAlways, GateNever}
+	stride := 1 + len(gates)
+	tasks := make([]runner.Task[*Result], 0, stride*len(benches))
+	for _, b := range benches {
+		tasks = append(tasks, o.task("abl-gate/"+b+"/base", o.single(b, ModeBaseline)))
+		for _, gate := range gates {
 			cfg := o.single(b, ModeROP)
 			cfg.ROPGate = gate
-			rr, err := o.run(fmt.Sprintf("abl-gate/%s/%v", b, gate), cfg)
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, rr.Cores[0].IPC/rb.Cores[0].IPC)
+			tasks = append(tasks, o.task(fmt.Sprintf("abl-gate/%s/%v", b, gate), cfg))
+		}
+	}
+	results, err := o.runBatch(tasks)
+	if err != nil {
+		return nil, err
+	}
+	for i, b := range benches {
+		rb := results[i*stride]
+		row := []any{b}
+		for j := range gates {
+			row = append(row, results[i*stride+1+j].Cores[0].IPC/rb.Cores[0].IPC)
 		}
 		t.AddRow(row...)
 	}
@@ -381,23 +509,31 @@ func AblationGate(o ExpOptions) (*Table, error) {
 func AblationPredictor(o ExpOptions) (*Table, error) {
 	t := &Table{ID: "abl-pred", Title: "Predictor ablation (normalized IPC / SRAM hit rate)",
 		Header: []string{"bench", "table_ipc", "table_hit", "strict_ipc", "strict_hit", "vldp_ipc", "vldp_hit"}}
-	for _, b := range o.benches() {
-		rb, err := o.run("abl-pred/"+b+"/base", o.single(b, ModeBaseline))
-		if err != nil {
-			return nil, err
-		}
-		row := []any{b}
-		for _, variant := range []struct {
-			strict bool
-			pred   Predictor
-		}{{false, PredictorTable}, {true, PredictorTable}, {false, PredictorVLDP}} {
+	variants := []struct {
+		strict bool
+		pred   Predictor
+	}{{false, PredictorTable}, {true, PredictorTable}, {false, PredictorVLDP}}
+	benches := o.benches()
+	stride := 1 + len(variants)
+	tasks := make([]runner.Task[*Result], 0, stride*len(benches))
+	for _, b := range benches {
+		tasks = append(tasks, o.task("abl-pred/"+b+"/base", o.single(b, ModeBaseline)))
+		for _, v := range variants {
 			cfg := o.single(b, ModeROP)
-			cfg.ROPStrictTable = variant.strict
-			cfg.ROPPredictor = variant.pred
-			rr, err := o.run(fmt.Sprintf("abl-pred/%s/strict=%v/%v", b, variant.strict, variant.pred), cfg)
-			if err != nil {
-				return nil, err
-			}
+			cfg.ROPStrictTable = v.strict
+			cfg.ROPPredictor = v.pred
+			tasks = append(tasks, o.task(fmt.Sprintf("abl-pred/%s/strict=%v/%v", b, v.strict, v.pred), cfg))
+		}
+	}
+	results, err := o.runBatch(tasks)
+	if err != nil {
+		return nil, err
+	}
+	for i, b := range benches {
+		rb := results[i*stride]
+		row := []any{b}
+		for j := range variants {
+			rr := results[i*stride+1+j]
 			row = append(row, rr.Cores[0].IPC/rb.Cores[0].IPC, rr.SRAMHitRate)
 		}
 		t.AddRow(row...)
@@ -411,18 +547,25 @@ func AblationPredictor(o ExpOptions) (*Table, error) {
 func PolicyComparison(o ExpOptions) (*Table, error) {
 	t := &Table{ID: "policy", Title: "Refresh policy comparison (IPC normalized to baseline)",
 		Header: []string{"bench", "baseline", "elastic", "pausing", "rop", "norefresh"}}
-	for _, b := range o.benches() {
-		rb, err := o.run("policy/"+b+"/base", o.single(b, ModeBaseline))
-		if err != nil {
-			return nil, err
+	modes := []Mode{ModeElastic, ModePausing, ModeROP, ModeNoRefresh}
+	benches := o.benches()
+	stride := 1 + len(modes)
+	tasks := make([]runner.Task[*Result], 0, stride*len(benches))
+	for _, b := range benches {
+		tasks = append(tasks, o.task("policy/"+b+"/base", o.single(b, ModeBaseline)))
+		for _, mode := range modes {
+			tasks = append(tasks, o.task(fmt.Sprintf("policy/%s/%v", b, mode), o.single(b, mode)))
 		}
+	}
+	results, err := o.runBatch(tasks)
+	if err != nil {
+		return nil, err
+	}
+	for i, b := range benches {
+		rb := results[i*stride]
 		row := []any{b, 1.0}
-		for _, mode := range []Mode{ModeElastic, ModePausing, ModeROP, ModeNoRefresh} {
-			rr, err := o.run(fmt.Sprintf("policy/%s/%v", b, mode), o.single(b, mode))
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, rr.Cores[0].IPC/rb.Cores[0].IPC)
+		for j := range modes {
+			row = append(row, results[i*stride+1+j].Cores[0].IPC/rb.Cores[0].IPC)
 		}
 		t.AddRow(row...)
 	}
@@ -441,27 +584,33 @@ func AblationFGR(o ExpOptions) (*Table, error) {
 		// future-work discussion does.
 		benches = []string{"GemsFDTD", "lbm", "libquantum", "bwaves"}
 	}
+	fgrModes := []RefreshMode{Refresh1x, Refresh2x, Refresh4x}
+	stride := 3 * len(fgrModes) // noref, base, rop per FGR mode
+	tasks := make([]runner.Task[*Result], 0, stride*len(benches))
 	for _, b := range benches {
-		row := []any{b}
-		for _, mode := range []RefreshMode{Refresh1x, Refresh2x, Refresh4x} {
+		for _, mode := range fgrModes {
 			cfgN := o.single(b, ModeNoRefresh)
 			cfgN.FGR = mode
-			rn, err := o.run(fmt.Sprintf("abl-fgr/%s/%v/noref", b, mode), cfgN)
-			if err != nil {
-				return nil, err
-			}
 			cfgB := o.single(b, ModeBaseline)
 			cfgB.FGR = mode
-			rb, err := o.run(fmt.Sprintf("abl-fgr/%s/%v/base", b, mode), cfgB)
-			if err != nil {
-				return nil, err
-			}
 			cfgR := o.single(b, ModeROP)
 			cfgR.FGR = mode
-			rr, err := o.run(fmt.Sprintf("abl-fgr/%s/%v/rop", b, mode), cfgR)
-			if err != nil {
-				return nil, err
-			}
+			tasks = append(tasks,
+				o.task(fmt.Sprintf("abl-fgr/%s/%v/noref", b, mode), cfgN),
+				o.task(fmt.Sprintf("abl-fgr/%s/%v/base", b, mode), cfgB),
+				o.task(fmt.Sprintf("abl-fgr/%s/%v/rop", b, mode), cfgR))
+		}
+	}
+	results, err := o.runBatch(tasks)
+	if err != nil {
+		return nil, err
+	}
+	for i, b := range benches {
+		row := []any{b}
+		for j := range fgrModes {
+			rn := results[i*stride+3*j]
+			rb := results[i*stride+3*j+1]
+			rr := results[i*stride+3*j+2]
 			row = append(row, rb.Cores[0].IPC/rn.Cores[0].IPC, rr.Cores[0].IPC/rn.Cores[0].IPC)
 		}
 		t.AddRow(row...)
@@ -479,24 +628,29 @@ func FutureBankRefresh(o ExpOptions) (*Table, error) {
 	if len(benches) > 6 {
 		benches = []string{"GemsFDTD", "lbm", "libquantum", "bwaves", "gcc", "cactusADM"}
 	}
+	modes := []Mode{ModeBankRefresh, ModeROPBank, ModeSubarrayRefresh, ModeNoRefresh}
+	stride := 1 + len(modes)
+	tasks := make([]runner.Task[*Result], 0, stride*len(benches))
 	for _, b := range benches {
-		rb, err := o.run("future-bank/"+b+"/base", o.single(b, ModeBaseline))
-		if err != nil {
-			return nil, err
+		tasks = append(tasks, o.task("future-bank/"+b+"/base", o.single(b, ModeBaseline)))
+		for _, mode := range modes {
+			tasks = append(tasks, o.task(fmt.Sprintf("future-bank/%s/%v", b, mode), o.single(b, mode)))
 		}
+	}
+	results, err := o.runBatch(tasks)
+	if err != nil {
+		return nil, err
+	}
+	for i, b := range benches {
+		rb := results[i*stride]
 		row := []any{b, 1.0}
-		for _, mode := range []Mode{ModeBankRefresh, ModeROPBank, ModeSubarrayRefresh, ModeNoRefresh} {
-			rr, err := o.run(fmt.Sprintf("future-bank/%s/%v", b, mode), o.single(b, mode))
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, rr.Cores[0].IPC/rb.Cores[0].IPC)
+		for j := range modes {
+			row = append(row, results[i*stride+1+j].Cores[0].IPC/rb.Cores[0].IPC)
 		}
 		t.AddRow(row...)
 	}
 	return t, nil
 }
-
 
 // AblationPagePolicy compares the paper's open-page row policy against
 // closed-page, for the baseline and ROP systems.
@@ -507,20 +661,26 @@ func AblationPagePolicy(o ExpOptions) (*Table, error) {
 	if len(benches) > 4 {
 		benches = []string{"libquantum", "lbm", "gcc", "bzip2"}
 	}
+	stride := 4 // open_base, closed_base, open_rop, closed_rop
+	tasks := make([]runner.Task[*Result], 0, stride*len(benches))
 	for _, b := range benches {
-		row := []any{b}
 		for _, mode := range []Mode{ModeBaseline, ModeROP} {
 			for _, closed := range []bool{false, true} {
 				cfg := o.single(b, mode)
 				cfg.ClosedPage = closed
-				rr, err := o.run(fmt.Sprintf("abl-page/%s/%v/closed=%v", b, mode, closed), cfg)
-				if err != nil {
-					return nil, err
-				}
-				row = append(row, rr.Cores[0].IPC)
+				tasks = append(tasks, o.task(fmt.Sprintf("abl-page/%s/%v/closed=%v", b, mode, closed), cfg))
 			}
 		}
-		// Reorder: open_base, closed_base, open_rop, closed_rop already.
+	}
+	results, err := o.runBatch(tasks)
+	if err != nil {
+		return nil, err
+	}
+	for i, b := range benches {
+		row := []any{b}
+		for j := 0; j < stride; j++ {
+			row = append(row, results[i*stride+j].Cores[0].IPC)
+		}
 		t.AddRow(row...)
 	}
 	return t, nil

@@ -1,0 +1,73 @@
+package runner
+
+import "sync"
+
+// Memo is a concurrency-safe memoization table with singleflight
+// semantics: when several goroutines call Do with the same key, exactly
+// one runs the compute function and the others block until it finishes,
+// then share the value. The experiment harness uses it for the alone-IPC
+// baselines of the weighted-speedup figures, where many mixes reference
+// the same benchmark and must not recompute (or race on) its run.
+//
+// Results — including errors — are cached permanently: a key's compute
+// function runs at most once for the lifetime of the Memo. The zero
+// value is ready to use.
+type Memo[K comparable, V any] struct {
+	mu sync.Mutex
+	m  map[K]*memoEntry[V]
+}
+
+type memoEntry[V any] struct {
+	done chan struct{}
+	val  V
+	err  error
+}
+
+// Do returns the memoized value for key, computing it with fn on the
+// first call. Concurrent calls for the same key share one computation.
+// fn runs on the calling goroutine, so a pool worker computing an entry
+// keeps making progress while other workers wait on it.
+func (m *Memo[K, V]) Do(key K, fn func() (V, error)) (V, error) {
+	m.mu.Lock()
+	if m.m == nil {
+		m.m = make(map[K]*memoEntry[V])
+	}
+	e, ok := m.m[key]
+	if !ok {
+		e = &memoEntry[V]{done: make(chan struct{})}
+		m.m[key] = e
+		m.mu.Unlock()
+		e.val, e.err = fn()
+		close(e.done)
+		return e.val, e.err
+	}
+	m.mu.Unlock()
+	<-e.done
+	return e.val, e.err
+}
+
+// Get returns the cached value for key without computing, and whether a
+// completed entry exists.
+func (m *Memo[K, V]) Get(key K) (V, bool) {
+	m.mu.Lock()
+	e, ok := m.m[key]
+	m.mu.Unlock()
+	if !ok {
+		var zero V
+		return zero, false
+	}
+	select {
+	case <-e.done:
+		return e.val, e.err == nil
+	default:
+		var zero V
+		return zero, false
+	}
+}
+
+// Len reports the number of entries (computed or in flight).
+func (m *Memo[K, V]) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.m)
+}

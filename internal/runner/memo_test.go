@@ -1,0 +1,103 @@
+package runner
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMemoComputesOncePerKey(t *testing.T) {
+	var m Memo[string, int]
+	var computes atomic.Int64
+	const goroutines = 32
+	var wg sync.WaitGroup
+	results := make([]int, goroutines)
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, err := m.Do("k", func() (int, error) {
+				computes.Add(1)
+				return 42, nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			results[g] = v
+		}()
+	}
+	wg.Wait()
+	if n := computes.Load(); n != 1 {
+		t.Fatalf("compute ran %d times, want 1 (singleflight)", n)
+	}
+	for g, v := range results {
+		if v != 42 {
+			t.Errorf("goroutine %d got %d", g, v)
+		}
+	}
+	if m.Len() != 1 {
+		t.Errorf("Len = %d, want 1", m.Len())
+	}
+}
+
+func TestMemoDistinctKeys(t *testing.T) {
+	var m Memo[aloneTestKey, float64]
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		for i := 0; i < 8; i++ {
+			key := aloneTestKey{bench: "b", llc: i}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				v, _ := m.Do(key, func() (float64, error) { return float64(key.llc), nil })
+				if v != float64(key.llc) {
+					t.Errorf("key %v got %v", key, v)
+				}
+			}()
+		}
+	}
+	wg.Wait()
+	if m.Len() != 8 {
+		t.Errorf("Len = %d, want 8", m.Len())
+	}
+}
+
+type aloneTestKey struct {
+	bench string
+	llc   int
+}
+
+func TestMemoCachesErrors(t *testing.T) {
+	var m Memo[int, int]
+	boom := errors.New("boom")
+	var computes int
+	for i := 0; i < 3; i++ {
+		_, err := m.Do(7, func() (int, error) {
+			computes++
+			return 0, boom
+		})
+		if !errors.Is(err, boom) {
+			t.Fatalf("call %d: err = %v", i, err)
+		}
+	}
+	if computes != 1 {
+		t.Errorf("compute ran %d times, want 1 (errors cached)", computes)
+	}
+}
+
+func TestMemoGet(t *testing.T) {
+	var m Memo[string, int]
+	if _, ok := m.Get("missing"); ok {
+		t.Error("Get on empty memo reported a value")
+	}
+	m.Do("k", func() (int, error) { return 9, nil })
+	if v, ok := m.Get("k"); !ok || v != 9 {
+		t.Errorf("Get = %v,%v, want 9,true", v, ok)
+	}
+	m.Do("e", func() (int, error) { return 0, errors.New("x") })
+	if _, ok := m.Get("e"); ok {
+		t.Error("Get reported ok for an errored entry")
+	}
+}

@@ -1,0 +1,284 @@
+// Package runner schedules independent simulation runs across a pool of
+// worker goroutines. It exists so the experiment harness can regenerate
+// the paper's hundreds of runs in parallel while keeping the rendered
+// artifacts bit-identical to a serial execution: results are keyed by
+// submission index, never by completion order, so a table built from a
+// batch's results is the same table no matter how the scheduler
+// interleaved the work.
+//
+// The pool provides bounded-queue backpressure (a batch feeds workers
+// through a channel sized to the worker count, so huge batches never
+// buffer fully), first-error capture with the failing task's label,
+// cancellation through context.Context, and cumulative statistics
+// (runs completed, wall time, busy time) for speedup reporting.
+package runner
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"ropsim/internal/stats"
+)
+
+// Task is one unit of work: a labeled closure producing a result. The
+// label identifies the run in error messages and progress events.
+type Task[R any] struct {
+	Label string
+	Run   func(ctx context.Context) (R, error)
+}
+
+// Func wraps a plain function as a labeled task.
+func Func[R any](label string, fn func(ctx context.Context) (R, error)) Task[R] {
+	return Task[R]{Label: label, Run: fn}
+}
+
+// Event describes one completed (or failed) task, delivered to the
+// pool's progress callback.
+type Event struct {
+	// Label is the task's label.
+	Label string
+	// Err is the task's error, nil on success.
+	Err error
+	// Duration is how long the task ran.
+	Duration time.Duration
+	// Completed and Submitted are the pool's cumulative counts at the
+	// time of the event.
+	Completed, Submitted int64
+	// ETA estimates the remaining wall time for the submitted work
+	// (zero when unknown). It assumes tasks of mean duration spread
+	// across the pool's workers.
+	ETA time.Duration
+}
+
+// Pool schedules tasks across a fixed number of workers and accumulates
+// statistics across batches. The zero value is not usable; construct
+// with New. A Pool may serve many Run batches, concurrently or in
+// sequence; all statistics are cumulative.
+type Pool struct {
+	jobs int
+
+	mu        sync.Mutex
+	started   time.Time // first task start, for wall time
+	stopped   time.Time // last task end
+	submitted int64
+	busy      time.Duration
+	durMean   stats.Mean
+	progress  func(Event)
+
+	completed stats.AtomicCounter
+	failed    stats.AtomicCounter
+}
+
+// New returns a pool of the given size. jobs <= 0 selects
+// runtime.GOMAXPROCS(0); jobs == 1 yields serial execution.
+func New(jobs int) *Pool {
+	if jobs <= 0 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{jobs: jobs}
+}
+
+// Jobs reports the worker count.
+func (p *Pool) Jobs() int { return p.jobs }
+
+// SetProgress installs a callback invoked after every task completion.
+// The pool serializes calls, so the callback may write to a shared sink
+// without further locking. Install before submitting work.
+func (p *Pool) SetProgress(fn func(Event)) {
+	p.mu.Lock()
+	p.progress = fn
+	p.mu.Unlock()
+}
+
+// Stats is a snapshot of the pool's cumulative work.
+type Stats struct {
+	// Jobs is the worker count.
+	Jobs int
+	// Completed counts successfully finished tasks; Failed counts
+	// tasks that returned an error.
+	Completed, Failed int64
+	// Wall is the elapsed time between the first task starting and the
+	// last task finishing (so far).
+	Wall time.Duration
+	// Busy is the summed duration of all tasks — the serial-equivalent
+	// execution time. When workers outnumber available CPUs, each
+	// task's duration includes time-slicing, so Busy (and Speedup)
+	// overestimate the serial baseline; with jobs <= CPUs it is tight.
+	Busy time.Duration
+}
+
+// Speedup reports Busy/Wall, the achieved speedup over a serial
+// execution of the same tasks (0 when no work ran).
+func (s Stats) Speedup() float64 {
+	if s.Wall <= 0 {
+		return 0
+	}
+	return s.Busy.Seconds() / s.Wall.Seconds()
+}
+
+// String renders the stats as a one-line summary.
+func (s Stats) String() string {
+	return fmt.Sprintf("%d runs in %s wall (%d jobs, %s serial-equivalent, %.2fx speedup)",
+		s.Completed, s.Wall.Round(time.Millisecond), s.Jobs,
+		s.Busy.Round(time.Millisecond), s.Speedup())
+}
+
+// Stats snapshots the pool's cumulative counters.
+func (p *Pool) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var wall time.Duration
+	if !p.started.IsZero() {
+		end := p.stopped
+		if end.IsZero() || p.inFlight() {
+			end = time.Now()
+		}
+		wall = end.Sub(p.started)
+	}
+	return Stats{
+		Jobs:      p.jobs,
+		Completed: p.completed.Value(),
+		Failed:    p.failed.Value(),
+		Wall:      wall,
+		Busy:      p.busy,
+	}
+}
+
+// inFlight reports whether submitted tasks have not finished yet.
+// Callers hold p.mu.
+func (p *Pool) inFlight() bool {
+	return p.completed.Value()+p.failed.Value() < p.submitted
+}
+
+// admit registers a task about to run.
+func (p *Pool) admit() {
+	p.mu.Lock()
+	if p.started.IsZero() {
+		p.started = time.Now()
+	}
+	p.submitted++
+	p.mu.Unlock()
+}
+
+// record registers a finished task and fires the progress callback.
+func (p *Pool) record(label string, d time.Duration, err error) {
+	if err != nil {
+		p.failed.Inc()
+	} else {
+		p.completed.Inc()
+	}
+	p.mu.Lock()
+	p.busy += d
+	p.durMean.Observe(d.Seconds())
+	p.stopped = time.Now()
+	done := p.completed.Value() + p.failed.Value()
+	ev := Event{
+		Label:     label,
+		Err:       err,
+		Duration:  d,
+		Completed: done,
+		Submitted: p.submitted,
+	}
+	if rem := p.submitted - done; rem > 0 && p.durMean.N() > 0 {
+		ev.ETA = time.Duration(float64(rem) * p.durMean.Value() / float64(p.jobs) * float64(time.Second))
+	}
+	fn := p.progress
+	if fn != nil {
+		// Invoked under the pool lock so events arrive serialized; the
+		// callback must not call back into the pool.
+		fn(ev)
+	}
+	p.mu.Unlock()
+}
+
+// Run executes tasks on the pool and returns their results in
+// submission order, regardless of completion order. On the first task
+// error it cancels the batch — queued tasks are skipped, in-flight
+// tasks finish — and returns that error wrapped with the task's label;
+// among concurrent failures the earliest submission index wins, so
+// serial and parallel executions report the same error. A cancelled ctx
+// aborts the batch with ctx's error.
+//
+// Tasks are fed to workers through a bounded queue, so a batch of
+// thousands holds only O(jobs) tasks in flight or buffered at once.
+func Run[R any](ctx context.Context, p *Pool, tasks []Task[R]) ([]R, error) {
+	results := make([]R, len(tasks))
+	if len(tasks) == 0 {
+		return results, ctx.Err()
+	}
+	jobs := p.jobs
+	if jobs > len(tasks) {
+		jobs = len(tasks)
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		errMu    sync.Mutex
+		firstErr error
+		firstIdx = -1
+	)
+	fail := func(i int, err error) {
+		errMu.Lock()
+		if firstIdx == -1 || i < firstIdx {
+			firstIdx, firstErr = i, err
+		}
+		errMu.Unlock()
+		cancel()
+	}
+
+	// Feeder: bounded queue sized to the worker count provides
+	// backpressure; cancellation stops admission of queued work.
+	queue := make(chan int, jobs)
+	go func() {
+		defer close(queue)
+		for i := range tasks {
+			select {
+			case queue <- i:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < jobs; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range queue {
+				if ctx.Err() != nil {
+					return
+				}
+				t := tasks[i]
+				p.admit()
+				start := time.Now()
+				res, err := t.Run(ctx)
+				p.record(t.Label, time.Since(start), err)
+				if err != nil {
+					fail(i, fmt.Errorf("%s: %w", t.Label, err))
+					return
+				}
+				results[i] = res
+			}
+		}()
+	}
+	wg.Wait()
+
+	errMu.Lock()
+	err := firstErr
+	errMu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		// Parent cancellation (our own deferred cancel has not run yet,
+		// and the internal cancel only fires on a task error).
+		return nil, err
+	}
+	return results, nil
+}

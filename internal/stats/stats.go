@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync/atomic"
 )
 
 // Counter is a monotonically increasing event count.
@@ -31,6 +32,30 @@ func (c *Counter) Value() int64 { return c.n }
 
 // Reset clears the counter.
 func (c *Counter) Reset() { c.n = 0 }
+
+// AtomicCounter is a Counter safe for concurrent use. The experiment
+// runner uses it for completion counts read by progress reporters while
+// workers are still incrementing.
+type AtomicCounter struct {
+	n atomic.Int64
+}
+
+// Add increments the counter by d, which must be non-negative.
+func (c *AtomicCounter) Add(d int64) {
+	if d < 0 {
+		panic("stats: negative AtomicCounter.Add")
+	}
+	c.n.Add(d)
+}
+
+// Inc increments the counter by one.
+func (c *AtomicCounter) Inc() { c.n.Add(1) }
+
+// Value reports the current count.
+func (c *AtomicCounter) Value() int64 { return c.n.Load() }
+
+// Reset clears the counter.
+func (c *AtomicCounter) Reset() { c.n.Store(0) }
 
 // Mean accumulates a running arithmetic mean without storing samples.
 type Mean struct {

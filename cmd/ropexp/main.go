@@ -7,17 +7,23 @@
 //	ropexp -exp all -quick
 //	ropexp -exp all -jobs 8 -progress
 //	ropexp -exp fig10 -v
+//	ropexp -exp fig1 -quick -stats-out fig1.stats.json
+//	ropexp -exp all -cpuprofile cpu.pprof -memprofile mem.pprof
 //
 // Independent simulation runs are fanned across -jobs worker goroutines
 // (default: GOMAXPROCS). The rendered tables are byte-identical for any
 // -jobs value and a fixed seed: results are assembled by submission
-// order, never completion order.
+// order, never completion order. -stats-out additionally writes every
+// run's full metric-registry snapshot (docs/METRICS.md documents the
+// schema); the artifact is likewise byte-identical at any -jobs count.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"ropsim"
@@ -26,17 +32,34 @@ import (
 
 func main() {
 	var (
-		exps     = flag.String("exp", "all", "comma-separated experiment ids: fig1 fig2 fig3 fig4 tab1 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 abl-gate abl-pred abl-fgr abl-page policy future-bank, or all")
-		quickF   = flag.Bool("quick", false, "reduced run lengths (smoke test scale)")
-		insts    = flag.Int64("insts", 0, "override single-core instructions per run")
-		minsts   = flag.Int64("minsts", 0, "override per-core instructions of 4-core runs")
-		seed     = flag.Int64("seed", 1, "simulation seed")
-		verbose  = flag.Bool("v", false, "log every completed run")
-		benches  = flag.String("bench", "", "restrict to comma-separated benchmarks")
-		jobs     = flag.Int("jobs", 0, "parallel simulation workers (0 = GOMAXPROCS, 1 = serial)")
-		progress = flag.Bool("progress", false, "print per-run progress with ETA to stderr")
+		exps       = flag.String("exp", "all", "comma-separated experiment ids: fig1 fig2 fig3 fig4 tab1 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 abl-gate abl-pred abl-fgr abl-page policy future-bank, or all")
+		quickF     = flag.Bool("quick", false, "reduced run lengths (smoke test scale)")
+		insts      = flag.Int64("insts", 0, "override single-core instructions per run")
+		minsts     = flag.Int64("minsts", 0, "override per-core instructions of 4-core runs")
+		seed       = flag.Int64("seed", 1, "simulation seed")
+		verbose    = flag.Bool("v", false, "log every completed run")
+		benches    = flag.String("bench", "", "restrict to comma-separated benchmarks")
+		jobs       = flag.Int("jobs", 0, "parallel simulation workers (0 = GOMAXPROCS, 1 = serial)")
+		progress   = flag.Bool("progress", false, "print per-run progress with ETA to stderr")
+		statsOut   = flag.String("stats-out", "", "write every run's metric snapshot to this file (.csv selects CSV, else JSON; see docs/METRICS.md)")
+		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile of the evaluation to this file")
+		memprofile = flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 	)
 	flag.Parse()
+
+	stopCPUProfile := func() {}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		stopCPUProfile = func() { pprof.StopCPUProfile(); f.Close() }
+	}
 
 	o := ropsim.FullOptions()
 	if *quickF {
@@ -54,6 +77,9 @@ func main() {
 	}
 	if *benches != "" {
 		o.Benches = strings.Split(*benches, ",")
+	}
+	if *statsOut != "" {
+		o.Artifact = ropsim.NewArtifact()
 	}
 
 	// One pool serves every selected experiment, so the final stats
@@ -91,6 +117,7 @@ func main() {
 
 	out := os.Stdout
 	fail := func(err error) {
+		stopCPUProfile()
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
@@ -221,5 +248,24 @@ func main() {
 
 	if s := pool.Stats(); s.Completed > 0 {
 		fmt.Fprintf(os.Stderr, "runner: %s\n", s)
+	}
+
+	if o.Artifact != nil {
+		if err := o.Artifact.WriteFile(*statsOut); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "stats: %d run snapshots -> %s\n", o.Artifact.Len(), *statsOut)
+	}
+	stopCPUProfile()
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fail(err)
+		}
+		runtime.GC() // settle allocations so the heap profile is stable
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fail(err)
+		}
+		f.Close()
 	}
 }

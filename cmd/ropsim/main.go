@@ -1,18 +1,24 @@
 // Command ropsim runs one memory-system simulation and prints its
 // metrics: per-core IPC, elapsed time, refresh counts, SRAM buffer
-// statistics and the energy breakdown.
+// statistics and the energy breakdown. -stats-out additionally writes
+// the run's full metric-registry snapshot as a machine-readable
+// artifact (docs/METRICS.md documents the schema).
 //
 // Examples:
 //
 //	ropsim -bench libquantum -mode rop
 //	ropsim -mix WL1 -mode baseline -insts 500000
 //	ropsim -bench lbm,bzip2,gcc,astar -mode rop -partition -llc 4
+//	ropsim -bench libquantum -mode rop -stats-out run.stats.json
+//	ropsim -bench lbm -insts 8000000 -cpuprofile cpu.pprof
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"ropsim"
@@ -21,18 +27,36 @@ import (
 
 func main() {
 	var (
-		bench     = flag.String("bench", "libquantum", "benchmark name, or comma-separated list for multi-core")
-		mix       = flag.String("mix", "", "workload mix name (WL1-WL6); overrides -bench")
-		mode      = flag.String("mode", "baseline", "refresh mode: baseline | norefresh | rop | elastic | pausing | bankrefresh | rop-bank | subarray")
-		insts     = flag.Int64("insts", 2_000_000, "instructions per core")
-		sram      = flag.Int("sram", 64, "ROP SRAM buffer capacity in cache lines")
-		llcMiB    = flag.Int("llc", 0, "LLC size in MiB (0 = paper default for core count)")
-		seed      = flag.Int64("seed", 1, "simulation seed")
-		partition = flag.Bool("partition", false, "rank-aware (partitioned) address mapping")
-		train     = flag.Int("train", 0, "ROP training refreshes (0 = paper's 50)")
-		listFlag  = flag.Bool("list", false, "list benchmarks and mixes, then exit")
+		bench      = flag.String("bench", "libquantum", "benchmark name, or comma-separated list for multi-core")
+		mix        = flag.String("mix", "", "workload mix name (WL1-WL6); overrides -bench")
+		mode       = flag.String("mode", "baseline", "refresh mode: baseline | norefresh | rop | elastic | pausing | bankrefresh | rop-bank | subarray")
+		insts      = flag.Int64("insts", 2_000_000, "instructions per core")
+		sram       = flag.Int("sram", 64, "ROP SRAM buffer capacity in cache lines")
+		llcMiB     = flag.Int("llc", 0, "LLC size in MiB (0 = paper default for core count)")
+		seed       = flag.Int64("seed", 1, "simulation seed")
+		partition  = flag.Bool("partition", false, "rank-aware (partitioned) address mapping")
+		train      = flag.Int("train", 0, "ROP training refreshes (0 = paper's 50)")
+		listFlag   = flag.Bool("list", false, "list benchmarks and mixes, then exit")
+		statsOut   = flag.String("stats-out", "", "write the run's metric snapshot to this file (.csv selects CSV, else JSON; see docs/METRICS.md)")
+		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memprofile = flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 	)
 	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fail(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fail(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	if *listFlag {
 		fmt.Println("benchmarks:", strings.Join(ropsim.Benchmarks(), " "))
@@ -111,4 +135,24 @@ func main() {
 	e := res.Energy
 	fmt.Printf("energy: total=%.4g J (background=%.3g actpre=%.3g read=%.3g write=%.3g refresh=%.3g sram=%.3g)\n",
 		e.Total(), e.BackgroundJ, e.ActPreJ, e.ReadJ, e.WriteJ, e.RefreshJ, e.SRAMJ)
+
+	if *statsOut != "" {
+		art := ropsim.NewArtifact()
+		art.Record(fmt.Sprintf("%s/%s", cfg.Mode, strings.Join(benches, "+")), res.Metrics)
+		if err := art.WriteFile(*statsOut); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "stats: snapshot -> %s\n", *statsOut)
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fail(err)
+		}
+		runtime.GC() // settle allocations so the heap profile is stable
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fail(err)
+		}
+		f.Close()
+	}
 }

@@ -53,6 +53,11 @@ type ExpOptions struct {
 	// experiments; cmd/ropexp shares one pool across the evaluation.
 	// Nil = each experiment uses a private pool of Jobs workers.
 	Pool *runner.Pool
+	// Artifact, when non-nil, collects every completed run's metric
+	// snapshot under its run label (the -stats-out machine-readable
+	// artifact). Workers record concurrently; the serialized artifact is
+	// sorted by label and therefore independent of Jobs.
+	Artifact *Artifact
 }
 
 // FullOptions returns the experiment scale used for EXPERIMENTS.md.
@@ -137,11 +142,15 @@ func (o *ExpOptions) multi(members []string, mode Mode, rankPartition bool) Conf
 	return cfg
 }
 
-// runOne executes one simulation and logs its completion.
+// runOne executes one simulation, records its metric snapshot in the
+// artifact (when one is attached), and logs its completion.
 func (o *ExpOptions) runOne(label string, cfg Config) (*Result, error) {
 	res, err := Run(cfg)
 	if err != nil {
 		return nil, err
+	}
+	if o.Artifact != nil {
+		o.Artifact.Record(label, res.Metrics)
 	}
 	o.logf("  %-40s ipc0=%.4f elapsed=%d", label, res.Cores[0].IPC, res.ElapsedBus)
 	return res, nil

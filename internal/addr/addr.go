@@ -70,11 +70,17 @@ func (g Geometry) TotalLines() uint64 {
 
 // Loc is a fully decomposed DRAM coordinate for one cache line.
 type Loc struct {
+	// Channel indexes the memory channel (0-based; one channel here).
 	Channel int
-	Rank    int
-	Bank    int
-	Row     int
-	Col     int
+	// Rank indexes the rank within the channel (refresh granularity in
+	// the paper's baseline).
+	Rank int
+	// Bank indexes the bank within the rank.
+	Bank int
+	// Row indexes the DRAM row within the bank (open-row granularity).
+	Row int
+	// Col indexes the cache-line-sized column within the row.
+	Col int
 }
 
 // BankLine reports the cache-line offset of the location within its bank

@@ -99,6 +99,8 @@ func (t *Timeline) BlockedStats(L event.Cycle) (mean float64, max int) {
 // with (B>0)==b and (A>0)==a. B counts reads and writes in the window
 // before the refresh; A counts reads in the window after (paper §IV-B).
 type WindowStats struct {
+	// Counts[b][a] is the number of refreshes whose before-window had
+	// activity iff b==1 and whose after-window had reads iff a==1.
 	Counts [2][2]int64
 }
 

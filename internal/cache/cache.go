@@ -85,6 +85,21 @@ func New(cfg Config) *Cache {
 	return &Cache{cfg: cfg, sets: sets, mask: uint64(numSets - 1)}
 }
 
+// RegisterMetrics registers the cache's access counters and derived
+// miss rate into r (typically an "llc"-scoped sub-registry).
+func (c *Cache) RegisterMetrics(r *stats.Registry) {
+	r.Register("hits", &c.Hits)
+	r.Register("misses", &c.Misses)
+	r.Register("writebacks", &c.Writebacks)
+	r.Gauge("miss_rate", func() float64 {
+		total := c.Hits.Value() + c.Misses.Value()
+		if total == 0 {
+			return 0
+		}
+		return float64(c.Misses.Value()) / float64(total)
+	})
+}
+
 // Config reports the cache configuration.
 func (c *Cache) Config() Config { return c.cfg }
 
@@ -93,11 +108,14 @@ func (c *Cache) NumSets() int { return len(c.sets) }
 
 // Result describes the outcome of one access.
 type Result struct {
+	// Hit reports whether the line was present.
 	Hit bool
-	// Evicted reports a dirty victim that must be written back to
-	// memory. EvictedValid is false on hits and clean evictions.
+	// EvictedValid reports a dirty victim that must be written back to
+	// memory; it is false on hits and clean evictions.
 	EvictedValid bool
-	EvictedLine  uint64
+	// EvictedLine is the dirty victim's cache-line address (valid only
+	// when EvictedValid is set).
+	EvictedLine uint64
 }
 
 // Access looks up line, allocating on miss (write-allocate) and marking

@@ -190,6 +190,9 @@ type rankState struct {
 // the lines to fetch — deferring address generation to the last moment
 // keeps the predictions aligned with the stream position at freeze time.
 type Decision struct {
+	// Prefetch reports whether the engine wants a prefetch session
+	// around this refresh (rank in the Prefetching state and not
+	// suppressed by the consumption gate).
 	Prefetch bool
 }
 
@@ -271,6 +274,16 @@ func NewEngine(cfg Config, geo addr.Geometry, refi, rfc event.Cycle) *Engine {
 		e.ranks[r].consumedEWMA = -1
 	}
 	return e
+}
+
+// RegisterMetrics registers the engine's refresh-decision counters into
+// r (typically a "rop"-scoped sub-registry), with the SRAM buffer's
+// counters under an additional "sram" prefix.
+func (e *Engine) RegisterMetrics(r *stats.Registry) {
+	r.Register("refreshes_seen", &e.RefreshesSeen)
+	r.Register("prefetch_launches", &e.PrefetchLaunches)
+	r.Register("gate_suppressed", &e.GateSuppressed)
+	e.sram.RegisterMetrics(r.Sub("sram"))
 }
 
 // Buffer exposes the SRAM for the controller's fill and statistics paths.

@@ -38,6 +38,16 @@ func NewSRAM(capacity int) *SRAM {
 	}
 }
 
+// RegisterMetrics registers the buffer's fill and probe counters plus
+// the derived hit rate into r (typically a "sram"-scoped sub-registry).
+func (s *SRAM) RegisterMetrics(r *stats.Registry) {
+	r.Register("inserted", &s.Inserted)
+	r.Register("dropped", &s.Dropped)
+	r.Register("hits", &s.Hits)
+	r.Register("lookups", &s.Lookups)
+	r.Gauge("hit_rate", func() float64 { return s.HitRate(0) })
+}
+
 // Capacity reports the buffer size in cache lines.
 func (s *SRAM) Capacity() int { return s.capacity }
 

@@ -20,6 +20,8 @@ const freqHalveAt = 1 << 16
 // three delta patterns (1-, 2- and 3-delta) with their repeat
 // frequencies.
 type TableEntry struct {
+	// Valid reports whether the bank has been accessed since the last
+	// reset (invalid entries generate no candidates).
 	Valid    bool
 	LastAddr int64 // cache-line offset within the bank
 
@@ -29,16 +31,22 @@ type TableEntry struct {
 	// predictions for a whole refresh (noise-tolerant mode only).
 	Anchor int64
 
+	// Delta1 is the current single-delta pattern (in bank lines); F1
+	// counts how often it repeated (paper Fig. 6 "one delta").
 	Delta1 int64
-	F1     uint32
+	F1     uint32 // repeat frequency of Delta1
 	// Conf is a VLDP-style 2-bit confidence on Delta1: an off-pattern
 	// delta decrements it instead of resetting the pattern, and only a
 	// persistent change replaces Delta1 (noise-tolerant mode only).
-	Conf   uint8
+	Conf uint8
+	// Delta2 is the current two-delta tuple pattern; F2 its repeat
+	// frequency (paper Fig. 6 "two deltas").
 	Delta2 [2]int64
-	F2     uint32
+	F2     uint32 // repeat frequency of Delta2
+	// Delta3 is the current three-delta tuple pattern; F3 its repeat
+	// frequency (paper Fig. 6 "three deltas").
 	Delta3 [3]int64
-	F3     uint32
+	F3     uint32 // repeat frequency of Delta3
 
 	// Tumbling collectors: every two accesses form a two-delta tuple,
 	// every three a three-delta tuple (paper §IV-C).

@@ -90,9 +90,13 @@ type Core struct {
 	finished     bool
 	onFinish     func()
 
-	// Statistics.
+	// MemReads, MemWrites and LLCHitReads count retired memory
+	// operations by outcome: reads that went to memory, writes, and
+	// reads absorbed by the LLC.
 	MemReads, MemWrites, LLCHitReads stats.Counter
-	StallMSHR, StallROB              stats.Counter
+	// StallMSHR and StallROB count CPU cycles lost to a full MSHR
+	// (outstanding-miss limit) and a full ROB window, respectively.
+	StallMSHR, StallROB stats.Counter
 }
 
 // New builds a core that will retire limit instructions from trace.
@@ -104,6 +108,21 @@ func New(cfg Config, id int, trace workload.Stream, mem Memory, q *event.Queue, 
 		panic("cpu: instruction limit must be positive")
 	}
 	return &Core{cfg: cfg, id: id, trace: trace, mem: mem, q: q, limit: limit}
+}
+
+// RegisterMetrics registers the core's memory-traffic and stall
+// counters plus derived progress gauges into r (typically a
+// "cpu.coreN"-scoped sub-registry). Cycle gauges are in CPU cycles
+// (3.2 GHz domain); IPC is instructions per CPU cycle.
+func (c *Core) RegisterMetrics(r *stats.Registry) {
+	r.Register("mem_reads", &c.MemReads)
+	r.Register("mem_writes", &c.MemWrites)
+	r.Register("llc_hit_reads", &c.LLCHitReads)
+	r.Register("stall_mshr", &c.StallMSHR)
+	r.Register("stall_rob", &c.StallROB)
+	r.Gauge("instructions", func() float64 { return float64(c.instCount) })
+	r.Gauge("cpu_cycles", func() float64 { return float64(c.cpuNow) })
+	r.Gauge("ipc", c.IPC)
 }
 
 // Start begins execution; onFinish runs once when the core has retired

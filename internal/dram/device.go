@@ -40,12 +40,12 @@ func (k CommandKind) String() string {
 // Command is one issued DRAM command, used by the validity checker and
 // by trace capture.
 type Command struct {
-	Kind CommandKind
-	At   event.Cycle
-	Rank int
-	Bank int // unused for REF
-	Row  int // ACT only
-	Col  int // RD/WR only
+	Kind CommandKind // which DRAM command was issued
+	At   event.Cycle // issue time in bus cycles
+	Rank int         // target rank
+	Bank int         // unused for REF
+	Row  int         // ACT only
+	Col  int         // RD/WR only
 }
 
 const noRow = -1
@@ -95,6 +95,18 @@ type Device struct {
 	// refresh activity (full refreshes and paused segments alike), for
 	// energy accounting under partial-refresh policies.
 	RefLockedCycles stats.Counter
+}
+
+// RegisterMetrics registers the device's command and refresh-lock
+// counters into r (typically a "dram"-scoped sub-registry). Counts are
+// channel totals; ref_locked_cycles is in bus cycles.
+func (d *Device) RegisterMetrics(r *stats.Registry) {
+	r.Register("num_act", &d.NumACT)
+	r.Register("num_pre", &d.NumPRE)
+	r.Register("num_rd", &d.NumRD)
+	r.Register("num_wr", &d.NumWR)
+	r.Register("num_ref", &d.NumREF)
+	r.Register("ref_locked_cycles", &d.RefLockedCycles)
 }
 
 // NewDevice builds a device for one channel of the given geometry. It

@@ -39,7 +39,7 @@ func (m RefreshMode) String() string {
 
 // Params holds the timing parameters of a DDR4 speed bin, in bus cycles.
 type Params struct {
-	Name string
+	Name string // speed-bin label, e.g. "DDR4-1600"
 
 	CL  int // CAS (read) latency
 	CWL int // CAS write latency

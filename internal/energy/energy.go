@@ -12,12 +12,13 @@ import (
 
 	"ropsim/internal/dram"
 	"ropsim/internal/event"
+	"ropsim/internal/stats"
 )
 
 // Params holds the electrical parameters of one DRAM device (chip) and
 // the rank composition. Currents are in milliamps, voltage in volts.
 type Params struct {
-	VDD float64
+	VDD float64 // supply voltage in volts
 
 	IDD0  float64 // one-bank ACT-PRE current
 	IDD2N float64 // precharge standby
@@ -26,7 +27,7 @@ type Params struct {
 	IDD4W float64 // burst write
 	IDD5B float64 // burst refresh
 
-	ChipsPerRank int
+	ChipsPerRank int // devices ganged per rank (8 x8 chips = 64-bit channel)
 }
 
 // DDR4Power returns typical 8 Gb DDR4-1600 x8 datasheet currents with
@@ -62,12 +63,15 @@ func (p Params) Validate() error {
 
 // Counts are the per-run DRAM command counts feeding the model.
 type Counts struct {
+	// ACT, RD, WR and REF count the activate, read, write and refresh
+	// commands issued over the run (PREs are paired with ACTs).
 	ACT, RD, WR, REF int64
 	// RefLockedCycles, when positive, overrides REF*tRFC as the total
 	// refresh-locked time (needed for partial-refresh policies such as
 	// Refresh Pausing).
 	RefLockedCycles int64
-	Ranks           int
+	// Ranks is the number of ranks drawing background current.
+	Ranks int
 }
 
 // SRAMCounts are the prefetch-buffer access counts.
@@ -107,17 +111,31 @@ func SRAMAccessNJ(lines int) float64 {
 
 // Breakdown is the energy report in joules.
 type Breakdown struct {
-	BackgroundJ float64
-	ActPreJ     float64
-	ReadJ       float64
-	WriteJ      float64
-	RefreshJ    float64
-	SRAMJ       float64
+	BackgroundJ float64 // standby (IDD2N/IDD3N) energy
+	ActPreJ     float64 // activate + precharge energy
+	ReadJ       float64 // read burst energy
+	WriteJ      float64 // write burst energy
+	RefreshJ    float64 // refresh (IDD5B) energy
+	SRAMJ       float64 // ROP prefetch-buffer access energy (paper Table III)
 }
 
 // Total reports the sum of all components.
 func (b Breakdown) Total() float64 {
 	return b.BackgroundJ + b.ActPreJ + b.ReadJ + b.WriteJ + b.RefreshJ + b.SRAMJ
+}
+
+// RegisterMetrics registers the breakdown's components (joules) as
+// gauges into r (typically an "energy"-scoped sub-registry). The gauges
+// read through the pointer at snapshot time, so callers may register an
+// empty breakdown and fill it in before snapshotting.
+func (b *Breakdown) RegisterMetrics(r *stats.Registry) {
+	r.Gauge("background_j", func() float64 { return b.BackgroundJ })
+	r.Gauge("act_pre_j", func() float64 { return b.ActPreJ })
+	r.Gauge("read_j", func() float64 { return b.ReadJ })
+	r.Gauge("write_j", func() float64 { return b.WriteJ })
+	r.Gauge("refresh_j", func() float64 { return b.RefreshJ })
+	r.Gauge("sram_j", func() float64 { return b.SRAMJ })
+	r.Gauge("total_j", func() float64 { return b.Total() })
 }
 
 // Compute estimates the energy of a run: elapsed simulated time plus the

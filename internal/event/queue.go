@@ -6,8 +6,8 @@ import "container/heap"
 // scheduled for the same cycle fire in insertion order, which keeps the
 // simulation deterministic regardless of heap internals.
 type Event struct {
-	At Cycle
-	Fn func(now Cycle)
+	At Cycle          // firing time in bus cycles
+	Fn func(now Cycle) // callback, invoked with the firing time
 
 	seq int64
 }

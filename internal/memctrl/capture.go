@@ -7,27 +7,30 @@ import (
 
 // ReqEvent records one demand request arrival for offline analysis.
 type ReqEvent struct {
-	At     event.Cycle
-	Rank   int
-	IsRead bool
+	At     event.Cycle // arrival time in bus cycles
+	Rank   int         // target rank
+	IsRead bool        // read (true) or write (false)
 }
 
 // RefEvent records one issued refresh.
 type RefEvent struct {
-	At   event.Cycle
-	Rank int
+	At   event.Cycle // REF issue time in bus cycles
+	Rank int         // refreshed rank
 }
 
 // Capture accumulates the request/refresh timeline the paper's §III
 // analysis runs over (Figs 2-4, Table I). Command capture is optional
 // and used by the timing-validation tests.
 type Capture struct {
-	Requests  []ReqEvent
+	// Requests is the demand-request arrival timeline, in issue order.
+	Requests []ReqEvent
+	// Refreshes is the REF issue timeline, in issue order.
 	Refreshes []RefEvent
 
 	// StoreCommands enables full DRAM command capture.
 	StoreCommands bool
-	Commands      []dram.Command
+	// Commands holds every issued DRAM command when StoreCommands is set.
+	Commands []dram.Command
 }
 
 // Request records a demand request arrival.

@@ -80,14 +80,16 @@ func (m Mode) String() string {
 // Config parameterizes the controller. Table III: 64-entry read and
 // write queues, FR-FCFS, writes scheduled in batches.
 type Config struct {
+	// Mode selects the refresh policy under simulation (baseline,
+	// no-refresh, ROP, ...).
 	Mode Mode
 
-	ReadQueueCap  int
-	WriteQueueCap int
-	// Write drain watermarks: draining starts at WriteHigh pending
-	// writes (or when reads are idle) and stops at WriteLow.
-	WriteHigh int
-	WriteLow  int
+	ReadQueueCap  int // read queue capacity in requests (Table III: 64)
+	WriteQueueCap int // write queue capacity in requests (Table III: 64)
+	// WriteHigh and WriteLow are the write drain watermarks: draining
+	// starts at WriteHigh pending writes (or when reads are idle) and
+	// stops at WriteLow.
+	WriteHigh, WriteLow int
 
 	// MaxRefreshDelay bounds how long the ROP drain/prefetch phase may
 	// postpone a due refresh, in tREFI units (JEDEC allows up to 8).
@@ -179,17 +181,65 @@ type Controller struct {
 	// current fill session (consumption feedback, see startFills).
 	sessionInsertedMark int64
 
-	// Statistics.
+	// ReadsServed and WritesServed count completed demand requests.
 	ReadsServed, WritesServed stats.Counter
-	SRAMServed                stats.Counter
-	PrefetchFillsIssued       stats.Counter
-	ReadLatency               stats.Mean // bus cycles, arrival to data
-	QueueFullEvents           stats.Counter
-	RefreshesIssued           stats.Counter
-	RefreshPostponedCycles    stats.Mean // REF issue minus due time
-	FillsDropped              stats.Counter
-	FillPhaseCycles           stats.Mean
-	PrefetchThrottled         stats.Counter
+	// SRAMServed counts demand reads answered from the ROP prefetch
+	// buffer instead of DRAM (paper §IV-A "revived" accesses).
+	SRAMServed stats.Counter
+	// PrefetchFillsIssued counts prefetch reads issued into the buffer
+	// during refresh-shadow fill sessions.
+	PrefetchFillsIssued stats.Counter
+	ReadLatency         stats.Mean       // bus cycles, arrival to data
+	ReadLatencyHist     *stats.Histogram // bus cycles, arrival to data
+	// QueueFullEvents counts enqueue attempts rejected by a full
+	// read/write queue (back-pressure to the cores).
+	QueueFullEvents stats.Counter
+	// RefreshesIssued counts REF commands across all ranks.
+	RefreshesIssued        stats.Counter
+	RefreshPostponedCycles stats.Mean // REF issue minus due time, bus cycles
+	// FillsDropped counts prefetch fills abandoned because the fill
+	// phase ended before their data returned.
+	FillsDropped    stats.Counter
+	FillPhaseCycles stats.Mean // fill-session length in bus cycles
+	// PrefetchThrottled counts fill sessions cut short by the demand
+	// queue pressure throttle.
+	PrefetchThrottled stats.Counter
+}
+
+// readLatencyBounds are the ReadLatencyHist bucket bounds in bus
+// cycles: the low end captures SRAM-buffer hits (~1 cycle) and row
+// hits, the high end refresh-blocked tails (tRFC = 280 cycles at
+// DDR4-1600 1x).
+var readLatencyBounds = []int64{2, 8, 16, 32, 64, 128, 256, 512, 1024}
+
+// RegisterMetrics registers the controller's service, latency and
+// refresh counters into r (typically a "memctrl"-scoped sub-registry).
+// Latencies and cycle means are in bus cycles (800 MHz domain). When
+// the ROP engine is present its metrics land under "rop." within the
+// same scope.
+func (c *Controller) RegisterMetrics(r *stats.Registry) {
+	r.Register("reads_served", &c.ReadsServed)
+	r.Register("writes_served", &c.WritesServed)
+	r.Register("sram_served", &c.SRAMServed)
+	r.Register("prefetch_fills_issued", &c.PrefetchFillsIssued)
+	r.Register("read_latency", &c.ReadLatency)
+	r.Register("read_latency_hist", c.ReadLatencyHist)
+	r.Register("queue_full_events", &c.QueueFullEvents)
+	r.Register("refreshes_issued", &c.RefreshesIssued)
+	r.Register("refresh_postponed_cycles", &c.RefreshPostponedCycles)
+	r.Register("fills_dropped", &c.FillsDropped)
+	r.Register("fill_phase_cycles", &c.FillPhaseCycles)
+	r.Register("prefetch_throttled", &c.PrefetchThrottled)
+	if c.rop != nil {
+		c.rop.RegisterMetrics(r.Sub("rop"))
+	}
+}
+
+// observeRead records one completed demand read's queue-arrival-to-data
+// latency in bus cycles, in both the running mean and the histogram.
+func (c *Controller) observeRead(busCycles float64) {
+	c.ReadLatency.Observe(busCycles)
+	c.ReadLatencyHist.Observe(int64(busCycles))
 }
 
 // New builds a controller for the given device, driven by queue q. It
@@ -213,11 +263,12 @@ func New(cfg Config, dev *dram.Device, q *event.Queue) *Controller {
 		}
 	}
 	c := &Controller{
-		cfg:    cfg,
-		dev:    dev,
-		q:      q,
-		geo:    geo,
-		wakeAt: -1,
+		cfg:             cfg,
+		dev:             dev,
+		q:               q,
+		geo:             geo,
+		wakeAt:          -1,
+		ReadLatencyHist: stats.NewHistogram(readLatencyBounds...),
 	}
 	p := dev.Params()
 	if cfg.Mode != ModeNoRefresh && p.REFI > 0 {
@@ -322,7 +373,7 @@ func (c *Controller) EnqueueRead(loc addr.Loc, src int, done func(event.Cycle)) 
 			c.SRAMServed.Inc()
 			c.ReadsServed.Inc()
 			fin := now + c.cfg.SRAMLatency
-			c.ReadLatency.Observe(float64(fin - now))
+			c.observeRead(float64(fin - now))
 			if done != nil {
 				c.q.Schedule(fin, func(at event.Cycle) { done(at) })
 			}
@@ -482,7 +533,7 @@ func (c *Controller) completeRead(req *request, dataAt event.Cycle) {
 		for _, dr := range c.readQ {
 			if dr.loc == req.loc {
 				c.ReadsServed.Inc()
-				c.ReadLatency.Observe(float64(dataAt - dr.arrive))
+				c.observeRead(float64(dataAt - dr.arrive))
 				if dr.done != nil {
 					done := dr.done
 					c.q.Schedule(dataAt, func(at event.Cycle) { done(at) })
@@ -499,7 +550,7 @@ func (c *Controller) completeRead(req *request, dataAt event.Cycle) {
 		return
 	}
 	c.ReadsServed.Inc()
-	c.ReadLatency.Observe(float64(dataAt - req.arrive))
+	c.observeRead(float64(dataAt - req.arrive))
 	if req.done != nil {
 		done := req.done
 		c.q.Schedule(dataAt, func(at event.Cycle) { done(at) })

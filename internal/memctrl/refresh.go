@@ -398,7 +398,7 @@ func (c *Controller) probeQueuedReads(rank int, now event.Cycle) {
 			c.SRAMServed.Inc()
 			c.ReadsServed.Inc()
 			fin := now + c.cfg.SRAMLatency
-			c.ReadLatency.Observe(float64(fin - req.arrive))
+			c.observeRead(float64(fin - req.arrive))
 			if req.done != nil {
 				done := req.done
 				c.q.Schedule(fin, func(at event.Cycle) { done(at) })
@@ -522,7 +522,7 @@ func (c *Controller) probeQueuedBankReads(rank, bank int, now event.Cycle) {
 			c.SRAMServed.Inc()
 			c.ReadsServed.Inc()
 			fin := now + c.cfg.SRAMLatency
-			c.ReadLatency.Observe(float64(fin - req.arrive))
+			c.observeRead(float64(fin - req.arrive))
 			if req.done != nil {
 				done := req.done
 				c.q.Schedule(fin, func(at event.Cycle) { done(at) })

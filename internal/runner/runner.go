@@ -26,8 +26,11 @@ import (
 // Task is one unit of work: a labeled closure producing a result. The
 // label identifies the run in error messages and progress events.
 type Task[R any] struct {
+	// Label names the run in error messages, progress events and the
+	// stats artifact.
 	Label string
-	Run   func(ctx context.Context) (R, error)
+	// Run executes the task; ctx is cancelled when the pool aborts.
+	Run func(ctx context.Context) (R, error)
 }
 
 // Func wraps a plain function as a labeled task.

@@ -17,6 +17,7 @@ import (
 	"ropsim/internal/energy"
 	"ropsim/internal/event"
 	"ropsim/internal/memctrl"
+	"ropsim/internal/stats"
 	"ropsim/internal/workload"
 )
 
@@ -117,34 +118,50 @@ func (c Config) Validate() error {
 
 // CoreResult is one core's outcome.
 type CoreResult struct {
-	Bench        string
-	IPC          float64
-	Instructions int64
-	CPUCycles    event.CPUCycle
-	MemReads     int64
-	MemWrites    int64
-	LLCHitReads  int64
+	Bench        string         // benchmark name the core ran
+	IPC          float64        // instructions per CPU cycle (3.2 GHz domain)
+	Instructions int64          // instructions retired
+	CPUCycles    event.CPUCycle // CPU cycles to retire them
+	MemReads     int64          // demand reads sent to the memory system
+	MemWrites    int64          // writebacks sent to the memory system
+	LLCHitReads  int64          // reads absorbed by the LLC
 }
 
 // Result is the outcome of one run.
 type Result struct {
-	Cores      []CoreResult
+	// Cores holds one entry per simulated core, in core-ID order.
+	Cores []CoreResult
+	// ElapsedBus is the wall-clock length of the run in bus cycles
+	// (800 MHz domain).
 	ElapsedBus event.Cycle
 
+	// Energy is the DRAM + SRAM energy breakdown in joules.
 	Energy energy.Breakdown
 
-	// SRAM buffer statistics (ModeROP only; zero otherwise).
-	SRAMHitRate float64
-	SRAMLookups int64
-	SRAMHits    int64
-	SRAMServed  int64
+	// SRAMHitRate, SRAMLookups, SRAMHits and SRAMServed are the ROP
+	// prefetch-buffer statistics (ModeROP only; zero otherwise):
+	// lookup/hit counts, hits/lookups, and demand reads served from
+	// the buffer.
+	SRAMHitRate float64 // buffer hits / lookups
+	SRAMLookups int64   // demand reads that probed the buffer
+	SRAMHits    int64   // probes that found their line
+	SRAMServed  int64   // demand reads served from the buffer
 
+	// Refreshes counts REF commands issued across all ranks.
 	Refreshes       int64
 	MeanReadLatency float64 // bus cycles, queue arrival to data
-	LLCMissRate     float64
+	// LLCMissRate is LLC misses over LLC accesses.
+	LLCMissRate float64
 
 	// Capture is the recorded timeline when Config.Capture was set.
 	Capture *memctrl.Capture
+
+	// Metrics is the run's full metric-registry snapshot: every counter,
+	// mean, histogram and gauge each component registered, under dotted
+	// paths ("memctrl.refreshes_issued", "cpu.core0.ipc", ...). The
+	// snapshot is deterministic for a fixed Config and feeds the
+	// -stats-out run artifacts; docs/METRICS.md documents the namespace.
+	Metrics stats.Snapshot
 }
 
 // TotalEnergy reports the run's total energy in joules.
@@ -269,6 +286,12 @@ func run(cfg Config) (*Result, *dram.Device, *memctrl.Controller, error) {
 		return nil, nil, nil, err
 	}
 
+	// Every run owns a private registry: components register their
+	// statistics under dotted paths and the final snapshot rides back on
+	// the Result. Per-run ownership (never shared across runner workers)
+	// is what makes parallel experiments race-free.
+	reg := stats.NewRegistry()
+
 	q := &event.Queue{}
 	geo := addr.DDR4Geometry(cfg.Ranks)
 	params := dram.DDR4_1600(cfg.FGR)
@@ -276,6 +299,7 @@ func run(cfg Config) (*Result, *dram.Device, *memctrl.Controller, error) {
 		params = dram.NoRefresh(params)
 	}
 	dev := dram.NewDevice(params, geo)
+	dev.RegisterMetrics(reg.Sub("dram"))
 
 	mcfg := memctrl.DefaultConfig(cfg.Mode)
 	mcfg.Capture = cfg.Capture
@@ -289,6 +313,7 @@ func run(cfg Config) (*Result, *dram.Device, *memctrl.Controller, error) {
 	mcfg.ROP.StrictTable = cfg.ROPStrictTable
 	mcfg.ROP.Predictor = cfg.ROPPredictor
 	ctrl := memctrl.New(mcfg, dev, q)
+	ctrl.RegisterMetrics(reg.Sub("memctrl"))
 	if DebugHook != nil {
 		DebugHook(ctrl)
 	}
@@ -308,6 +333,7 @@ func run(cfg Config) (*Result, *dram.Device, *memctrl.Controller, error) {
 		wrCap:   mcfg.WriteQueueCap,
 	}
 	ctrl.SetSpaceNotify(ms.onSpace)
+	ms.llc.RegisterMetrics(reg.Sub("llc"))
 
 	remaining := len(cfg.Benches)
 	cores := make([]*cpu.Core, len(cfg.Benches))
@@ -320,6 +346,7 @@ func run(cfg Config) (*Result, *dram.Device, *memctrl.Controller, error) {
 			stream = workload.NewGenerator(prof, cfg.Seed*1_000_003+int64(i)*97+int64(len(bench)))
 		}
 		cores[i] = cpu.New(cfg.CPU, i, stream, ms, q, cfg.Instructions)
+		cores[i].RegisterMetrics(reg.Sub(fmt.Sprintf("cpu.core%d", i)))
 	}
 	ms.cores = cores
 	for _, c := range cores {
@@ -393,6 +420,16 @@ func run(cfg Config) (*Result, *dram.Device, *memctrl.Controller, error) {
 		RefLockedCycles: dev.RefLockedCycles.Value(),
 		Ranks:           cfg.Ranks,
 	}, sramCounts)
+
+	// Run-level derived metrics join the registry last, then the whole
+	// namespace is frozen into the result.
+	res.Energy.RegisterMetrics(reg.Sub("energy"))
+	simReg := reg.Sub("sim")
+	simReg.Gauge("elapsed_bus_cycles", func() float64 { return float64(res.ElapsedBus) })
+	simReg.Gauge("cores", func() float64 { return float64(len(res.Cores)) })
+	simReg.Gauge("llc_miss_rate", func() float64 { return res.LLCMissRate })
+	simReg.Gauge("mean_read_latency", func() float64 { return res.MeanReadLatency })
+	res.Metrics = reg.Snapshot()
 	return res, dev, ctrl, nil
 }
 
@@ -416,9 +453,9 @@ func WeightedSpeedup(shared *Result, alone []float64) float64 {
 // exploratory tools can inspect raw counters. Tests and experiments use
 // Run; this is a diagnostics door.
 type DebugResult struct {
-	Result *Result
-	Dev    *dram.Device
-	Ctrl   *memctrl.Controller
+	Result *Result             // the normal run outcome
+	Dev    *dram.Device        // the live DRAM device after the run
+	Ctrl   *memctrl.Controller // the live memory controller after the run
 }
 
 // RunDebug is Run, returning the internals alongside the result.

@@ -1,0 +1,194 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistrySnapshotDeterministicOrder(t *testing.T) {
+	r := NewRegistry()
+	var a, b, c Counter
+	// Register deliberately out of lexicographic order.
+	r.Register("zeta", &c)
+	r.Register("alpha", &a)
+	r.Sub("mid").Register("beta", &b)
+	a.Add(1)
+	b.Add(2)
+	c.Add(3)
+
+	s := r.Snapshot()
+	want := []string{"alpha", "mid.beta", "zeta"}
+	got := s.Paths()
+	if len(got) != len(want) {
+		t.Fatalf("paths = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("paths = %v, want %v", got, want)
+		}
+	}
+	if v, ok := s.Field("mid.beta", "value"); !ok || v != 2 {
+		t.Errorf("mid.beta = %v,%v want 2,true", v, ok)
+	}
+}
+
+func TestRegistrySchemaVersionPresent(t *testing.T) {
+	s := NewRegistry().Snapshot()
+	if s.Schema != SchemaVersion {
+		t.Fatalf("Schema = %d, want %d", s.Schema, SchemaVersion)
+	}
+	var sb strings.Builder
+	if err := s.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `"schema": 1`) {
+		t.Errorf("JSON missing schema field:\n%s", sb.String())
+	}
+}
+
+func TestRegistryJSONByteStable(t *testing.T) {
+	build := func() string {
+		r := NewRegistry()
+		var n Counter
+		var m Mean
+		h := NewHistogram(4, 16, 64)
+		r.Register("reads", &n)
+		r.Register("latency", &m)
+		r.Register("latency_hist", h)
+		r.Gauge("ipc", func() float64 { return 0.75 })
+		n.Add(7)
+		m.Observe(3.5)
+		m.Observe(4.5)
+		h.Observe(2)
+		h.Observe(100)
+		var sb strings.Builder
+		if err := r.Snapshot().WriteJSON(&sb); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	if a, b := build(), build(); a != b {
+		t.Errorf("identical registries serialized differently:\n%s\nvs\n%s", a, b)
+	}
+}
+
+func TestRegistryMetricKinds(t *testing.T) {
+	r := NewRegistry()
+	var c Counter
+	var ac AtomicCounter
+	var m Mean
+	var ra Ratio
+	h := NewHistogram(10)
+	r.Register("c", &c)
+	r.Register("ac", &ac)
+	r.Register("m", &m)
+	r.Register("ra", &ra)
+	r.Register("h", h)
+	r.Gauge("g", func() float64 { return 1 })
+
+	c.Add(5)
+	ac.Add(6)
+	m.Observe(2)
+	ra.ObserveHit(true)
+	ra.ObserveHit(false)
+	h.Observe(3)
+	h.Observe(30)
+
+	s := r.Snapshot()
+	for _, tc := range []struct {
+		path, kind, field string
+		want              float64
+	}{
+		{"c", "counter", "value", 5},
+		{"ac", "counter", "value", 6},
+		{"m", "mean", "sum", 2},
+		{"m", "mean", "count", 1},
+		{"ra", "ratio", "num", 1},
+		{"ra", "ratio", "den", 2},
+		{"h", "histogram", "count", 2},
+		{"h", "histogram", "bucket[-inf,10)", 1},
+		{"h", "histogram", "bucket[10,+inf)", 1},
+		{"g", "gauge", "value", 1},
+	} {
+		v, ok := s.Get(tc.path)
+		if !ok {
+			t.Fatalf("missing %s", tc.path)
+		}
+		if v.Kind != tc.kind {
+			t.Errorf("%s kind = %s, want %s", tc.path, v.Kind, tc.kind)
+		}
+		if f, ok := s.Field(tc.path, tc.field); !ok || f != tc.want {
+			t.Errorf("%s.%s = %v,%v want %v,true", tc.path, tc.field, f, ok, tc.want)
+		}
+	}
+}
+
+func TestRegistryPanics(t *testing.T) {
+	expectPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	r := NewRegistry()
+	var c, d Counter
+	r.Register("dup", &c)
+	expectPanic("duplicate path", func() { r.Register("dup", &d) })
+	expectPanic("empty path", func() { r.Register("", &d) })
+	expectPanic("uppercase path", func() { r.Register("Bad", &d) })
+	expectPanic("empty segment", func() { r.Register("a..b", &d) })
+	expectPanic("leading underscore", func() { r.Register("_x", &d) })
+	expectPanic("nil metric", func() { r.Register("x", nil) })
+	expectPanic("bad sub prefix", func() { r.Sub("Bad") })
+}
+
+func TestNilRegistryNoOps(t *testing.T) {
+	var r *Registry
+	var c Counter
+	// None of these may panic; components register unconditionally.
+	r.Register("x", &c)
+	r.Gauge("y", func() float64 { return 1 })
+	sub := r.Sub("scope")
+	sub.Register("z", &c)
+	if r.Len() != 0 {
+		t.Errorf("nil registry Len = %d", r.Len())
+	}
+	s := r.Snapshot()
+	if s.Schema != SchemaVersion || len(s.Metrics) != 0 {
+		t.Errorf("nil registry snapshot = %+v", s)
+	}
+}
+
+func TestSnapshotWriteCSV(t *testing.T) {
+	r := NewRegistry()
+	var c Counter
+	c.Add(9)
+	r.Sub("memctrl").Register("reads", &c)
+	var sb strings.Builder
+	if err := r.Snapshot().WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := "path,kind,field,value\nmemctrl.reads,counter,value,9\n"
+	if sb.String() != want {
+		t.Errorf("CSV = %q, want %q", sb.String(), want)
+	}
+}
+
+func TestHistogramBucketFieldQuotedInCSV(t *testing.T) {
+	r := NewRegistry()
+	h := NewHistogram(8)
+	h.Observe(1)
+	r.Register("lat", h)
+	var sb strings.Builder
+	if err := r.Snapshot().WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	// Bucket field names contain commas and must arrive quoted so the
+	// CSV stays parseable.
+	if !strings.Contains(sb.String(), `"bucket[-inf,8)"`) {
+		t.Errorf("CSV bucket field not quoted:\n%s", sb.String())
+	}
+}

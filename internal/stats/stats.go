@@ -1,7 +1,20 @@
 // Package stats provides the small statistical primitives shared by the
-// simulator: counters, running means, histograms, and ratio helpers.
-// Every subsystem reports through these so that experiment harnesses can
-// aggregate results uniformly.
+// simulator — counters, running means, histograms, and ratio helpers —
+// plus the hierarchical metrics Registry every subsystem registers them
+// into, so that experiment harnesses and run artifacts (-stats-out) can
+// aggregate results uniformly (see docs/METRICS.md for the namespace).
+//
+// # Concurrency
+//
+// Counter, Mean, Ratio, Histogram and Registry are deliberately
+// unsynchronized: the simulator's invariant is that one simulation run
+// — and therefore one registry and every metric registered in it — is
+// owned by exactly one goroutine. The parallel experiment runner
+// (internal/runner) achieves safe parallelism by giving each run its
+// own registry, never by sharing one; a race-detector test
+// (TestParallelRegistryIsolation) enforces this. The sole exception is
+// AtomicCounter, which exists for cross-goroutine bookkeeping such as
+// the runner's completion counts.
 package stats
 
 import (
@@ -89,6 +102,7 @@ func (m *Mean) Reset() { m.n = 0; m.sum = 0 }
 // Ratio is a numerator/denominator pair, used for hit rates and
 // probability estimates. The zero value is an empty ratio.
 type Ratio struct {
+	// Num counts hits; Den counts trials.
 	Num, Den int64
 }
 

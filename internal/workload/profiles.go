@@ -11,8 +11,11 @@ import (
 // Delta2 and Delta3 pattern slots of the ROP prediction table
 // (paper §IV-C). Random marks irregular jumps instead of a sequence.
 type DeltaChoice struct {
-	Seq    []int64
+	// Seq is the repeating delta sequence in cache lines (length 1-3).
+	Seq []int64
+	// Weight is the relative probability of choosing this behaviour.
 	Weight float64
+	// Random marks an irregular jump instead of a sequence.
 	Random bool
 }
 
@@ -26,16 +29,16 @@ type DeltaChoice struct {
 // produce high λ *and* high β; sparse Poisson-like benchmarks produce
 // low λ.
 type Profile struct {
-	Name      string
-	Intensive bool // paper Table II classification
+	Name      string // benchmark name (SPEC CPU2006 shorthand)
+	Intensive bool   // paper Table II classification
 
 	// OnGapMean is the mean non-memory instruction gap between LLC
 	// accesses during an ON phase.
 	OnGapMean float64
-	// OnMeanInsts / OffMeanInsts are mean phase lengths in instructions.
-	// OffMeanInsts == 0 means the benchmark never pauses (always ON).
-	OnMeanInsts  float64
-	OffMeanInsts float64
+	// OnMeanInsts and OffMeanInsts are mean phase lengths in
+	// instructions. OffMeanInsts == 0 means the benchmark never pauses
+	// (always ON).
+	OnMeanInsts, OffMeanInsts float64
 
 	// StreamFrac is the fraction of accesses that walk the streaming
 	// region (LLC-missing); the rest hit the hot working set.
@@ -283,8 +286,8 @@ func MustGet(name string) Profile {
 
 // Mix is a multiprogrammed workload: one benchmark per core.
 type Mix struct {
-	Name    string
-	Members []string
+	Name    string   // workload label (paper Table II: WL1..WL6)
+	Members []string // benchmark names, one per core
 }
 
 // Mixes returns the paper's six 4-core workload combinations (Table II;

@@ -12,9 +12,11 @@ type Table struct {
 	// ID is the experiment identifier (e.g. "fig7", "tab1").
 	ID string
 	// Title describes the artifact.
-	Title  string
+	Title string
+	// Header names the columns.
 	Header []string
-	Rows   [][]string
+	// Rows holds the formatted cells, one slice per data row.
+	Rows [][]string
 }
 
 // AddRow appends a row; values are formatted with %v, floats with four

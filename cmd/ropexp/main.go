@@ -16,18 +16,39 @@
 // order, never completion order. -stats-out additionally writes every
 // run's full metric-registry snapshot (docs/METRICS.md documents the
 // schema); the artifact is likewise byte-identical at any -jobs count.
+//
+// Campaigns are fault-tolerant (docs/ROBUSTNESS.md): -journal
+// checkpoints every completed run, -resume serves checkpointed runs
+// without re-simulating, -check validates every DRAM command against
+// the JEDEC timing checker, -run-timeout arms a per-run watchdog, and
+// -fail-policy picks fail-fast or run-to-completion on errors. SIGINT
+// or SIGTERM cancels in-flight runs, flushes the partial artifact and
+// journal, and exits with code 3; a second signal exits immediately.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"syscall"
 
 	"ropsim"
 	"ropsim/internal/runner"
+)
+
+// Exit codes: 0 success, 1 experiment failure, 2 usage error,
+// 3 interrupted by signal (partial artifact and journal flushed).
+const (
+	exitOK          = 0
+	exitFailure     = 1
+	exitUsage       = 2
+	exitInterrupted = 3
 )
 
 func main() {
@@ -42,21 +63,38 @@ func main() {
 		jobs       = flag.Int("jobs", 0, "parallel simulation workers (0 = GOMAXPROCS, 1 = serial)")
 		progress   = flag.Bool("progress", false, "print per-run progress with ETA to stderr")
 		statsOut   = flag.String("stats-out", "", "write every run's metric snapshot to this file (.csv selects CSV, else JSON; see docs/METRICS.md)")
+		journalF   = flag.String("journal", "", "checkpoint completed runs to this JSONL sidecar (see docs/ROBUSTNESS.md)")
+		resumeF    = flag.Bool("resume", false, "serve runs already checkpointed in -journal without re-simulating")
+		checkF     = flag.Bool("check", false, "validate every DRAM command against the JEDEC timing checker")
+		runTimeout = flag.Duration("run-timeout", 0, "per-run wall-clock watchdog deadline (0 = none)")
+		failPolicy = flag.String("fail-policy", "failfast", "on run failure: failfast (cancel the batch) or continue (finish siblings, summarize at the end)")
 		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile of the evaluation to this file")
 		memprofile = flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 	)
 	flag.Parse()
+
+	usageErr := func(err error) {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(exitUsage)
+	}
+	policy, err := runner.ParsePolicy(*failPolicy)
+	if err != nil {
+		usageErr(err)
+	}
+	if *resumeF && *journalF == "" {
+		usageErr(errors.New("-resume requires -journal"))
+	}
 
 	stopCPUProfile := func() {}
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			os.Exit(exitFailure)
 		}
 		if err := pprof.StartCPUProfile(f); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			os.Exit(exitFailure)
 		}
 		stopCPUProfile = func() { pprof.StopCPUProfile(); f.Close() }
 	}
@@ -81,10 +119,47 @@ func main() {
 	if *statsOut != "" {
 		o.Artifact = ropsim.NewArtifact()
 	}
+	o.Check = *checkF
+	o.RunTimeout = *runTimeout
+
+	if *journalF != "" {
+		if !*resumeF {
+			// A fresh (non-resuming) campaign starts from an empty
+			// sidecar; stale entries must not be served.
+			os.Remove(*journalF)
+		}
+		j, err := ropsim.OpenJournal(*journalF)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(exitFailure)
+		}
+		defer j.Close()
+		o.Journal = j
+		if *resumeF && j.Len() > 0 {
+			fmt.Fprintf(os.Stderr, "journal: resuming past %d checkpointed runs\n", j.Len())
+		}
+	}
+
+	// First SIGINT/SIGTERM cancels in-flight runs (workers drain, the
+	// partial artifact and journal are flushed, exit code 3); a second
+	// signal aborts the process immediately.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sigCh := make(chan os.Signal, 2)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s := <-sigCh
+		fmt.Fprintf(os.Stderr, "ropexp: %v: cancelling in-flight runs (signal again to abort immediately)\n", s)
+		cancel()
+		<-sigCh
+		os.Exit(130)
+	}()
+	o.Ctx = ctx
 
 	// One pool serves every selected experiment, so the final stats
 	// line covers the whole evaluation.
 	pool := runner.New(*jobs)
+	pool.SetPolicy(policy)
 	o.Jobs = pool.Jobs()
 	o.Pool = pool
 	if *progress {
@@ -116,10 +191,52 @@ func main() {
 	}
 
 	out := os.Stdout
-	fail := func(err error) {
+
+	// flush writes the (possibly partial) stats artifact and the pool /
+	// journal summary lines. Every exit path runs it — including
+	// interrupts — so whatever completed is never lost.
+	flush := func() {
+		if s := pool.Stats(); s.Completed > 0 {
+			fmt.Fprintf(os.Stderr, "runner: %s\n", s)
+		}
+		if o.Journal != nil {
+			fmt.Fprintf(os.Stderr, "journal: %d checkpointed runs (%d served without re-simulating)\n",
+				o.Journal.Len(), o.Journal.Hits())
+		}
+		if o.Artifact != nil {
+			if err := o.Artifact.WriteFile(*statsOut); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "stats: %d run snapshots -> %s\n", o.Artifact.Len(), *statsOut)
+		}
+	}
+	finish := func(code int) {
+		flush()
 		stopCPUProfile()
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		os.Exit(code)
+	}
+
+	// fail handles one experiment's error: an interrupt flushes and
+	// exits 3; otherwise fail-fast exits 1 immediately while
+	// run-to-completion records the error and lets the remaining
+	// experiments proceed.
+	var campaignErrs []error
+	fail := func(err error) {
+		if ctx.Err() != nil || errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "ropexp: interrupted")
+			finish(exitInterrupted)
+		}
+		var be *runner.BatchError
+		if errors.As(err, &be) {
+			fmt.Fprintln(os.Stderr, be.Summary())
+		} else {
+			fmt.Fprintln(os.Stderr, err)
+		}
+		if policy == runner.FailFast {
+			finish(exitFailure)
+		}
+		campaignErrs = append(campaignErrs, err)
 	}
 	print := func(tables ...*ropsim.Table) {
 		for _, t := range tables {
@@ -132,130 +249,140 @@ func main() {
 		t, err := ropsim.Fig1(o)
 		if err != nil {
 			fail(err)
+		} else {
+			print(t)
 		}
-		print(t)
 	}
 	if sel("fig2", "fig3", "fig4", "tab1") {
 		f2, f3, f4, t1, err := ropsim.RefreshBehaviour(o)
 		if err != nil {
 			fail(err)
+		} else {
+			var show []*ropsim.Table
+			if all || want["fig2"] {
+				show = append(show, f2)
+			}
+			if all || want["fig3"] {
+				show = append(show, f3)
+			}
+			if all || want["fig4"] {
+				show = append(show, f4)
+			}
+			if all || want["tab1"] {
+				show = append(show, t1)
+			}
+			print(show...)
 		}
-		var show []*ropsim.Table
-		if all || want["fig2"] {
-			show = append(show, f2)
-		}
-		if all || want["fig3"] {
-			show = append(show, f3)
-		}
-		if all || want["fig4"] {
-			show = append(show, f4)
-		}
-		if all || want["tab1"] {
-			show = append(show, t1)
-		}
-		print(show...)
 	}
 	if sel("fig7", "fig8", "fig9") {
 		f7, f8, f9, err := ropsim.Fig7to9(o)
 		if err != nil {
 			fail(err)
+		} else {
+			var show []*ropsim.Table
+			if all || want["fig7"] {
+				show = append(show, f7)
+			}
+			if all || want["fig8"] {
+				show = append(show, f8)
+			}
+			if all || want["fig9"] {
+				show = append(show, f9)
+			}
+			print(show...)
 		}
-		var show []*ropsim.Table
-		if all || want["fig7"] {
-			show = append(show, f7)
-		}
-		if all || want["fig8"] {
-			show = append(show, f8)
-		}
-		if all || want["fig9"] {
-			show = append(show, f9)
-		}
-		print(show...)
 	}
 	if sel("fig10", "fig11") {
 		f10, f11, err := ropsim.Fig10and11(o)
 		if err != nil {
 			fail(err)
+		} else {
+			var show []*ropsim.Table
+			if all || want["fig10"] {
+				show = append(show, f10)
+			}
+			if all || want["fig11"] {
+				show = append(show, f11)
+			}
+			print(show...)
 		}
-		var show []*ropsim.Table
-		if all || want["fig10"] {
-			show = append(show, f10)
-		}
-		if all || want["fig11"] {
-			show = append(show, f11)
-		}
-		print(show...)
 	}
 	if sel("fig12", "fig13", "fig14") {
 		f12, f13, f14, err := ropsim.Fig12to14(o)
 		if err != nil {
 			fail(err)
+		} else {
+			var show []*ropsim.Table
+			if all || want["fig12"] {
+				show = append(show, f12)
+			}
+			if all || want["fig13"] {
+				show = append(show, f13)
+			}
+			if all || want["fig14"] {
+				show = append(show, f14)
+			}
+			print(show...)
 		}
-		var show []*ropsim.Table
-		if all || want["fig12"] {
-			show = append(show, f12)
-		}
-		if all || want["fig13"] {
-			show = append(show, f13)
-		}
-		if all || want["fig14"] {
-			show = append(show, f14)
-		}
-		print(show...)
 	}
 	if sel("abl-gate") {
 		t, err := ropsim.AblationGate(o)
 		if err != nil {
 			fail(err)
+		} else {
+			print(t)
 		}
-		print(t)
 	}
 	if sel("abl-pred") {
 		t, err := ropsim.AblationPredictor(o)
 		if err != nil {
 			fail(err)
+		} else {
+			print(t)
 		}
-		print(t)
 	}
 	if sel("policy") {
 		t, err := ropsim.PolicyComparison(o)
 		if err != nil {
 			fail(err)
+		} else {
+			print(t)
 		}
-		print(t)
 	}
 	if sel("abl-page") {
 		t, err := ropsim.AblationPagePolicy(o)
 		if err != nil {
 			fail(err)
+		} else {
+			print(t)
 		}
-		print(t)
 	}
 	if sel("future-bank") {
 		t, err := ropsim.FutureBankRefresh(o)
 		if err != nil {
 			fail(err)
+		} else {
+			print(t)
 		}
-		print(t)
 	}
 	if sel("abl-fgr") {
 		t, err := ropsim.AblationFGR(o)
 		if err != nil {
 			fail(err)
+		} else {
+			print(t)
 		}
-		print(t)
 	}
 
-	if s := pool.Stats(); s.Completed > 0 {
-		fmt.Fprintf(os.Stderr, "runner: %s\n", s)
+	if ctx.Err() != nil {
+		fmt.Fprintln(os.Stderr, "ropexp: interrupted")
+		finish(exitInterrupted)
 	}
-
-	if o.Artifact != nil {
-		if err := o.Artifact.WriteFile(*statsOut); err != nil {
-			fail(err)
-		}
-		fmt.Fprintf(os.Stderr, "stats: %d run snapshots -> %s\n", o.Artifact.Len(), *statsOut)
+	if len(campaignErrs) > 0 {
+		fmt.Fprintf(os.Stderr, "ropexp: %d experiment(s) failed\n", len(campaignErrs))
+		finish(exitFailure)
 	}
+	flush()
 	stopCPUProfile()
 	if *memprofile != "" {
 		f, err := os.Create(*memprofile)

@@ -11,15 +11,25 @@
 //	ropsim -bench lbm,bzip2,gcc,astar -mode rop -partition -llc 4
 //	ropsim -bench libquantum -mode rop -stats-out run.stats.json
 //	ropsim -bench lbm -insts 8000000 -cpuprofile cpu.pprof
+//	ropsim -bench libquantum -mode rop -check -run-timeout 5m
+//
+// -check validates every DRAM command the controller issues against
+// the JEDEC timing checker; -run-timeout arms the in-run watchdog.
+// SIGINT/SIGTERM cancels the run and exits with code 3 (a second
+// signal aborts immediately); see docs/ROBUSTNESS.md.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"syscall"
 
 	"ropsim"
 	"ropsim/internal/cache"
@@ -37,6 +47,8 @@ func main() {
 		partition  = flag.Bool("partition", false, "rank-aware (partitioned) address mapping")
 		train      = flag.Int("train", 0, "ROP training refreshes (0 = paper's 50)")
 		listFlag   = flag.Bool("list", false, "list benchmarks and mixes, then exit")
+		checkF     = flag.Bool("check", false, "validate every DRAM command against the JEDEC timing checker")
+		runTimeout = flag.Duration("run-timeout", 0, "wall-clock watchdog deadline for the run (0 = none)")
 		statsOut   = flag.String("stats-out", "", "write the run's metric snapshot to this file (.csv selects CSV, else JSON; see docs/METRICS.md)")
 		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memprofile = flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
@@ -108,13 +120,32 @@ func main() {
 	cfg.Seed = *seed
 	cfg.RankPartition = *partition
 	cfg.ROPTrainRefreshes = *train
+	cfg.Check = *checkF
+	cfg.RunTimeout = *runTimeout
 	if *llcMiB > 0 {
 		cfg.LLCBytes = *llcMiB * cache.MiB
 	}
 
-	res, err := ropsim.Run(cfg)
+	// First SIGINT/SIGTERM cancels the run between events (exit code
+	// 3); a second signal aborts the process immediately.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sigCh := make(chan os.Signal, 2)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s := <-sigCh
+		fmt.Fprintf(os.Stderr, "ropsim: %v: cancelling run (signal again to abort immediately)\n", s)
+		cancel()
+		<-sigCh
+		os.Exit(130)
+	}()
+
+	res, err := ropsim.RunCtx(ctx, cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
+		if errors.Is(err, context.Canceled) {
+			os.Exit(3)
+		}
 		os.Exit(1)
 	}
 

@@ -54,7 +54,7 @@ func main() {
 	fmt.Println("\nLLC miss rates:")
 	for _, mb := range []int{1, 2, 4, 8} {
 		g := workload.NewGenerator(prof, 42)
-		llc := cache.New(cache.DefaultConfig(mb * cache.MiB))
+		llc := cache.MustNew(cache.DefaultConfig(mb * cache.MiB))
 		for i := 0; i < 300_000; i++ {
 			r, _ := g.Next()
 			llc.Access(r.Line, r.Write)

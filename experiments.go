@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"time"
 
 	"ropsim/internal/analysis"
 	"ropsim/internal/cache"
@@ -58,6 +59,17 @@ type ExpOptions struct {
 	// artifact). Workers record concurrently; the serialized artifact is
 	// sorted by label and therefore independent of Jobs.
 	Artifact *Artifact
+	// Journal, when non-nil, checkpoints every completed run keyed by
+	// its config hash and serves already-journaled runs without
+	// re-simulating (the -resume flag). Capture-bearing runs are never
+	// journaled — they re-run deterministically on resume.
+	Journal *Journal
+	// RunTimeout bounds each simulation's wall-clock time; the in-run
+	// watchdog aborts past-deadline runs with a diagnostic dump.
+	RunTimeout time.Duration
+	// Check validates every DRAM command of every run against the JEDEC
+	// timing checker, failing the run on the first violation.
+	Check bool
 }
 
 // FullOptions returns the experiment scale used for EXPERIMENTS.md.
@@ -121,6 +133,12 @@ func (o *ExpOptions) ctx() context.Context {
 	return context.Background()
 }
 
+// robustness applies the harness-wide fault-tolerance knobs to cfg.
+func (o *ExpOptions) robustness(cfg *Config) {
+	cfg.RunTimeout = o.RunTimeout
+	cfg.Check = o.Check
+}
+
 // single builds a single-core config for bench.
 func (o *ExpOptions) single(bench string, mode Mode) Config {
 	cfg := Default(bench)
@@ -128,6 +146,7 @@ func (o *ExpOptions) single(bench string, mode Mode) Config {
 	cfg.Instructions = o.Instructions
 	cfg.Seed = o.Seed
 	cfg.ROPTrainRefreshes = o.TrainRefreshes
+	o.robustness(&cfg)
 	return cfg
 }
 
@@ -139,15 +158,37 @@ func (o *ExpOptions) multi(members []string, mode Mode, rankPartition bool) Conf
 	cfg.Instructions = o.MultiInstructions
 	cfg.Seed = o.Seed
 	cfg.ROPTrainRefreshes = o.TrainRefreshes
+	o.robustness(&cfg)
 	return cfg
 }
 
 // runOne executes one simulation, records its metric snapshot in the
-// artifact (when one is attached), and logs its completion.
+// artifact (when one is attached), checkpoints it in the journal, and
+// logs its completion. Runs already present in the journal are served
+// from it without re-simulating; their artifact snapshots are the
+// journaled ones, which round-trip JSON exactly, so a resumed campaign
+// writes a byte-identical artifact.
 func (o *ExpOptions) runOne(label string, cfg Config) (*Result, error) {
-	res, err := Run(cfg)
+	journaled := o.Journal != nil && !cfg.Capture && cfg.Traces == nil
+	var hash string
+	if journaled {
+		hash = ConfigHash(cfg)
+		if e, ok := o.Journal.Lookup(hash); ok {
+			if o.Artifact != nil {
+				o.Artifact.Record(label, e.Result.Metrics)
+			}
+			o.logf("  %-40s resumed from journal", label)
+			return e.Result, nil
+		}
+	}
+	res, err := RunCtx(o.ctx(), cfg)
 	if err != nil {
 		return nil, err
+	}
+	if journaled {
+		if err := o.Journal.Record(hash, label, res); err != nil {
+			return nil, err
+		}
 	}
 	if o.Artifact != nil {
 		o.Artifact.Record(label, res.Metrics)

@@ -1,0 +1,313 @@
+package ropsim
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ropsim/internal/runner"
+)
+
+// faultOptions is a tiny campaign used by the fault-injection tests:
+// fig1 over two benchmarks = four runs.
+func faultOptions(t *testing.T) ExpOptions {
+	t.Helper()
+	o := QuickOptions()
+	o.Instructions = 60_000
+	o.Benches = []string{"libquantum", "bzip2"}
+	return o
+}
+
+// openTestJournal opens a journal in the test's temp dir.
+func openTestJournal(t *testing.T, name string) *Journal {
+	t.Helper()
+	j, err := OpenJournal(filepath.Join(t.TempDir(), name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { j.Close() })
+	return j
+}
+
+func TestFaultCampaignPanicIsolatedUnderRunToCompletion(t *testing.T) {
+	// One injected panic out of four runs: the campaign must finish the
+	// three siblings, checkpoint them, and report exactly one labeled
+	// failure — never crash the process.
+	o := faultOptions(t)
+	o.Journal = openTestJournal(t, "campaign.jsonl")
+	pool := runner.New(2)
+	pool.SetPolicy(runner.RunToCompletion)
+	pool.SetFaultHook(func(label string, attempt int) error {
+		if label == "fig1/bzip2/base" {
+			panic("injected campaign fault")
+		}
+		return nil
+	})
+	o.Pool = pool
+	o.Jobs = pool.Jobs()
+
+	_, err := Fig1(o)
+	var be *runner.BatchError
+	if !errors.As(err, &be) {
+		t.Fatalf("Fig1 returned %v, want *runner.BatchError", err)
+	}
+	if len(be.Failures) != 1 {
+		t.Fatalf("failures = %+v, want exactly one", be.Failures)
+	}
+	f := be.Failures[0]
+	if f.Label != "fig1/bzip2/base" {
+		t.Errorf("failed label = %q", f.Label)
+	}
+	var pe *runner.PanicError
+	if !errors.As(f.Err, &pe) || !strings.Contains(pe.Error(), "injected campaign fault") {
+		t.Errorf("failure error = %v, want the injected PanicError", f.Err)
+	}
+	if got := o.Journal.Len(); got != 3 {
+		t.Errorf("journal holds %d runs, want the 3 surviving siblings", got)
+	}
+	if s := pool.Stats(); s.Panicked != 1 {
+		t.Errorf("pool panicked count = %d, want 1", s.Panicked)
+	}
+}
+
+func TestFaultCampaignFailFastCancelsQuickly(t *testing.T) {
+	o := faultOptions(t)
+	pool := runner.New(1) // serial: deterministic skip count
+	pool.SetFaultHook(func(label string, attempt int) error {
+		if label == "fig1/libquantum/base" { // first submitted task
+			return fmt.Errorf("injected transient-looking failure")
+		}
+		return nil
+	})
+	o.Pool = pool
+	o.Jobs = 1
+
+	_, err := Fig1(o)
+	var be *runner.BatchError
+	if !errors.As(err, &be) {
+		t.Fatalf("Fig1 returned %v, want *runner.BatchError", err)
+	}
+	if be.Skipped != 3 {
+		t.Errorf("skipped = %d, want 3 (fail-fast after the first of four)", be.Skipped)
+	}
+	msg := err.Error()
+	for _, want := range []string{"fig1/libquantum/base", "skipped", "pool:"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("error %q missing %q", msg, want)
+		}
+	}
+}
+
+func TestFaultCampaignRetryRecoversTransient(t *testing.T) {
+	// Simulation tasks are not marked Transient, so the retry loop must
+	// NOT mask a simulation failure...
+	o := faultOptions(t)
+	pool := runner.New(1)
+	pool.SetRetry(2, 0)
+	failures := map[string]int{}
+	pool.SetFaultHook(func(label string, attempt int) error {
+		if label == "fig1/bzip2/noref" && failures[label] == 0 {
+			failures[label]++
+			return fmt.Errorf("spurious failure")
+		}
+		return nil
+	})
+	o.Pool = pool
+	o.Jobs = 1
+	if _, err := Fig1(o); err == nil {
+		t.Fatal("non-transient task was retried into success")
+	}
+	if s := pool.Stats(); s.Retried != 0 {
+		t.Errorf("retried = %d for non-transient tasks", s.Retried)
+	}
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Default("bzip2")
+	cfg.Instructions = 40_000
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hash := ConfigHash(cfg)
+	if err := j.Record(hash, "roundtrip/bzip2", res); err != nil {
+		t.Fatal(err)
+	}
+	// Re-recording the same hash is a no-op, not a duplicate line.
+	if err := j.Record(hash, "roundtrip/bzip2", res); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if j2.Len() != 1 {
+		t.Fatalf("reloaded journal has %d entries, want 1", j2.Len())
+	}
+	e, ok := j2.Lookup(hash)
+	if !ok {
+		t.Fatal("recorded hash missing after reload")
+	}
+	if e.Label != "roundtrip/bzip2" {
+		t.Errorf("label = %q", e.Label)
+	}
+	// The metric snapshot must survive the JSON round trip exactly —
+	// resumed campaigns re-record it into the artifact byte-for-byte.
+	var a, b bytes.Buffer
+	art1, art2 := NewArtifact(), NewArtifact()
+	art1.Record("x", res.Metrics)
+	art2.Record("x", e.Result.Metrics)
+	if err := art1.WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := art2.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("journaled metrics do not round-trip byte-exactly")
+	}
+	if e.Result.Cores[0].IPC != res.Cores[0].IPC || e.Result.ElapsedBus != res.ElapsedBus {
+		t.Error("journaled result fields differ from the live result")
+	}
+}
+
+func TestJournalToleratesTruncatedTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Default("bzip2")
+	cfg.Instructions = 40_000
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Record(ConfigHash(cfg), "tail/bzip2", res); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	// Simulate a campaign killed mid-append: a half-written JSON line.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"schema":1,"hash":"deadbeef","label":"trunc`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	j2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatalf("truncated journal failed to open: %v", err)
+	}
+	defer j2.Close()
+	if j2.Len() != 1 {
+		t.Errorf("entries = %d, want 1 (the complete line)", j2.Len())
+	}
+	if _, ok := j2.Lookup("deadbeef"); ok {
+		t.Error("partial trailing line was loaded")
+	}
+}
+
+func TestConfigHashIgnoresRobustnessKnobs(t *testing.T) {
+	cfg := Default("bzip2")
+	base := ConfigHash(cfg)
+	varied := cfg
+	varied.Check = true
+	varied.RunTimeout = 1e9
+	varied.LivelockEvents = 123
+	if ConfigHash(varied) != base {
+		t.Error("sanitizer/watchdog knobs changed the journal key")
+	}
+	other := cfg
+	other.Seed = 2
+	if ConfigHash(other) == base {
+		t.Error("seed change did not change the journal key")
+	}
+	if ConfigHash(Default("gcc")) == base {
+		t.Error("benchmark change did not change the journal key")
+	}
+}
+
+func TestFaultResumeProducesIdenticalArtifact(t *testing.T) {
+	// A campaign interrupted after some runs and resumed from its
+	// journal must write the same artifact bytes as one uninterrupted
+	// campaign. The "interruption" here is in-process: the first pass
+	// journals only half the runs via a fail-fast injected error.
+	path := filepath.Join(t.TempDir(), "resume.jsonl")
+
+	// Reference: uninterrupted campaign.
+	ref := faultOptions(t)
+	ref.Artifact = NewArtifact()
+	if _, err := Fig1(ref); err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if err := ref.Artifact.WriteJSON(&want); err != nil {
+		t.Fatal(err)
+	}
+
+	// Pass 1: serial, fails on the third submitted run; two runs are
+	// journaled before the abort.
+	o1 := faultOptions(t)
+	j1, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool1 := runner.New(1)
+	pool1.SetFaultHook(func(label string, attempt int) error {
+		if label == "fig1/bzip2/base" {
+			return fmt.Errorf("injected interruption")
+		}
+		return nil
+	})
+	o1.Pool = pool1
+	o1.Jobs = 1
+	o1.Journal = j1
+	if _, err := Fig1(o1); err == nil {
+		t.Fatal("injected failure did not surface")
+	}
+	j1.Close()
+	if n, err := os.ReadFile(path); err != nil || len(n) == 0 {
+		t.Fatalf("journal not flushed before abort: %v", err)
+	}
+
+	// Pass 2: resume from the sidecar, no fault. Journaled runs are
+	// served without re-simulating; the rest run fresh.
+	o2 := faultOptions(t)
+	j2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	o2.Journal = j2
+	o2.Artifact = NewArtifact()
+	if _, err := Fig1(o2); err != nil {
+		t.Fatal(err)
+	}
+	if j2.Hits() == 0 {
+		t.Error("resume re-simulated every run (no journal hits)")
+	}
+	var got bytes.Buffer
+	if err := o2.Artifact.WriteJSON(&got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want.Bytes(), got.Bytes()) {
+		t.Error("resumed artifact differs from the uninterrupted artifact")
+	}
+}

@@ -71,10 +71,12 @@ type Cache struct {
 	Hits, Misses, Writebacks stats.Counter
 }
 
-// New builds a cache. It panics on invalid configuration.
-func New(cfg Config) *Cache {
+// New builds a cache. It rejects an invalid configuration with the
+// validation error (a bad CLI flag surfaces as a clean one-line error,
+// not a stack trace).
+func New(cfg Config) (*Cache, error) {
 	if err := cfg.Validate(); err != nil {
-		panic(err)
+		return nil, err
 	}
 	numSets := cfg.SizeBytes / cfg.LineBytes / cfg.Ways
 	sets := make([][]way, numSets)
@@ -82,7 +84,17 @@ func New(cfg Config) *Cache {
 	for i := range sets {
 		sets[i] = backing[i*cfg.Ways : (i+1)*cfg.Ways : (i+1)*cfg.Ways]
 	}
-	return &Cache{cfg: cfg, sets: sets, mask: uint64(numSets - 1)}
+	return &Cache{cfg: cfg, sets: sets, mask: uint64(numSets - 1)}, nil
+}
+
+// MustNew is New for statically known-good configurations (tests,
+// examples); it panics on error.
+func MustNew(cfg Config) *Cache {
+	c, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
 }
 
 // RegisterMetrics registers the cache's access counters and derived

@@ -25,7 +25,7 @@ func TestConfigValidate(t *testing.T) {
 }
 
 func TestBasicHitMiss(t *testing.T) {
-	c := New(Config{SizeBytes: 64 * 64, LineBytes: 64, Ways: 4}) // 64 lines, 16 sets of 4 ways
+	c := MustNew(Config{SizeBytes: 64 * 64, LineBytes: 64, Ways: 4}) // 64 lines, 16 sets of 4 ways
 	if r := c.Access(1, false); r.Hit {
 		t.Error("first access hit")
 	}
@@ -39,7 +39,7 @@ func TestBasicHitMiss(t *testing.T) {
 
 func TestLRUEviction(t *testing.T) {
 	// 1 set of 2 ways: lines mapping to set 0 with stride NumSets.
-	c := New(Config{SizeBytes: 2 * 64 * 2, LineBytes: 64, Ways: 2})
+	c := MustNew(Config{SizeBytes: 2 * 64 * 2, LineBytes: 64, Ways: 2})
 	sets := uint64(c.NumSets())
 	a, b, d := uint64(0), sets, 2*sets
 	c.Access(a, false)
@@ -55,7 +55,7 @@ func TestLRUEviction(t *testing.T) {
 }
 
 func TestDirtyWriteback(t *testing.T) {
-	c := New(Config{SizeBytes: 2 * 64, LineBytes: 64, Ways: 1})
+	c := MustNew(Config{SizeBytes: 2 * 64, LineBytes: 64, Ways: 1})
 	sets := uint64(c.NumSets())
 	c.Access(0, true) // dirty
 	r := c.Access(sets, false)
@@ -73,7 +73,7 @@ func TestDirtyWriteback(t *testing.T) {
 }
 
 func TestWriteHitMarksDirty(t *testing.T) {
-	c := New(Config{SizeBytes: 2 * 64, LineBytes: 64, Ways: 1})
+	c := MustNew(Config{SizeBytes: 2 * 64, LineBytes: 64, Ways: 1})
 	sets := uint64(c.NumSets())
 	c.Access(0, false) // clean fill
 	c.Access(0, true)  // write hit marks dirty
@@ -85,7 +85,7 @@ func TestWriteHitMarksDirty(t *testing.T) {
 
 func TestWorkingSetFitsNoCapacityMisses(t *testing.T) {
 	cfg := Config{SizeBytes: 64 * 1024, LineBytes: 64, Ways: 16}
-	c := New(cfg)
+	c := MustNew(cfg)
 	lines := cfg.SizeBytes / cfg.LineBytes
 	// Touch every line once (cold misses), then loop: all hits.
 	for l := 0; l < lines; l++ {
@@ -106,7 +106,7 @@ func TestWorkingSetFitsNoCapacityMisses(t *testing.T) {
 func TestWorkingSetThrashes(t *testing.T) {
 	// Sequential loop over 2x capacity with LRU yields ~0% hits.
 	cfg := Config{SizeBytes: 64 * 1024, LineBytes: 64, Ways: 16}
-	c := New(cfg)
+	c := MustNew(cfg)
 	lines := 2 * cfg.SizeBytes / cfg.LineBytes
 	for pass := 0; pass < 3; pass++ {
 		for l := 0; l < lines; l++ {
@@ -119,7 +119,7 @@ func TestWorkingSetThrashes(t *testing.T) {
 }
 
 func TestHitRate(t *testing.T) {
-	c := New(Config{SizeBytes: 64 * 64, LineBytes: 64, Ways: 4})
+	c := MustNew(Config{SizeBytes: 64 * 64, LineBytes: 64, Ways: 4})
 	if c.HitRate() != 0 {
 		t.Error("empty cache hit rate non-zero")
 	}
@@ -135,7 +135,7 @@ func TestOccupancyNeverExceedsCapacity(t *testing.T) {
 	// resident lines is at most capacity.
 	f := func(seed int64) bool {
 		cfg := Config{SizeBytes: 32 * 64, LineBytes: 64, Ways: 4}
-		c := New(cfg)
+		c := MustNew(cfg)
 		rng := rand.New(rand.NewSource(seed))
 		inserted := map[uint64]bool{}
 		for i := 0; i < 2000; i++ {
@@ -159,7 +159,7 @@ func TestOccupancyNeverExceedsCapacity(t *testing.T) {
 func TestAccessedLineAlwaysResident(t *testing.T) {
 	// Property: immediately after Access(l), Contains(l) is true.
 	f := func(seed int64) bool {
-		c := New(Config{SizeBytes: 16 * 64, LineBytes: 64, Ways: 2})
+		c := MustNew(Config{SizeBytes: 16 * 64, LineBytes: 64, Ways: 2})
 		rng := rand.New(rand.NewSource(seed))
 		for i := 0; i < 1000; i++ {
 			l := uint64(rng.Intn(128))
@@ -176,7 +176,7 @@ func TestAccessedLineAlwaysResident(t *testing.T) {
 }
 
 func TestHitsPlusMissesEqualsAccesses(t *testing.T) {
-	c := New(DefaultConfig(MiB))
+	c := MustNew(DefaultConfig(MiB))
 	rng := rand.New(rand.NewSource(99))
 	const n = 10000
 	for i := 0; i < n; i++ {
@@ -196,8 +196,8 @@ func TestLargerCacheNeverWorse(t *testing.T) {
 	for i := range trace {
 		trace[i] = uint64(rng.Intn(4096))
 	}
-	small := New(Config{SizeBytes: 128 * 1024, LineBytes: 64, Ways: 8})
-	big := New(Config{SizeBytes: 256 * 1024, LineBytes: 64, Ways: 16}) // same set count
+	small := MustNew(Config{SizeBytes: 128 * 1024, LineBytes: 64, Ways: 8})
+	big := MustNew(Config{SizeBytes: 256 * 1024, LineBytes: 64, Ways: 16}) // same set count
 	for _, l := range trace {
 		small.Access(l, false)
 		big.Access(l, false)

@@ -240,17 +240,17 @@ func (e *Engine) NoteSessionEnd(rank, inserted, leftover int) {
 
 // NewEngine builds an engine for the given geometry, refresh interval
 // (tREFI, used to size the observational window) and refresh cycle time
-// (tRFC, used to estimate per-freeze demand). It panics on invalid
-// configuration.
-func NewEngine(cfg Config, geo addr.Geometry, refi, rfc event.Cycle) *Engine {
+// (tRFC, used to estimate per-freeze demand). It rejects an invalid
+// configuration with the validation error.
+func NewEngine(cfg Config, geo addr.Geometry, refi, rfc event.Cycle) (*Engine, error) {
 	if err := cfg.Validate(); err != nil {
-		panic(err)
+		return nil, err
 	}
 	if err := geo.Validate(); err != nil {
-		panic(err)
+		return nil, err
 	}
 	if refi <= 0 || rfc <= 0 {
-		panic("core: engine requires positive refresh timings")
+		return nil, fmt.Errorf("core: engine requires positive refresh timings (refi=%d rfc=%d)", refi, rfc)
 	}
 	e := &Engine{
 		cfg:    cfg,
@@ -268,12 +268,16 @@ func NewEngine(cfg Config, geo addr.Geometry, refi, rfc event.Cycle) *Engine {
 			e.ranks[r].table = NewTable(geo.Banks)
 		}
 		if cfg.Predictor == PredictorVLDP {
-			e.ranks[r].vldp = vldp.New(vldp.DefaultConfig())
+			v, err := vldp.New(vldp.DefaultConfig())
+			if err != nil {
+				return nil, err
+			}
+			e.ranks[r].vldp = v
 		}
 		e.ranks[r].prof = NewProfiler(cfg.TrainRefreshes)
 		e.ranks[r].consumedEWMA = -1
 	}
-	return e
+	return e, nil
 }
 
 // RegisterMetrics registers the engine's refresh-decision counters into

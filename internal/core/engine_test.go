@@ -19,7 +19,11 @@ func newTestEngine(t *testing.T, mutate func(*Config)) *Engine {
 	if mutate != nil {
 		mutate(&cfg)
 	}
-	return NewEngine(cfg, engGeo(), 6240, 280)
+	e, err := NewEngine(cfg, engGeo(), 6240, 280)
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	return e
 }
 
 // driveTraining pushes an engine's rank 0 through its training period

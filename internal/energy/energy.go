@@ -143,12 +143,12 @@ func (b *Breakdown) RegisterMetrics(r *stats.Registry) {
 // activate count (each ACT keeps its rank active for about tRAS+tRP),
 // the standard simplification when per-cycle bank-state integration is
 // not captured.
-func Compute(p Params, t dram.Params, elapsed event.Cycle, c Counts, s SRAMCounts) Breakdown {
+func Compute(p Params, t dram.Params, elapsed event.Cycle, c Counts, s SRAMCounts) (Breakdown, error) {
 	if err := p.Validate(); err != nil {
-		panic(err)
+		return Breakdown{}, err
 	}
 	if elapsed < 0 || c.Ranks <= 0 {
-		panic(fmt.Sprintf("energy: bad inputs elapsed=%d ranks=%d", elapsed, c.Ranks))
+		return Breakdown{}, fmt.Errorf("energy: bad inputs elapsed=%d ranks=%d", elapsed, c.Ranks)
 	}
 	chips := float64(p.ChipsPerRank)
 	secPerCycle := float64(event.PicosPerBusCycle) * 1e-12
@@ -193,5 +193,5 @@ func Compute(p Params, t dram.Params, elapsed event.Cycle, c Counts, s SRAMCount
 	// SRAM buffer accesses.
 	b.SRAMJ = SRAMAccessNJ(s.Lines) * 1e-9 * float64(s.Reads+s.Writes)
 
-	return b
+	return b, nil
 }

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"ropsim/internal/dram"
+	"ropsim/internal/event"
 )
 
 func TestParamsValidate(t *testing.T) {
@@ -39,10 +40,21 @@ func TestSRAMAccessTable(t *testing.T) {
 	}
 }
 
+// mustCompute is Compute with a fatal on error (the inputs in these
+// tests are statically valid).
+func mustCompute(t *testing.T, p Params, d dram.Params, elapsed event.Cycle, c Counts, s SRAMCounts) Breakdown {
+	t.Helper()
+	b, err := Compute(p, d, elapsed, c, s)
+	if err != nil {
+		t.Fatalf("Compute: %v", err)
+	}
+	return b
+}
+
 func TestIdleEnergyIsBackgroundOnly(t *testing.T) {
 	p := DDR4Power()
 	d := dram.DDR4_1600(dram.Refresh1x)
-	b := Compute(p, d, 1_000_000, Counts{Ranks: 1}, SRAMCounts{Lines: 64})
+	b := mustCompute(t, p, d, 1_000_000, Counts{Ranks: 1}, SRAMCounts{Lines: 64})
 	if b.BackgroundJ <= 0 {
 		t.Error("idle run has zero background energy")
 	}
@@ -58,8 +70,8 @@ func TestRefreshAddsEnergy(t *testing.T) {
 	p := DDR4Power()
 	d := dram.DDR4_1600(dram.Refresh1x)
 	elapsed := 100 * d.REFI
-	without := Compute(p, d, elapsed, Counts{Ranks: 1}, SRAMCounts{Lines: 64})
-	with := Compute(p, d, elapsed, Counts{Ranks: 1, REF: 100}, SRAMCounts{Lines: 64})
+	without := mustCompute(t, p, d, elapsed, Counts{Ranks: 1}, SRAMCounts{Lines: 64})
+	with := mustCompute(t, p, d, elapsed, Counts{Ranks: 1, REF: 100}, SRAMCounts{Lines: 64})
 	if with.Total() <= without.Total() {
 		t.Error("refreshes did not add energy")
 	}
@@ -75,8 +87,8 @@ func TestLongerRunsCostMore(t *testing.T) {
 	p := DDR4Power()
 	d := dram.DDR4_1600(dram.Refresh1x)
 	c := Counts{Ranks: 2, ACT: 1000, RD: 5000, WR: 2000, REF: 50}
-	short := Compute(p, d, 1_000_000, c, SRAMCounts{Lines: 64})
-	long := Compute(p, d, 2_000_000, c, SRAMCounts{Lines: 64})
+	short := mustCompute(t, p, d, 1_000_000, c, SRAMCounts{Lines: 64})
+	long := mustCompute(t, p, d, 2_000_000, c, SRAMCounts{Lines: 64})
 	if long.Total() <= short.Total() {
 		t.Error("longer elapsed time did not increase energy")
 	}
@@ -88,8 +100,8 @@ func TestLongerRunsCostMore(t *testing.T) {
 func TestCommandEnergiesScaleLinearly(t *testing.T) {
 	p := DDR4Power()
 	d := dram.DDR4_1600(dram.Refresh1x)
-	one := Compute(p, d, 1_000_000, Counts{Ranks: 1, RD: 1000}, SRAMCounts{Lines: 64})
-	two := Compute(p, d, 1_000_000, Counts{Ranks: 1, RD: 2000}, SRAMCounts{Lines: 64})
+	one := mustCompute(t, p, d, 1_000_000, Counts{Ranks: 1, RD: 1000}, SRAMCounts{Lines: 64})
+	two := mustCompute(t, p, d, 1_000_000, Counts{Ranks: 1, RD: 2000}, SRAMCounts{Lines: 64})
 	if diff := two.ReadJ - 2*one.ReadJ; diff > 1e-15 || diff < -1e-15 {
 		t.Errorf("read energy not linear: %g vs %g", two.ReadJ, 2*one.ReadJ)
 	}
@@ -98,7 +110,7 @@ func TestCommandEnergiesScaleLinearly(t *testing.T) {
 func TestSRAMEnergyCounted(t *testing.T) {
 	p := DDR4Power()
 	d := dram.DDR4_1600(dram.Refresh1x)
-	b := Compute(p, d, 1000, Counts{Ranks: 1}, SRAMCounts{Reads: 100, Writes: 50, Lines: 16})
+	b := mustCompute(t, p, d, 1000, Counts{Ranks: 1}, SRAMCounts{Reads: 100, Writes: 50, Lines: 16})
 	want := 150 * 0.0132e-9
 	if diff := b.SRAMJ - want; diff > 1e-18 || diff < -1e-18 {
 		t.Errorf("SRAMJ = %g, want %g", b.SRAMJ, want)
@@ -109,7 +121,7 @@ func TestActiveStandbyCapped(t *testing.T) {
 	// Absurd ACT counts cannot push active time beyond elapsed time.
 	p := DDR4Power()
 	d := dram.DDR4_1600(dram.Refresh1x)
-	b := Compute(p, d, 1000, Counts{Ranks: 1, ACT: 1 << 40}, SRAMCounts{Lines: 64})
+	b := mustCompute(t, p, d, 1000, Counts{Ranks: 1, ACT: 1 << 40}, SRAMCounts{Lines: 64})
 	// Background energy is bounded by all-active for the whole run.
 	maxBg := p.VDD * 1e-3 * float64(p.ChipsPerRank) * p.IDD3N *
 		float64(1000) * 1.25e-9
@@ -118,11 +130,13 @@ func TestActiveStandbyCapped(t *testing.T) {
 	}
 }
 
-func TestComputePanicsOnBadInput(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("Compute accepted zero ranks")
-		}
-	}()
-	Compute(DDR4Power(), dram.DDR4_1600(dram.Refresh1x), 10, Counts{}, SRAMCounts{Lines: 64})
+func TestComputeRejectsBadInput(t *testing.T) {
+	if _, err := Compute(DDR4Power(), dram.DDR4_1600(dram.Refresh1x), 10, Counts{}, SRAMCounts{Lines: 64}); err == nil {
+		t.Error("Compute accepted zero ranks")
+	}
+	bad := DDR4Power()
+	bad.VDD = 0
+	if _, err := Compute(bad, dram.DDR4_1600(dram.Refresh1x), 10, Counts{Ranks: 1}, SRAMCounts{Lines: 64}); err == nil {
+		t.Error("Compute accepted zero VDD")
+	}
 }

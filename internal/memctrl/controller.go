@@ -176,6 +176,7 @@ type Controller struct {
 	spaceFn func()      // back-pressure notification to the cores
 
 	capture *Capture
+	cmdObs  func(dram.Command) // optional command observer (protocol sanitizer)
 
 	// sessionInsertedMark is the SRAM insert counter at the start of the
 	// current fill session (consumption feedback, see startFills).
@@ -243,10 +244,11 @@ func (c *Controller) observeRead(busCycles float64) {
 }
 
 // New builds a controller for the given device, driven by queue q. It
-// panics on invalid configuration.
-func New(cfg Config, dev *dram.Device, q *event.Queue) *Controller {
+// rejects an invalid configuration with the validation error (a bad
+// CLI flag surfaces as a clean one-line error, not a stack trace).
+func New(cfg Config, dev *dram.Device, q *event.Queue) (*Controller, error) {
 	if err := cfg.Validate(); err != nil {
-		panic(err)
+		return nil, err
 	}
 	geo := dev.Geometry()
 	p0 := dev.Params()
@@ -254,11 +256,11 @@ func New(cfg Config, dev *dram.Device, q *event.Queue) *Controller {
 		switch cfg.Mode {
 		case ModeBankRefresh, ModeROPBank:
 			if p0.RFCpb <= 0 {
-				panic("memctrl: bank-refresh mode requires RFCpb timing")
+				return nil, fmt.Errorf("memctrl: bank-refresh mode requires RFCpb timing")
 			}
 		case ModeSubarrayRefresh:
 			if p0.RFCsa <= 0 || p0.Subarrays <= 0 {
-				panic("memctrl: subarray-refresh mode requires RFCsa/Subarrays timing")
+				return nil, fmt.Errorf("memctrl: subarray-refresh mode requires RFCsa/Subarrays timing")
 			}
 		}
 	}
@@ -291,13 +293,17 @@ func New(cfg Config, dev *dram.Device, q *event.Queue) *Controller {
 		}
 	}
 	if p.REFI > 0 {
+		var err error
 		switch cfg.Mode {
 		case ModeROP:
-			c.rop = core.NewEngine(cfg.ROP, geo, p.REFI, p.RFC)
+			c.rop, err = core.NewEngine(cfg.ROP, geo, p.REFI, p.RFC)
 		case ModeROPBank:
 			// Bank-level refresh: the observational window and freeze
 			// length shrink to the per-bank schedule.
-			c.rop = core.NewEngine(cfg.ROP, geo, p.REFI/event.Cycle(geo.Banks), p.RFCpb)
+			c.rop, err = core.NewEngine(cfg.ROP, geo, p.REFI/event.Cycle(geo.Banks), p.RFCpb)
+		}
+		if err != nil {
+			return nil, err
 		}
 	}
 	if cfg.Capture {
@@ -307,6 +313,16 @@ func New(cfg Config, dev *dram.Device, q *event.Queue) *Controller {
 	// arrives (an idle DRAM still refreshes).
 	if next, ok := c.nextRefreshDue(); ok {
 		c.ensureWake(next)
+	}
+	return c, nil
+}
+
+// MustNew is New for statically known-good configurations (tests); it
+// panics on error.
+func MustNew(cfg Config, dev *dram.Device, q *event.Queue) *Controller {
+	c, err := New(cfg, dev, q)
+	if err != nil {
+		panic(err)
 	}
 	return c
 }
@@ -319,6 +335,24 @@ func (c *Controller) Device() *dram.Device { return c.dev }
 
 // Capture returns the trace capture, or nil when disabled.
 func (c *Controller) CaptureLog() *Capture { return c.capture }
+
+// SetCommandObserver registers fn to be called with every DRAM command
+// the controller issues (ACT/PRE/RD/WR/REF), in issue order. It is the
+// hook the -check protocol sanitizer attaches to; nil disables it.
+func (c *Controller) SetCommandObserver(fn func(dram.Command)) { c.cmdObs = fn }
+
+// emit records an issued command into the capture trace (when enabled)
+// and forwards it to the command observer (when registered). Every
+// command-issue site routes through here so the sanitizer sees the
+// complete stream.
+func (c *Controller) emit(cmd dram.Command) {
+	if c.capture != nil {
+		c.capture.Command(cmd)
+	}
+	if c.cmdObs != nil {
+		c.cmdObs(cmd)
+	}
+}
 
 // SetSpaceNotify registers fn to run when queue space frees up after a
 // rejected enqueue.
@@ -633,10 +667,8 @@ func (c *Controller) issueFrom(queue *[]*request, now event.Cycle, isWrite bool)
 		if isWrite {
 			if c.dev.EarliestWR(now, req.loc.Rank, req.loc.Bank) == now {
 				c.dev.IssueWR(now, req.loc.Rank, req.loc.Bank)
-				if c.capture != nil {
-					c.capture.Command(dram.Command{Kind: dram.CmdWR, At: now,
-						Rank: req.loc.Rank, Bank: req.loc.Bank, Col: req.loc.Col})
-				}
+				c.emit(dram.Command{Kind: dram.CmdWR, At: now,
+					Rank: req.loc.Rank, Bank: req.loc.Bank, Col: req.loc.Col})
 				c.WritesServed.Inc()
 				c.removeFrom(queue, i)
 				return true
@@ -645,10 +677,8 @@ func (c *Controller) issueFrom(queue *[]*request, now event.Cycle, isWrite bool)
 		}
 		if c.dev.EarliestRD(now, req.loc.Rank, req.loc.Bank) == now {
 			dataAt := c.dev.IssueRD(now, req.loc.Rank, req.loc.Bank)
-			if c.capture != nil {
-				c.capture.Command(dram.Command{Kind: dram.CmdRD, At: now,
-					Rank: req.loc.Rank, Bank: req.loc.Bank, Col: req.loc.Col})
-			}
+			c.emit(dram.Command{Kind: dram.CmdRD, At: now,
+				Rank: req.loc.Rank, Bank: req.loc.Bank, Col: req.loc.Col})
 			c.completeRead(req, dataAt)
 			c.removeFrom(queue, i)
 			return true
@@ -669,20 +699,16 @@ func (c *Controller) issueFrom(queue *[]*request, now event.Cycle, isWrite bool)
 		if open >= 0 {
 			if c.dev.EarliestPRE(now, req.loc.Rank, req.loc.Bank) == now {
 				c.dev.IssuePRE(now, req.loc.Rank, req.loc.Bank)
-				if c.capture != nil {
-					c.capture.Command(dram.Command{Kind: dram.CmdPRE, At: now,
-						Rank: req.loc.Rank, Bank: req.loc.Bank})
-				}
+				c.emit(dram.Command{Kind: dram.CmdPRE, At: now,
+					Rank: req.loc.Rank, Bank: req.loc.Bank})
 				return true
 			}
 			continue
 		}
 		if c.dev.EarliestACTRow(now, req.loc.Rank, req.loc.Bank, req.loc.Row) == now {
 			c.dev.IssueACT(now, req.loc.Rank, req.loc.Bank, req.loc.Row)
-			if c.capture != nil {
-				c.capture.Command(dram.Command{Kind: dram.CmdACT, At: now,
-					Rank: req.loc.Rank, Bank: req.loc.Bank, Row: req.loc.Row})
-			}
+			c.emit(dram.Command{Kind: dram.CmdACT, At: now,
+				Rank: req.loc.Rank, Bank: req.loc.Bank, Row: req.loc.Row})
 			return true
 		}
 	}
@@ -719,9 +745,7 @@ func (c *Controller) closeIdleRows(now event.Cycle) (bool, event.Cycle) {
 			at := c.dev.EarliestPRE(now, r, b)
 			if at == now {
 				c.dev.IssuePRE(now, r, b)
-				if c.capture != nil {
-					c.capture.Command(dram.Command{Kind: dram.CmdPRE, At: now, Rank: r, Bank: b})
-				}
+				c.emit(dram.Command{Kind: dram.CmdPRE, At: now, Rank: r, Bank: b})
 				return true, 0
 			}
 			if retry == 0 || at < retry {

@@ -27,7 +27,7 @@ func newController(t *testing.T, mode Mode, mutate func(*Config)) (*Controller, 
 	}
 	q := &event.Queue{}
 	dev := dram.NewDevice(params, testGeo())
-	return New(cfg, dev, q), q
+	return MustNew(cfg, dev, q), q
 }
 
 func TestSingleReadLatency(t *testing.T) {
@@ -623,12 +623,9 @@ func TestBankModeRequiresTiming(t *testing.T) {
 	params.RFCpb = 0
 	q := &event.Queue{}
 	dev := dram.NewDevice(params, testGeo())
-	defer func() {
-		if recover() == nil {
-			t.Error("ModeBankRefresh without RFCpb did not panic")
-		}
-	}()
-	New(DefaultConfig(ModeBankRefresh), dev, q)
+	if _, err := New(DefaultConfig(ModeBankRefresh), dev, q); err == nil {
+		t.Error("ModeBankRefresh without RFCpb did not error")
+	}
 }
 
 func TestROPBankWithNoRefreshParamsIsInert(t *testing.T) {
@@ -637,7 +634,7 @@ func TestROPBankWithNoRefreshParamsIsInert(t *testing.T) {
 	params := dram.NoRefresh(dram.DDR4_1600(dram.Refresh1x))
 	q := &event.Queue{}
 	dev := dram.NewDevice(params, testGeo())
-	c := New(DefaultConfig(ModeROPBank), dev, q)
+	c := MustNew(DefaultConfig(ModeROPBank), dev, q)
 	c.EnqueueRead(addr.Loc{Rank: 0, Bank: 0, Row: 1, Col: 1}, 0, func(event.Cycle) {})
 	q.RunUntil(100000)
 	if c.RefreshesIssued.Value() != 0 {

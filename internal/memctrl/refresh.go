@@ -307,9 +307,7 @@ func (c *Controller) closeStep(rank int, now event.Cycle) bool {
 		}
 		if c.dev.EarliestPRE(now, rank, b) == now {
 			c.dev.IssuePRE(now, rank, b)
-			if c.capture != nil {
-				c.capture.Command(dram.Command{Kind: dram.CmdPRE, At: now, Rank: rank, Bank: b})
-			}
+			c.emit(dram.Command{Kind: dram.CmdPRE, At: now, Rank: rank, Bank: b})
 			return true
 		}
 		return false // a bank is open but PRE is not yet legal: wait
@@ -323,8 +321,8 @@ func (c *Controller) closeStep(rank int, now event.Cycle) bool {
 	end := c.dev.IssueREF(now, rank)
 	if c.capture != nil {
 		c.capture.Refresh(now, rank)
-		c.capture.Command(dram.Command{Kind: dram.CmdREF, At: now, Rank: rank})
 	}
+	c.emit(dram.Command{Kind: dram.CmdREF, At: now, Rank: rank})
 	c.RefreshesIssued.Inc()
 	if c.cfg.Mode == ModeElastic {
 		// Elastic accounting: due already advanced when the refresh
@@ -486,9 +484,7 @@ func (c *Controller) closeBankStep(rank int, now event.Cycle) bool {
 	if c.dev.OpenRow(rank, b) >= 0 {
 		if c.dev.EarliestPRE(now, rank, b) == now {
 			c.dev.IssuePRE(now, rank, b)
-			if c.capture != nil {
-				c.capture.Command(dram.Command{Kind: dram.CmdPRE, At: now, Rank: rank, Bank: b})
-			}
+			c.emit(dram.Command{Kind: dram.CmdPRE, At: now, Rank: rank, Bank: b})
 			return true
 		}
 		return false
@@ -546,9 +542,7 @@ func (c *Controller) closeSubarrayStep(rank int, now event.Cycle) bool {
 	if open := c.dev.OpenRow(rank, b); open >= 0 && c.dev.SubarrayOf(int(open)) == sa {
 		if c.dev.EarliestPRE(now, rank, b) == now {
 			c.dev.IssuePRE(now, rank, b)
-			if c.capture != nil {
-				c.capture.Command(dram.Command{Kind: dram.CmdPRE, At: now, Rank: rank, Bank: b})
-			}
+			c.emit(dram.Command{Kind: dram.CmdPRE, At: now, Rank: rank, Bank: b})
 			return true
 		}
 		return false

@@ -1,0 +1,175 @@
+// Fault tolerance for campaign batches: panic isolation, failure
+// policies, bounded retry, and end-of-batch error summaries.
+//
+// A single panicking or hung simulation must never take down a whole
+// multi-hour campaign (the shape Ramulator 2.x motivates for
+// trace-driven DRAM simulators): a worker converts a task panic into a
+// labeled error carrying the goroutine stack, the batch either cancels
+// fast (FailFast) or keeps scheduling the independent remaining tasks
+// (RunToCompletion), and tasks that declare themselves Transient are
+// retried with linear backoff before their failure counts.
+
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Policy selects how a batch responds to a task failure.
+type Policy int
+
+// Failure policies.
+const (
+	// FailFast cancels the batch on the first task failure: queued tasks
+	// are skipped, in-flight tasks finish, and the earliest submission
+	// index's error is reported (the historical default).
+	FailFast Policy = iota
+	// RunToCompletion keeps scheduling every remaining task after a
+	// failure and reports all failures in one end-of-batch BatchError,
+	// so one bad run does not discard its siblings' completed work.
+	RunToCompletion
+)
+
+// String implements fmt.Stringer ("failfast" / "continue").
+func (p Policy) String() string {
+	switch p {
+	case FailFast:
+		return "failfast"
+	case RunToCompletion:
+		return "continue"
+	}
+	return fmt.Sprintf("Policy(%d)", int(p))
+}
+
+// ParsePolicy parses a failure-policy name: "failfast" (cancel the
+// batch on the first failure) or "continue" (run every task, summarize
+// failures at the end).
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "failfast":
+		return FailFast, nil
+	case "continue":
+		return RunToCompletion, nil
+	}
+	return FailFast, fmt.Errorf("runner: unknown failure policy %q (want failfast or continue)", s)
+}
+
+// PanicError is a task panic converted into an error: the recovered
+// value plus the panicking goroutine's stack. Workers recover every
+// task panic so a single bad run cannot crash the campaign process.
+type PanicError struct {
+	// Label is the panicking task's label.
+	Label string
+	// Value is the value passed to panic.
+	Value any
+	// Stack is the panicking goroutine's formatted stack trace.
+	Stack []byte
+}
+
+// Error implements error; the one-line form omits the stack.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("panic: %v", e.Value)
+}
+
+// TaskError is one failed task inside a BatchError.
+type TaskError struct {
+	// Index is the task's submission index within the batch.
+	Index int
+	// Label is the task's label.
+	Label string
+	// Err is the task's final error, already wrapped with the label.
+	Err error
+}
+
+// BatchError reports a failed batch: every task failure (sorted by
+// submission index), how many queued tasks were skipped after the first
+// failure cancelled the batch, and the pool's cumulative statistics at
+// batch end — so the caller knows exactly how much completed work
+// survived alongside the failure.
+type BatchError struct {
+	// Failures lists every failed task, ascending by submission index.
+	Failures []TaskError
+	// Skipped counts batch tasks that never started (queued work
+	// abandoned after a FailFast cancellation or a context cancel).
+	Skipped int
+	// Stats is the pool's cumulative work snapshot at batch end.
+	Stats Stats
+}
+
+// Error renders the first failure plus the batch context: further
+// failure count, skipped tasks, and the pool statistics.
+func (e *BatchError) Error() string {
+	var sb strings.Builder
+	sb.WriteString(e.Failures[0].Err.Error())
+	if n := len(e.Failures) - 1; n > 0 {
+		fmt.Fprintf(&sb, " (+%d more failure(s))", n)
+	}
+	if e.Skipped > 0 {
+		fmt.Fprintf(&sb, " [%d task(s) skipped after failure]", e.Skipped)
+	}
+	fmt.Fprintf(&sb, " [pool: %s]", e.Stats)
+	return sb.String()
+}
+
+// Unwrap exposes the earliest failure for errors.Is / errors.As.
+func (e *BatchError) Unwrap() error { return e.Failures[0].Err }
+
+// Summary renders a multi-line end-of-campaign report: one line per
+// failure (in submission order), then the skipped count and pool stats.
+func (e *BatchError) Summary() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%d task(s) failed:\n", len(e.Failures))
+	for _, f := range e.Failures {
+		fmt.Fprintf(&sb, "  #%d %v\n", f.Index, f.Err)
+	}
+	if e.Skipped > 0 {
+		fmt.Fprintf(&sb, "%d task(s) skipped\n", e.Skipped)
+	}
+	fmt.Fprintf(&sb, "pool: %s", e.Stats)
+	return sb.String()
+}
+
+// batchErr assembles a BatchError from the collected failures (any
+// order) and the skipped-task count; nil when nothing failed.
+func (p *Pool) batchErr(failures []TaskError, skipped int) error {
+	if len(failures) == 0 {
+		return nil
+	}
+	sort.Slice(failures, func(i, j int) bool { return failures[i].Index < failures[j].Index })
+	return &BatchError{Failures: failures, Skipped: skipped, Stats: p.Stats()}
+}
+
+// isCancellation reports whether err is the batch context's own
+// cancellation surfacing through a task (not a task failure in its own
+// right): those must not outrank real errors, or a parallel batch could
+// report a different failure than a serial one.
+func isCancellation(err error) bool {
+	return errors.Is(err, ErrCanceled) ||
+		errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// ErrCanceled may be returned (or wrapped) by tasks that abort because
+// the batch context was cancelled; the runner treats it as a
+// cancellation echo, not a task failure.
+var ErrCanceled = errors.New("runner: task canceled")
+
+// sleepBackoff waits d unless the context is cancelled first; it
+// reports whether the full backoff elapsed.
+func sleepBackoff(done <-chan struct{}, d time.Duration) bool {
+	if d <= 0 {
+		return true
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-done:
+		return false
+	}
+}

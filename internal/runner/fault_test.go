@@ -1,0 +1,277 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestFaultPanicRecoveredIntoLabeledError(t *testing.T) {
+	p := New(4)
+	tasks := make([]Task[int], 8)
+	for i := range tasks {
+		i := i
+		tasks[i] = Task[int]{Label: fmt.Sprintf("run/%d", i), Run: func(context.Context) (int, error) {
+			if i == 5 {
+				panic("injected crash")
+			}
+			return i, nil
+		}}
+	}
+	_, err := Run(context.Background(), p, tasks)
+	if err == nil {
+		t.Fatal("want error from panicking task")
+	}
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want a *PanicError in the chain", err)
+	}
+	if pe.Label != "run/5" || pe.Value != "injected crash" {
+		t.Errorf("PanicError = {%q %v}, want run/5 / injected crash", pe.Label, pe.Value)
+	}
+	if len(pe.Stack) == 0 || !strings.Contains(string(pe.Stack), "goroutine") {
+		t.Error("PanicError carries no stack trace")
+	}
+	if !strings.Contains(err.Error(), "run/5") {
+		t.Errorf("error %q missing panicking task's label", err)
+	}
+	if p.Stats().Panicked != 1 {
+		t.Errorf("Stats.Panicked = %d, want 1", p.Stats().Panicked)
+	}
+}
+
+func TestFaultRunToCompletionKeepsSiblingResults(t *testing.T) {
+	// One panic in N tasks under RunToCompletion: N-1 results survive and
+	// the batch error lists exactly one labeled failure.
+	const n = 20
+	p := New(4)
+	p.SetPolicy(RunToCompletion)
+	tasks := make([]Task[int], n)
+	for i := range tasks {
+		i := i
+		tasks[i] = Task[int]{Label: fmt.Sprintf("run/%d", i), Run: func(context.Context) (int, error) {
+			if i == 7 {
+				panic(fmt.Errorf("crash %d", i))
+			}
+			return i + 1, nil
+		}}
+	}
+	results, err := Run(context.Background(), p, tasks)
+	var be *BatchError
+	if !errors.As(err, &be) {
+		t.Fatalf("err = %v, want *BatchError", err)
+	}
+	if len(be.Failures) != 1 || be.Failures[0].Index != 7 || be.Failures[0].Label != "run/7" {
+		t.Fatalf("Failures = %+v, want exactly run/7", be.Failures)
+	}
+	if be.Skipped != 0 {
+		t.Errorf("Skipped = %d, want 0 under RunToCompletion", be.Skipped)
+	}
+	if len(results) != n {
+		t.Fatalf("len(results) = %d, want %d", len(results), n)
+	}
+	for i, r := range results {
+		want := i + 1
+		if i == 7 {
+			want = 0 // failed slot keeps the zero value
+		}
+		if r != want {
+			t.Errorf("results[%d] = %d, want %d", i, r, want)
+		}
+	}
+	if got := p.Stats().Completed; got != n-1 {
+		t.Errorf("Stats.Completed = %d, want %d", got, n-1)
+	}
+}
+
+func TestFaultFailFastReportsSkippedAndStats(t *testing.T) {
+	p := New(1) // serial: everything after the failure is skipped deterministically
+	tasks := make([]Task[int], 10)
+	for i := range tasks {
+		i := i
+		tasks[i] = Task[int]{Label: fmt.Sprintf("run/%d", i), Run: func(context.Context) (int, error) {
+			if i == 3 {
+				return 0, errors.New("boom")
+			}
+			return i, nil
+		}}
+	}
+	_, err := Run(context.Background(), p, tasks)
+	var be *BatchError
+	if !errors.As(err, &be) {
+		t.Fatalf("err = %v, want *BatchError", err)
+	}
+	if be.Skipped != 6 {
+		t.Errorf("Skipped = %d, want 6 (tasks 4..9 never started)", be.Skipped)
+	}
+	if be.Stats.Completed != 3 || be.Stats.Failed != 1 {
+		t.Errorf("Stats = %+v, want 3 completed / 1 failed", be.Stats)
+	}
+	msg := err.Error()
+	for _, want := range []string{"run/3", "boom", "skipped", "3 runs"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("error %q missing %q", msg, want)
+		}
+	}
+	if s := be.Summary(); !strings.Contains(s, "#3") || !strings.Contains(s, "skipped") {
+		t.Errorf("Summary %q missing failure index or skipped count", s)
+	}
+}
+
+func TestFaultTransientRetrySucceeds(t *testing.T) {
+	p := New(2)
+	p.SetRetry(3, time.Microsecond)
+	var attempts atomic.Int64
+	tasks := []Task[int]{{
+		Label:     "flaky",
+		Transient: true,
+		Run: func(context.Context) (int, error) {
+			if attempts.Add(1) < 3 {
+				return 0, errors.New("transient glitch")
+			}
+			return 42, nil
+		},
+	}}
+	results, err := Run(context.Background(), p, tasks)
+	if err != nil {
+		t.Fatalf("retry did not recover: %v", err)
+	}
+	if results[0] != 42 || attempts.Load() != 3 {
+		t.Errorf("result=%d attempts=%d, want 42 after 3 attempts", results[0], attempts.Load())
+	}
+	if s := p.Stats(); s.Retried != 2 || s.Failed != 0 || s.Completed != 1 {
+		t.Errorf("stats = %+v, want 2 retried / 0 failed / 1 completed", s)
+	}
+}
+
+func TestFaultTransientRetryExhausted(t *testing.T) {
+	p := New(1)
+	p.SetRetry(2, 0)
+	var attempts atomic.Int64
+	tasks := []Task[int]{{
+		Label:     "doomed",
+		Transient: true,
+		Run: func(context.Context) (int, error) {
+			attempts.Add(1)
+			return 0, errors.New("still broken")
+		},
+	}}
+	_, err := Run(context.Background(), p, tasks)
+	if err == nil || !strings.Contains(err.Error(), "doomed") {
+		t.Fatalf("err = %v, want exhausted-retry failure", err)
+	}
+	if attempts.Load() != 3 { // 1 initial + 2 retries
+		t.Errorf("attempts = %d, want 3", attempts.Load())
+	}
+}
+
+func TestFaultNonTransientNeverRetries(t *testing.T) {
+	p := New(1)
+	p.SetRetry(5, 0)
+	var attempts atomic.Int64
+	tasks := []Task[int]{{Label: "hard", Run: func(context.Context) (int, error) {
+		attempts.Add(1)
+		return 0, errors.New("deterministic failure")
+	}}}
+	if _, err := Run(context.Background(), p, tasks); err == nil {
+		t.Fatal("want error")
+	}
+	if attempts.Load() != 1 {
+		t.Errorf("attempts = %d, want 1 (no retry without Transient)", attempts.Load())
+	}
+}
+
+func TestFaultHookInjectsPanicsAndTransients(t *testing.T) {
+	// The fault hook simulates a crash on one label and a transient
+	// error on another; the retry path must clear the transient one.
+	p := New(2)
+	p.SetPolicy(RunToCompletion)
+	p.SetRetry(2, 0)
+	var transientHits atomic.Int64
+	p.SetFaultHook(func(label string, attempt int) error {
+		switch {
+		case label == "crash":
+			panic("hook-injected panic")
+		case label == "flaky" && attempt == 0:
+			transientHits.Add(1)
+			return errors.New("hook-injected transient")
+		}
+		return nil
+	})
+	tasks := []Task[int]{
+		{Label: "ok", Run: func(context.Context) (int, error) { return 1, nil }},
+		{Label: "crash", Run: func(context.Context) (int, error) { return 2, nil }},
+		{Label: "flaky", Transient: true, Run: func(context.Context) (int, error) { return 3, nil }},
+	}
+	results, err := Run(context.Background(), p, tasks)
+	var be *BatchError
+	if !errors.As(err, &be) {
+		t.Fatalf("err = %v, want *BatchError", err)
+	}
+	if len(be.Failures) != 1 || be.Failures[0].Label != "crash" {
+		t.Fatalf("Failures = %+v, want only the crash task", be.Failures)
+	}
+	var pe *PanicError
+	if !errors.As(be.Failures[0].Err, &pe) {
+		t.Errorf("crash failure %v is not a *PanicError", be.Failures[0].Err)
+	}
+	if results[0] != 1 || results[2] != 3 {
+		t.Errorf("surviving results = %v, want 1 and 3", results)
+	}
+	if transientHits.Load() != 1 {
+		t.Errorf("transient injected %d times, want 1", transientHits.Load())
+	}
+}
+
+func TestFaultCancellationEchoIsNotAFailure(t *testing.T) {
+	// Tasks that abort because the batch was cancelled must not be
+	// reported as task failures; the cancellation is reported once.
+	p := New(2)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var ran atomic.Int64
+	tasks := make([]Task[int], 30)
+	for i := range tasks {
+		i := i
+		tasks[i] = Task[int]{Label: fmt.Sprintf("c%d", i), Run: func(tctx context.Context) (int, error) {
+			if ran.Add(1) == 2 {
+				cancel()
+			}
+			time.Sleep(time.Millisecond)
+			if tctx.Err() != nil {
+				return 0, tctx.Err() // echo the cancellation, as sim.RunCtx does
+			}
+			return i, nil
+		}}
+	}
+	_, err := Run(ctx, p, tasks)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	var be *BatchError
+	if errors.As(err, &be) {
+		t.Fatalf("cancellation echo was reported as a batch failure: %v", be.Summary())
+	}
+}
+
+func TestFaultPolicyParseAndString(t *testing.T) {
+	for _, tc := range []struct {
+		s    string
+		want Policy
+	}{{"failfast", FailFast}, {"continue", RunToCompletion}} {
+		got, err := ParsePolicy(tc.s)
+		if err != nil || got != tc.want {
+			t.Errorf("ParsePolicy(%q) = %v, %v", tc.s, got, err)
+		}
+		if got.String() != tc.s {
+			t.Errorf("%v.String() = %q, want %q", got, got.String(), tc.s)
+		}
+	}
+	if _, err := ParsePolicy("bogus"); err == nil {
+		t.Error("ParsePolicy(bogus) did not fail")
+	}
+}

@@ -11,13 +11,20 @@
 // buffer fully), first-error capture with the failing task's label,
 // cancellation through context.Context, and cumulative statistics
 // (runs completed, wall time, busy time) for speedup reporting.
+//
+// The pool is also the campaign's fault boundary (see fault.go and
+// docs/ROBUSTNESS.md): task panics are recovered into *PanicError, a
+// failure either cancels the batch (FailFast) or is summarized at the
+// end (RunToCompletion), and Transient tasks retry with backoff.
 package runner
 
 import (
 	"context"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ropsim/internal/stats"
@@ -31,6 +38,10 @@ type Task[R any] struct {
 	Label string
 	// Run executes the task; ctx is cancelled when the pool aborts.
 	Run func(ctx context.Context) (R, error)
+	// Transient opts the task into the pool's bounded retry-with-backoff
+	// (SetRetry): its failures are assumed recoverable (filesystem
+	// hiccups, injected faults) and re-attempted before counting.
+	Transient bool
 }
 
 // Func wraps a plain function as a labeled task.
@@ -71,8 +82,59 @@ type Pool struct {
 	durMean   stats.Mean
 	progress  func(Event)
 
+	policy       Policy
+	retryMax     int           // extra attempts for Transient tasks
+	retryBackoff time.Duration // base backoff, scaled linearly per attempt
+	faultHook    func(label string, attempt int) error
+
 	completed stats.AtomicCounter
 	failed    stats.AtomicCounter
+	retried   stats.AtomicCounter
+	panicked  stats.AtomicCounter
+}
+
+// SetPolicy selects the pool's failure policy (default FailFast).
+// Install before submitting work.
+func (p *Pool) SetPolicy(pol Policy) {
+	p.mu.Lock()
+	p.policy = pol
+	p.mu.Unlock()
+}
+
+// Policy reports the pool's failure policy.
+func (p *Pool) Policy() Policy {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.policy
+}
+
+// SetRetry configures bounded retry for Transient tasks: up to max
+// re-attempts, sleeping backoff*attempt between tries (linear backoff).
+// max <= 0 disables retry (the default). Install before submitting
+// work.
+func (p *Pool) SetRetry(max int, backoff time.Duration) {
+	p.mu.Lock()
+	p.retryMax, p.retryBackoff = max, backoff
+	p.mu.Unlock()
+}
+
+// SetFaultHook installs a fault-injection hook invoked before every
+// task attempt (attempt counts from 0). The hook may return an error
+// (simulating a transient failure), panic (simulating a crashing run),
+// or block (simulating a hang); the returned error, if any, replaces
+// the task execution for that attempt. Testing only — nil in
+// production. Install before submitting work.
+func (p *Pool) SetFaultHook(fn func(label string, attempt int) error) {
+	p.mu.Lock()
+	p.faultHook = fn
+	p.mu.Unlock()
+}
+
+// runConfig snapshots the pool's per-batch behavior knobs.
+func (p *Pool) runConfig() (Policy, int, time.Duration, func(string, int) error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.policy, p.retryMax, p.retryBackoff, p.faultHook
 }
 
 // New returns a pool of the given size. jobs <= 0 selects
@@ -103,6 +165,9 @@ type Stats struct {
 	// Completed counts successfully finished tasks; Failed counts
 	// tasks that returned an error.
 	Completed, Failed int64
+	// Retried counts re-attempts of Transient tasks; Panicked counts
+	// task panics recovered into errors (both cumulative).
+	Retried, Panicked int64
 	// Wall is the elapsed time between the first task starting and the
 	// last task finishing (so far).
 	Wall time.Duration
@@ -122,11 +187,16 @@ func (s Stats) Speedup() float64 {
 	return s.Busy.Seconds() / s.Wall.Seconds()
 }
 
-// String renders the stats as a one-line summary.
+// String renders the stats as a one-line summary; failure, retry and
+// panic counts appear only when non-zero.
 func (s Stats) String() string {
-	return fmt.Sprintf("%d runs in %s wall (%d jobs, %s serial-equivalent, %.2fx speedup)",
+	line := fmt.Sprintf("%d runs in %s wall (%d jobs, %s serial-equivalent, %.2fx speedup)",
 		s.Completed, s.Wall.Round(time.Millisecond), s.Jobs,
 		s.Busy.Round(time.Millisecond), s.Speedup())
+	if s.Failed > 0 || s.Retried > 0 || s.Panicked > 0 {
+		line += fmt.Sprintf(" [failed=%d retried=%d panicked=%d]", s.Failed, s.Retried, s.Panicked)
+	}
+	return line
 }
 
 // Stats snapshots the pool's cumulative counters.
@@ -145,6 +215,8 @@ func (p *Pool) Stats() Stats {
 		Jobs:      p.jobs,
 		Completed: p.completed.Value(),
 		Failed:    p.failed.Value(),
+		Retried:   p.retried.Value(),
+		Panicked:  p.panicked.Value(),
 		Wall:      wall,
 		Busy:      p.busy,
 	}
@@ -198,12 +270,24 @@ func (p *Pool) record(label string, d time.Duration, err error) {
 }
 
 // Run executes tasks on the pool and returns their results in
-// submission order, regardless of completion order. On the first task
-// error it cancels the batch — queued tasks are skipped, in-flight
-// tasks finish — and returns that error wrapped with the task's label;
-// among concurrent failures the earliest submission index wins, so
-// serial and parallel executions report the same error. A cancelled ctx
-// aborts the batch with ctx's error.
+// submission order, regardless of completion order. Task panics are
+// recovered into *PanicError (with the goroutine stack), so a crashing
+// run never takes down the process. What happens after a failure is
+// the pool's Policy:
+//
+//   - FailFast (default): the batch cancels — queued tasks are skipped,
+//     in-flight tasks finish — and the returned *BatchError carries the
+//     earliest submission index's failure (so serial and parallel
+//     executions report the same one) plus the skipped-task count and
+//     pool statistics.
+//   - RunToCompletion: every remaining task still runs; the returned
+//     *BatchError lists all failures, and the results slice holds every
+//     successful task's result (failed slots keep their zero value).
+//
+// Tasks marked Transient are retried per SetRetry before their failure
+// counts. A cancelled ctx aborts the batch with ctx's error; task
+// errors that merely echo that cancellation are not reported as
+// failures.
 //
 // Tasks are fed to workers through a bounded queue, so a batch of
 // thousands holds only O(jobs) tasks in flight or buffered at once.
@@ -216,22 +300,23 @@ func Run[R any](ctx context.Context, p *Pool, tasks []Task[R]) ([]R, error) {
 	if jobs > len(tasks) {
 		jobs = len(tasks)
 	}
+	policy, retryMax, retryBackoff, faultHook := p.runConfig()
 
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
 	var (
 		errMu    sync.Mutex
-		firstErr error
-		firstIdx = -1
+		failures []TaskError
+		started  int64
 	)
-	fail := func(i int, err error) {
+	fail := func(i int, label string, err error) {
 		errMu.Lock()
-		if firstIdx == -1 || i < firstIdx {
-			firstIdx, firstErr = i, err
-		}
+		failures = append(failures, TaskError{Index: i, Label: label, Err: err})
 		errMu.Unlock()
-		cancel()
+		if policy == FailFast {
+			cancel()
+		}
 	}
 
 	// Feeder: bounded queue sized to the worker count provides
@@ -259,12 +344,20 @@ func Run[R any](ctx context.Context, p *Pool, tasks []Task[R]) ([]R, error) {
 				}
 				t := tasks[i]
 				p.admit()
+				atomic.AddInt64(&started, 1)
 				start := time.Now()
-				res, err := t.Run(ctx)
+				res, err := attempt(ctx, p, t, retryMax, retryBackoff, faultHook)
 				p.record(t.Label, time.Since(start), err)
 				if err != nil {
-					fail(i, fmt.Errorf("%s: %w", t.Label, err))
-					return
+					// A task aborted by the batch's own cancellation is not
+					// a failure: the cause is reported once, at the end.
+					if !(ctx.Err() != nil && isCancellation(err)) {
+						fail(i, t.Label, fmt.Errorf("%s: %w", t.Label, err))
+					}
+					if policy == FailFast {
+						return
+					}
+					continue
 				}
 				results[i] = res
 			}
@@ -272,16 +365,56 @@ func Run[R any](ctx context.Context, p *Pool, tasks []Task[R]) ([]R, error) {
 	}
 	wg.Wait()
 
-	errMu.Lock()
-	err := firstErr
-	errMu.Unlock()
-	if err != nil {
+	skipped := len(tasks) - int(atomic.LoadInt64(&started))
+	if err := p.batchErr(failures, skipped); err != nil {
+		if policy == RunToCompletion {
+			// Partial results survive alongside the failure summary.
+			return results, err
+		}
 		return nil, err
 	}
 	if err := ctx.Err(); err != nil {
 		// Parent cancellation (our own deferred cancel has not run yet,
-		// and the internal cancel only fires on a task error).
+		// and the internal cancel only fires on a task failure).
 		return nil, err
 	}
 	return results, nil
+}
+
+// attempt executes one task with panic recovery, the fault-injection
+// hook, and bounded retry for Transient tasks.
+func attempt[R any](ctx context.Context, p *Pool, t Task[R], retryMax int,
+	backoff time.Duration, hook func(string, int) error) (res R, err error) {
+	maxAtt := 0
+	if t.Transient {
+		maxAtt = retryMax
+	}
+	for att := 0; ; att++ {
+		res, err = runOnce(ctx, p, t, att, hook)
+		if err == nil || att >= maxAtt || ctx.Err() != nil || isCancellation(err) {
+			return res, err
+		}
+		if !sleepBackoff(ctx.Done(), backoff*time.Duration(att+1)) {
+			return res, err
+		}
+		p.retried.Inc()
+	}
+}
+
+// runOnce is a single task attempt under a panic guard: a panic in the
+// task (or the fault hook) becomes a *PanicError carrying the stack.
+func runOnce[R any](ctx context.Context, p *Pool, t Task[R], attempt int,
+	hook func(string, int) error) (res R, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			p.panicked.Inc()
+			err = &PanicError{Label: t.Label, Value: v, Stack: debug.Stack()}
+		}
+	}()
+	if hook != nil {
+		if herr := hook(t.Label, attempt); herr != nil {
+			return res, herr
+		}
+	}
+	return t.Run(ctx)
 }

@@ -7,7 +7,9 @@
 package sim
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"ropsim/internal/addr"
 	"ropsim/internal/cache"
@@ -63,6 +65,18 @@ type Config struct {
 	Capture bool
 	// CPU configures the core model.
 	CPU cpu.Config
+
+	// Check enables the JEDEC protocol sanitizer: every DRAM command the
+	// controller issues is validated against the timing checker, and the
+	// run aborts on the first violation (the -check flag).
+	Check bool
+	// RunTimeout bounds the run's wall-clock time; the watchdog aborts
+	// with a diagnostic dump when it passes (0 = no limit).
+	RunTimeout time.Duration
+	// LivelockEvents is the forward-progress window: the watchdog aborts
+	// when this many events dispatch without one instruction retiring.
+	// Zero selects DefaultLivelockEvents; negative disables the detector.
+	LivelockEvents int64
 }
 
 // Default returns the paper's configuration for the given benchmarks:
@@ -112,6 +126,9 @@ func (c Config) Validate() error {
 	}
 	if err := cache.DefaultConfig(c.LLCBytes).Validate(); err != nil {
 		return err
+	}
+	if c.RunTimeout < 0 {
+		return fmt.Errorf("sim: negative RunTimeout %v", c.RunTimeout)
 	}
 	return c.CPU.Validate()
 }
@@ -275,13 +292,20 @@ var DebugHook func(*memctrl.Controller)
 // Run executes one simulation. It returns an error when the
 // configuration is invalid or the run fails to converge.
 func Run(cfg Config) (*Result, error) {
-	res, _, _, err := run(cfg)
+	return RunCtx(context.Background(), cfg)
+}
+
+// RunCtx is Run with cancellation: the run aborts between events when
+// ctx is cancelled (polled every watchdogInterval events) and returns
+// ctx's error. Graceful campaign shutdown rides on this.
+func RunCtx(ctx context.Context, cfg Config) (*Result, error) {
+	res, _, _, err := run(ctx, cfg)
 	return res, err
 }
 
 // run is the Run body, also returning the device and controller for
 // RunDebug.
-func run(cfg Config) (*Result, *dram.Device, *memctrl.Controller, error) {
+func run(ctx context.Context, cfg Config) (*Result, *dram.Device, *memctrl.Controller, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, nil, nil, err
 	}
@@ -312,10 +336,26 @@ func run(cfg Config) (*Result, *dram.Device, *memctrl.Controller, error) {
 	mcfg.ROP.Gate = cfg.ROPGate
 	mcfg.ROP.StrictTable = cfg.ROPStrictTable
 	mcfg.ROP.Predictor = cfg.ROPPredictor
-	ctrl := memctrl.New(mcfg, dev, q)
+	ctrl, err := memctrl.New(mcfg, dev, q)
+	if err != nil {
+		return nil, nil, nil, err
+	}
 	ctrl.RegisterMetrics(reg.Sub("memctrl"))
 	if DebugHook != nil {
 		DebugHook(ctrl)
+	}
+
+	// The protocol sanitizer observes every issued command and latches
+	// the first violation; the event loop surfaces it at the watchdog
+	// cadence so a broken schedule aborts promptly.
+	var checkErr error
+	if cfg.Check {
+		checker := dram.NewChecker(params, geo)
+		ctrl.SetCommandObserver(func(cmd dram.Command) {
+			if checkErr == nil {
+				checkErr = checker.Check(cmd)
+			}
+		})
 	}
 
 	var mapper addr.Mapper
@@ -325,8 +365,12 @@ func run(cfg Config) (*Result, *dram.Device, *memctrl.Controller, error) {
 		mapper = addr.NewInterleaved(geo)
 	}
 
+	llc, err := cache.New(cache.DefaultConfig(cfg.LLCBytes))
+	if err != nil {
+		return nil, nil, nil, err
+	}
 	ms := &memSystem{
-		llc:     cache.New(cache.DefaultConfig(cfg.LLCBytes)),
+		llc:     llc,
 		mapper:  mapper,
 		ctrl:    ctrl,
 		readCap: mcfg.ReadQueueCap,
@@ -354,10 +398,17 @@ func run(cfg Config) (*Result, *dram.Device, *memctrl.Controller, error) {
 		c.Start(func() { remaining-- })
 	}
 
+	if StallHook != nil {
+		StallHook(q)
+	}
+
 	// Run until every core finishes. The event bound is generous (some
 	// hundreds of events per instruction would be pathological); a run
 	// that exceeds it is livelocked and reports an error instead of
-	// spinning forever.
+	// spinning forever. The watchdog layers finer detectors on top:
+	// cancellation, the wall-clock deadline, and retire-progress
+	// tracking, polled every watchdogInterval events.
+	wd := newWatchdog(cfg, cores, ctrl, dev, q)
 	maxEvents := 1000 * cfg.Instructions * int64(len(cfg.Benches)+1)
 	var dispatched int64
 	for remaining > 0 {
@@ -368,6 +419,17 @@ func run(cfg Config) (*Result, *dram.Device, *memctrl.Controller, error) {
 		if dispatched > maxEvents {
 			return nil, nil, nil, fmt.Errorf("sim: exceeded %d events with %d cores unfinished (livelock?)",
 				maxEvents, remaining)
+		}
+		if dispatched%watchdogInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, nil, nil, err
+			}
+			if checkErr != nil {
+				return nil, nil, nil, fmt.Errorf("sim: protocol violation: %w", checkErr)
+			}
+			if err := wd.check(dispatched, remaining); err != nil {
+				return nil, nil, nil, err
+			}
 		}
 	}
 
@@ -412,7 +474,7 @@ func run(cfg Config) (*Result, *dram.Device, *memctrl.Controller, error) {
 		sramCounts.Reads = buf.Lookups.Value()
 		sramCounts.Writes = buf.Inserted.Value()
 	}
-	res.Energy = energy.Compute(energy.DDR4Power(), params, elapsed, energy.Counts{
+	res.Energy, err = energy.Compute(energy.DDR4Power(), params, elapsed, energy.Counts{
 		ACT:             dev.NumACT.Value(),
 		RD:              dev.NumRD.Value(),
 		WR:              dev.NumWR.Value(),
@@ -420,6 +482,14 @@ func run(cfg Config) (*Result, *dram.Device, *memctrl.Controller, error) {
 		RefLockedCycles: dev.RefLockedCycles.Value(),
 		Ranks:           cfg.Ranks,
 	}, sramCounts)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	// The refresh tail after the last core finished still issued
+	// commands; surface any sanitizer violation latched there.
+	if checkErr != nil {
+		return nil, nil, nil, fmt.Errorf("sim: protocol violation: %w", checkErr)
+	}
 
 	// Run-level derived metrics join the registry last, then the whole
 	// namespace is frozen into the result.
@@ -460,7 +530,7 @@ type DebugResult struct {
 
 // RunDebug is Run, returning the internals alongside the result.
 func RunDebug(cfg Config) (*DebugResult, error) {
-	res, dev, ctrl, err := run(cfg)
+	res, dev, ctrl, err := run(context.Background(), cfg)
 	if err != nil {
 		return nil, err
 	}

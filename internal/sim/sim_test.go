@@ -165,7 +165,7 @@ func TestLLCSizeAffectsMissRate(t *testing.T) {
 	// so the test can afford enough accesses to exercise big caches.
 	missRate := func(llcBytes int) float64 {
 		g := workload.NewGenerator(workload.MustGet("bzip2"), 7)
-		llc := cache.New(cache.DefaultConfig(llcBytes))
+		llc := cache.MustNew(cache.DefaultConfig(llcBytes))
 		for i := 0; i < 400_000; i++ {
 			r, _ := g.Next()
 			llc.Access(r.Line, r.Write)

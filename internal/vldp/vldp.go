@@ -61,16 +61,27 @@ type VLDP struct {
 	clock uint64
 }
 
-// New builds a predictor. It panics on invalid configuration.
-func New(cfg Config) *VLDP {
+// New builds a predictor. It rejects an invalid configuration with the
+// validation error.
+func New(cfg Config) (*VLDP, error) {
 	if err := cfg.Validate(); err != nil {
-		panic(err)
+		return nil, err
 	}
 	v := &VLDP{cfg: cfg}
 	v.dhb = make([]dhbEntry, 0, cfg.DHBEntries)
 	v.dpts = make([][]dptEntry, cfg.Levels)
 	for l := range v.dpts {
 		v.dpts[l] = make([]dptEntry, cfg.DPTEntries)
+	}
+	return v, nil
+}
+
+// MustNew is New for statically known-good configurations (tests); it
+// panics on error.
+func MustNew(cfg Config) *VLDP {
+	v, err := New(cfg)
+	if err != nil {
+		panic(err)
 	}
 	return v
 }

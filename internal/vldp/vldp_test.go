@@ -24,7 +24,7 @@ func TestConfigValidate(t *testing.T) {
 }
 
 func TestLearnsConstantStride(t *testing.T) {
-	v := New(DefaultConfig())
+	v := MustNew(DefaultConfig())
 	off := int64(0)
 	for i := 0; i < 50; i++ {
 		v.Observe(1, off)
@@ -46,7 +46,7 @@ func TestLearnsConstantStride(t *testing.T) {
 func TestLearnsTwoDeltaPattern(t *testing.T) {
 	// Alternating +1,+3 requires history length 1 to be ambiguous and
 	// length >=2 to disambiguate: VLDP's whole point.
-	v := New(DefaultConfig())
+	v := MustNew(DefaultConfig())
 	off := int64(0)
 	deltas := []int64{1, 3}
 	for i := 0; i < 200; i++ {
@@ -72,7 +72,7 @@ func TestLearnsTwoDeltaPattern(t *testing.T) {
 }
 
 func TestLearnsThreeDeltaPattern(t *testing.T) {
-	v := New(DefaultConfig())
+	v := MustNew(DefaultConfig())
 	off := int64(0)
 	deltas := []int64{2, 2, 5}
 	for i := 0; i < 300; i++ {
@@ -92,7 +92,7 @@ func TestLearnsThreeDeltaPattern(t *testing.T) {
 }
 
 func TestUnknownPageNoPrediction(t *testing.T) {
-	v := New(DefaultConfig())
+	v := MustNew(DefaultConfig())
 	if preds := v.Predict(99, 4); preds != nil {
 		t.Errorf("prediction for untracked page: %v", preds)
 	}
@@ -105,7 +105,7 @@ func TestUnknownPageNoPrediction(t *testing.T) {
 func TestDHBEviction(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.DHBEntries = 4
-	v := New(cfg)
+	v := MustNew(cfg)
 	// Three accesses per page: the third trains the level-1 DPT (the
 	// first yields no delta, the second's delta has no prior history).
 	for page := uint64(0); page < 10; page++ {
@@ -126,7 +126,7 @@ func TestDHBEviction(t *testing.T) {
 }
 
 func TestNoiseDoesNotCrash(t *testing.T) {
-	v := New(DefaultConfig())
+	v := MustNew(DefaultConfig())
 	rng := rand.New(rand.NewSource(2))
 	for i := 0; i < 5000; i++ {
 		v.Observe(uint64(rng.Intn(32)), rng.Int63n(1<<20))
@@ -138,7 +138,7 @@ func TestNoiseDoesNotCrash(t *testing.T) {
 
 func TestRepeatedOffsetIgnored(t *testing.T) {
 	// Zero deltas (same line re-accessed) must not poison the history.
-	v := New(DefaultConfig())
+	v := MustNew(DefaultConfig())
 	off := int64(0)
 	for i := 0; i < 100; i++ {
 		v.Observe(1, off)
@@ -152,7 +152,7 @@ func TestRepeatedOffsetIgnored(t *testing.T) {
 }
 
 func TestPatternSwitchRelearns(t *testing.T) {
-	v := New(DefaultConfig())
+	v := MustNew(DefaultConfig())
 	off := int64(0)
 	for i := 0; i < 100; i++ {
 		v.Observe(1, off)

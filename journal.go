@@ -1,0 +1,170 @@
+package ropsim
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+
+	"ropsim/internal/stats"
+)
+
+// journalSchema versions the journal line format; a bump invalidates
+// old sidecars (Load rejects mismatched lines instead of resuming from
+// incompatible results).
+const journalSchema = 1
+
+// JournalEntry is one checkpointed run: the config hash that keys it,
+// the label it first completed under, and the full result. Capture
+// timelines are never journaled (they are too heavy and are consumed
+// live by the refresh-behaviour analysis), so Result.Capture is always
+// nil here.
+type JournalEntry struct {
+	// Schema is the journal line format version.
+	Schema int `json:"schema"`
+	// Hash is the deterministic config hash (see ConfigHash).
+	Hash string `json:"hash"`
+	// Label is the run label that produced the entry.
+	Label string `json:"label"`
+	// Result is the completed run's outcome, metrics included.
+	Result *Result `json:"result"`
+}
+
+// Journal is the campaign checkpoint: every completed simulation is
+// appended as one JSON line to a sidecar file, keyed by its config
+// hash. Reopening the same path loads the completed set, and -resume
+// campaigns serve those runs from the journal instead of re-simulating.
+// Record is safe for concurrent use by parallel runner workers; each
+// entry is flushed to the OS before Record returns, so a killed
+// campaign keeps everything that finished.
+type Journal struct {
+	mu      sync.Mutex
+	f       *os.File
+	entries map[string]*JournalEntry
+	hits    int64
+}
+
+// OpenJournal opens (creating if needed) the journal sidecar at path
+// and loads every complete entry already in it. A truncated final line
+// — the signature of a campaign killed mid-append — is skipped, not an
+// error. Entries written under a different journal or stats schema are
+// ignored.
+func OpenJournal(path string) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	j := &Journal{f: f, entries: map[string]*JournalEntry{}}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 64<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var e JournalEntry
+		if err := json.Unmarshal(line, &e); err != nil {
+			continue // partial trailing line from a killed writer
+		}
+		if e.Schema != journalSchema || e.Result == nil ||
+			e.Result.Metrics.Schema != stats.SchemaVersion {
+			continue
+		}
+		j.entries[e.Hash] = &e
+	}
+	if err := sc.Err(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("journal %s: %w", path, err)
+	}
+	if _, err := f.Seek(0, 2); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("journal %s: %w", path, err)
+	}
+	return j, nil
+}
+
+// Len reports the number of loaded plus newly recorded entries.
+func (j *Journal) Len() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.entries)
+}
+
+// Hits reports how many lookups were served from the journal (the
+// resumed-run count of a campaign).
+func (j *Journal) Hits() int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.hits
+}
+
+// Lookup returns the checkpointed entry for a config hash. The entry
+// is shared; callers must treat the result as read-only.
+func (j *Journal) Lookup(hash string) (*JournalEntry, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	e, ok := j.entries[hash]
+	if ok {
+		j.hits++
+	}
+	return e, ok
+}
+
+// Record checkpoints one completed run under its config hash, appending
+// the entry to the sidecar and flushing it before returning. Recording
+// a hash that is already journaled is a no-op (identical configs are
+// deterministic, so the existing entry is equally valid).
+func (j *Journal) Record(hash, label string, res *Result) error {
+	if res.Capture != nil {
+		return fmt.Errorf("journal: refusing to checkpoint capture-bearing run %q", label)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, ok := j.entries[hash]; ok {
+		return nil
+	}
+	e := &JournalEntry{Schema: journalSchema, Hash: hash, Label: label, Result: res}
+	line, err := json.Marshal(e)
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	if _, err := j.f.Write(append(line, '\n')); err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	j.entries[hash] = e
+	return nil
+}
+
+// Close flushes and closes the sidecar file.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Close()
+	j.f = nil
+	return err
+}
+
+// ConfigHash derives the deterministic journal key of a run
+// configuration. Robustness knobs that cannot change a run's outcome
+// (the sanitizer, the watchdog thresholds) are excluded, so a campaign
+// resumed with, say, a different -run-timeout still matches its
+// journal. Configs carrying explicit trace streams hash their pointer
+// representations and must not be journaled (the harness never does).
+func ConfigHash(cfg Config) string {
+	norm := cfg
+	norm.Check = false
+	norm.RunTimeout = 0
+	norm.LivelockEvents = 0
+	h := sha256.Sum256([]byte(fmt.Sprintf("ropsim-journal-v%d|stats-v%d|%+v",
+		journalSchema, stats.SchemaVersion, norm)))
+	return hex.EncodeToString(h[:])
+}

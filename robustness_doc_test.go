@@ -1,0 +1,87 @@
+package ropsim
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"ropsim/internal/sim"
+)
+
+// TestRobustnessDocComplete enforces the docs/ROBUSTNESS.md contract
+// the same way TestMetricsDocComplete enforces docs/METRICS.md: the
+// operational facts a user depends on — flag names, exit codes, the
+// journal schema version, the livelock default — must appear in the
+// document and must match the code, and every campaign-level
+// fault-injection test must be listed (so a new failure path cannot
+// land undocumented).
+func TestRobustnessDocComplete(t *testing.T) {
+	doc, err := os.ReadFile(filepath.Join("docs", "ROBUSTNESS.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(doc)
+
+	// Every robustness flag of ropexp/ropsim and both policy spellings.
+	for _, flag := range []string{
+		"-journal", "-resume", "-check", "-run-timeout", "-fail-policy",
+		"failfast", "continue",
+	} {
+		if !strings.Contains(text, "`"+flag+"`") {
+			t.Errorf("docs/ROBUSTNESS.md does not document %q", flag)
+		}
+	}
+
+	// The exit-code table must cover the full CLI contract.
+	for _, code := range []string{"| 0 |", "| 1 |", "| 2 |", "| 3 |", "| 130 |"} {
+		if !strings.Contains(text, code) {
+			t.Errorf("docs/ROBUSTNESS.md exit-code table missing row %q", code)
+		}
+	}
+
+	// The journal example line must carry the current schema version,
+	// and the watchdog section the current livelock default.
+	if want := fmt.Sprintf(`{"schema": %d`, journalSchema); !strings.Contains(text, want) {
+		t.Errorf("docs/ROBUSTNESS.md journal example does not show schema version %d", journalSchema)
+	}
+	if want := groupDigits(sim.DefaultLivelockEvents); !strings.Contains(text, want) {
+		t.Errorf("docs/ROBUSTNESS.md does not state the livelock default %s", want)
+	}
+
+	// Every campaign-level fault-injection test (root package and the
+	// simulation watchdog suite) must be described in the doc.
+	re := regexp.MustCompile(`func (TestFault\w+)\(`)
+	for _, dir := range []string{".", "internal/sim"} {
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range entries {
+			if !strings.HasSuffix(e.Name(), "_test.go") {
+				continue
+			}
+			src, err := os.ReadFile(filepath.Join(dir, e.Name()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, m := range re.FindAllStringSubmatch(string(src), -1) {
+				if !strings.Contains(text, m[1]) {
+					t.Errorf("docs/ROBUSTNESS.md does not mention fault test %s", m[1])
+				}
+			}
+		}
+	}
+}
+
+// groupDigits renders n with comma thousands separators, matching the
+// prose style of the docs (e.g. 2000000 -> "2,000,000").
+func groupDigits(n int64) string {
+	s := fmt.Sprintf("%d", n)
+	for i := len(s) - 3; i > 0; i -= 3 {
+		s = s[:i] + "," + s[i:]
+	}
+	return s
+}

@@ -20,6 +20,8 @@
 package ropsim
 
 import (
+	"context"
+
 	"ropsim/internal/core"
 	"ropsim/internal/dram"
 	"ropsim/internal/memctrl"
@@ -97,6 +99,11 @@ func Default(benches ...string) Config { return sim.Default(benches...) }
 
 // Run executes one simulation.
 func Run(cfg Config) (*Result, error) { return sim.Run(cfg) }
+
+// RunCtx is Run with cancellation: the simulation aborts between
+// events when ctx is cancelled (graceful campaign shutdown rides on
+// this).
+func RunCtx(ctx context.Context, cfg Config) (*Result, error) { return sim.RunCtx(ctx, cfg) }
 
 // WeightedSpeedup computes Σ IPC_shared/IPC_alone (paper Eq. 4).
 func WeightedSpeedup(shared *Result, alone []float64) float64 {

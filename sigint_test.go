@@ -1,0 +1,103 @@
+package ropsim
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestFaultSigintKillAndResume drives the real ropexp binary through
+// the full graceful-shutdown story: a campaign is interrupted with
+// SIGINT mid-flight, must exit with code 3 after flushing its journal
+// and partial stats artifact, and a -resume rerun must complete the
+// campaign with a final artifact byte-identical to an uninterrupted
+// one.
+func TestFaultSigintKillAndResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the ropexp binary; skipped in -short")
+	}
+	dir := t.TempDir()
+	exe := filepath.Join(dir, "ropexp")
+	build := exec.Command("go", "build", "-o", exe, "./cmd/ropexp")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	journal := filepath.Join(dir, "campaign.jsonl")
+	refOut := filepath.Join(dir, "ref.json")
+	partOut := filepath.Join(dir, "part.json")
+	finalOut := filepath.Join(dir, "final.json")
+
+	// The campaign is sized so a worker pool takes a few seconds: long
+	// enough to interrupt reliably, short enough for CI.
+	args := []string{"-exp", "fig1", "-insts", "20000000", "-jobs", "2"}
+
+	// Reference: the same campaign, uninterrupted.
+	ref := exec.Command(exe, append(args, "-stats-out", refOut)...)
+	if out, err := ref.CombinedOutput(); err != nil {
+		t.Fatalf("reference campaign: %v\n%s", err, out)
+	}
+
+	// Interrupted pass: SIGINT once the journal shows completed runs.
+	var stderr bytes.Buffer
+	interrupted := exec.Command(exe, append(args, "-journal", journal, "-stats-out", partOut)...)
+	interrupted.Stderr = &stderr
+	if err := interrupted.Start(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		if st, err := os.Stat(journal); err == nil && st.Size() > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			interrupted.Process.Kill()
+			t.Fatalf("journal never appeared; stderr:\n%s", stderr.String())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if err := interrupted.Process.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	err := interrupted.Wait()
+	var ee *exec.ExitError
+	if !errors.As(err, &ee) || ee.ExitCode() != 3 {
+		t.Fatalf("interrupted campaign exited %v (stderr:\n%s), want exit code 3",
+			err, stderr.String())
+	}
+	if st, err := os.Stat(partOut); err != nil || st.Size() == 0 {
+		t.Fatalf("partial stats artifact not flushed: %v", err)
+	}
+	j, err := OpenJournal(journal)
+	if err != nil {
+		t.Fatalf("flushed journal unreadable: %v", err)
+	}
+	checkpointed := j.Len()
+	j.Close()
+	if checkpointed == 0 {
+		t.Fatal("journal flushed with zero complete entries")
+	}
+	t.Logf("interrupted with %d runs checkpointed; stderr:\n%s", checkpointed, stderr.String())
+
+	// Resume: must finish cleanly, serving the checkpointed runs.
+	resume := exec.Command(exe, append(args, "-resume", "-journal", journal, "-stats-out", finalOut)...)
+	if out, err := resume.CombinedOutput(); err != nil {
+		t.Fatalf("resumed campaign: %v\n%s", err, out)
+	}
+
+	want, err := os.ReadFile(refOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(finalOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want, got) {
+		t.Error("resumed artifact differs from the uninterrupted reference")
+	}
+}

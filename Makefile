@@ -1,0 +1,37 @@
+# Developer entry points. CI runs the same commands (.github/workflows/ci.yml).
+
+GO ?= go
+
+# Latest committed baseline, used as the regression reference.
+REF ?= $(lastword $(sort $(wildcard BENCH_*.json)))
+
+.PHONY: test race bench bench-gate microbench quick
+
+# test builds everything and runs the full suite (tier-1 gate).
+test:
+	$(GO) build ./...
+	$(GO) test ./...
+
+# race runs the suite under the race detector at reduced scale.
+race:
+	$(GO) test -race -short ./internal/... .
+
+# bench measures the hot-path baseline and emits BENCH_<today>.json
+# (docs/PERFORMANCE.md documents the schema and how to read it).
+bench:
+	$(GO) run ./cmd/benchgate
+
+# bench-gate re-measures and fails if the quick Fig1 campaign regressed
+# more than 15% against the committed reference ($(REF)).
+bench-gate:
+	$(GO) run ./cmd/benchgate -out BENCH_ci.json -ref $(REF)
+
+# microbench runs the per-subsystem benchmarks with benchstat-friendly
+# output (pipe two runs into benchstat to compare).
+microbench:
+	$(GO) test -run '^$$' -bench . -benchmem -count 5 ./internal/event ./internal/memctrl
+
+# quick regenerates the quick-scale Fig1/Table1 artifacts with the
+# protocol sanitizer enabled.
+quick:
+	$(GO) run ./cmd/ropexp -exp fig1,tab1 -quick -check -stats-out quick-stats.json

@@ -83,8 +83,10 @@ type Core struct {
 	cpuNow    event.CPUCycle
 	instCount int64
 	pending   *workload.Record // fetched but not yet issued memory op
+	pendRec   workload.Record  // backing store for pending (avoids a per-record heap allocation)
 	gapLeft   int64            // compute instructions still owed before pending
 	loads     []inflight       // oldest first
+	stepFn    func(event.Cycle) // step as a stored closure, reused by every reschedule
 
 	waitingSpace bool
 	finished     bool
@@ -107,7 +109,9 @@ func New(cfg Config, id int, trace workload.Stream, mem Memory, q *event.Queue, 
 	if limit <= 0 {
 		panic("cpu: instruction limit must be positive")
 	}
-	return &Core{cfg: cfg, id: id, trace: trace, mem: mem, q: q, limit: limit}
+	c := &Core{cfg: cfg, id: id, trace: trace, mem: mem, q: q, limit: limit}
+	c.stepFn = func(at event.Cycle) { c.step(at) }
+	return c
 }
 
 // RegisterMetrics registers the core's memory-traffic and stall
@@ -129,7 +133,7 @@ func (c *Core) RegisterMetrics(r *stats.Registry) {
 // its instruction limit and all outstanding loads have returned.
 func (c *Core) Start(onFinish func()) {
 	c.onFinish = onFinish
-	c.q.Schedule(c.q.Now(), func(now event.Cycle) { c.step(now) })
+	c.q.Schedule(c.q.Now(), c.stepFn)
 }
 
 // Finished reports whether the core completed its run.
@@ -154,8 +158,7 @@ func (c *Core) IPC() float64 {
 func (c *Core) NotifySpace() {
 	if c.waitingSpace && !c.finished {
 		c.waitingSpace = false
-		now := c.q.Now()
-		c.q.Schedule(now, func(at event.Cycle) { c.step(at) })
+		c.q.Schedule(c.q.Now(), c.stepFn)
 	}
 }
 
@@ -225,7 +228,8 @@ func (c *Core) step(now event.Cycle) {
 				c.maybeFinish()
 				return
 			}
-			c.pending = &rec
+			c.pendRec = rec
+			c.pending = &c.pendRec
 			c.gapLeft = int64(rec.Gap)
 		}
 
@@ -271,7 +275,7 @@ func (c *Core) step(now event.Cycle) {
 		// future of the bus clock, come back then.
 		opBus := event.ToBus(c.cpuNow)
 		if opBus > now {
-			c.q.Schedule(opBus, func(at event.Cycle) { c.step(at) })
+			c.q.Schedule(opBus, c.stepFn)
 			return
 		}
 		rec := *c.pending
@@ -320,7 +324,7 @@ func (c *Core) loadDone(instPos int64, at event.Cycle) {
 		c.maybeFinish()
 		return
 	}
-	c.q.Schedule(at, func(n event.Cycle) { c.step(n) })
+	c.q.Schedule(at, c.stepFn)
 }
 
 // maybeFinish completes the run once every outstanding load returned.

@@ -421,6 +421,32 @@ func (d *Device) IssueWR(at event.Cycle, rankID, bankID int) event.Cycle {
 	return dataEnd
 }
 
+// NextReadyCycle reports the earliest cycle ≥ now at which the next
+// command needed by a request targeting (rankID, bankID, row) could
+// legally issue: the column command (RD, or WR when isWrite) when the
+// row is already open, PRE when a different row occupies the bank, and
+// ACT (subarray-refresh aware) when the bank is precharged. It is the
+// memory controller's wake-time oracle: device timing state only
+// advances when commands issue, so between issues the controller can
+// sleep until the returned cycle without missing an opportunity —
+// this replaces the old tick-every-cycle retry polling. Like every
+// Earliest* query it is stable: asking again at the returned cycle
+// yields the same cycle.
+func (d *Device) NextReadyCycle(now event.Cycle, rankID, bankID, row int, isWrite bool) event.Cycle {
+	open := d.ranks[rankID].banks[bankID].openRow
+	switch {
+	case open == int64(row):
+		if isWrite {
+			return d.EarliestWR(now, rankID, bankID)
+		}
+		return d.EarliestRD(now, rankID, bankID)
+	case open != noRow:
+		return d.EarliestPRE(now, rankID, bankID)
+	default:
+		return d.EarliestACTRow(now, rankID, bankID, row)
+	}
+}
+
 // AllBanksClosed reports whether every bank in the rank is precharged —
 // the precondition for REF.
 func (d *Device) AllBanksClosed(rankID int) bool {

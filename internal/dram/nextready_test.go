@@ -1,0 +1,92 @@
+package dram
+
+import (
+	"testing"
+
+	"ropsim/internal/addr"
+	"ropsim/internal/event"
+)
+
+func nextReadyDevice() *Device {
+	geo := addr.Geometry{Channels: 1, Ranks: 2, Banks: 8, Rows: 512, ColumnLines: 64}
+	return NewDevice(DDR4_1600(Refresh1x), geo)
+}
+
+// TestNextReadyCycleDispatch checks that NextReadyCycle selects the
+// Earliest* query matching the bank's row state: ACT when precharged,
+// RD/WR on a row hit, PRE on a row miss.
+func TestNextReadyCycleDispatch(t *testing.T) {
+	d := nextReadyDevice()
+	// Precharged bank: the next command is ACT.
+	if got, want := d.NextReadyCycle(0, 0, 0, 5, false), d.EarliestACTRow(0, 0, 0, 5); got != want {
+		t.Errorf("closed bank: NextReadyCycle = %d, want EarliestACTRow %d", got, want)
+	}
+	d.IssueACT(0, 0, 0, 5)
+	now := event.Cycle(1)
+	// Row hit: column command timing (tRCD gates the first RD/WR).
+	if got, want := d.NextReadyCycle(now, 0, 0, 5, false), d.EarliestRD(now, 0, 0); got != want {
+		t.Errorf("row hit read: NextReadyCycle = %d, want EarliestRD %d", got, want)
+	}
+	if got, want := d.NextReadyCycle(now, 0, 0, 5, true), d.EarliestWR(now, 0, 0); got != want {
+		t.Errorf("row hit write: NextReadyCycle = %d, want EarliestWR %d", got, want)
+	}
+	// Row miss: the bank must precharge first.
+	if got, want := d.NextReadyCycle(now, 0, 0, 9, false), d.EarliestPRE(now, 0, 0); got != want {
+		t.Errorf("row miss: NextReadyCycle = %d, want EarliestPRE %d", got, want)
+	}
+}
+
+// TestNextReadyCycleStable checks the self-consistency property the
+// controller's wake discipline relies on: evaluating NextReadyCycle
+// again at the cycle it returned yields that same cycle (so a wake
+// armed at the returned time finds the command legal on arrival).
+func TestNextReadyCycleStable(t *testing.T) {
+	d := nextReadyDevice()
+	p := d.Params()
+	// Exercise all three states plus refresh and bus constraints.
+	d.IssueACT(0, 0, 0, 5)
+	d.IssueRD(event.Cycle(p.RCD), 0, 0)
+	d.IssueREF(d.EarliestREF(1000, 1), 1)
+	cases := []struct {
+		rank, bank, row int
+		isWrite         bool
+	}{
+		{0, 0, 5, false},  // hit behind tCCD/bus
+		{0, 0, 5, true},   // write hit behind tWTR-ish constraints
+		{0, 0, 9, false},  // miss: PRE gated by tRAS/tRTP
+		{0, 1, 3, false},  // closed sibling bank: ACT gated by tRRD
+		{1, 2, 7, false},  // rank frozen by refresh: wait for tRFC end
+		{1, 2, 7, true},   // frozen rank, write path
+	}
+	for _, c := range cases {
+		for _, now := range []event.Cycle{0, 10, 100, 1000} {
+			e := d.NextReadyCycle(now, c.rank, c.bank, c.row, c.isWrite)
+			if e < now {
+				t.Fatalf("NextReadyCycle(%v) = %d before now %d", c, e, now)
+			}
+			if again := d.NextReadyCycle(e, c.rank, c.bank, c.row, c.isWrite); again != e {
+				t.Errorf("unstable: NextReadyCycle(now=%d,%v) = %d, re-query at %d gives %d",
+					now, c, e, e, again)
+			}
+		}
+	}
+}
+
+// TestNextReadyCycleWaitsOutRefresh checks that a frozen rank's
+// requests wake exactly at the refresh unlock cycle, never inside the
+// tRFC window — the property that lets the controller sleep through
+// frozen cycles instead of retry-polling them.
+func TestNextReadyCycleWaitsOutRefresh(t *testing.T) {
+	d := nextReadyDevice()
+	end := d.IssueREF(0, 0)
+	if end != d.Params().RFC {
+		t.Fatalf("refresh end = %d, want tRFC %d", end, d.Params().RFC)
+	}
+	got := d.NextReadyCycle(1, 0, 3, 42, false)
+	if got < end {
+		t.Errorf("NextReadyCycle during refresh = %d, inside the freeze (ends %d)", got, end)
+	}
+	if got != d.EarliestACTRow(1, 0, 3, 42) {
+		t.Errorf("NextReadyCycle = %d, want EarliestACTRow %d", got, d.EarliestACTRow(1, 0, 3, 42))
+	}
+}

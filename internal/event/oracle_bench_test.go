@@ -1,0 +1,20 @@
+package event
+
+import "testing"
+
+// BenchmarkHeapOracleScheduleStep measures the pre-calendar-queue
+// implementation (the binary heap kept as the test oracle) on the same
+// workload as BenchmarkScheduleStepNear, so the docs/PERFORMANCE.md
+// before/after table stays reproducible from this tree.
+func BenchmarkHeapOracleScheduleStep(b *testing.B) {
+	var h heapOracle
+	for i := 0; i < 64; i++ {
+		h.schedule(Cycle(i), i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := h.step()
+		h.schedule(h.now+37, id)
+	}
+}

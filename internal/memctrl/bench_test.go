@@ -1,0 +1,76 @@
+package memctrl
+
+import (
+	"testing"
+
+	"ropsim/internal/addr"
+	"ropsim/internal/dram"
+	"ropsim/internal/event"
+)
+
+// Microbenchmarks for the controller hot paths: demand service through
+// the per-bank index lists, and the exact-wake sleep through refresh
+// cadence with no traffic. cmd/benchgate snapshots these numbers into
+// BENCH_<date>.json.
+
+func benchController(mode Mode) (*Controller, *event.Queue) {
+	params := dram.DDR4_1600(dram.Refresh1x)
+	if mode == ModeNoRefresh {
+		params = dram.NoRefresh(params)
+	}
+	q := &event.Queue{}
+	dev := dram.NewDevice(params, addr.Geometry{
+		Channels: 1, Ranks: 2, Banks: 8, Rows: 512, ColumnLines: 64,
+	})
+	return MustNew(DefaultConfig(mode), dev, q), q
+}
+
+// runRead enqueues one read and dispatches until its data returns.
+func runRead(b *testing.B, c *Controller, q *event.Queue, loc addr.Loc) {
+	done := false
+	if !c.EnqueueRead(loc, 0, func(event.Cycle) { done = true }) {
+		b.Fatal("enqueue rejected")
+	}
+	for !done {
+		if !q.Step() {
+			b.Fatal("queue drained before read completed")
+		}
+	}
+}
+
+// BenchmarkReadRowHit measures the row-hit fast path: every read after
+// the first hits the open row.
+func BenchmarkReadRowHit(b *testing.B) {
+	c, q := benchController(ModeNoRefresh)
+	runRead(b, c, q, addr.Loc{Rank: 0, Bank: 0, Row: 5, Col: 0})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runRead(b, c, q, addr.Loc{Rank: 0, Bank: 0, Row: 5, Col: i % 64})
+	}
+}
+
+// BenchmarkReadRowMiss measures the PRE+ACT row-miss path, alternating
+// rows within one bank.
+func BenchmarkReadRowMiss(b *testing.B) {
+	c, q := benchController(ModeNoRefresh)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runRead(b, c, q, addr.Loc{Rank: 0, Bank: 0, Row: i % 2, Col: 0})
+	}
+}
+
+// BenchmarkIdleRefreshCadence measures simulating one tREFI of wall
+// time with no traffic: the controller must sleep between refresh
+// phases instead of ticking every cycle, so the per-iteration cost is
+// a handful of events, not thousands.
+func BenchmarkIdleRefreshCadence(b *testing.B) {
+	c, q := benchController(ModeBaseline)
+	refi := c.Device().Params().REFI
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.RunUntil(q.Now() + refi)
+	}
+}

@@ -153,7 +153,8 @@ type request struct {
 	loc      addr.Loc
 	arrive   event.Cycle
 	src      int
-	prefetch bool // ROP fill, not a demand access
+	seq      int64 // controller-wide age stamp; FR-FCFS "oldest" = lowest seq
+	prefetch bool  // ROP fill, not a demand access
 	done     func(event.Cycle)
 }
 
@@ -169,11 +170,21 @@ type Controller struct {
 	fillQ    []*request // ROP prefetch fills for the rank about to refresh
 	draining bool       // write batch in progress
 
+	// readIdx/writeIdx/fillIdx are per-(rank,bank) views of the three
+	// queues (see bankIndex); reqSeq stamps requests with their age.
+	readIdx, writeIdx, fillIdx bankIndex
+	reqSeq                     int64
+
 	refresh []rankRefresh
 	rop     *core.Engine
 
-	wakeAt  event.Cycle // next scheduled tick (-1 when none)
-	spaceFn func()      // back-pressure notification to the cores
+	wakeAt      event.Cycle       // cycle of the currently armed tick (-1 when none)
+	wakeChained bool              // the armed tick is a chained wake (see armAfterTick)
+	wakeArmedAt event.Cycle       // cycle at which the armed tick was scheduled
+	wakeChain   event.ChainHandle // retarget handle for the armed chained wake
+	lastExact   event.Cycle       // CrossCheckWake: last computed exact wake
+	tickFn      func(event.Cycle) // tick as a stored closure, reused by every arm
+	spaceFn     func()            // back-pressure notification to the cores
 
 	capture *Capture
 	cmdObs  func(dram.Command) // optional command observer (protocol sanitizer)
@@ -272,6 +283,10 @@ func New(cfg Config, dev *dram.Device, q *event.Queue) (*Controller, error) {
 		wakeAt:          -1,
 		ReadLatencyHist: stats.NewHistogram(readLatencyBounds...),
 	}
+	c.tickFn = c.tick
+	c.readIdx.init(geo)
+	c.writeIdx.init(geo)
+	c.fillIdx.init(geo)
 	p := dev.Params()
 	if cfg.Mode != ModeNoRefresh && p.REFI > 0 {
 		c.refresh = make([]rankRefresh, geo.Ranks)
@@ -364,19 +379,42 @@ func (c *Controller) ReadQueueLen() int { return len(c.readQ) }
 // WriteQueueLen reports current write queue occupancy.
 func (c *Controller) WriteQueueLen() int { return len(c.writeQ) }
 
-// ensureWake schedules a tick at cycle at if none is scheduled earlier.
+// ensureWake arms a tick at cycle at unless one is already armed at or
+// before it. Arming an earlier wake does not cancel the later event
+// already in the queue: that event keeps its original queue position
+// (its order relative to same-cycle enqueues is observable in the
+// command stream) and is skipped or re-validated against wakeAt when
+// it fires — see tick.
+//
+// When the armed wake is a chained sleep from a previous cycle (the
+// controller computed "nothing to do until W" and went to sleep),
+// arming an earlier cycle pulls that chained wake forward instead of
+// scheduling a new event: the polling chain this emulates would have
+// had a tick queued at the current cycle already, at the chain's
+// per-cycle queue position, and ensureWake would have been a no-op
+// against it. If the chained wake was armed during the current cycle
+// (the chain's tick for this cycle already fired), a fresh plain tick
+// is scheduled, exactly as the polling loop's ensureWake would have.
 func (c *Controller) ensureWake(at event.Cycle) {
-	if now := c.q.Now(); at < now {
+	now := c.q.Now()
+	if at < now {
 		at = now
 	}
 	if c.wakeAt >= 0 && c.wakeAt <= at {
 		return
 	}
 	if debugWake != nil {
-		debugWake("arm", c.q.Now(), at, int(c.wakeAt))
+		debugWake("arm", now, at, int(c.wakeAt))
 	}
+	if c.wakeChained && c.wakeAt > at {
+		if c.wakeArmedAt < at && c.q.RetargetChained(c.wakeChain, at) {
+			c.wakeAt = at
+			return
+		}
+	}
+	c.wakeChained = false
 	c.wakeAt = at
-	c.q.Schedule(at, c.tick)
+	c.q.Schedule(at, c.tickFn)
 }
 
 // debugWake is a test hook.
@@ -409,12 +447,15 @@ func (c *Controller) EnqueueRead(loc addr.Loc, src int, done func(event.Cycle)) 
 			fin := now + c.cfg.SRAMLatency
 			c.observeRead(float64(fin - now))
 			if done != nil {
-				c.q.Schedule(fin, func(at event.Cycle) { done(at) })
+				c.q.Schedule(fin, done)
 			}
 			return true
 		}
 	}
-	c.readQ = append(c.readQ, &request{loc: loc, arrive: now, src: src, done: done})
+	c.pushRequest(&c.readQ, &request{loc: loc, arrive: now, src: src, done: done})
+	if CrossCheckWake {
+		c.lastExact = now
+	}
 	c.ensureWake(now)
 	return true
 }
@@ -434,9 +475,34 @@ func (c *Controller) EnqueueWrite(loc addr.Loc, src int) bool {
 		c.rop.OnRequest(loc, false, now)
 		c.rop.OnWrite(loc)
 	}
-	c.writeQ = append(c.writeQ, &request{loc: loc, arrive: now, src: src})
+	c.pushRequest(&c.writeQ, &request{loc: loc, arrive: now, src: src})
+	if CrossCheckWake {
+		c.lastExact = now
+	}
 	c.ensureWake(now)
 	return true
+}
+
+// pushRequest stamps req's age, appends it to the queue, and mirrors
+// it into the queue's bank index. Every enqueue site routes through
+// here so queue and index cannot drift.
+func (c *Controller) pushRequest(queue *[]*request, req *request) {
+	c.reqSeq++
+	req.seq = c.reqSeq
+	*queue = append(*queue, req)
+	c.indexFor(queue).add(req)
+}
+
+// indexFor maps a queue to its bank index.
+func (c *Controller) indexFor(queue *[]*request) *bankIndex {
+	switch queue {
+	case &c.readQ:
+		return &c.readIdx
+	case &c.writeQ:
+		return &c.writeIdx
+	default:
+		return &c.fillIdx
+	}
 }
 
 // Idle reports whether the controller has no pending work at all.
@@ -452,44 +518,81 @@ func (c *Controller) Idle() bool {
 	return true
 }
 
-// tick is the per-cycle scheduling step: at most one command on the
-// channel per bus cycle, refresh actions first, then FR-FCFS.
-//
-// ensureWake may leave superseded tick events in the queue (it only
-// tracks the earliest); a tick that does not match wakeAt is stale and
-// must be a no-op, otherwise duplicate tick chains accumulate.
+// tick is one scheduling step: at most one command on the channel per
+// bus cycle, refresh actions first, then FR-FCFS. Unlike the original
+// per-cycle polling loop (which re-armed now+1 whenever any work was
+// pending), ticks only fire at cycles where the controller can act;
+// armNextWake computes the next such cycle exactly (see wake.go), so
+// frozen and timing-stalled cycles are slept through.
 func (c *Controller) tick(now event.Cycle) {
 	if now != c.wakeAt {
+		// Superseded wake: a later ensureWake armed a different cycle
+		// after this event was queued (or another tick already claimed
+		// this cycle). Skip explicitly — no work may run off a
+		// superseded wake; TestNoSupersededWakeDoesWork enforces this.
 		if debugWake != nil {
-			debugWake("stale", now, now, int(c.wakeAt))
+			debugWake("skip", now, now, int(c.wakeAt))
 		}
 		return
 	}
 	c.wakeAt = -1
+	c.wakeChained = false
+	if debugWake != nil {
+		debugWake("fire", now, now, int(now))
+	}
+
+	var preDrain bool
+	var prePhases [16]refPhase
+	if CrossCheckWake {
+		preDrain = c.draining
+		for r := range c.refresh {
+			prePhases[r] = c.refresh[r].phase
+		}
+	}
 
 	issued := c.refreshStep(now)
 	if !issued {
 		issued = c.scheduleStep(now)
 	}
-	var closeRetry event.Cycle
 	if !issued && c.cfg.ClosedPage {
-		issued, closeRetry = c.closeIdleRows(now)
+		issued = c.closeIdleRows(now)
 	}
-
-	// Decide when to wake next: immediately while work remains, or at
-	// the earliest refresh due time when idle.
-	if issued || !c.Idle() {
-		c.ensureWake(now + 1)
+	if CrossCheckWake {
+		changed := issued || preDrain != c.draining
+		for r := range c.refresh {
+			changed = changed || prePhases[r] != c.refresh[r].phase
+		}
+		if changed && c.lastExact > now {
+			panic(fmt.Sprintf("exact wake missed work: now=%d exact=%d issued=%v mode=%v draining %v->%v",
+				now, c.lastExact, issued, c.cfg.Mode, preDrain, c.draining))
+		}
+		c.lastExact = c.nextWake(now)
+		if issued || !c.Idle() {
+			c.ensureWake(now + 1)
+			return
+		}
+		if c.cfg.ClosedPage {
+			if retry := c.closePageWake(now); retry < cycleNever {
+				c.ensureWake(retry)
+				return
+			}
+		}
+		if next, ok := c.nextRefreshDue(); ok {
+			c.ensureWake(next)
+		}
 		return
 	}
-	if closeRetry > 0 {
-		c.ensureWake(closeRetry)
-		return
-	}
-	if next, ok := c.nextRefreshDue(); ok {
-		c.ensureWake(next)
-	}
+	c.armAfterTick(now, issued)
 }
+
+// CrossCheckWake is a validation hook for the exact wake discipline:
+// when set, every tick re-arms at the original per-cycle polling
+// cadence (so simulations still produce bit-identical results) and
+// panics if the exact wake computed after the previous tick would have
+// slept past a cycle where this tick issued a command or advanced
+// controller state. TestCrossCheckWake runs full simulations in every
+// refresh mode under it. Not safe to toggle mid-run.
+var CrossCheckWake bool
 
 // nextRefreshDue reports the earliest refresh due time across ranks.
 func (c *Controller) nextRefreshDue() (event.Cycle, bool) {
@@ -504,43 +607,9 @@ func (c *Controller) nextRefreshDue() (event.Cycle, bool) {
 	return best, found
 }
 
-// rankBlocked reports whether demand traffic to the rank must hold off
-// because of refresh activity.
-func (c *Controller) rankBlocked(rank int, now event.Cycle) bool {
-	if c.dev.Refreshing(rank, now) {
-		return true
-	}
-	if c.refresh == nil {
-		return false
-	}
-	ph := c.refresh[rank].phase
-	// During closing, the rank must quiesce. During ROP draining, demand
-	// reads to the rank are allowed (they are being drained).
-	return ph == refClosing
-}
-
 // bankMode reports whether refresh runs at bank granularity.
 func (c *Controller) bankMode() bool {
 	return c.cfg.Mode == ModeBankRefresh || c.cfg.Mode == ModeROPBank
-}
-
-// reqBlocked reports whether a queued demand request must hold off for
-// refresh activity. Bank modes block only the bank being refreshed;
-// rank modes quiesce the whole rank.
-func (c *Controller) reqBlocked(req *request, now event.Cycle) bool {
-	if req.prefetch {
-		return false
-	}
-	if c.bankMode() {
-		if c.refresh != nil {
-			rr := &c.refresh[req.loc.Rank]
-			if rr.phase == refClosing && rr.targetBank == req.loc.Bank {
-				return true
-			}
-		}
-		return c.dev.BankRefreshing(req.loc.Rank, req.loc.Bank, now)
-	}
-	return c.rankBlocked(req.loc.Rank, now)
 }
 
 // completeRead finishes a demand read or prefetch fill at dataAt.
@@ -570,7 +639,7 @@ func (c *Controller) completeRead(req *request, dataAt event.Cycle) {
 				c.observeRead(float64(dataAt - dr.arrive))
 				if dr.done != nil {
 					done := dr.done
-					c.q.Schedule(dataAt, func(at event.Cycle) { done(at) })
+					c.q.Schedule(dataAt, done)
 				}
 				merged = true
 				continue
@@ -579,6 +648,7 @@ func (c *Controller) completeRead(req *request, dataAt event.Cycle) {
 		}
 		if merged {
 			c.readQ = kept
+			c.readIdx.rebuild(c.readQ)
 			c.notifySpace()
 		}
 		return
@@ -591,9 +661,9 @@ func (c *Controller) completeRead(req *request, dataAt event.Cycle) {
 	}
 	// Symmetric merge: a pending prefetch fill for the same line rides
 	// this demand burst into the buffer.
-	for i, f := range c.fillQ {
+	for _, f := range c.fillQ {
 		if f.loc == req.loc {
-			c.fillQ = append(c.fillQ[:i], c.fillQ[i+1:]...)
+			c.removeReq(&c.fillQ, f)
 			if c.rop != nil {
 				key := c.rop.LineKey(req.loc)
 				buf := c.rop.Buffer()
@@ -616,14 +686,7 @@ func (c *Controller) completeRead(req *request, dataAt event.Cycle) {
 func (c *Controller) scheduleStep(now event.Cycle) bool {
 	// Choose the candidate set: prefetch fills and demand reads compete
 	// first; writes only during a drain batch or when reads are absent.
-	if c.draining {
-		if len(c.writeQ) <= c.cfg.WriteLow {
-			c.draining = false
-		}
-	} else if len(c.writeQ) >= c.cfg.WriteHigh ||
-		(len(c.readQ) == 0 && len(c.fillQ) == 0 && len(c.writeQ) > 0) {
-		c.draining = true
-	}
+	c.draining = c.nextDrainState(c.draining)
 
 	// Demand reads come first; prefetch fills ride in leftover slots
 	// (paper §IV-D: drained requests are issued, prefetches
@@ -650,75 +713,165 @@ func (c *Controller) scheduleStep(now event.Cycle) bool {
 	return c.issueFrom(&c.readQ, now, false)
 }
 
-// issueFrom applies FR-FCFS to one queue. It reports whether a command
-// was issued (RD/WR data, ACT, or PRE).
-func (c *Controller) issueFrom(queue *[]*request, now event.Cycle, isWrite bool) bool {
-	// Pass 1: oldest row hit whose column command is legal now.
-	for i, req := range *queue {
-		if c.reqBlocked(req, now) {
-			continue
-		}
-		if c.dev.Refreshing(req.loc.Rank, now) {
-			continue
-		}
-		if c.dev.OpenRow(req.loc.Rank, req.loc.Bank) != int64(req.loc.Row) {
-			continue
-		}
-		if isWrite {
-			if c.dev.EarliestWR(now, req.loc.Rank, req.loc.Bank) == now {
-				c.dev.IssueWR(now, req.loc.Rank, req.loc.Bank)
-				c.emit(dram.Command{Kind: dram.CmdWR, At: now,
-					Rank: req.loc.Rank, Bank: req.loc.Bank, Col: req.loc.Col})
-				c.WritesServed.Inc()
-				c.removeFrom(queue, i)
-				return true
-			}
-			continue
-		}
-		if c.dev.EarliestRD(now, req.loc.Rank, req.loc.Bank) == now {
-			dataAt := c.dev.IssueRD(now, req.loc.Rank, req.loc.Bank)
-			c.emit(dram.Command{Kind: dram.CmdRD, At: now,
-				Rank: req.loc.Rank, Bank: req.loc.Bank, Col: req.loc.Col})
-			c.completeRead(req, dataAt)
-			c.removeFrom(queue, i)
+// bankBlocked is the bank-granularity refresh block (bank modes only):
+// the round's target bank is quiescing or locked by its per-bank
+// refresh.
+func (c *Controller) bankBlocked(rank, bank int, now event.Cycle) bool {
+	if c.refresh != nil {
+		if rr := &c.refresh[rank]; rr.phase == refClosing && rr.targetBank == bank {
 			return true
 		}
 	}
-	// Pass 2: oldest request that needs bank preparation.
-	for _, req := range *queue {
-		if c.reqBlocked(req, now) {
+	return c.dev.BankRefreshing(rank, bank, now)
+}
+
+// issueFrom applies FR-FCFS to one queue via its per-bank index. It
+// reports whether a command was issued (RD/WR data, ACT, or PRE).
+// Within each bank the index list is age-ordered, so the bank's oldest
+// row hit (pass 1) or oldest preparation candidate (pass 2) is found
+// without scanning the whole queue; the winner across banks is the one
+// with the lowest seq, which reproduces the original oldest-first
+// full-queue scan exactly.
+func (c *Controller) issueFrom(queue *[]*request, now event.Cycle, isWrite bool) bool {
+	ix := c.indexFor(queue)
+	demand := queue != &c.fillQ
+	// Pass 1: oldest row hit whose column command is legal now.
+	var hit *request
+	for r := 0; r < c.geo.Ranks; r++ {
+		if ix.rankN[r] == 0 || c.dev.Refreshing(r, now) {
 			continue
 		}
-		if c.dev.Refreshing(req.loc.Rank, now) {
+		if demand && !c.bankMode() && c.refresh != nil && c.refresh[r].phase == refClosing {
 			continue
 		}
-		open := c.dev.OpenRow(req.loc.Rank, req.loc.Bank)
-		if open == int64(req.loc.Row) {
-			continue // row hit not yet legal; wait rather than churn
-		}
-		if open >= 0 {
-			if c.dev.EarliestPRE(now, req.loc.Rank, req.loc.Bank) == now {
-				c.dev.IssuePRE(now, req.loc.Rank, req.loc.Bank)
-				c.emit(dram.Command{Kind: dram.CmdPRE, At: now,
-					Rank: req.loc.Rank, Bank: req.loc.Bank})
-				return true
+		for b := 0; b < c.geo.Banks; b++ {
+			l := ix.list(r, b)
+			if len(l) == 0 {
+				continue
 			}
-			continue
+			if demand && c.bankMode() && c.bankBlocked(r, b, now) {
+				continue
+			}
+			open := c.dev.OpenRow(r, b)
+			if open < 0 {
+				continue
+			}
+			var cand *request
+			for _, req := range l {
+				if int64(req.loc.Row) == open {
+					cand = req
+					break
+				}
+			}
+			if cand == nil || (hit != nil && cand.seq > hit.seq) {
+				continue
+			}
+			if isWrite {
+				if c.dev.EarliestWR(now, r, b) != now {
+					continue
+				}
+			} else if c.dev.EarliestRD(now, r, b) != now {
+				continue
+			}
+			hit = cand
 		}
-		if c.dev.EarliestACTRow(now, req.loc.Rank, req.loc.Bank, req.loc.Row) == now {
-			c.dev.IssueACT(now, req.loc.Rank, req.loc.Bank, req.loc.Row)
-			c.emit(dram.Command{Kind: dram.CmdACT, At: now,
-				Rank: req.loc.Rank, Bank: req.loc.Bank, Row: req.loc.Row})
+	}
+	if hit != nil {
+		r, b := hit.loc.Rank, hit.loc.Bank
+		if isWrite {
+			c.dev.IssueWR(now, r, b)
+			c.emit(dram.Command{Kind: dram.CmdWR, At: now,
+				Rank: r, Bank: b, Col: hit.loc.Col})
+			c.WritesServed.Inc()
+			c.removeReq(queue, hit)
 			return true
 		}
+		dataAt := c.dev.IssueRD(now, r, b)
+		c.emit(dram.Command{Kind: dram.CmdRD, At: now,
+			Rank: r, Bank: b, Col: hit.loc.Col})
+		c.completeRead(hit, dataAt)
+		c.removeReq(queue, hit)
+		return true
+	}
+	// Pass 2: oldest request whose bank-preparation command (PRE for a
+	// conflicting open row, ACT for a precharged bank) is legal now. A
+	// row hit whose column command is not yet legal waits rather than
+	// churns, so it never prepares.
+	var prep *request
+	for r := 0; r < c.geo.Ranks; r++ {
+		if ix.rankN[r] == 0 || c.dev.Refreshing(r, now) {
+			continue
+		}
+		if demand && !c.bankMode() && c.refresh != nil && c.refresh[r].phase == refClosing {
+			continue
+		}
+		for b := 0; b < c.geo.Banks; b++ {
+			l := ix.list(r, b)
+			if len(l) == 0 {
+				continue
+			}
+			if demand && c.bankMode() && c.bankBlocked(r, b, now) {
+				continue
+			}
+			open := c.dev.OpenRow(r, b)
+			if open >= 0 {
+				var cand *request
+				for _, req := range l {
+					if int64(req.loc.Row) != open {
+						cand = req
+						break
+					}
+				}
+				if cand == nil || (prep != nil && cand.seq > prep.seq) {
+					continue
+				}
+				if c.dev.EarliestPRE(now, r, b) == now {
+					prep = cand
+				}
+				continue
+			}
+			if c.dev.EarliestACT(now, r, b) != now {
+				continue // no row of this bank can activate yet
+			}
+			for _, req := range l {
+				if prep != nil && req.seq > prep.seq {
+					break
+				}
+				if c.dev.EarliestACTRow(now, r, b, req.loc.Row) == now {
+					prep = req
+					break
+				}
+			}
+		}
+	}
+	if prep != nil {
+		r, b := prep.loc.Rank, prep.loc.Bank
+		if c.dev.OpenRow(r, b) >= 0 {
+			c.dev.IssuePRE(now, r, b)
+			c.emit(dram.Command{Kind: dram.CmdPRE, At: now, Rank: r, Bank: b})
+			return true
+		}
+		c.dev.IssueACT(now, r, b, prep.loc.Row)
+		c.emit(dram.Command{Kind: dram.CmdACT, At: now,
+			Rank: r, Bank: b, Row: prep.loc.Row})
+		return true
 	}
 	return false
 }
 
-// removeFrom deletes entry i from the given queue and wakes any core
-// waiting for queue space.
-func (c *Controller) removeFrom(queue *[]*request, i int) {
-	*queue = append((*queue)[:i], (*queue)[i+1:]...)
+// removeReq deletes req from the given queue and its bank index, and
+// wakes any core waiting for queue space.
+func (c *Controller) removeReq(queue *[]*request, req *request) {
+	q := *queue
+	for i, r := range q {
+		if r == req {
+			copy(q[i:], q[i+1:])
+			q[len(q)-1] = nil
+			*queue = q[:len(q)-1]
+			break
+		}
+	}
+	c.indexFor(queue).remove(req)
 	if queue != &c.fillQ {
 		c.notifySpace()
 	}
@@ -732,37 +885,40 @@ func (c *Controller) notifySpace() {
 
 // closeIdleRows implements the closed-page policy: precharge one open
 // bank whose row no queued request wants. It reports whether a PRE was
-// issued and, when one is pending but not yet legal, the earliest cycle
-// to retry.
-func (c *Controller) closeIdleRows(now event.Cycle) (bool, event.Cycle) {
-	var retry event.Cycle
+// issued; pending-but-illegal PREs are retried via closePageWake.
+func (c *Controller) closeIdleRows(now event.Cycle) bool {
 	for r := 0; r < c.geo.Ranks; r++ {
 		for b := 0; b < c.geo.Banks; b++ {
 			open := c.dev.OpenRow(r, b)
 			if open < 0 || c.rowWanted(r, b, int(open)) {
 				continue
 			}
-			at := c.dev.EarliestPRE(now, r, b)
-			if at == now {
+			if c.dev.EarliestPRE(now, r, b) == now {
 				c.dev.IssuePRE(now, r, b)
 				c.emit(dram.Command{Kind: dram.CmdPRE, At: now, Rank: r, Bank: b})
-				return true, 0
-			}
-			if retry == 0 || at < retry {
-				retry = at
+				return true
 			}
 		}
 	}
-	return false, retry
+	return false
 }
 
 // rowWanted reports whether any queued request targets the open row.
+// The bank indexes narrow the check to the bank's own pending lists.
 func (c *Controller) rowWanted(rank, bank, row int) bool {
-	for _, q := range [][]*request{c.readQ, c.writeQ, c.fillQ} {
-		for _, req := range q {
-			if req.loc.Rank == rank && req.loc.Bank == bank && req.loc.Row == row {
-				return true
-			}
+	for _, req := range c.readIdx.list(rank, bank) {
+		if req.loc.Row == row {
+			return true
+		}
+	}
+	for _, req := range c.writeIdx.list(rank, bank) {
+		if req.loc.Row == row {
+			return true
+		}
+	}
+	for _, req := range c.fillIdx.list(rank, bank) {
+		if req.loc.Row == row {
+			return true
 		}
 	}
 	return false

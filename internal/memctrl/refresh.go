@@ -256,30 +256,21 @@ func (c *Controller) startFills(rank int, now event.Cycle) {
 	}
 	c.sessionInsertedMark = buf.Inserted.Value()
 	for _, loc := range locs {
-		c.fillQ = append(c.fillQ, &request{loc: loc, arrive: now, prefetch: true})
+		c.pushRequest(&c.fillQ, &request{loc: loc, arrive: now, prefetch: true})
 	}
 	rr.fillStart = now
 	rr.phase = refFilling
 }
 
-// hasDemandReads reports whether any queued demand read targets rank.
+// hasDemandReads reports whether any queued demand read targets rank
+// (an O(1) read of the bank index's per-rank count).
 func (c *Controller) hasDemandReads(rank int) bool {
-	for _, req := range c.readQ {
-		if req.loc.Rank == rank {
-			return true
-		}
-	}
-	return false
+	return c.readIdx.rankN[rank] > 0
 }
 
 // hasFills reports whether any prefetch fill for rank is still pending.
 func (c *Controller) hasFills(rank int) bool {
-	for _, req := range c.fillQ {
-		if req.loc.Rank == rank {
-			return true
-		}
-	}
-	return false
+	return c.fillIdx.rankN[rank] > 0
 }
 
 // dropFills abandons any prefetch fills for the rank that did not make
@@ -294,6 +285,7 @@ func (c *Controller) dropFills(rank int) {
 		}
 	}
 	c.fillQ = kept
+	c.fillIdx.rebuild(c.fillQ)
 }
 
 // closeStep precharges one open bank, or issues REF once the rank is
@@ -407,6 +399,7 @@ func (c *Controller) probeQueuedReads(rank int, now event.Cycle) {
 	}
 	if len(kept) != len(c.readQ) {
 		c.readQ = kept
+		c.readIdx.rebuild(c.readQ)
 		c.notifySpace()
 	}
 }
@@ -441,12 +434,7 @@ func (c *Controller) beginBankRefresh(rank int, now event.Cycle) {
 
 // hasBankReads reports whether any queued demand read targets the bank.
 func (c *Controller) hasBankReads(rank, bank int) bool {
-	for _, req := range c.readQ {
-		if req.loc.Rank == rank && req.loc.Bank == bank {
-			return true
-		}
-	}
-	return false
+	return len(c.readIdx.list(rank, bank)) > 0
 }
 
 // startBankFills generates and queues the target bank's prefetch fills.
@@ -470,7 +458,7 @@ func (c *Controller) startBankFills(rank int, now event.Cycle) {
 	}
 	c.sessionInsertedMark = buf.Inserted.Value()
 	for _, loc := range locs {
-		c.fillQ = append(c.fillQ, &request{loc: loc, arrive: now, prefetch: true})
+		c.pushRequest(&c.fillQ, &request{loc: loc, arrive: now, prefetch: true})
 	}
 	rr.fillStart = now
 	rr.phase = refFilling
@@ -529,6 +517,7 @@ func (c *Controller) probeQueuedBankReads(rank, bank int, now event.Cycle) {
 	}
 	if len(kept) != len(c.readQ) {
 		c.readQ = kept
+		c.readIdx.rebuild(c.readQ)
 		c.notifySpace()
 	}
 }

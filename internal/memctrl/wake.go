@@ -1,0 +1,304 @@
+package memctrl
+
+import (
+	"math"
+
+	"ropsim/internal/event"
+)
+
+// This file implements the controller's exact wake discipline: instead
+// of re-arming a tick at now+1 whenever any work is pending (the
+// original busy-polling, which burned an event per simulated cycle
+// through every refresh freeze and timing stall), armNextWake computes
+// the first cycle at which the controller could actually do anything —
+// issue a command, or advance a refresh phase — and sleeps until then.
+//
+// The computation is exact, not a heuristic, which is what keeps the
+// simulation bit-identical to per-cycle polling: between controller
+// ticks the DRAM timing state is constant (it only advances when the
+// controller issues commands) and the queues only change at enqueues
+// (which arm an immediate tick of their own). So the first
+// "interesting" cycle is a pure function of the state at arm time:
+//   - per rank, the refresh state machine's next transition time
+//     (refreshWake): due boundaries, drain/fill deadlines, the closing
+//     sequence's next legal PRE/REF, and the freeze end;
+//   - per queue, the earliest legal issue cycle over the per-bank
+//     pending lists (queueWake), via dram.Device.NextReadyCycle;
+//   - under the closed-page ablation, the earliest legal idle-row PRE
+//     (closePageWake).
+// Conditions that the original code re-evaluated one cycle later by
+// construction (queue-emptiness phase transitions, and the write-drain
+// hysteresis when its one-step update does not reach a fixed point)
+// return now+1, reproducing the polling cadence exactly where it is
+// semantically observable.
+
+// cycleNever is the "no wake needed" sentinel, beyond any simulated
+// time.
+const cycleNever = event.Cycle(math.MaxInt64)
+
+// minCycle returns the smaller of two cycles.
+func minCycle(a, b event.Cycle) event.Cycle {
+	if b < a {
+		return b
+	}
+	return a
+}
+
+// armAfterTick schedules the controller's next wake from the post-tick
+// state, reproducing the arming decision of the original per-cycle
+// loop. While work remains (a command issued this tick, or any queue or
+// refresh phase is active) the loop chained a tick at now+1; here the
+// sleep jumps to the first cycle that can act, armed as a chained wake
+// so its queue position matches the per-cycle chain it replaces. Once
+// idle, the arming is the loop's own: the pending closed-page PRE
+// retry if one exists, else the next refresh due time, as plain wakes.
+func (c *Controller) armAfterTick(now event.Cycle, issued bool) {
+	idle := c.Idle()
+	if issued || !idle {
+		if idle {
+			// This tick's command drained the last pending work: the
+			// polling chain runs one final no-op tick at now+1 whose idle
+			// arming fixes the far wake's queue position. Run that tick
+			// for real rather than sleeping past it.
+			c.ensureWake(now + 1)
+			return
+		}
+		next := c.nextWake(now)
+		if next <= now || next == cycleNever {
+			next = now + 1
+		}
+		c.armChained(next)
+		return
+	}
+	if c.cfg.ClosedPage {
+		if retry := c.closePageWake(now); retry < cycleNever {
+			c.ensureWake(retry)
+			return
+		}
+	}
+	if next, ok := c.nextRefreshDue(); ok {
+		c.ensureWake(next)
+	}
+}
+
+// armChained arms the next tick at cycle at as a chained wake (see
+// event.Queue.ScheduleChained), recording the handle so an enqueue
+// during the sleep can pull the wake forward via ensureWake.
+func (c *Controller) armChained(at event.Cycle) {
+	if c.wakeAt >= 0 && c.wakeAt <= at {
+		return
+	}
+	if debugWake != nil {
+		debugWake("arm", c.q.Now(), at, int(c.wakeAt))
+	}
+	c.wakeChained = true
+	c.wakeArmedAt = c.q.Now()
+	c.wakeAt = at
+	c.wakeChain = c.q.ScheduleChained(at, c.tickFn)
+}
+
+// nextWake computes the next interesting cycle without arming it.
+func (c *Controller) nextWake(now event.Cycle) event.Cycle {
+	next := cycleNever
+	for r := range c.refresh {
+		next = minCycle(next, c.refreshWake(r, now))
+	}
+	next = minCycle(next, c.scheduleWake(now))
+	if c.cfg.ClosedPage {
+		next = minCycle(next, c.closePageWake(now))
+	}
+	return next
+}
+
+// refreshWake reports the next cycle rank r's refresh state machine
+// can make progress. Deadline-driven phases wake at their deadline;
+// phases gated on queue emptiness wake at now+1 once the condition
+// holds (the original per-cycle loop acted on it one tick after the
+// issuing tick, because refreshStep runs before scheduleStep).
+func (c *Controller) refreshWake(r int, now event.Cycle) event.Cycle {
+	rr := &c.refresh[r]
+	switch rr.phase {
+	case refIdle:
+		if c.cfg.Mode == ModeElastic && rr.backlog > 0 &&
+			(rr.backlog >= maxElasticBacklog || !c.hasDemandReads(r)) {
+			return now + 1 // owed refresh can issue in this idle gap
+		}
+		return rr.due
+	case refDraining:
+		empty := !c.hasDemandReads(r)
+		if c.bankMode() {
+			empty = !c.hasBankReads(r, rr.targetBank)
+		}
+		if empty {
+			return now + 1
+		}
+		return rr.drainDeadline
+	case refFilling:
+		if !c.hasFills(r) {
+			return now + 1
+		}
+		return rr.deadline
+	case refPaused:
+		if !c.hasDemandReads(r) {
+			return now + 1
+		}
+		// Forced resume: the first cycle pausingForced becomes true.
+		p := c.dev.Params()
+		segLen := p.RFC / pauseSegments
+		remaining := event.Cycle(pauseSegments-rr.segDone) * (segLen + pauseResumeOverhead + 20)
+		forcedAt := rr.due + p.REFI - remaining
+		if forcedAt <= now {
+			return now + 1
+		}
+		return forcedAt
+	case refClosing:
+		return c.closingWake(r, now)
+	case refRefreshing:
+		return rr.refEnd
+	}
+	return cycleNever
+}
+
+// closingWake reports when the closing sequence can issue its next
+// command: the first open bank's legal PRE, or — once quiesced — the
+// legal REF (rank, per-bank, or per-subarray form, matching
+// closeStep/closeBankStep/closeSubarrayStep).
+func (c *Controller) closingWake(r int, now event.Cycle) event.Cycle {
+	rr := &c.refresh[r]
+	base := now + 1
+	switch {
+	case c.cfg.Mode == ModeSubarrayRefresh:
+		b, sa := rr.targetBank, rr.targetSA
+		if open := c.dev.OpenRow(r, b); open >= 0 && c.dev.SubarrayOf(int(open)) == sa {
+			return c.dev.EarliestPRE(base, r, b)
+		}
+		return c.dev.EarliestREFsa(base, r, b, sa)
+	case c.bankMode():
+		b := rr.targetBank
+		if c.dev.OpenRow(r, b) >= 0 {
+			return c.dev.EarliestPRE(base, r, b)
+		}
+		return c.dev.EarliestREFpb(base, r, b)
+	default:
+		for b := 0; b < c.geo.Banks; b++ {
+			if c.dev.OpenRow(r, b) >= 0 {
+				return c.dev.EarliestPRE(base, r, b)
+			}
+		}
+		return c.dev.EarliestREF(base, r)
+	}
+}
+
+// nextDrainState applies one per-cycle update of the write-drain
+// hysteresis (Config.WriteHigh/WriteLow watermarks, plus the idle-read
+// trigger) to d and returns the new state. scheduleStep and
+// scheduleWake share it so the wake computation tracks the issue path
+// exactly.
+func (c *Controller) nextDrainState(d bool) bool {
+	if d {
+		return len(c.writeQ) > c.cfg.WriteLow
+	}
+	return len(c.writeQ) >= c.cfg.WriteHigh ||
+		(len(c.readQ) == 0 && len(c.fillQ) == 0 && len(c.writeQ) > 0)
+}
+
+// scheduleWake reports the earliest cycle scheduleStep could issue a
+// command, given the queues and the write-drain hysteresis state.
+func (c *Controller) scheduleWake(now event.Cycle) event.Cycle {
+	if len(c.readQ) == 0 && len(c.writeQ) == 0 && len(c.fillQ) == 0 {
+		return cycleNever
+	}
+	// The drain flag updates once per tick. If one update step is not a
+	// fixed point (the flag would oscillate under per-cycle polling,
+	// issuing a write every other cycle), fall back to ticking every
+	// cycle — that cadence is observable in the command stream.
+	f1 := c.nextDrainState(c.draining)
+	if f1 != c.nextDrainState(f1) {
+		return now + 1
+	}
+	t := c.queueWake(&c.readIdx, now, false, true)
+	if len(c.fillQ) > 0 {
+		t = minCycle(t, c.queueWake(&c.fillIdx, now, false, false))
+	}
+	if f1 {
+		t = minCycle(t, c.queueWake(&c.writeIdx, now, true, true))
+	}
+	return t
+}
+
+// queueWake reports the earliest cycle any request in the indexed
+// queue could issue its next command (column access, PRE, or ACT), or
+// cycleNever when nothing is pending. demand applies the refresh
+// blocking rules that issueFrom applies to non-prefetch traffic; banks
+// skipped here (quiescing rank or target bank) are re-armed by the
+// tick that advances the refresh phase.
+func (c *Controller) queueWake(ix *bankIndex, now event.Cycle, isWrite, demand bool) event.Cycle {
+	t := cycleNever
+	base := now + 1
+	saMode := c.cfg.Mode == ModeSubarrayRefresh
+	for r := 0; r < c.geo.Ranks; r++ {
+		if ix.rankN[r] == 0 {
+			continue
+		}
+		if demand && !c.bankMode() && c.refresh != nil && c.refresh[r].phase == refClosing {
+			continue
+		}
+		for b := 0; b < c.geo.Banks; b++ {
+			l := ix.list(r, b)
+			if len(l) == 0 {
+				continue
+			}
+			if demand && c.bankMode() && c.refresh != nil {
+				if rr := &c.refresh[r]; rr.phase == refClosing && rr.targetBank == b {
+					continue
+				}
+			}
+			if open := c.dev.OpenRow(r, b); open >= 0 {
+				// One representative per class suffices: all row hits
+				// share the column timing, all misses the PRE timing.
+				seenHit, seenMiss := false, false
+				for _, req := range l {
+					hit := int64(req.loc.Row) == open
+					if (hit && !seenHit) || (!hit && !seenMiss) {
+						t = minCycle(t, c.dev.NextReadyCycle(base, r, b, req.loc.Row, isWrite))
+					}
+					seenHit = seenHit || hit
+					seenMiss = seenMiss || !hit
+					if seenHit && seenMiss {
+						break
+					}
+				}
+			} else {
+				// Closed bank: ACT legality is row-independent except for
+				// per-subarray refresh locks.
+				for _, req := range l {
+					t = minCycle(t, c.dev.NextReadyCycle(base, r, b, req.loc.Row, isWrite))
+					if !saMode {
+						break
+					}
+				}
+			}
+			if t == base {
+				return t
+			}
+		}
+	}
+	return t
+}
+
+// closePageWake reports the earliest legal PRE over open banks whose
+// row no queued request wants (the closed-page policy's work), or
+// cycleNever when every open row is wanted.
+func (c *Controller) closePageWake(now event.Cycle) event.Cycle {
+	t := cycleNever
+	for r := 0; r < c.geo.Ranks; r++ {
+		for b := 0; b < c.geo.Banks; b++ {
+			open := c.dev.OpenRow(r, b)
+			if open < 0 || c.rowWanted(r, b, int(open)) {
+				continue
+			}
+			t = minCycle(t, c.dev.EarliestPRE(now+1, r, b))
+		}
+	}
+	return t
+}

@@ -1,0 +1,130 @@
+package ropsim
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// TestPerformanceDocComplete enforces the docs/PERFORMANCE.md contract
+// the way TestMetricsDocComplete and TestRobustnessDocComplete enforce
+// theirs: the operational surface a user depends on — make targets,
+// benchgate flags, every hot-path benchmark, every metric recorded in
+// the committed baseline artifacts — must appear in the document, so a
+// new benchmark or baseline metric cannot land undocumented.
+func TestPerformanceDocComplete(t *testing.T) {
+	doc, err := os.ReadFile(filepath.Join("docs", "PERFORMANCE.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(doc)
+
+	// The make targets of the bench workflow, which must also exist in
+	// the Makefile itself.
+	mk, err := os.ReadFile("Makefile")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, target := range []string{"bench", "bench-gate", "microbench"} {
+		if !strings.Contains(text, "make "+target) {
+			t.Errorf("docs/PERFORMANCE.md does not document `make %s`", target)
+		}
+		if !strings.Contains(string(mk), "\n"+target+":") {
+			t.Errorf("Makefile has no %q target but docs/PERFORMANCE.md relies on it", target)
+		}
+	}
+
+	// Every benchgate flag must be documented.
+	gateSrc, err := os.ReadFile(filepath.Join("cmd", "benchgate", "main.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	flagRe := regexp.MustCompile(`flag\.\w+\("([a-z-]+)"`)
+	for _, m := range flagRe.FindAllStringSubmatch(string(gateSrc), -1) {
+		if !strings.Contains(text, "`-"+m[1]+"`") {
+			t.Errorf("docs/PERFORMANCE.md does not document benchgate flag -%s", m[1])
+		}
+	}
+
+	// Every hot-path microbenchmark must be listed.
+	benchRe := regexp.MustCompile(`func (Benchmark\w+)\(`)
+	for _, file := range []string{
+		filepath.Join("internal", "event", "bench_test.go"),
+		filepath.Join("internal", "event", "oracle_bench_test.go"),
+		filepath.Join("internal", "memctrl", "bench_test.go"),
+	} {
+		src, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range benchRe.FindAllStringSubmatch(string(src), -1) {
+			if !strings.Contains(text, m[1]) {
+				t.Errorf("docs/PERFORMANCE.md does not mention %s (%s)", m[1], file)
+			}
+		}
+	}
+
+	// At least one baseline artifact must be committed (the acceptance
+	// record), the doc must reference the latest one by name, and every
+	// metric it records must be explained in the doc.
+	baselines, err := filepath.Glob("BENCH_*.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	baselines = filterCommittedBaselines(baselines)
+	if len(baselines) == 0 {
+		t.Fatal("no committed BENCH_*.json baseline artifact found")
+	}
+	sort.Strings(baselines)
+	latest := baselines[len(baselines)-1]
+	if !strings.Contains(text, latest) {
+		t.Errorf("docs/PERFORMANCE.md does not reference the latest baseline %s", latest)
+	}
+	for _, path := range baselines {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b struct {
+			Schema  int `json:"schema"`
+			Results []struct {
+				Name string `json:"name"`
+				Gate bool   `json:"gate"`
+			} `json:"results"`
+		}
+		if err := json.Unmarshal(data, &b); err != nil {
+			t.Fatalf("parse %s: %v", path, err)
+		}
+		if want := fmt.Sprintf(`"schema": %d`, b.Schema); !strings.Contains(text, want) {
+			t.Errorf("docs/PERFORMANCE.md example does not show schema version %d (%s)", b.Schema, path)
+		}
+		gated := false
+		for _, r := range b.Results {
+			if !strings.Contains(text, "`"+r.Name+"`") {
+				t.Errorf("docs/PERFORMANCE.md does not explain metric %q recorded in %s", r.Name, path)
+			}
+			gated = gated || r.Gate
+		}
+		if !gated {
+			t.Errorf("%s flags no metric with \"gate\": true; the CI regression gate would be a no-op", path)
+		}
+	}
+}
+
+// filterCommittedBaselines drops scratch artifacts a local bench run
+// may leave in the working tree (the CI output name).
+func filterCommittedBaselines(paths []string) []string {
+	var out []string
+	for _, p := range paths {
+		if p == "BENCH_ci.json" {
+			continue
+		}
+		out = append(out, p)
+	}
+	return out
+}

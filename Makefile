@@ -5,7 +5,7 @@ GO ?= go
 # Latest committed baseline, used as the regression reference.
 REF ?= $(lastword $(sort $(wildcard BENCH_*.json)))
 
-.PHONY: test race bench bench-gate microbench quick
+.PHONY: test race lint lint-fix-check bench bench-gate microbench quick
 
 # test builds everything and runs the full suite (tier-1 gate).
 test:
@@ -15,6 +15,16 @@ test:
 # race runs the suite under the race detector at reduced scale.
 race:
 	$(GO) test -race -short ./internal/... .
+
+# lint runs the simlint suite (docs/LINT.md): determinism, unit-safety,
+# event-queue discipline and metrics-registration analyzers.
+lint:
+	$(GO) run ./cmd/simlint ./...
+
+# lint-fix-check is lint plus stale-escape-hatch detection: justified
+# //simlint: annotations that no longer suppress anything fail the run.
+lint-fix-check:
+	$(GO) run ./cmd/simlint -unused ./...
 
 # bench measures the hot-path baseline and emits BENCH_<today>.json
 # (docs/PERFORMANCE.md documents the schema and how to read it).

@@ -1,0 +1,71 @@
+// Command simlint runs the simulation lint suite (ropsim/internal/lint)
+// over the module: determinism, unit-safety, event-queue discipline and
+// metrics-registration analyzers, plus validation of the //simlint:
+// escape-hatch annotations themselves. Exit status is 1 when any
+// finding is reported, 2 on a load failure, 0 on a clean tree.
+//
+// Usage:
+//
+//	simlint [-unused] [packages]
+//
+// With no package patterns it analyzes ./... from the current
+// directory. The -unused flag additionally reports justified
+// annotations that suppress nothing — stale escape hatches whose
+// violations have since been fixed (the `make lint-fix-check` mode).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"ropsim/internal/lint"
+)
+
+func main() {
+	unused := flag.Bool("unused", false,
+		"also report justified simlint annotations that suppress nothing (stale escape hatches)")
+	flag.Usage = func() {
+		out := flag.CommandLine.Output()
+		fmt.Fprintf(out, "usage: simlint [-unused] [packages]\n\nAnalyzers:\n")
+		for _, a := range lint.All() {
+			fmt.Fprintf(out, "  %-16s %s\n", a.Name, a.Doc)
+		}
+		fmt.Fprintf(out, "\nFlags:\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	units, err := lint.Load(".", patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simlint:", err)
+		os.Exit(2)
+	}
+	diags := lint.Run(units, lint.All(), lint.Options{ReportUnusedAnnotations: *unused})
+	cwd, _ := os.Getwd()
+	for _, d := range diags {
+		d.Pos.Filename = relPath(cwd, d.Pos.Filename)
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "simlint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+// relPath shortens an absolute diagnostic path to be relative to the
+// working directory when possible.
+func relPath(cwd, path string) string {
+	if cwd == "" {
+		return path
+	}
+	if rel, err := filepath.Rel(cwd, path); err == nil && !filepath.IsAbs(rel) && rel != "" && rel[0] != '.' {
+		return rel
+	}
+	return path
+}

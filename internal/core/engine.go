@@ -255,7 +255,7 @@ func NewEngine(cfg Config, geo addr.Geometry, refi, rfc event.Cycle) (*Engine, e
 	e := &Engine{
 		cfg:    cfg,
 		geo:    geo,
-		window: event.Cycle(cfg.WindowTREFI * float64(refi)),
+		window: event.FromFloat(cfg.WindowTREFI * float64(refi)),
 		rfc:    rfc,
 		rng:    rand.New(rand.NewSource(cfg.Seed)),
 		sram:   NewSRAM(cfg.SRAMLines),

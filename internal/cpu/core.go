@@ -47,7 +47,7 @@ type Config struct {
 	// MSHRs bounds outstanding LLC misses.
 	MSHRs int
 	// HitExtraCPU is the un-hidden latency of an LLC hit in CPU cycles.
-	HitExtraCPU int
+	HitExtraCPU event.CPUCycle
 }
 
 // DefaultConfig returns the configuration used in the experiments: a
@@ -82,10 +82,10 @@ type Core struct {
 
 	cpuNow    event.CPUCycle
 	instCount int64
-	pending   *workload.Record // fetched but not yet issued memory op
-	pendRec   workload.Record  // backing store for pending (avoids a per-record heap allocation)
-	gapLeft   int64            // compute instructions still owed before pending
-	loads     []inflight       // oldest first
+	pending   *workload.Record  // fetched but not yet issued memory op
+	pendRec   workload.Record   // backing store for pending (avoids a per-record heap allocation)
+	gapLeft   int64             // compute instructions still owed before pending
+	loads     []inflight        // oldest first
 	stepFn    func(event.Cycle) // step as a stored closure, reused by every reschedule
 
 	waitingSpace bool
@@ -250,6 +250,7 @@ func (c *Core) step(now event.Cycle) {
 			if allowed > 0 {
 				sync()
 				c.instCount += allowed
+				//simlint:cycles "the IPC-1 core retires one instruction per CPU cycle, so an instruction count is a CPU-cycle count"
 				c.cpuNow += event.CPUCycle(allowed)
 				c.gapLeft -= allowed
 			}
@@ -294,7 +295,7 @@ func (c *Core) step(now event.Cycle) {
 				return
 			case ReadHit:
 				c.LLCHitReads.Inc()
-				c.cpuNow += event.CPUCycle(c.cfg.HitExtraCPU)
+				c.cpuNow += c.cfg.HitExtraCPU
 			case ReadMiss:
 				c.MemReads.Inc()
 				c.loads = append(c.loads, inflight{instPos: pos})

@@ -69,11 +69,11 @@ func (c *Checker) violation(cmd Command, format string, args ...any) error {
 		fmt.Sprintf(format, args...))
 }
 
-func (c *Checker) requireGap(cmd Command, since event.Cycle, gap int, rule string) error {
+func (c *Checker) requireGap(cmd Command, since event.Cycle, gap event.Cycle, rule string) error {
 	if since == neverIssued {
 		return nil
 	}
-	if cmd.At < since+event.Cycle(gap) {
+	if cmd.At < since+gap {
 		return c.violation(cmd, "%s violated: last at %d, need +%d", rule, since, gap)
 	}
 	return nil
@@ -135,8 +135,8 @@ func (c *Checker) Check(cmd Command) error {
 			return err
 		}
 		if c.lastWRCmd[r][b] != neverIssued {
-			wrEnd := c.lastWRCmd[r][b] + event.Cycle(c.p.CWL) + c.p.DataCycles()
-			if cmd.At < wrEnd+event.Cycle(c.p.WR) {
+			wrEnd := c.lastWRCmd[r][b] + c.p.CWL + c.p.DataCycles()
+			if cmd.At < wrEnd+c.p.WR {
 				return c.violation(cmd, "tWR violated: write data ended %d", wrEnd)
 			}
 		}
@@ -160,13 +160,13 @@ func (c *Checker) Check(cmd Command) error {
 		}
 		var dataStart event.Cycle
 		if cmd.Kind == CmdRD {
-			if c.lastWREnd[r] != neverIssued && cmd.At < c.lastWREnd[r]+event.Cycle(c.p.WTR) {
+			if c.lastWREnd[r] != neverIssued && cmd.At < c.lastWREnd[r]+c.p.WTR {
 				return c.violation(cmd, "tWTR violated: write data ended %d", c.lastWREnd[r])
 			}
-			dataStart = cmd.At + event.Cycle(c.p.CL)
+			dataStart = cmd.At + c.p.CL
 			c.lastRDCmd[r][b] = cmd.At
 		} else {
-			dataStart = cmd.At + event.Cycle(c.p.CWL)
+			dataStart = cmd.At + c.p.CWL
 			c.lastWRCmd[r][b] = cmd.At
 			c.lastWREnd[r] = dataStart + c.p.DataCycles()
 		}

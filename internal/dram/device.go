@@ -272,7 +272,7 @@ func (r *rank) fawAllowed(p Params) event.Cycle {
 	if oldest == fawNever {
 		return 0
 	}
-	return oldest + event.Cycle(p.FAW)
+	return oldest + p.FAW
 }
 
 // EarliestACT reports the first cycle ≥ now at which ACT(rank,bank) is
@@ -303,11 +303,11 @@ func (d *Device) IssueACT(at event.Cycle, rankID, bankID, row int) {
 		panic("dram: ACT on bank with open row")
 	}
 	bk.openRow = int64(row)
-	bk.rdAllowed = maxCycle(bk.rdAllowed, at+event.Cycle(d.p.RCD))
-	bk.wrAllowed = maxCycle(bk.wrAllowed, at+event.Cycle(d.p.RCD))
-	bk.preAllowed = maxCycle(bk.preAllowed, at+event.Cycle(d.p.RAS))
-	bk.actAllowed = maxCycle(bk.actAllowed, at+event.Cycle(d.p.RC))
-	rk.rrdAllowed = maxCycle(rk.rrdAllowed, at+event.Cycle(d.p.RRD))
+	bk.rdAllowed = maxCycle(bk.rdAllowed, at+d.p.RCD)
+	bk.wrAllowed = maxCycle(bk.wrAllowed, at+d.p.RCD)
+	bk.preAllowed = maxCycle(bk.preAllowed, at+d.p.RAS)
+	bk.actAllowed = maxCycle(bk.actAllowed, at+d.p.RC)
+	rk.rrdAllowed = maxCycle(rk.rrdAllowed, at+d.p.RRD)
 	rk.faw[rk.fawIdx] = at
 	rk.fawIdx = (rk.fawIdx + 1) % len(rk.faw)
 	d.NumACT.Inc()
@@ -328,7 +328,7 @@ func (d *Device) IssuePRE(at event.Cycle, rankID, bankID int) {
 		panic("dram: PRE on precharged bank")
 	}
 	bk.openRow = noRow
-	bk.actAllowed = maxCycle(bk.actAllowed, at+event.Cycle(d.p.RP))
+	bk.actAllowed = maxCycle(bk.actAllowed, at+d.p.RP)
 	d.NumPRE.Inc()
 }
 
@@ -337,7 +337,7 @@ func (d *Device) IssuePRE(at event.Cycle, rankID, bankID int) {
 func (d *Device) busAvailable(want event.Cycle, rankID int) event.Cycle {
 	free := d.busFreeAt
 	if d.lastBusRank >= 0 && d.lastBusRank != rankID {
-		free += event.Cycle(d.p.RTR)
+		free += d.p.RTR
 	}
 	return maxCycle(want, free)
 }
@@ -350,7 +350,7 @@ func (d *Device) EarliestRD(now event.Cycle, rankID, bankID int) event.Cycle {
 	t := maxCycle(now, bk.rdAllowed, rk.rdAfterWrite, rk.refBusyUntil)
 	// The burst occupies the bus [t+CL, t+CL+BL/2); push t until it fits.
 	for {
-		dataStart := t + event.Cycle(d.p.CL)
+		dataStart := t + d.p.CL
 		avail := d.busAvailable(dataStart, rankID)
 		if avail == dataStart {
 			return t
@@ -367,17 +367,17 @@ func (d *Device) IssueRD(at event.Cycle, rankID, bankID int) event.Cycle {
 	if bk.openRow == noRow {
 		panic("dram: RD on precharged bank")
 	}
-	bk.rdAllowed = maxCycle(bk.rdAllowed, at+event.Cycle(d.p.CCD))
-	bk.wrAllowed = maxCycle(bk.wrAllowed, at+event.Cycle(d.p.CCD))
-	bk.preAllowed = maxCycle(bk.preAllowed, at+event.Cycle(d.p.RTP))
-	dataStart := at + event.Cycle(d.p.CL)
+	bk.rdAllowed = maxCycle(bk.rdAllowed, at+d.p.CCD)
+	bk.wrAllowed = maxCycle(bk.wrAllowed, at+d.p.CCD)
+	bk.preAllowed = maxCycle(bk.preAllowed, at+d.p.RTP)
+	dataStart := at + d.p.CL
 	dataEnd := dataStart + d.p.DataCycles()
 	d.busFreeAt = dataEnd
 	d.lastBusRank = rankID
 	// Column commands to sibling banks share the command/column pipes.
 	for b := range rk.banks {
-		rk.banks[b].rdAllowed = maxCycle(rk.banks[b].rdAllowed, at+event.Cycle(d.p.CCD))
-		rk.banks[b].wrAllowed = maxCycle(rk.banks[b].wrAllowed, at+event.Cycle(d.p.CCD))
+		rk.banks[b].rdAllowed = maxCycle(rk.banks[b].rdAllowed, at+d.p.CCD)
+		rk.banks[b].wrAllowed = maxCycle(rk.banks[b].wrAllowed, at+d.p.CCD)
 	}
 	d.NumRD.Inc()
 	return dataEnd
@@ -390,7 +390,7 @@ func (d *Device) EarliestWR(now event.Cycle, rankID, bankID int) event.Cycle {
 	bk := &rk.banks[bankID]
 	t := maxCycle(now, bk.wrAllowed, rk.refBusyUntil)
 	for {
-		dataStart := t + event.Cycle(d.p.CWL)
+		dataStart := t + d.p.CWL
 		avail := d.busAvailable(dataStart, rankID)
 		if avail == dataStart {
 			return t
@@ -407,15 +407,15 @@ func (d *Device) IssueWR(at event.Cycle, rankID, bankID int) event.Cycle {
 	if bk.openRow == noRow {
 		panic("dram: WR on precharged bank")
 	}
-	dataStart := at + event.Cycle(d.p.CWL)
+	dataStart := at + d.p.CWL
 	dataEnd := dataStart + d.p.DataCycles()
-	bk.preAllowed = maxCycle(bk.preAllowed, dataEnd+event.Cycle(d.p.WR))
-	rk.rdAfterWrite = maxCycle(rk.rdAfterWrite, dataEnd+event.Cycle(d.p.WTR))
+	bk.preAllowed = maxCycle(bk.preAllowed, dataEnd+d.p.WR)
+	rk.rdAfterWrite = maxCycle(rk.rdAfterWrite, dataEnd+d.p.WTR)
 	d.busFreeAt = dataEnd
 	d.lastBusRank = rankID
 	for b := range rk.banks {
-		rk.banks[b].rdAllowed = maxCycle(rk.banks[b].rdAllowed, at+event.Cycle(d.p.CCD))
-		rk.banks[b].wrAllowed = maxCycle(rk.banks[b].wrAllowed, at+event.Cycle(d.p.CCD))
+		rk.banks[b].rdAllowed = maxCycle(rk.banks[b].rdAllowed, at+d.p.CCD)
+		rk.banks[b].wrAllowed = maxCycle(rk.banks[b].wrAllowed, at+d.p.CCD)
 	}
 	d.NumWR.Inc()
 	return dataEnd

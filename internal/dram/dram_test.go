@@ -62,11 +62,11 @@ func TestBasicReadTiming(t *testing.T) {
 	}
 	d.IssueACT(at, 0, 0, 7)
 	rd := d.EarliestRD(at, 0, 0)
-	if rd != at+event.Cycle(p.RCD) {
-		t.Fatalf("first RD at %d, want %d", rd, at+event.Cycle(p.RCD))
+	if rd != at+p.RCD {
+		t.Fatalf("first RD at %d, want %d", rd, at+p.RCD)
 	}
 	done := d.IssueRD(rd, 0, 0)
-	want := rd + event.Cycle(p.CL) + p.DataCycles()
+	want := rd + p.CL + p.DataCycles()
 	if done != want {
 		t.Fatalf("read data done at %d, want %d", done, want)
 	}
@@ -77,7 +77,7 @@ func TestRowBufferHitFasterThanConflict(t *testing.T) {
 	// Hit: ACT once, two reads.
 	d := NewDevice(p, testGeo())
 	d.IssueACT(0, 0, 0, 1)
-	r1 := d.EarliestRD(event.Cycle(p.RCD), 0, 0)
+	r1 := d.EarliestRD(p.RCD, 0, 0)
 	done1 := d.IssueRD(r1, 0, 0)
 	r2 := d.EarliestRD(done1, 0, 0)
 	hitDone := d.IssueRD(r2, 0, 0)
@@ -85,7 +85,7 @@ func TestRowBufferHitFasterThanConflict(t *testing.T) {
 	// Conflict: ACT row 1, read, then PRE + ACT row 2, read.
 	d2 := NewDevice(p, testGeo())
 	d2.IssueACT(0, 0, 0, 1)
-	r1 = d2.EarliestRD(event.Cycle(p.RCD), 0, 0)
+	r1 = d2.EarliestRD(p.RCD, 0, 0)
 	done1 = d2.IssueRD(r1, 0, 0)
 	pre := d2.EarliestPRE(done1, 0, 0)
 	d2.IssuePRE(pre, 0, 0)
@@ -145,11 +145,11 @@ func TestFAWLimitsActivates(t *testing.T) {
 		times = append(times, at)
 		last = at
 	}
-	if times[4]-times[0] < event.Cycle(p.FAW) {
+	if times[4]-times[0] < p.FAW {
 		t.Errorf("5th ACT at %d, 1st at %d: violates tFAW=%d", times[4], times[0], p.FAW)
 	}
 	for i := 1; i < len(times); i++ {
-		if times[i]-times[i-1] < event.Cycle(p.RRD) {
+		if times[i]-times[i-1] < p.RRD {
 			t.Errorf("ACTs %d apart, violates tRRD=%d", times[i]-times[i-1], p.RRD)
 		}
 	}
@@ -159,10 +159,10 @@ func TestWriteToReadTurnaround(t *testing.T) {
 	p := DDR4_1600(Refresh1x)
 	d := NewDevice(p, testGeo())
 	d.IssueACT(0, 0, 0, 1)
-	w := d.EarliestWR(event.Cycle(p.RCD), 0, 0)
+	w := d.EarliestWR(p.RCD, 0, 0)
 	wEnd := d.IssueWR(w, 0, 0)
 	r := d.EarliestRD(w+1, 0, 0)
-	if r < wEnd+event.Cycle(p.WTR) {
+	if r < wEnd+p.WTR {
 		t.Errorf("read at %d violates tWTR (write data end %d)", r, wEnd)
 	}
 }
@@ -173,7 +173,7 @@ func TestDataBusSerializesReads(t *testing.T) {
 	d.IssueACT(0, 0, 0, 1)
 	a2 := d.EarliestACT(0, 0, 1)
 	d.IssueACT(a2, 0, 1, 1)
-	t1 := d.EarliestRD(a2+event.Cycle(p.RCD), 0, 0)
+	t1 := d.EarliestRD(a2+p.RCD, 0, 0)
 	done1 := d.IssueRD(t1, 0, 0)
 	t2 := d.EarliestRD(t1, 0, 1)
 	done2 := d.IssueRD(t2, 0, 1)
@@ -307,7 +307,7 @@ func TestCheckerAcceptsLegalStream(t *testing.T) {
 	c := NewChecker(p, testGeo())
 	cmds := []Command{
 		{Kind: CmdACT, At: 0, Rank: 0, Bank: 0, Row: 1},
-		{Kind: CmdRD, At: event.Cycle(p.RCD), Rank: 0, Bank: 0},
+		{Kind: CmdRD, At: p.RCD, Rank: 0, Bank: 0},
 		{Kind: CmdPRE, At: 100, Rank: 0, Bank: 0},
 		{Kind: CmdREF, At: 200, Rank: 0},
 		{Kind: CmdACT, At: 200 + p.RFC, Rank: 0, Bank: 0, Row: 2},

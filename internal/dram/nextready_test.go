@@ -45,18 +45,18 @@ func TestNextReadyCycleStable(t *testing.T) {
 	p := d.Params()
 	// Exercise all three states plus refresh and bus constraints.
 	d.IssueACT(0, 0, 0, 5)
-	d.IssueRD(event.Cycle(p.RCD), 0, 0)
+	d.IssueRD(p.RCD, 0, 0)
 	d.IssueREF(d.EarliestREF(1000, 1), 1)
 	cases := []struct {
 		rank, bank, row int
 		isWrite         bool
 	}{
-		{0, 0, 5, false},  // hit behind tCCD/bus
-		{0, 0, 5, true},   // write hit behind tWTR-ish constraints
-		{0, 0, 9, false},  // miss: PRE gated by tRAS/tRTP
-		{0, 1, 3, false},  // closed sibling bank: ACT gated by tRRD
-		{1, 2, 7, false},  // rank frozen by refresh: wait for tRFC end
-		{1, 2, 7, true},   // frozen rank, write path
+		{0, 0, 5, false}, // hit behind tCCD/bus
+		{0, 0, 5, true},  // write hit behind tWTR-ish constraints
+		{0, 0, 9, false}, // miss: PRE gated by tRAS/tRTP
+		{0, 1, 3, false}, // closed sibling bank: ACT gated by tRRD
+		{1, 2, 7, false}, // rank frozen by refresh: wait for tRFC end
+		{1, 2, 7, true},  // frozen rank, write path
 	}
 	for _, c := range cases {
 		for _, now := range []event.Cycle{0, 10, 100, 1000} {

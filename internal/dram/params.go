@@ -37,24 +37,28 @@ func (m RefreshMode) String() string {
 	return fmt.Sprintf("RefreshMode(%d)", int(m))
 }
 
-// Params holds the timing parameters of a DDR4 speed bin, in bus cycles.
+// Params holds the timing parameters of a DDR4 speed bin. Every
+// duration is typed event.Cycle (bus cycles), so timing arithmetic
+// cannot silently mix cycle counts with raw nanosecond integers;
+// nanosecond datasheet values enter through event.FromNanos. Only
+// dimensionless shape parameters (BL, Subarrays) stay plain ints.
 type Params struct {
 	Name string // speed-bin label, e.g. "DDR4-1600"
 
-	CL  int // CAS (read) latency
-	CWL int // CAS write latency
-	RCD int // ACT to internal read/write
-	RP  int // PRE to ACT
-	RAS int // ACT to PRE
-	RC  int // ACT to ACT, same bank
-	BL  int // burst length in transfers (data occupies BL/2 cycles)
-	CCD int // column command to column command
-	RRD int // ACT to ACT, different banks, same rank
-	FAW int // four-activate window
-	WR  int // write recovery (end of write data to PRE)
-	WTR int // end of write data to read command, same rank
-	RTP int // read to PRE
-	RTR int // rank-to-rank data-bus switch penalty
+	CL  event.Cycle // CAS (read) latency
+	CWL event.Cycle // CAS write latency
+	RCD event.Cycle // ACT to internal read/write
+	RP  event.Cycle // PRE to ACT
+	RAS event.Cycle // ACT to PRE
+	RC  event.Cycle // ACT to ACT, same bank
+	BL  int         // burst length in transfers (data occupies BL/2 cycles)
+	CCD event.Cycle // column command to column command
+	RRD event.Cycle // ACT to ACT, different banks, same rank
+	FAW event.Cycle // four-activate window
+	WR  event.Cycle // write recovery (end of write data to PRE)
+	WTR event.Cycle // end of write data to read command, same rank
+	RTP event.Cycle // read to PRE
+	RTR event.Cycle // rank-to-rank data-bus switch penalty
 
 	REFI event.Cycle // average refresh interval
 	RFC  event.Cycle // refresh cycle time (rank locked)
@@ -73,7 +77,10 @@ type Params struct {
 }
 
 // DataCycles reports how long one burst occupies the data bus.
-func (p Params) DataCycles() event.Cycle { return event.Cycle(p.BL / 2) }
+func (p Params) DataCycles() event.Cycle {
+	//simlint:cycles "DDR moves two beats per bus cycle, so BL/2 beats is exactly a bus-cycle count"
+	return event.Cycle(p.BL / 2)
+}
 
 // RefreshDutyCycle reports tRFC/tREFI, the fraction of time a rank is
 // frozen by refresh (paper §II-B).
@@ -88,12 +95,13 @@ func (p Params) RefreshDutyCycle() float64 {
 func (p Params) Validate() error {
 	for _, f := range []struct {
 		name string
-		v    int
+		v    int64
 	}{
-		{"CL", p.CL}, {"CWL", p.CWL}, {"RCD", p.RCD}, {"RP", p.RP},
-		{"RAS", p.RAS}, {"RC", p.RC}, {"BL", p.BL}, {"CCD", p.CCD},
-		{"RRD", p.RRD}, {"FAW", p.FAW}, {"WR", p.WR}, {"WTR", p.WTR},
-		{"RTP", p.RTP},
+		{"CL", int64(p.CL)}, {"CWL", int64(p.CWL)}, {"RCD", int64(p.RCD)},
+		{"RP", int64(p.RP)}, {"RAS", int64(p.RAS)}, {"RC", int64(p.RC)},
+		{"BL", int64(p.BL)}, {"CCD", int64(p.CCD)}, {"RRD", int64(p.RRD)},
+		{"FAW", int64(p.FAW)}, {"WR", int64(p.WR)}, {"WTR", int64(p.WTR)},
+		{"RTP", int64(p.RTP)},
 	} {
 		if f.v <= 0 {
 			return fmt.Errorf("dram: %s must be positive, got %d", f.name, f.v)
@@ -117,29 +125,33 @@ func (p Params) Validate() error {
 func DDR4_1600(mode RefreshMode) Params {
 	p := Params{
 		Name: "DDR4-1600/8Gb/" + mode.String(),
-		CL:   11, // 13.75 ns
-		CWL:  9,  // 11.25 ns
-		RCD:  11, // 13.75 ns
-		RP:   11, // 13.75 ns
-		RAS:  28, // 35 ns
-		RC:   39, // 48.75 ns
-		BL:   8,  // 64-byte line over a 64-bit bus
-		CCD:  4,  // tCCD_L
-		RRD:  6,  // 7.5 ns
-		FAW:  28, // 35 ns
-		WR:   12, // 15 ns
-		WTR:  6,  // 7.5 ns
-		RTP:  6,  // 7.5 ns
-		RTR:  2,  // rank switch bubble
+		CL:   event.FromNanos(13.75), // 11 cycles
+		CWL:  event.FromNanos(11.25), // 9 cycles
+		RCD:  event.FromNanos(13.75), // 11 cycles
+		RP:   event.FromNanos(13.75), // 11 cycles
+		RAS:  event.FromNanos(35),    // 28 cycles
+		RC:   event.FromNanos(48.75), // 39 cycles
+		BL:   8,                      // 64-byte line over a 64-bit bus
+		CCD:  4,                      // tCCD_L, defined in cycles
+		RRD:  event.FromNanos(7.5),   // 6 cycles
+		FAW:  event.FromNanos(35),    // 28 cycles
+		WR:   event.FromNanos(15),    // 12 cycles
+		WTR:  event.FromNanos(7.5),   // 6 cycles
+		RTP:  event.FromNanos(7.5),   // 6 cycles
+		RTR:  2,                      // rank switch bubble, defined in cycles
 	}
 	p.Subarrays = 8
+	// tREFI = 7.8 µs; tRFC / tRFCpb / tRFCsa per fine-grained mode.
 	switch mode {
 	case Refresh1x:
-		p.REFI, p.RFC, p.RFCpb, p.RFCsa = 6240, 280, 112, 48 // 350/140/60 ns
+		p.REFI, p.RFC, p.RFCpb, p.RFCsa =
+			event.FromNanos(7800), event.FromNanos(350), event.FromNanos(140), event.FromNanos(60)
 	case Refresh2x:
-		p.REFI, p.RFC, p.RFCpb, p.RFCsa = 3120, 208, 88, 40 // 260/110/50 ns
+		p.REFI, p.RFC, p.RFCpb, p.RFCsa =
+			event.FromNanos(3900), event.FromNanos(260), event.FromNanos(110), event.FromNanos(50)
 	case Refresh4x:
-		p.REFI, p.RFC, p.RFCpb, p.RFCsa = 1560, 128, 56, 32 // 160/70/40 ns
+		p.REFI, p.RFC, p.RFCpb, p.RFCsa =
+			event.FromNanos(1950), event.FromNanos(160), event.FromNanos(70), event.FromNanos(40)
 	default:
 		panic(fmt.Sprintf("dram: unknown refresh mode %d", int(mode)))
 	}

@@ -8,6 +8,8 @@
 package energy
 
 import (
+	"sort"
+
 	"fmt"
 
 	"ropsim/internal/dram"
@@ -96,8 +98,17 @@ func SRAMAccessNJ(lines int) float64 {
 	if e, ok := sramAccessNJ[lines]; ok {
 		return e
 	}
-	best, bestDiff := 64, 1<<30
+	// Iterate the tabulated sizes in sorted order so the nearest-size
+	// tie-break (e.g. lines=24, equidistant from 16 and 32) is
+	// deterministic rather than map-iteration-order dependent; ties go
+	// to the smaller size.
+	sizes := make([]int, 0, len(sramAccessNJ))
 	for size := range sramAccessNJ {
+		sizes = append(sizes, size)
+	}
+	sort.Ints(sizes)
+	best, bestDiff := 64, 1<<30
+	for _, size := range sizes {
 		diff := size - lines
 		if diff < 0 {
 			diff = -diff
@@ -151,7 +162,7 @@ func Compute(p Params, t dram.Params, elapsed event.Cycle, c Counts, s SRAMCount
 		return Breakdown{}, fmt.Errorf("energy: bad inputs elapsed=%d ranks=%d", elapsed, c.Ranks)
 	}
 	chips := float64(p.ChipsPerRank)
-	secPerCycle := float64(event.PicosPerBusCycle) * 1e-12
+	secPerCycle := event.Seconds(1)
 	elapsedSec := float64(elapsed) * secPerCycle
 	mAtoA := 1e-3
 

@@ -115,13 +115,13 @@ type ChainHandle struct {
 // ready to use. Events scheduled for the same cycle fire in insertion
 // order regardless of internal layout.
 type Queue struct {
-	slots [bucketWindow]slot          // calendar ring, indexed by at & bucketMask
-	occ   [bucketWindow / 64]uint64   // occupancy bitmap over slots
-	far   farHeap                     // events beyond the calendar horizon
-	pool  []*event                    // free list of recycled events
-	seq   int64                       // insertion-order counter
-	now   Cycle                       // time of the last dispatched event
-	live  int                         // scheduled, non-cancelled events
+	slots [bucketWindow]slot        // calendar ring, indexed by at & bucketMask
+	occ   [bucketWindow / 64]uint64 // occupancy bitmap over slots
+	far   farHeap                   // events beyond the calendar horizon
+	pool  []*event                  // free list of recycled events
+	seq   int64                     // insertion-order counter
+	now   Cycle                     // time of the last dispatched event
+	live  int                       // scheduled, non-cancelled events
 	// nearFrom is a lower bound on the earliest cycle that may hold a
 	// live bucketed event; it keeps repeated head scans amortized O(1).
 	nearFrom Cycle

@@ -1,0 +1,31 @@
+package event
+
+// Unit-conversion helpers: the single sanctioned bridge between
+// wall-denominated timing values (nanoseconds, from datasheets and the
+// paper's Table III) or fractional cycle quantities (floats) and the
+// simulator's integral Cycle domain. The unitsafe analyzer
+// (internal/lint, docs/LINT.md) flags event.Cycle conversions of
+// non-constant values anywhere else in the simulated domain, so every
+// ns↔cycle crossing and every float truncation is auditable here.
+
+// FromNanos converts a duration in nanoseconds to whole bus cycles,
+// rounding up: a constraint of 13.75 ns is not satisfied until the 11th
+// 1.25 ns bus edge. The arithmetic runs in integer picoseconds, so
+// datasheet values with at most 3 decimal places convert exactly.
+func FromNanos(ns float64) Cycle {
+	ps := int64(ns * 1000)
+	return Cycle((ps + PicosPerBusCycle - 1) / PicosPerBusCycle)
+}
+
+// Nanos reports the duration of c in nanoseconds.
+func Nanos(c Cycle) float64 {
+	return float64(c) * float64(PicosPerBusCycle) * 1e-3
+}
+
+// FromFloat converts a cycle-denominated float — typically a fraction
+// of a cycle quantity, such as 0.03*tREFI for a drain deadline — to a
+// Cycle, truncating toward zero (Go conversion semantics). Centralizing
+// the truncation keeps its rounding bias out of ad-hoc call sites.
+func FromFloat(cycles float64) Cycle {
+	return Cycle(cycles)
+}

@@ -1,0 +1,79 @@
+package event
+
+import "testing"
+
+// TestFromNanosTableIII checks that every nanosecond value of the
+// paper's DDR4-1600 speed bin (Table III) converts to the exact cycle
+// count the simulator has always used, so routing dram.DDR4_1600
+// through FromNanos cannot perturb golden artifacts.
+func TestFromNanosTableIII(t *testing.T) {
+	cases := []struct {
+		ns   float64
+		want Cycle
+	}{
+		{13.75, 11},  // tCL, tRCD, tRP
+		{11.25, 9},   // tCWL
+		{35, 28},     // tRAS, tFAW
+		{48.75, 39},  // tRC
+		{7.5, 6},     // tRRD, tWTR, tRTP
+		{15, 12},     // tWR
+		{7800, 6240}, // tREFI (1x)
+		{350, 280},   // tRFC (1x)
+		{140, 112},   // tRFCpb (1x)
+		{60, 48},     // tRFCsa (1x)
+		{3900, 3120},
+		{260, 208},
+		{110, 88},
+		{50, 40},
+		{1950, 1560},
+		{160, 128},
+		{70, 56},
+		{40, 32},
+	}
+	for _, c := range cases {
+		if got := FromNanos(c.ns); got != c.want {
+			t.Errorf("FromNanos(%v) = %d, want %d", c.ns, got, c.want)
+		}
+	}
+}
+
+// TestFromNanosRoundsUp checks the constraint semantics: a duration
+// that ends mid-cycle is not satisfied until the next bus edge.
+func TestFromNanosRoundsUp(t *testing.T) {
+	if got := FromNanos(1.25); got != 1 {
+		t.Errorf("FromNanos(1.25) = %d, want 1", got)
+	}
+	if got := FromNanos(1.26); got != 2 {
+		t.Errorf("FromNanos(1.26) = %d, want 2", got)
+	}
+	if got := FromNanos(0); got != 0 {
+		t.Errorf("FromNanos(0) = %d, want 0", got)
+	}
+}
+
+func TestNanosRoundTrip(t *testing.T) {
+	if got := Nanos(280); got != 350 {
+		t.Errorf("Nanos(280) = %v, want 350", got)
+	}
+	for _, c := range []Cycle{0, 1, 11, 280, 6240} {
+		if got := FromNanos(Nanos(c)); got != c {
+			t.Errorf("FromNanos(Nanos(%d)) = %d", c, got)
+		}
+	}
+}
+
+// TestFromFloatTruncates pins the truncation semantics fractional-cycle
+// scaling sites (drain deadlines as fractions of tREFI) rely on.
+func TestFromFloatTruncates(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want Cycle
+	}{
+		{0, 0}, {0.9, 0}, {1.0, 1}, {187.2, 187}, {780.0, 780},
+	}
+	for _, c := range cases {
+		if got := FromFloat(c.in); got != c.want {
+			t.Errorf("FromFloat(%v) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,143 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strings"
+)
+
+// simlint annotations are the suite's escape hatches. Grammar:
+//
+//	//simlint:NAME "justification"            (line scope)
+//	//simlint:NAME:file "justification"       (whole file)
+//	//simlint:NAME:package "justification"    (whole package, incl. tests)
+//
+// NAME is an analyzer's Suppress name (ordered, hostcode, cycles,
+// discipline, unregistered). The justification string is mandatory: an
+// annotation without one never suppresses and is itself reported, so a
+// silent escape cannot land. A line-scoped annotation covers the line
+// it sits on (trailing comment) and the line immediately after its
+// comment group (preceding comment). docs/LINT.md documents the syntax
+// with worked examples.
+
+type annScope int
+
+const (
+	scopeLine annScope = iota
+	scopeFile
+	scopePackage
+)
+
+// annotation is one parsed //simlint: directive.
+type annotation struct {
+	name          string
+	scope         annScope
+	justification string
+	file          string // filename carrying the annotation
+	lines         [2]int // line-scope: lines the annotation covers
+	pos           token.Position
+	malformed     string // non-empty: why the directive is invalid
+	used          bool   // a diagnostic was suppressed by it
+}
+
+// justified reports whether the annotation is valid and carries a
+// justification.
+func (a *annotation) justified() bool {
+	return a.malformed == "" && a.justification != ""
+}
+
+// annotations indexes every simlint directive of one package.
+type annotations struct {
+	list []*annotation
+}
+
+// directiveRE matches "//simlint:name" or "//simlint:name:scope",
+// leaving the remainder (justification) for separate validation.
+var directiveRE = regexp.MustCompile(`^//simlint:([a-z]+)(?::(file|package))?(?:\s+(.*))?$`)
+
+// justificationRE requires a double-quoted, non-empty string. A
+// trailing //-comment after the string is tolerated (fixture files use
+// it for // want markers).
+var justificationRE = regexp.MustCompile(`^"([^"]+)"\s*(?://.*)?$`)
+
+// parseAnnotations scans the files' comments for simlint directives.
+// valid is the set of known annotation names (the analyzers' Suppress
+// names); unknown names are recorded as malformed so typos fail loudly
+// instead of silently not suppressing.
+func parseAnnotations(fset *token.FileSet, files []*ast.File, valid map[string]bool) *annotations {
+	anns := &annotations{}
+	for _, f := range files {
+		filename := fset.Position(f.Pos()).Filename
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, "//simlint:") {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				a := &annotation{file: filename, pos: pos}
+				m := directiveRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					a.malformed = fmt.Sprintf("malformed simlint annotation %q", c.Text)
+					anns.list = append(anns.list, a)
+					continue
+				}
+				a.name = m[1]
+				switch m[2] {
+				case "file":
+					a.scope = scopeFile
+				case "package":
+					a.scope = scopePackage
+				default:
+					a.scope = scopeLine
+					// Cover the directive's own line (trailing form) and
+					// the line right after the comment group (preceding
+					// form).
+					a.lines = [2]int{pos.Line, fset.Position(cg.End()).Line + 1}
+				}
+				if !valid[a.name] {
+					a.malformed = fmt.Sprintf("unknown simlint annotation name %q (known: ordered, hostcode, cycles, discipline, unregistered)", a.name)
+					anns.list = append(anns.list, a)
+					continue
+				}
+				jm := justificationRE.FindStringSubmatch(strings.TrimSpace(m[3]))
+				if jm == nil {
+					a.malformed = fmt.Sprintf("simlint annotation //simlint:%s requires a non-empty quoted justification string", a.name)
+					anns.list = append(anns.list, a)
+					continue
+				}
+				a.justification = jm[1]
+				anns.list = append(anns.list, a)
+			}
+		}
+	}
+	return anns
+}
+
+// covering returns a valid annotation of the given name whose scope
+// covers (file, line), or nil. Line scope wins over file scope over
+// package scope, though any match suffices to suppress.
+func (s *annotations) covering(name, file string, line int) *annotation {
+	var match *annotation
+	for _, a := range s.list {
+		if a.name != name || a.malformed != "" {
+			continue
+		}
+		switch a.scope {
+		case scopeLine:
+			if a.file == file && (a.lines[0] == line || a.lines[1] == line) {
+				return a
+			}
+		case scopeFile:
+			if a.file == file {
+				match = a
+			}
+		case scopePackage:
+			if match == nil {
+				match = a
+			}
+		}
+	}
+	return match
+}

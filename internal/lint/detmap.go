@@ -1,0 +1,89 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Detmap flags `range` over a map in the deterministic simulation
+// packages. Go randomizes map iteration order per run, so any map range
+// whose effect depends on visit order — building a report, emitting a
+// snapshot, breaking a tie — silently destroys byte-reproducibility.
+// The one allowed shape is the collect-keys idiom, whose body is exactly
+// one append of the key into a slice (to be sorted before use):
+//
+//	for k := range m {
+//		keys = append(keys, k)
+//	}
+//
+// Genuinely order-independent folds (summing values, set union) carry a
+// //simlint:ordered "why" annotation instead.
+var Detmap = &Analyzer{
+	Name:     "detmap",
+	Doc:      "flags map iteration in deterministic packages unless keys are collected for sorting or the loop is annotated //simlint:ordered",
+	Suppress: "ordered",
+	Run:      runDetmap,
+}
+
+func runDetmap(pass *Pass) {
+	if !inSimDomain(pass.Path()) {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.Info().Types[rng.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if isKeyCollectLoop(rng) {
+				return true
+			}
+			pass.Reportf(rng.Pos(),
+				"range over map is iteration-order dependent; collect the keys into a slice and sort it, or annotate the loop with //simlint:ordered %q",
+				"why order cannot matter")
+			return true
+		})
+	}
+}
+
+// isKeyCollectLoop reports whether the range statement is the allowed
+// collect-keys idiom: key variable bound, value ignored, and a body of
+// exactly one `s = append(s, k)`.
+func isKeyCollectLoop(rng *ast.RangeStmt) bool {
+	key, ok := rng.Key.(*ast.Ident)
+	if !ok || key.Name == "_" {
+		return false
+	}
+	if rng.Value != nil {
+		if v, ok := rng.Value.(*ast.Ident); !ok || v.Name != "_" {
+			return false
+		}
+	}
+	if len(rng.Body.List) != 1 {
+		return false
+	}
+	assign, ok := rng.Body.List[0].(*ast.AssignStmt)
+	if !ok || len(assign.Lhs) != 1 || len(assign.Rhs) != 1 {
+		return false
+	}
+	call, ok := assign.Rhs[0].(*ast.CallExpr)
+	if !ok || len(call.Args) != 2 || call.Ellipsis.IsValid() {
+		return false
+	}
+	if fn, ok := call.Fun.(*ast.Ident); !ok || fn.Name != "append" {
+		return false
+	}
+	// The appended element must be the key, and the append target the
+	// assignment's destination.
+	if arg, ok := call.Args[1].(*ast.Ident); !ok || arg.Name != key.Name {
+		return false
+	}
+	return exprString(assign.Lhs[0]) == exprString(call.Args[0])
+}

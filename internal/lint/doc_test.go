@@ -1,0 +1,55 @@
+package lint_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ropsim/internal/lint"
+)
+
+// TestLintDocComplete enforces the docs/LINT.md contract the same way
+// TestRobustnessDocComplete enforces docs/ROBUSTNESS.md: every analyzer
+// must have a catalog section, every escape-hatch annotation must be
+// documented with its exact //simlint: spelling, and the entry points a
+// user depends on must appear — so a new analyzer or annotation cannot
+// land undocumented.
+func TestLintDocComplete(t *testing.T) {
+	doc, err := os.ReadFile(filepath.Join("..", "..", "docs", "LINT.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(doc)
+
+	for _, a := range lint.All() {
+		if a.Doc == "" {
+			t.Errorf("analyzer %s has no Doc string", a.Name)
+		}
+		if !strings.Contains(text, "### "+a.Name) {
+			t.Errorf("docs/LINT.md has no catalog section for analyzer %q", a.Name)
+		}
+		if a.Suppress == "" {
+			t.Errorf("analyzer %s has no escape-hatch annotation", a.Name)
+			continue
+		}
+		if !strings.Contains(text, "//simlint:"+a.Suppress) {
+			t.Errorf("docs/LINT.md does not document the //simlint:%s escape hatch", a.Suppress)
+		}
+		if !strings.Contains(text, "`"+a.Suppress+"`") {
+			t.Errorf("docs/LINT.md annotation-name list is missing `%s`", a.Suppress)
+		}
+	}
+
+	// The annotation grammar's scope suffixes and the entry points.
+	for _, needle := range []string{
+		":file", ":package",
+		"make lint", "make lint-fix-check",
+		"cmd/simlint", "-unused",
+		"TestRepoLintClean", "govulncheck",
+	} {
+		if !strings.Contains(text, needle) {
+			t.Errorf("docs/LINT.md does not mention %q", needle)
+		}
+	}
+}

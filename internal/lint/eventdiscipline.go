@@ -1,0 +1,152 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+	"unicode"
+)
+
+// EventDiscipline enforces the event-queue contract in the simulation
+// packages:
+//
+//  1. Schedule/ScheduleChained/RetargetChained calls whose cycle
+//     argument is derivably in the past — a negative constant, or
+//     `now - k` for the current cycle and a positive constant — are
+//     flagged; the queue panics on them at runtime, simlint catches
+//     them at build time.
+//  2. Composite literals forging event.Handle or event.ChainHandle
+//     outside internal/event are flagged: a fabricated handle defeats
+//     the generation check that protects recycled events.
+//  3. References to Must* constructors (MustNew, MustGet, ...) outside
+//     _test.go files are flagged: shipped simulation code takes the
+//     error-returning constructor so a bad configuration is a run
+//     error, not a panic mid-campaign.
+var EventDiscipline = &Analyzer{
+	Name:     "eventdiscipline",
+	Doc:      "flags derivably-past Schedule cycles, forged event handles, and Must* constructors outside tests (escape: //simlint:discipline)",
+	Suppress: "discipline",
+	Run:      runEventDiscipline,
+}
+
+// scheduleCycleArg maps event.Queue scheduling methods to the index of
+// their cycle argument.
+var scheduleCycleArg = map[string]int{
+	"Schedule":        0,
+	"ScheduleChained": 0,
+	"RetargetChained": 1,
+}
+
+func runEventDiscipline(pass *Pass) {
+	if !inSimDomain(pass.Path()) || pass.Path() == eventPkgPath {
+		return
+	}
+	info := pass.Info()
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkScheduleCall(pass, n)
+			case *ast.CompositeLit:
+				if tv, ok := info.Types[n]; ok {
+					for _, name := range []string{"Handle", "ChainHandle"} {
+						if namedFrom(tv.Type, eventPkgPath, name) {
+							pass.Reportf(n.Pos(),
+								"composite literal forges an event.%s; handles come only from the queue's Schedule methods (the zero value refers to nothing)",
+								name)
+						}
+					}
+				}
+			case *ast.Ident:
+				// Every reference to a function — bare, qualified
+				// (pkg.MustGet) or method — surfaces as exactly one
+				// Ident with a Uses entry, so this case cannot
+				// double-report.
+				checkMustRef(pass, n)
+			}
+			return true
+		})
+	}
+}
+
+// checkMustRef flags a use of a Must-prefixed function or method from a
+// module package in non-test simulation code.
+func checkMustRef(pass *Pass, id *ast.Ident) {
+	if pass.IsTestFile(id.Pos()) {
+		return
+	}
+	obj, ok := pass.Info().Uses[id]
+	if !ok {
+		return
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil || !strings.HasPrefix(fn.Pkg().Path(), "ropsim") {
+		return
+	}
+	name := fn.Name()
+	if !strings.HasPrefix(name, "Must") || len(name) == len("Must") {
+		return
+	}
+	if r := rune(name[len("Must")]); !unicode.IsUpper(r) {
+		return
+	}
+	pass.Reportf(id.Pos(),
+		"%s panics on failure and is reserved for _test.go files; call the error-returning variant in simulation code",
+		name)
+}
+
+// checkScheduleCall flags scheduling calls whose cycle argument is
+// derivably at or before the current cycle.
+func checkScheduleCall(pass *Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	argIdx, ok := scheduleCycleArg[sel.Sel.Name]
+	if !ok || len(call.Args) <= argIdx {
+		return
+	}
+	// Only calls on the event queue (or a type embedding its methods).
+	obj, ok := pass.Info().Uses[sel.Sel]
+	if !ok {
+		return
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != eventPkgPath {
+		return
+	}
+	arg := call.Args[argIdx]
+	if tv, ok := pass.Info().Types[arg]; ok && tv.Value != nil {
+		if constant.Sign(tv.Value) < 0 {
+			pass.Reportf(arg.Pos(),
+				"%s with a negative cycle is always in the past; the queue will panic", sel.Sel.Name)
+		}
+		return
+	}
+	// now - k, with `now` the current cycle and k a positive constant.
+	bin, ok := arg.(*ast.BinaryExpr)
+	if !ok || bin.Op != token.SUB || !isCurrentCycleExpr(bin.X) {
+		return
+	}
+	if tv, ok := pass.Info().Types[bin.Y]; ok && tv.Value != nil && constant.Sign(tv.Value) > 0 {
+		pass.Reportf(arg.Pos(),
+			"%s at %s schedules at or before the current cycle; the queue panics on past events",
+			sel.Sel.Name, exprString(arg))
+	}
+}
+
+// isCurrentCycleExpr recognizes spellings of "the current cycle": an
+// identifier named now, or a call to a Now() method.
+func isCurrentCycleExpr(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name == "now"
+	case *ast.CallExpr:
+		if sel, ok := e.Fun.(*ast.SelectorExpr); ok {
+			return sel.Sel.Name == "Now" && len(e.Args) == 0
+		}
+	}
+	return false
+}

@@ -1,0 +1,125 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// LoadTree loads analyzer fixture packages from a GOPATH-style tree:
+// srcRoot/src/<importpath>/*.go, in the manner of analysistest. Only
+// the requested paths become Units; packages they import are resolved
+// from the same tree (type-checked from source, so fixtures can fake
+// ropsim/internal/event and friends hermetically) or, failing that,
+// from compiler export data via `go list -export`.
+func LoadTree(srcRoot string, paths ...string) ([]*Unit, error) {
+	l := &treeLoader{
+		src:     filepath.Join(srcRoot, "src"),
+		listDir: srcRoot,
+		fset:    token.NewFileSet(),
+		units:   map[string]*Unit{},
+		exports: map[string]string{},
+		loading: map[string]bool{},
+	}
+	l.gc = importer.ForCompiler(l.fset, "gc", exportLookup(l.exports))
+	var out []*Unit
+	for _, p := range paths {
+		u, err := l.load(p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, u)
+	}
+	return out, nil
+}
+
+// treeLoader loads fixture packages on demand and doubles as the
+// types.Importer for their import graphs.
+type treeLoader struct {
+	src     string // the tree's src directory
+	listDir string // where `go list` runs for non-fixture imports
+	fset    *token.FileSet
+	units   map[string]*Unit
+	exports map[string]string
+	loading map[string]bool
+	gc      types.Importer
+}
+
+// Import resolves an import path for the type checker: fixture packages
+// from the tree, everything else from export data.
+func (l *treeLoader) Import(path string) (*types.Package, error) {
+	dir := filepath.Join(l.src, filepath.FromSlash(path))
+	if fi, err := os.Stat(dir); err == nil && fi.IsDir() {
+		u, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return u.Pkg, nil
+	}
+	if _, ok := l.exports[path]; !ok {
+		pkgs, err := goList(l.listDir, []string{path})
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range pkgs {
+			if p.Export != "" {
+				if _, ok := l.exports[p.ImportPath]; !ok {
+					l.exports[p.ImportPath] = p.Export
+				}
+			}
+		}
+	}
+	return l.gc.Import(path)
+}
+
+// load parses and type-checks one fixture package.
+func (l *treeLoader) load(path string) (*Unit, error) {
+	if u, ok := l.units[path]; ok {
+		return u, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("fixture import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	dir := filepath.Join(l.src, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("fixture package %s: %v", path, err)
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("fixture package %s: no .go files", path)
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("parsing fixture %s: %v", name, err)
+		}
+		files = append(files, f)
+	}
+	info := newTypesInfo()
+	conf := types.Config{Importer: l}
+	pkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking fixture %s: %v", path, err)
+	}
+	u := &Unit{Path: path, Fset: l.fset, Files: files, Pkg: pkg, Info: info}
+	l.units[path] = u
+	return u, nil
+}

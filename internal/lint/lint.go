@@ -1,0 +1,256 @@
+// Package lint is simlint: a family of static analyzers that enforce
+// the reproduction's determinism, unit-safety and event-queue
+// invariants at build time, before any campaign runs. The invariants it
+// guards — no wall-clock or global RNG in the simulated domain, no
+// map-iteration-order dependence in snapshot paths, no mixing of
+// event.Cycle with raw integer timing values, no events scheduled into
+// the past, no metric field left out of RegisterMetrics — are exactly
+// the properties the byte-identical golden artifacts depend on; the
+// runtime oracles and golden tests catch violations after they ship,
+// simlint catches the whole class at `make lint` time.
+//
+// The framework mirrors the golang.org/x/tools/go/analysis API shape
+// (Analyzer, Pass, analysistest-style fixtures) but is self-contained
+// on the standard library: packages are loaded through `go list
+// -export` and type-checked with go/types against compiler export
+// data, so the module needs no external dependencies. cmd/simlint is
+// the multichecker binary; docs/LINT.md is the analyzer catalog.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// An Analyzer is one static check. Run inspects a type-checked package
+// (a Pass) and reports findings through pass.Reportf.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in docs/LINT.md.
+	Name string
+	// Doc is the one-paragraph description shown by `simlint -help`.
+	Doc string
+	// Suppress is the simlint annotation name that silences this
+	// analyzer's diagnostics when carried with a justification string
+	// (e.g. "ordered" for //simlint:ordered "why"). Empty means the
+	// analyzer cannot be suppressed.
+	Suppress string
+	// IncludeTests makes the analyzer inspect _test.go files too;
+	// analyzers that only constrain shipped simulation code leave it
+	// false.
+	IncludeTests bool
+	// Run performs the analysis on one package.
+	Run func(*Pass)
+}
+
+// A Diagnostic is one finding, positioned and attributed to its
+// analyzer. Diagnostics are plain data so cmd/simlint and the fixture
+// harness can render or match them freely.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+// String renders the diagnostic in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// A Unit is one type-checked package as produced by Load (or the
+// fixture loader in linttest): syntax with comments, type information,
+// and the import path the analyzers scope on.
+type Unit struct {
+	// Path is the package's import path (e.g. "ropsim/internal/dram").
+	Path string
+	// Fset positions every file in the unit.
+	Fset *token.FileSet
+	// Files holds the parsed sources, test files included.
+	Files []*ast.File
+	// Pkg and Info carry the go/types results for Files.
+	Pkg  *types.Package
+	Info *types.Info
+}
+
+// A Pass connects one Analyzer to one Unit and collects its findings.
+type Pass struct {
+	Analyzer *Analyzer
+	Unit     *Unit
+	// Files is the file subset the analyzer should inspect: all files
+	// when IncludeTests is set, non-test files otherwise.
+	Files []*ast.File
+
+	ann   *annotations
+	diags *[]Diagnostic
+}
+
+// Fset returns the unit's file set.
+func (p *Pass) Fset() *token.FileSet { return p.Unit.Fset }
+
+// Pkg returns the unit's type-checked package.
+func (p *Pass) Pkg() *types.Package { return p.Unit.Pkg }
+
+// Info returns the unit's type information.
+func (p *Pass) Info() *types.Info { return p.Unit.Info }
+
+// Path returns the unit's import path.
+func (p *Pass) Path() string { return p.Unit.Path }
+
+// IsTestFile reports whether the file at pos is a _test.go file.
+func (p *Pass) IsTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Unit.Fset.Position(pos).Filename, "_test.go")
+}
+
+// Reportf records a finding at pos unless a justified suppression
+// annotation for this analyzer covers the position (package-, file- or
+// line-scoped; see annotations.go). A matching but unjustified
+// annotation does not suppress — the framework separately reports it as
+// malformed, so an escape hatch can never be used silently.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Unit.Fset.Position(pos)
+	if p.Analyzer.Suppress != "" {
+		if a := p.ann.covering(p.Analyzer.Suppress, position.Filename, position.Line); a != nil && a.justified() {
+			a.used = true
+			return
+		}
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      position,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Options configures a Run over loaded units.
+type Options struct {
+	// ReportUnusedAnnotations adds a diagnostic for every justified
+	// simlint annotation that suppressed nothing — a stale escape hatch
+	// left behind after the violation it excused was fixed. This is the
+	// `make lint-fix-check` mode.
+	ReportUnusedAnnotations bool
+}
+
+// Run applies the analyzers to every unit and returns the combined
+// findings sorted by position. Beyond the analyzers' own findings it
+// reports, under the pseudo-analyzer name "simlint", every malformed
+// annotation (unknown name, missing justification string) and — with
+// Options.ReportUnusedAnnotations — every justified annotation that
+// never suppressed a diagnostic.
+func Run(units []*Unit, analyzers []*Analyzer, opts Options) []Diagnostic {
+	valid := map[string]bool{}
+	for _, a := range analyzers {
+		if a.Suppress != "" {
+			valid[a.Suppress] = true
+		}
+	}
+	var diags []Diagnostic
+	for _, u := range units {
+		ann := parseAnnotations(u.Fset, u.Files, valid)
+		for _, a := range analyzers {
+			files := u.Files
+			if !a.IncludeTests {
+				files = nil
+				for _, f := range u.Files {
+					if !strings.HasSuffix(u.Fset.Position(f.Pos()).Filename, "_test.go") {
+						files = append(files, f)
+					}
+				}
+			}
+			pass := &Pass{Analyzer: a, Unit: u, Files: files, ann: ann, diags: &diags}
+			a.Run(pass)
+		}
+		for _, a := range ann.list {
+			if a.malformed != "" {
+				diags = append(diags, Diagnostic{Analyzer: "simlint", Pos: a.pos, Message: a.malformed})
+			} else if opts.ReportUnusedAnnotations && !a.used {
+				diags = append(diags, Diagnostic{
+					Analyzer: "simlint",
+					Pos:      a.pos,
+					Message: fmt.Sprintf("unused //simlint:%s annotation: it suppresses no diagnostic and should be removed",
+						a.name),
+				})
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}
+
+// All returns the full simlint analyzer suite in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{Detmap, Wallclock, Unitsafe, EventDiscipline, MetricsReg}
+}
+
+// simDomain is the set of deterministic simulation packages: everything
+// that executes inside (or feeds) the simulated clock domain, where
+// wall-clock time, global RNG and map-iteration order must never leak
+// into results. Host-side orchestration (internal/runner, internal/lint
+// itself) is excluded; internal/runner is additionally covered by
+// wallclock through its package annotation.
+var simDomain = map[string]bool{
+	"ropsim/internal/addr":     true,
+	"ropsim/internal/analysis": true,
+	"ropsim/internal/cache":    true,
+	"ropsim/internal/core":     true,
+	"ropsim/internal/cpu":      true,
+	"ropsim/internal/dram":     true,
+	"ropsim/internal/energy":   true,
+	"ropsim/internal/event":    true,
+	"ropsim/internal/memctrl":  true,
+	"ropsim/internal/sim":      true,
+	"ropsim/internal/stats":    true,
+	"ropsim/internal/vldp":     true,
+	"ropsim/internal/workload": true,
+}
+
+// inSimDomain reports whether the unit is one of the deterministic
+// simulation packages.
+func inSimDomain(path string) bool { return simDomain[path] }
+
+// eventPkgPath is the home of the Cycle type and the sanctioned unit
+// conversion helpers.
+const eventPkgPath = "ropsim/internal/event"
+
+// statsPkgPath is the metrics package whose primitive types metricsreg
+// keys on.
+const statsPkgPath = "ropsim/internal/stats"
+
+// namedFrom reports whether t (or the pointee, for pointers) is the
+// named type pkgPath.name, and returns the named type when so.
+func namedFrom(t types.Type, pkgPath, name string) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == name
+}
+
+// baseFile returns the basename of the file containing pos, for
+// messages that should not embed absolute paths.
+func baseFile(fset *token.FileSet, pos token.Pos) string {
+	return filepath.Base(fset.Position(pos).Filename)
+}
+
+// exprString renders an expression for use in diagnostics and for
+// structural comparison of small expressions.
+func exprString(e ast.Expr) string { return types.ExprString(e) }

@@ -1,0 +1,64 @@
+package lint_test
+
+import (
+	"testing"
+
+	"ropsim/internal/lint"
+	"ropsim/internal/lint/linttest"
+)
+
+// Each analyzer is exercised against a hermetic GOPATH-style fixture
+// tree under testdata/: every tree contains at least one violation that
+// must fire, the analyzer's allowed idioms that must stay silent, a
+// justified escape-hatch annotation that must suppress, and an
+// unjustified annotation that must both fail to suppress and be
+// reported itself.
+
+func TestDetmap(t *testing.T) {
+	linttest.Run(t, "testdata/detmap", lint.Detmap,
+		"ropsim/internal/sim", "ropsim/internal/runner")
+}
+
+func TestWallclock(t *testing.T) {
+	linttest.Run(t, "testdata/wallclock", lint.Wallclock,
+		"ropsim/internal/core", "ropsim/internal/runner")
+}
+
+func TestUnitsafe(t *testing.T) {
+	linttest.Run(t, "testdata/unitsafe", lint.Unitsafe,
+		"ropsim/internal/memctrl")
+}
+
+func TestEventDiscipline(t *testing.T) {
+	linttest.Run(t, "testdata/eventdiscipline", lint.EventDiscipline,
+		"ropsim/internal/cpu")
+}
+
+func TestMetricsReg(t *testing.T) {
+	linttest.Run(t, "testdata/metricsreg", lint.MetricsReg,
+		"ropsim/internal/memctrl")
+}
+
+func TestUnusedAnnotationReporting(t *testing.T) {
+	linttest.RunWithOptions(t, "testdata/unused", lint.Detmap,
+		lint.Options{ReportUnusedAnnotations: true},
+		"ropsim/internal/sim")
+}
+
+// TestRepoLintClean is the self-enforcing gate: the full simlint suite,
+// unused-annotation reporting included, must come back empty on the
+// real tree. This is `make lint` run as a test, so a violation cannot
+// land even on machines that only run `go test ./...`.
+func TestRepoLintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module; skipped in -short")
+	}
+	units, err := lint.Load("../..", []string{"./..."})
+	if err != nil {
+		t.Fatalf("loading module packages: %v", err)
+	}
+	diags := lint.Run(units, lint.All(), lint.Options{ReportUnusedAnnotations: true})
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}

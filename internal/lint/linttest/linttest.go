@@ -1,0 +1,102 @@
+// Package linttest is the fixture harness for the simlint analyzers,
+// mirroring golang.org/x/tools/go/analysis/analysistest: fixture
+// packages live in GOPATH-style trees (srcRoot/src/<importpath>/*.go)
+// and declare their expected diagnostics inline with
+//
+//	code() // want `regexp`
+//
+// comments — one backquoted regexp per expected diagnostic on that
+// line. The harness runs one analyzer over the requested fixture
+// packages and fails the test on any unexpected diagnostic and on any
+// want pattern that matched nothing, so every fixture simultaneously
+// proves its analyzer fires where it must and stays silent where it
+// must not.
+package linttest
+
+import (
+	"os"
+	"regexp"
+	"strings"
+	"testing"
+
+	"ropsim/internal/lint"
+)
+
+// wantRE finds a want marker and captures its pattern list.
+var wantRE = regexp.MustCompile("// want((?:\\s+`[^`]+`)+)")
+
+// patRE extracts the individual backquoted patterns.
+var patRE = regexp.MustCompile("`([^`]+)`")
+
+// Run analyzes the fixture packages under srcRoot with analyzer a and
+// matches diagnostics against the fixtures' want comments.
+func Run(t *testing.T, srcRoot string, a *lint.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	RunWithOptions(t, srcRoot, a, lint.Options{}, pkgPaths...)
+}
+
+// RunWithOptions is Run with explicit framework options — used to
+// exercise unused-annotation reporting (the lint-fix-check mode).
+func RunWithOptions(t *testing.T, srcRoot string, a *lint.Analyzer, opts lint.Options, pkgPaths ...string) {
+	t.Helper()
+	units, err := lint.LoadTree(srcRoot, pkgPaths...)
+	if err != nil {
+		t.Fatalf("loading fixtures: %v", err)
+	}
+	diags := lint.Run(units, []*lint.Analyzer{a}, opts)
+
+	type key struct {
+		file string
+		line int
+	}
+	wants := map[key][]string{}
+	seen := map[string]bool{}
+	for _, u := range units {
+		for _, f := range u.Files {
+			name := u.Fset.Position(f.Pos()).Filename
+			if seen[name] {
+				continue
+			}
+			seen[name] = true
+			data, err := os.ReadFile(name)
+			if err != nil {
+				t.Fatalf("reading fixture: %v", err)
+			}
+			for i, line := range strings.Split(string(data), "\n") {
+				m := wantRE.FindStringSubmatch(line)
+				if m == nil {
+					continue
+				}
+				k := key{name, i + 1}
+				for _, pm := range patRE.FindAllStringSubmatch(m[1], -1) {
+					wants[k] = append(wants[k], pm[1])
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		k := key{d.Pos.Filename, d.Pos.Line}
+		matched := -1
+		for i, pat := range wants[k] {
+			re, err := regexp.Compile(pat)
+			if err != nil {
+				t.Fatalf("%s:%d: bad want pattern %q: %v", k.file, k.line, pat, err)
+			}
+			if re.MatchString(d.Message) {
+				matched = i
+				break
+			}
+		}
+		if matched < 0 {
+			t.Errorf("unexpected diagnostic: %s", d)
+			continue
+		}
+		wants[k] = append(wants[k][:matched], wants[k][matched+1:]...)
+	}
+	for k, pats := range wants {
+		for _, pat := range pats {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", k.file, k.line, pat)
+		}
+	}
+}

@@ -1,0 +1,184 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+)
+
+// Loading: simlint type-checks packages with the standard library only.
+// `go list -export -deps -json` supplies, offline, everything the
+// x/tools packages loader would: file lists per package and compiler
+// export data for every dependency (standard library included). Target
+// packages are then parsed with comments and type-checked by go/types
+// through a gc-export-data importer. In-package _test.go files are
+// type-checked together with their package so the test-aware analyzers
+// (wallclock) see them; external _test packages (package foo_test) are
+// rare in this repo and skipped — docs/LINT.md records the limitation.
+
+// listedPackage is the subset of `go list -json` output the loader
+// consumes.
+type listedPackage struct {
+	ImportPath  string
+	Dir         string
+	GoFiles     []string
+	TestGoFiles []string
+	Export      string
+	Standard    bool
+	Module      *struct{ Path string }
+}
+
+// goList runs `go list -export -deps -json` over patterns in dir and
+// decodes the package stream.
+func goList(dir string, patterns []string) ([]*listedPackage, error) {
+	args := append([]string{
+		"list", "-export", "-deps",
+		"-json=ImportPath,Dir,GoFiles,TestGoFiles,Export,Standard,Module",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.String())
+	}
+	var pkgs []*listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		pkgs = append(pkgs, &p)
+	}
+	return pkgs, nil
+}
+
+// exportLookup adapts a path→export-file map to the lookup function
+// go/importer's gc mode expects.
+func exportLookup(exports map[string]string) func(path string) (io.ReadCloser, error) {
+	return func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok || file == "" {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+}
+
+// Load lists, parses and type-checks the module packages matching
+// patterns (relative to dir), returning one Unit per package with test
+// files included. The packages must build; a compile error surfaces as
+// a load error, which is the right failure mode for a lint gate.
+func Load(dir string, patterns []string) ([]*Unit, error) {
+	pkgs, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	exports := map[string]string{}
+	var targets []*listedPackage
+	for _, p := range pkgs {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.Standard && p.Module != nil {
+			targets = append(targets, p)
+		}
+	}
+
+	fset := token.NewFileSet()
+	type parsed struct {
+		pkg   *listedPackage
+		files []*ast.File
+	}
+	var units []parsed
+	testImports := map[string]bool{}
+	for _, p := range targets {
+		var files []*ast.File
+		for _, lists := range [][]string{p.GoFiles, p.TestGoFiles} {
+			for _, name := range lists {
+				f, err := parser.ParseFile(fset, filepath.Join(p.Dir, name), nil, parser.ParseComments)
+				if err != nil {
+					return nil, fmt.Errorf("parsing %s: %v", name, err)
+				}
+				files = append(files, f)
+			}
+		}
+		for _, f := range files {
+			for _, imp := range f.Imports {
+				path := imp.Path.Value
+				path = path[1 : len(path)-1] // strip quotes
+				if _, ok := exports[path]; !ok {
+					testImports[path] = true
+				}
+			}
+		}
+		units = append(units, parsed{pkg: p, files: files})
+	}
+
+	// Test files may import packages outside the non-test dependency
+	// graph (testing, os/exec, ...); fetch their export data with a
+	// second listing.
+	if len(testImports) > 0 {
+		var missing []string
+		for path := range testImports {
+			missing = append(missing, path)
+		}
+		sort.Strings(missing)
+		extra, err := goList(dir, missing)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range extra {
+			if p.Export != "" {
+				if _, ok := exports[p.ImportPath]; !ok {
+					exports[p.ImportPath] = p.Export
+				}
+			}
+		}
+	}
+
+	imp := importer.ForCompiler(fset, "gc", exportLookup(exports))
+	var out []*Unit
+	for _, u := range units {
+		info := newTypesInfo()
+		conf := types.Config{Importer: imp}
+		pkg, err := conf.Check(u.pkg.ImportPath, fset, u.files, info)
+		if err != nil {
+			return nil, fmt.Errorf("type-checking %s: %v", u.pkg.ImportPath, err)
+		}
+		out = append(out, &Unit{
+			Path:  u.pkg.ImportPath,
+			Fset:  fset,
+			Files: u.files,
+			Pkg:   pkg,
+			Info:  info,
+		})
+	}
+	return out, nil
+}
+
+// newTypesInfo allocates the go/types fact maps every analyzer needs.
+func newTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+}

@@ -1,0 +1,171 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MetricsReg closes the gap between declaring a metric and shipping it:
+// a struct field of a stats metric type (Counter, AtomicCounter, Mean,
+// Ratio, Histogram) that its type's RegisterMetrics method never
+// touches silently disappears from every run artifact — the counter
+// increments, nobody ever sees it. In the simulation packages every
+// exported metric field of a type with a RegisterMetrics method must be
+// referenced inside that method, and a type with exported metric fields
+// but no RegisterMetrics method at all is flagged on the type.
+// Deliberately unregistered metrics (scratch counters used only by
+// tests) carry //simlint:unregistered "why".
+var MetricsReg = &Analyzer{
+	Name:     "metricsreg",
+	Doc:      "flags exported stats metric fields not registered in their type's RegisterMetrics (escape: //simlint:unregistered)",
+	Suppress: "unregistered",
+	Run:      runMetricsReg,
+}
+
+// metricTypeNames are the stats primitives whose struct fields must be
+// registered.
+var metricTypeNames = []string{"Counter", "AtomicCounter", "Mean", "Ratio", "Histogram"}
+
+func runMetricsReg(pass *Pass) {
+	if !inSimDomain(pass.Path()) || pass.Path() == statsPkgPath {
+		return
+	}
+
+	// Map every named struct type in the package to the FuncDecl of its
+	// RegisterMetrics method, if any.
+	regBodies := map[*types.Named]*ast.FuncDecl{}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Name.Name != "RegisterMetrics" || fd.Recv == nil || len(fd.Recv.List) != 1 {
+				continue
+			}
+			tv, ok := pass.Info().Types[fd.Recv.List[0].Type]
+			if !ok {
+				continue
+			}
+			t := tv.Type
+			if ptr, ok := t.(*types.Pointer); ok {
+				t = ptr.Elem()
+			}
+			if named, ok := t.(*types.Named); ok {
+				regBodies[named] = fd
+			}
+		}
+	}
+
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				checkMetricStruct(pass, ts, st, regBodies)
+			}
+		}
+	}
+}
+
+// checkMetricStruct verifies one struct type's metric fields against
+// its RegisterMetrics body.
+func checkMetricStruct(pass *Pass, ts *ast.TypeSpec, st *ast.StructType, regBodies map[*types.Named]*ast.FuncDecl) {
+	obj, ok := pass.Info().Defs[ts.Name]
+	if !ok {
+		return
+	}
+	named, ok := obj.Type().(*types.Named)
+	if !ok {
+		return
+	}
+
+	// Collect the exported metric fields, keyed by field object.
+	type metricField struct {
+		name string
+		pos  ast.Node
+	}
+	var fields []metricField
+	fieldObjs := map[string]bool{}
+	for _, fl := range st.Fields.List {
+		for _, name := range fl.Names {
+			if !name.IsExported() {
+				continue
+			}
+			def, ok := pass.Info().Defs[name]
+			if !ok {
+				continue
+			}
+			if isMetricType(def.Type()) {
+				fields = append(fields, metricField{name: name.Name, pos: name})
+				fieldObjs[name.Name] = true
+			}
+		}
+	}
+	if len(fields) == 0 {
+		return
+	}
+
+	fd, ok := regBodies[named]
+	if !ok {
+		pass.Reportf(ts.Pos(),
+			"type %s has exported metric fields (%s, ...) but no RegisterMetrics method; its statistics never reach run artifacts",
+			ts.Name.Name, fields[0].name)
+		return
+	}
+
+	// Every selector referencing a field of this struct inside the
+	// RegisterMetrics body marks that field as registered.
+	registered := map[string]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		selection, ok := pass.Info().Selections[sel]
+		if !ok || selection.Kind() != types.FieldVal {
+			return true
+		}
+		if fieldObjs[sel.Sel.Name] && selectionOn(selection, named) {
+			registered[sel.Sel.Name] = true
+		}
+		return true
+	})
+
+	for _, f := range fields {
+		if !registered[f.name] {
+			pass.Reportf(f.pos.Pos(),
+				"metric field %s.%s is not registered in RegisterMetrics; it will be missing from every run artifact (escape: //simlint:unregistered)",
+				ts.Name.Name, f.name)
+		}
+	}
+}
+
+// selectionOn reports whether the selection's receiver resolves to the
+// named struct (directly or through a pointer).
+func selectionOn(sel *types.Selection, named *types.Named) bool {
+	t := sel.Recv()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	n, ok := t.(*types.Named)
+	return ok && n.Obj() == named.Obj()
+}
+
+// isMetricType reports whether t is (a pointer to) one of the stats
+// metric primitives.
+func isMetricType(t types.Type) bool {
+	for _, name := range metricTypeNames {
+		if namedFrom(t, statsPkgPath, name) {
+			return true
+		}
+	}
+	return false
+}

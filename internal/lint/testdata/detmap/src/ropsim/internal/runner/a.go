@@ -1,0 +1,11 @@
+package runner
+
+// The runner is host-side orchestration, outside the deterministic
+// simulation domain: detmap must stay silent here.
+func hostSide(m map[string]int) int {
+	t := 0
+	for _, v := range m {
+		t += v
+	}
+	return t
+}

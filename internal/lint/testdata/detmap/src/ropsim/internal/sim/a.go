@@ -1,0 +1,57 @@
+package sim
+
+import "sort"
+
+// snapshot uses the one allowed map-range shape: collect the keys, sort
+// them, then visit deterministically.
+func snapshot(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func bad(m map[string]int) int {
+	t := 0
+	for _, v := range m { // want `iteration-order dependent`
+		t += v
+	}
+	return t
+}
+
+func justified(m map[string]int) int {
+	t := 0
+	//simlint:ordered "integer sum is commutative; visit order cannot affect the result"
+	for _, v := range m {
+		t += v
+	}
+	return t
+}
+
+func unjustified(m map[string]int) int {
+	t := 0
+	//simlint:ordered // want `requires a non-empty quoted justification`
+	for _, v := range m { // want `iteration-order dependent`
+		t += v
+	}
+	return t
+}
+
+func typo(m map[string]int) int {
+	t := 0
+	//simlint:orderd "sum" // want `unknown simlint annotation name`
+	for _, v := range m { // want `iteration-order dependent`
+		t += v
+	}
+	return t
+}
+
+func notCollectIdiom(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `iteration-order dependent`
+		keys = append(keys, k+"!")
+	}
+	return keys
+}

@@ -1,0 +1,33 @@
+package cpu
+
+import (
+	"ropsim/internal/event"
+	"ropsim/internal/workload"
+)
+
+func bad(q *event.Queue, now event.Cycle, h event.ChainHandle) {
+	q.Schedule(event.Cycle(-1), func() {})  // want `negative cycle`
+	q.Schedule(now-1, func() {})            // want `at or before the current cycle`
+	q.ScheduleChained(q.Now()-3, func() {}) // want `at or before the current cycle`
+	q.RetargetChained(h, now-4)             // want `at or before the current cycle`
+	_ = event.Handle{}                      // want `forges an event.Handle`
+	_ = workload.MustGet("alpha")           // want `panics on failure`
+}
+
+func good(q *event.Queue, now event.Cycle, h event.ChainHandle) {
+	q.Schedule(now+1, func() {})
+	q.ScheduleChained(now+2, func() {})
+	q.RetargetChained(h, now+4)
+	p, err := workload.Get("alpha")
+	_, _ = p, err
+}
+
+func justified(q *event.Queue, now event.Cycle) {
+	//simlint:discipline "replay path re-posts the current event; the queue is drained first"
+	q.Schedule(now-1, func() {})
+}
+
+func unjustified(q *event.Queue, now event.Cycle) {
+	//simlint:discipline // want `requires a non-empty quoted justification`
+	q.Schedule(now-1, func() {}) // want `at or before the current cycle`
+}

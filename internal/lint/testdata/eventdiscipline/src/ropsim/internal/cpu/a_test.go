@@ -1,0 +1,16 @@
+package cpu
+
+import (
+	"testing"
+
+	"ropsim/internal/workload"
+)
+
+// Must* constructors are reserved for _test.go files: no diagnostic
+// here.
+func TestMustAllowedInTests(t *testing.T) {
+	p := workload.MustGet("alpha")
+	if p.Name != "alpha" {
+		t.Fatal(p.Name)
+	}
+}

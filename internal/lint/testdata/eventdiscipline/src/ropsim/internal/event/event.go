@@ -1,0 +1,20 @@
+// Package event is a hermetic stand-in for ropsim/internal/event: the
+// eventdiscipline fixtures need the queue's scheduling methods and the
+// handle types to exist at this import path.
+package event
+
+type Cycle int64
+
+type Handle struct{ id, gen uint64 }
+
+type ChainHandle struct{ Handle }
+
+type Queue struct{ now Cycle }
+
+func (q *Queue) Now() Cycle { return q.now }
+
+func (q *Queue) Schedule(at Cycle, fn func()) Handle { return Handle{} }
+
+func (q *Queue) ScheduleChained(at Cycle, fn func()) ChainHandle { return ChainHandle{} }
+
+func (q *Queue) RetargetChained(h ChainHandle, at Cycle) {}

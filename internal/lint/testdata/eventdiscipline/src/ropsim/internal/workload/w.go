@@ -1,0 +1,22 @@
+// Package workload is a hermetic stand-in exposing a Must* constructor
+// beside its error-returning variant.
+package workload
+
+import "errors"
+
+type Profile struct{ Name string }
+
+func Get(name string) (*Profile, error) {
+	if name == "" {
+		return nil, errors.New("empty workload name")
+	}
+	return &Profile{Name: name}, nil
+}
+
+func MustGet(name string) *Profile {
+	p, err := Get(name)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

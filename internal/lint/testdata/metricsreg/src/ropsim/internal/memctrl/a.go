@@ -1,0 +1,39 @@
+package memctrl
+
+import "ropsim/internal/stats"
+
+// Good registers every exported metric field: no diagnostics.
+type Good struct {
+	Hits   stats.Counter
+	Misses stats.Counter
+	hidden stats.Counter // unexported: out of scope
+}
+
+func (g *Good) RegisterMetrics(r *stats.Registry) {
+	r.Register("hits", &g.Hits)
+	r.Register("misses", &g.Misses)
+}
+
+type Partial struct {
+	Reads  stats.Counter
+	Writes stats.Counter // want `not registered in RegisterMetrics`
+	//simlint:unregistered "scratch counter consumed only by unit tests, never exported to artifacts"
+	Scratch stats.Counter
+	//simlint:unregistered // want `requires a non-empty quoted justification`
+	Leaky stats.Histogram // want `not registered in RegisterMetrics`
+}
+
+func (p *Partial) RegisterMetrics(r *stats.Registry) {
+	r.Register("reads", &p.Reads)
+}
+
+type Orphan struct { // want `no RegisterMetrics method`
+	Evictions stats.AtomicCounter
+}
+
+// NoMetrics has no metric fields, so needing no RegisterMetrics is
+// fine.
+type NoMetrics struct {
+	Name  string
+	limit int
+}

@@ -1,0 +1,21 @@
+// Package stats is a hermetic stand-in for ropsim/internal/stats: the
+// metricsreg fixtures need the metric primitive types and a Registry to
+// exist at this import path.
+package stats
+
+type Counter struct{ n int64 }
+
+type AtomicCounter struct{ n int64 }
+
+type Mean struct {
+	sum float64
+	n   int64
+}
+
+type Ratio struct{ num, den int64 }
+
+type Histogram struct{ buckets []int64 }
+
+type Registry struct{}
+
+func (r *Registry) Register(name string, metric any) {}

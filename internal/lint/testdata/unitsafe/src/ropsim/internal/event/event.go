@@ -1,0 +1,17 @@
+// Package event is a hermetic stand-in for ropsim/internal/event: the
+// unitsafe fixtures only need the Cycle types and the sanctioned
+// conversion helpers to exist at this import path.
+package event
+
+type Cycle int64
+
+type CPUCycle int64
+
+const PicosPerBusCycle = 1250
+
+func FromNanos(ns float64) Cycle {
+	ps := int64(ns * 1000)
+	return Cycle((ps + PicosPerBusCycle - 1) / PicosPerBusCycle)
+}
+
+func FromFloat(cycles float64) Cycle { return Cycle(cycles) }

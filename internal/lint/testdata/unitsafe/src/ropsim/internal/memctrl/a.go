@@ -1,0 +1,35 @@
+package memctrl
+
+import "ropsim/internal/event"
+
+func bad(rawNS int, f float64) event.Cycle {
+	c := event.Cycle(rawNS) // want `non-constant conversion to event.Cycle`
+	c += event.Cycle(f)     // want `non-constant conversion to event.Cycle`
+	return c
+}
+
+func badCPU(x int) event.CPUCycle {
+	return event.CPUCycle(x) // want `non-constant conversion to event.CPUCycle`
+}
+
+func good(refi event.Cycle, ranks int) event.Cycle {
+	per := refi / event.Cycle(ranks)  // dimensionless divisor of a Cycle quantity
+	span := event.Cycle(ranks) * refi // dimensionless multiplier
+	fixed := event.Cycle(280)         // constant: the unit is asserted at a literal
+	derived := event.FromNanos(13.75) + event.FromFloat(0.5*float64(refi))
+	return per + span + fixed + derived
+}
+
+func justified(deadline int64) event.Cycle {
+	//simlint:cycles "deadline round-trips through event.Nanos upstream and is already bus cycles"
+	return event.Cycle(deadline)
+}
+
+func unjustified(deadline int64) event.Cycle {
+	//simlint:cycles // want `requires a non-empty quoted justification`
+	return event.Cycle(deadline) // want `non-constant conversion to event.Cycle`
+}
+
+func sumIsNotScaling(a, b int) event.Cycle {
+	return event.Cycle(a+b) + event.Cycle(1) // want `non-constant conversion to event.Cycle`
+}

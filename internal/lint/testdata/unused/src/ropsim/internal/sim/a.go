@@ -1,0 +1,15 @@
+package sim
+
+// The file-scoped annotation below suppresses nothing: with
+// ReportUnusedAnnotations set (the lint-fix-check mode) it must be
+// reported as a stale escape hatch.
+
+//simlint:ordered:file "there used to be a map fold here" // want `unused //simlint:ordered annotation`
+
+func sum(xs []int) int {
+	t := 0
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}

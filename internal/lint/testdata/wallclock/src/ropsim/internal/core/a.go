@@ -1,0 +1,27 @@
+package core
+
+import (
+	"math/rand"
+	"time"
+)
+
+func bad() int {
+	_ = time.Now()               // want `reads the host clock`
+	time.Sleep(time.Millisecond) // want `reads the host clock`
+	return rand.Intn(8)          // want `global generator`
+}
+
+func good(seed int64, start time.Time) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(8)
+}
+
+func justified() time.Time {
+	//simlint:hostcode "self-test of the host progress logger, not simulated time"
+	return time.Now()
+}
+
+func unjustified() time.Time {
+	//simlint:hostcode // want `requires a non-empty quoted justification`
+	return time.Now() // want `reads the host clock`
+}

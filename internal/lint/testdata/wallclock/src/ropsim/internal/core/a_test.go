@@ -1,0 +1,12 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+// wallclock inspects _test.go files too: tests feed the same golden
+// artifacts as shipped code.
+func TestWallclockAppliesToTests(t *testing.T) {
+	_ = time.Now() // want `reads the host clock`
+}

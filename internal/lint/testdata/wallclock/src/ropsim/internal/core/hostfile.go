@@ -1,0 +1,9 @@
+package core
+
+//simlint:hostcode:file "bring-up progress logging runs on the host side and never feeds simulated state"
+
+import "time"
+
+func hostProgress() time.Time { return time.Now() }
+
+func hostElapsed(start time.Time) time.Duration { return time.Since(start) }

@@ -1,0 +1,9 @@
+// Package runner mirrors the host-side worker pool, whose whole job is
+// timing real execution — the package-scoped annotation covers it.
+//
+//simlint:hostcode:package "the worker pool times real host execution; no simulated state depends on it"
+package runner
+
+import "time"
+
+func Elapsed(start time.Time) time.Duration { return time.Since(start) }

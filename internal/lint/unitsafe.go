@@ -1,0 +1,105 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// Unitsafe polices the boundary of the event.Cycle unit. Go's type
+// system already refuses to mix Cycle with int variables implicitly;
+// the remaining hole is the explicit conversion event.Cycle(x), which
+// will happily launder a raw nanosecond integer, a float, or any other
+// mis-denominated value into the timing domain. Inside the simulation
+// packages a non-constant conversion to event.Cycle (or event.CPUCycle)
+// is allowed only when:
+//
+//   - it is a dimensionless scale factor applied immediately to a
+//     Cycle quantity — an operand of * or / whose sibling operand is
+//     already Cycle-typed (REFI / Cycle(ranks), Cycle(n) * segLen); or
+//   - it happens inside ropsim/internal/event itself, where the
+//     sanctioned helpers (FromNanos, FromFloat, ToBus, ToCPU) live; or
+//   - it carries a //simlint:cycles "why" annotation.
+//
+// Constant conversions (event.Cycle(280), const sentinels) are always
+// fine: the unit is asserted at a single literal, not laundered from a
+// variable.
+var Unitsafe = &Analyzer{
+	Name:     "unitsafe",
+	Doc:      "flags non-constant conversions to event.Cycle outside the unit helpers and dimensionless scaling positions (escape: //simlint:cycles)",
+	Suppress: "cycles",
+	Run:      runUnitsafe,
+}
+
+func runUnitsafe(pass *Pass) {
+	if !inSimDomain(pass.Path()) || pass.Path() == eventPkgPath {
+		return
+	}
+	for _, f := range pass.Files {
+		// parents maps each visited node to its parent so a conversion
+		// can see the binary expression it sits in.
+		parents := map[ast.Node]ast.Node{}
+		var stack []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return false
+			}
+			if len(stack) > 0 {
+				parents[n] = stack[len(stack)-1]
+			}
+			stack = append(stack, n)
+
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) != 1 {
+				return true
+			}
+			tv, ok := pass.Info().Types[call.Fun]
+			if !ok || !tv.IsType() {
+				return true
+			}
+			isCycle := namedFrom(tv.Type, eventPkgPath, "Cycle")
+			isCPU := namedFrom(tv.Type, eventPkgPath, "CPUCycle")
+			if !isCycle && !isCPU {
+				return true
+			}
+			// Constant argument: the unit is asserted at a literal.
+			if av, ok := pass.Info().Types[call.Args[0]]; ok && av.Value != nil {
+				return true
+			}
+			// Dimensionless scaling: Cycle(n) directly multiplying or
+			// dividing a Cycle-typed sibling keeps the units sound
+			// (scalar × cycles = cycles).
+			node := unparen(call, parents)
+			if bin, ok := parents[node].(*ast.BinaryExpr); ok &&
+				(bin.Op == token.MUL || bin.Op == token.QUO) {
+				var sibling ast.Expr = bin.X
+				if ast.Node(bin.X) == node {
+					sibling = bin.Y
+				}
+				if sv, ok := pass.Info().Types[sibling]; ok &&
+					(namedFrom(sv.Type, eventPkgPath, "Cycle") || namedFrom(sv.Type, eventPkgPath, "CPUCycle")) {
+					return true
+				}
+			}
+			name := "Cycle"
+			if isCPU {
+				name = "CPUCycle"
+			}
+			pass.Reportf(call.Pos(),
+				"non-constant conversion to event.%s mixes raw integer timing with the cycle domain; use event.FromNanos/event.FromFloat or annotate //simlint:cycles %q",
+				name, "why the operand is already cycle-denominated")
+			return true
+		})
+	}
+}
+
+// unparen walks up through enclosing parentheses.
+func unparen(n ast.Node, parents map[ast.Node]ast.Node) ast.Node {
+	for {
+		p, ok := parents[n].(*ast.ParenExpr)
+		if !ok {
+			return n
+		}
+		n = p
+	}
+}

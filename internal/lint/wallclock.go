@@ -1,0 +1,84 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Wallclock flags host-time and global-RNG escapes inside the
+// simulated domain: time.Now/Since/Until/Sleep and the package-level
+// math/rand functions that share the global generator. Simulated time
+// advances only through the event queue, and every random stream must
+// be an explicitly seeded rand.New(rand.NewSource(seed)) owned by one
+// component — anything else makes runs diverge between hosts or
+// repetitions. Host-side code that legitimately measures wall time (the
+// runner pool, the simulation watchdog) carries a file- or
+// package-scoped //simlint:hostcode annotation. The analyzer inspects
+// _test.go files too: tests feed the same golden artifacts.
+var Wallclock = &Analyzer{
+	Name:         "wallclock",
+	Doc:          "flags time.Now/Since/Until/Sleep and global math/rand use in simulation packages (escape: //simlint:hostcode)",
+	Suppress:     "hostcode",
+	IncludeTests: true,
+	Run:          runWallclock,
+}
+
+// wallclockTimeFuncs are the time package functions that read or wait
+// on the host clock.
+var wallclockTimeFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+}
+
+// wallclockGlobalRand are the math/rand package-level functions backed
+// by the shared global generator. Constructors (New, NewSource,
+// NewZipf) are fine: they build explicitly seeded local generators.
+var wallclockGlobalRand = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true,
+	"NormFloat64": true, "Perm": true, "Shuffle": true, "Read": true,
+	"Seed": true,
+}
+
+func runWallclock(pass *Pass) {
+	if !inSimDomain(pass.Path()) && pass.Path() != "ropsim/internal/runner" {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj, ok := pass.Info().Uses[sel.Sel]
+			if !ok {
+				return true
+			}
+			fn, ok := obj.(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			// Methods are fine: rand.Rand.Intn on an explicitly seeded
+			// generator is exactly the sanctioned pattern — only the
+			// package-level functions share global state.
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				return true
+			}
+			switch fn.Pkg().Path() {
+			case "time":
+				if wallclockTimeFuncs[fn.Name()] {
+					pass.Reportf(sel.Pos(),
+						"time.%s reads the host clock inside the simulated domain; simulated time comes from the event queue (escape: //simlint:hostcode)",
+						fn.Name())
+				}
+			case "math/rand":
+				if wallclockGlobalRand[fn.Name()] {
+					pass.Reportf(sel.Pos(),
+						"rand.%s uses the global generator; use an explicitly seeded rand.New(rand.NewSource(seed)) so runs are reproducible",
+						fn.Name())
+				}
+			}
+			return true
+		})
+	}
+}

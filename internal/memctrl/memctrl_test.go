@@ -41,7 +41,7 @@ func TestSingleReadLatency(t *testing.T) {
 	q.RunUntil(10000)
 	// ACT issues in the same cycle as the enqueue (cycle 0), RD at RCD,
 	// data at +CL+BL/2.
-	want := event.Cycle(p.RCD+p.CL) + p.DataCycles()
+	want := (p.RCD + p.CL) + p.DataCycles()
 	if doneAt != want {
 		t.Errorf("read done at %d, want %d", doneAt, want)
 	}
@@ -98,8 +98,8 @@ func TestWriteBatchingPrioritizesReads(t *testing.T) {
 		t.Fatal("read never completed")
 	}
 	p := c.Device().Params()
-	noContention := event.Cycle(1+p.RCD+p.CL) + p.DataCycles()
-	if readDone > noContention+event.Cycle(p.CCD) {
+	noContention := (1 + p.RCD + p.CL) + p.DataCycles()
+	if readDone > noContention+p.CCD {
 		t.Errorf("read delayed to %d by buffered writes (uncontended %d)", readDone, noContention)
 	}
 }
@@ -123,7 +123,7 @@ func TestBaselineRefreshesPeriodically(t *testing.T) {
 			gap := ref.At - prev
 			// A delayed first refresh shortens the next gap by the
 			// closing time (PREs + tRP); allow that slack.
-			if gap < p.REFI-4*event.Cycle(p.RP) || gap > p.REFI+2*p.RFC {
+			if gap < p.REFI-4*p.RP || gap > p.REFI+2*p.RFC {
 				t.Errorf("rank %d refresh gap %d, want ≈%d", ref.Rank, gap, p.REFI)
 			}
 		}
@@ -177,7 +177,7 @@ func TestOtherRankUnaffectedByRefresh(t *testing.T) {
 			func(at event.Cycle) { doneAt = at })
 	})
 	q.RunUntil(refAt + 2*p.RFC)
-	uncontended := event.Cycle(1+p.RCD+p.CL) + p.DataCycles()
+	uncontended := (1 + p.RCD + p.CL) + p.DataCycles()
 	if doneAt == 0 || doneAt > refAt+5+uncontended+10 {
 		t.Errorf("read on idle rank done at %d (injected %d)", doneAt, refAt+5)
 	}

@@ -214,18 +214,19 @@ func (c *Controller) beginRefresh(rank int, now event.Cycle) {
 		rr.wantPrefetch = false
 		c.PrefetchThrottled.Inc()
 	}
-	rr.drainDeadline = now + event.Cycle(drainFracREFI*refi)
+	rr.drainDeadline = now + event.FromFloat(drainFracREFI*refi)
 	// The fill budget scales with the buffer and with how many ranks
 	// share the channel (each fill needs ~6 bus cycles of leftover
 	// bandwidth, and other ranks' demand traffic shrinks the leftover).
 	// MaxRefreshDelay still bounds the total postponement (JEDEC allows
 	// up to 8 tREFI), and the per-rank stagger keeps fill sessions of
 	// consecutive ranks from overlapping.
+	//simlint:cycles "SRAM lines × ~6 bus cycles per fill (plus fixed slack), scaled by rank count: a bus-cycle budget by construction"
 	fillBudget := event.Cycle((6*c.cfg.ROP.SRAMLines + 200) * (c.geo.Ranks + 1) / 2)
 	if stagger := c.dev.Params().REFI / event.Cycle(c.geo.Ranks); fillBudget > stagger*3/4 {
 		fillBudget = stagger * 3 / 4
 	}
-	if bound := event.Cycle(c.cfg.MaxRefreshDelay * refi); rr.drainDeadline+fillBudget > now+bound {
+	if bound := event.FromFloat(c.cfg.MaxRefreshDelay * refi); rr.drainDeadline+fillBudget > now+bound {
 		fillBudget = now + bound - rr.drainDeadline
 	}
 	rr.deadline = rr.drainDeadline + fillBudget
@@ -427,8 +428,8 @@ func (c *Controller) beginBankRefresh(rank int, now event.Cycle) {
 	cadence := float64(c.dev.Params().REFI) / float64(c.geo.Banks)
 	dec := c.rop.OnRefreshStart(rank, now)
 	rr.wantPrefetch = dec.Prefetch
-	rr.drainDeadline = now + event.Cycle(0.1*cadence)
-	rr.deadline = now + event.Cycle(0.5*cadence)
+	rr.drainDeadline = now + event.FromFloat(0.1*cadence)
+	rr.deadline = now + event.FromFloat(0.5*cadence)
 	rr.phase = refDraining
 }
 

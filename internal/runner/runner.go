@@ -16,6 +16,8 @@
 // docs/ROBUSTNESS.md): task panics are recovered into *PanicError, a
 // failure either cancels the batch (FailFast) or is summarized at the
 // end (RunToCompletion), and Transient tasks retry with backoff.
+//
+//simlint:hostcode:package "the pool times real host execution (wall time, busy time, retry backoff); no simulated state reads the host clock"
 package runner
 
 import (

@@ -386,7 +386,10 @@ func run(ctx context.Context, cfg Config) (*Result, *dram.Device, *memctrl.Contr
 		if cfg.Traces != nil {
 			stream = cfg.Traces[i]
 		} else {
-			prof := workload.MustGet(bench)
+			prof, err := workload.Get(bench)
+			if err != nil {
+				return nil, nil, nil, err
+			}
 			stream = workload.NewGenerator(prof, cfg.Seed*1_000_003+int64(i)*97+int64(len(bench)))
 		}
 		cores[i] = cpu.New(cfg.CPU, i, stream, ms, q, cfg.Instructions)

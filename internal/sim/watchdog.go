@@ -5,6 +5,8 @@
 // chain rescheduling itself at the same cycle forever). Aborts carry a
 // diagnostic dump of the stuck system: clock, queue depths, per-bank
 // open rows. docs/ROBUSTNESS.md describes the thresholds.
+//
+//simlint:hostcode:file "the watchdog's whole job is comparing wall-clock time against the run deadline; it never feeds simulated state"
 package sim
 
 import (

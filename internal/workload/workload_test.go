@@ -2,7 +2,6 @@ package workload
 
 import (
 	"bytes"
-	"math/rand"
 	"reflect"
 	"testing"
 	"testing/quick"
@@ -355,7 +354,7 @@ func TestOnOffPhasesProduceLongGaps(t *testing.T) {
 func TestGeneratorGapDistributionMean(t *testing.T) {
 	// For always-on profiles the mean gap should be near OnGapMean.
 	p := MustGet("perlbench")
-	g := NewGenerator(p, rand.Int63n(1)+7)
+	g := NewGenerator(p, 7) // fixed seed; this test asserts a distribution property
 	var sum float64
 	const n = 30000
 	for i := 0; i < n; i++ {

@@ -53,7 +53,7 @@ const (
 
 func main() {
 	var (
-		exps       = flag.String("exp", "all", "comma-separated experiment ids: fig1 fig2 fig3 fig4 tab1 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 abl-gate abl-pred abl-fgr abl-page policy future-bank, or all")
+		exps       = flag.String("exp", "all", "comma-separated experiment ids: fig1 fig2 fig3 fig4 tab1 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 abl-gate abl-pred abl-fgr abl-page policy future-bank xstd, or all")
 		quickF     = flag.Bool("quick", false, "reduced run lengths (smoke test scale)")
 		insts      = flag.Int64("insts", 0, "override single-core instructions per run")
 		minsts     = flag.Int64("minsts", 0, "override per-core instructions of 4-core runs")
@@ -66,6 +66,7 @@ func main() {
 		journalF   = flag.String("journal", "", "checkpoint completed runs to this JSONL sidecar (see docs/ROBUSTNESS.md)")
 		resumeF    = flag.Bool("resume", false, "serve runs already checkpointed in -journal without re-simulating")
 		checkF     = flag.Bool("check", false, "validate every DRAM command against the JEDEC timing checker")
+		standard   = flag.String("standard", "", "DRAM standard every experiment simulates (default DDR4-1600; xstd sweeps all regardless)")
 		runTimeout = flag.Duration("run-timeout", 0, "per-run wall-clock watchdog deadline (0 = none)")
 		failPolicy = flag.String("fail-policy", "failfast", "on run failure: failfast (cancel the batch) or continue (finish siblings, summarize at the end)")
 		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile of the evaluation to this file")
@@ -121,6 +122,7 @@ func main() {
 	}
 	o.Check = *checkF
 	o.RunTimeout = *runTimeout
+	o.Standard = *standard
 
 	if *journalF != "" {
 		if !*resumeF {
@@ -367,6 +369,14 @@ func main() {
 	}
 	if sel("abl-fgr") {
 		t, err := ropsim.AblationFGR(o)
+		if err != nil {
+			fail(err)
+		} else {
+			print(t)
+		}
+	}
+	if sel("xstd") {
+		t, err := ropsim.CrossStandard(o)
 		if err != nil {
 			fail(err)
 		} else {

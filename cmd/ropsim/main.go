@@ -40,6 +40,7 @@ func main() {
 		bench      = flag.String("bench", "libquantum", "benchmark name, or comma-separated list for multi-core")
 		mix        = flag.String("mix", "", "workload mix name (WL1-WL6); overrides -bench")
 		mode       = flag.String("mode", "baseline", "refresh mode: baseline | norefresh | rop | elastic | pausing | bankrefresh | rop-bank | subarray")
+		standard   = flag.String("standard", "", "DRAM standard (see -list; default DDR4-1600)")
 		insts      = flag.Int64("insts", 2_000_000, "instructions per core")
 		sram       = flag.Int("sram", 64, "ROP SRAM buffer capacity in cache lines")
 		llcMiB     = flag.Int("llc", 0, "LLC size in MiB (0 = paper default for core count)")
@@ -75,6 +76,7 @@ func main() {
 		for _, m := range ropsim.Mixes() {
 			fmt.Printf("%s: %s\n", m.Name, strings.Join(m.Members, " "))
 		}
+		fmt.Println("standards:", strings.Join(ropsim.DRAMStandards(), " "))
 		return
 	}
 
@@ -122,6 +124,7 @@ func main() {
 	cfg.ROPTrainRefreshes = *train
 	cfg.Check = *checkF
 	cfg.RunTimeout = *runTimeout
+	cfg.Standard = *standard
 	if *llcMiB > 0 {
 		cfg.LLCBytes = *llcMiB * cache.MiB
 	}
@@ -151,6 +154,9 @@ func main() {
 
 	fmt.Printf("mode=%s ranks=%d llc=%dMiB insts=%d seed=%d\n",
 		cfg.Mode, cfg.Ranks, cfg.LLCBytes/cache.MiB, cfg.Instructions, cfg.Seed)
+	if cfg.Standard != "" {
+		fmt.Printf("standard=%s\n", cfg.Standard)
+	}
 	for i, c := range res.Cores {
 		fmt.Printf("core %d %-11s IPC=%.4f memReads=%d memWrites=%d llcHitReads=%d\n",
 			i, c.Bench, c.IPC, c.MemReads, c.MemWrites, c.LLCHitReads)

@@ -64,6 +64,10 @@ type ExpOptions struct {
 	// re-simulating (the -resume flag). Capture-bearing runs are never
 	// journaled — they re-run deterministically on resume.
 	Journal *Journal
+	// Standard names the DRAM standard every run simulates (dram.Lookup
+	// names; empty = the paper's DDR4-1600). CrossStandard ignores it and
+	// sweeps all registered standards instead.
+	Standard string
 	// RunTimeout bounds each simulation's wall-clock time; the in-run
 	// watchdog aborts past-deadline runs with a diagnostic dump.
 	RunTimeout time.Duration
@@ -137,6 +141,7 @@ func (o *ExpOptions) ctx() context.Context {
 func (o *ExpOptions) robustness(cfg *Config) {
 	cfg.RunTimeout = o.RunTimeout
 	cfg.Check = o.Check
+	cfg.Standard = o.Standard
 }
 
 // single builds a single-core config for bench.
@@ -269,7 +274,14 @@ func RefreshBehaviour(o ExpOptions) (fig2, fig3, fig4, tab1 *Table, err error) {
 		return nil, nil, nil, nil, err
 	}
 
-	p := dram.DDR4_1600(Refresh1x)
+	std, err := dram.Lookup(o.Standard)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	p, err := std.Params(Refresh1x)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
 	for i, b := range benches {
 		tl := analysis.NewTimeline(results[i].Capture, ranks[i])
 
@@ -698,6 +710,78 @@ func FutureBankRefresh(o ExpOptions) (*Table, error) {
 			row = append(row, results[i*stride+1+j].Cores[0].IPC/rb.Cores[0].IPC)
 		}
 		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// CrossStandard regenerates the Fig. 1 refresh-overhead study across
+// every registered DRAM standard: for each standard it runs the
+// standard's native-granularity refresh baseline (all-bank auto-refresh
+// for DDR4, bank-granularity refresh for LPDDR4/DDR5), ROP layered on
+// that baseline, and the no-refresh ideal, and reports how much of the
+// refresh-overhead gap ROP recovers plus the fraction of rank-cycles
+// the baseline spent refresh-locked. ExpOptions.Standard is ignored:
+// the sweep covers dram.Standards() in registration order.
+func CrossStandard(o ExpOptions) (*Table, error) {
+	t := &Table{ID: "xstd", Title: "Cross-standard refresh overhead and ROP recovery",
+		Header: []string{"standard", "bench", "ipc_base", "ipc_rop", "ipc_noref",
+			"recovered_%", "refresh_busy_%"}}
+	benches := o.benches()
+	if len(benches) > 4 {
+		// Focus the sweep on the memory-intensive benchmarks, as the FGR
+		// ablation does: the refresh overhead of the others is negligible.
+		benches = []string{"GemsFDTD", "lbm", "libquantum", "bwaves"}
+	}
+	standards := dram.Standards()
+	stride := 3 // base, rop, noref
+	tasks := make([]runner.Task[*Result], 0, stride*len(standards)*len(benches))
+	for _, std := range standards {
+		// The native refresh policy pair: all-bank standards refresh whole
+		// ranks; per-bank and same-bank standards refresh at bank
+		// granularity (one bank, or one bank per group, at a time).
+		base, rop := ModeBaseline, ModeROP
+		if std.Refresh().Granularity != dram.GranularityAllBank {
+			base, rop = ModeBankRefresh, ModeROPBank
+		}
+		for _, b := range benches {
+			for _, mode := range []Mode{base, rop, ModeNoRefresh} {
+				cfg := o.single(b, mode)
+				cfg.Standard = std.Name()
+				tasks = append(tasks,
+					o.task(fmt.Sprintf("xstd/%s/%s/%v", std.Name(), b, mode), cfg))
+			}
+		}
+	}
+	results, err := o.runBatch(tasks)
+	if err != nil {
+		return nil, err
+	}
+	idx := 0
+	for _, std := range standards {
+		for _, b := range benches {
+			rb, rr, rn := results[idx], results[idx+1], results[idx+2]
+			idx += stride
+			// Recovered fraction of the refresh-overhead gap; the gap can
+			// be ~zero (or negative, from scheduling noise) on
+			// refresh-insensitive runs, so guard the division.
+			recovered := 0.0
+			if gap := rn.Cores[0].IPC - rb.Cores[0].IPC; gap > 1e-9 {
+				recovered = (rr.Cores[0].IPC - rb.Cores[0].IPC) / gap * 100
+			}
+			busy := 0.0
+			if locked, ok := rb.Metrics.Field("dram.ref_locked_cycles", "value"); ok {
+				// ref_locked_cycles accounts rank-cycles under all-bank REF
+				// but locked-bank-cycles under bank-granularity refresh;
+				// normalize both to the fraction of the device frozen.
+				denom := float64(rb.ElapsedBus) * float64(Default(b).Ranks)
+				if std.Refresh().Granularity != dram.GranularityAllBank {
+					denom *= float64(std.Geometry(1).Banks)
+				}
+				busy = locked / denom * 100
+			}
+			t.AddRow(std.Name(), b, rb.Cores[0].IPC, rr.Cores[0].IPC, rn.Cores[0].IPC,
+				recovered, busy)
+		}
 	}
 	return t, nil
 }

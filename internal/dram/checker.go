@@ -23,6 +23,7 @@ type Checker struct {
 	rankACTs   [][]event.Cycle // ACT history per rank (for tRRD/tFAW)
 	lastWREnd  []event.Cycle   // per rank: end of last write burst
 	refEnd     []event.Cycle   // per rank
+	bankRefEnd [][]event.Cycle // per bank: end of an in-flight REFpb
 	busBusyTil event.Cycle
 	seen       bool // any command seen yet
 	lastAt     event.Cycle
@@ -41,7 +42,9 @@ func NewChecker(p Params, geo addr.Geometry) *Checker {
 	c.rankACTs = make([][]event.Cycle, geo.Ranks)
 	c.lastWREnd = make([]event.Cycle, geo.Ranks)
 	c.refEnd = make([]event.Cycle, geo.Ranks)
+	c.bankRefEnd = make([][]event.Cycle, geo.Ranks)
 	for r := 0; r < geo.Ranks; r++ {
+		c.bankRefEnd[r] = fillNever(geo.Banks)
 		c.open[r] = make([]int64, geo.Banks)
 		c.lastACT[r] = fillNever(geo.Banks)
 		c.lastPRE[r] = fillNever(geo.Banks)
@@ -102,6 +105,9 @@ func (c *Checker) Check(cmd Command) error {
 	case CmdACT:
 		if c.open[r][b] != noRow {
 			return c.violation(cmd, "bank already open (row %d)", c.open[r][b])
+		}
+		if cmd.At < c.bankRefEnd[r][b] {
+			return c.violation(cmd, "bank frozen by per-bank refresh until %d", c.bankRefEnd[r][b])
 		}
 		if err := c.requireGap(cmd, c.lastACT[r][b], c.p.RC, "tRC"); err != nil {
 			return err
@@ -180,12 +186,34 @@ func (c *Checker) Check(cmd Command) error {
 			if c.open[r][ob] != noRow {
 				return c.violation(cmd, "REF with bank %d open", ob)
 			}
+			if cmd.At < c.bankRefEnd[r][ob] {
+				return c.violation(cmd, "REF over bank %d's per-bank refresh (until %d)",
+					ob, c.bankRefEnd[r][ob])
+			}
 			if err := c.requireGap(Command{Kind: CmdREF, At: cmd.At, Rank: r, Bank: ob},
 				c.lastPRE[r][ob], c.p.RP, "tRP-before-REF"); err != nil {
 				return err
 			}
 		}
 		c.refEnd[r] = cmd.At + c.p.RFC
+
+	case CmdREFpb:
+		if c.p.RFCpb <= 0 {
+			return c.violation(cmd, "REFpb without RFCpb timing")
+		}
+		if c.open[r][b] != noRow {
+			return c.violation(cmd, "REFpb with bank open (row %d)", c.open[r][b])
+		}
+		if cmd.At < c.bankRefEnd[r][b] {
+			return c.violation(cmd, "bank already refreshing until %d", c.bankRefEnd[r][b])
+		}
+		if err := c.requireGap(cmd, c.lastPRE[r][b], c.p.RP, "tRP-before-REFpb"); err != nil {
+			return err
+		}
+		if err := c.requireGap(cmd, c.lastACT[r][b], c.p.RC, "tRC-before-REFpb"); err != nil {
+			return err
+		}
+		c.bankRefEnd[r][b] = cmd.At + c.p.RFCpb
 
 	default:
 		return c.violation(cmd, "unknown command kind")

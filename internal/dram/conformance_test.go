@@ -1,0 +1,221 @@
+package dram
+
+import (
+	"math/rand"
+	"testing"
+
+	"ropsim/internal/event"
+)
+
+// driveConformance runs a random but greedy-legal command stream through
+// the device and cross-checks every issued command against the
+// independent Checker — the cross-standard conformance property: any
+// command the device admits must pass the checker, for every standard.
+// steps and seed parameterize the stream so the fuzz target can reuse it.
+func driveConformance(t *testing.T, std Standard, mode RefreshMode, seed int64, steps int) {
+	t.Helper()
+	p, err := std.Params(mode)
+	if err != nil {
+		t.Fatalf("%s/%v: %v", std.Name(), mode, err)
+	}
+	geo := std.Geometry(2)
+	geo.Rows = 128 // keep row indices small; timing does not depend on rows
+	d := NewDevice(p, geo)
+	c := NewChecker(p, geo)
+	rng := rand.New(rand.NewSource(seed))
+	now := event.Cycle(0)
+	issue := func(cmd Command) {
+		if err := c.Check(cmd); err != nil {
+			t.Fatalf("%s/%v seed %d: device issued illegal command: %v",
+				std.Name(), mode, seed, err)
+		}
+	}
+	closeBank := func(r, b int) {
+		if d.OpenRow(r, b) != noRow {
+			at := d.EarliestPRE(now, r, b)
+			d.IssuePRE(at, r, b)
+			issue(Command{Kind: CmdPRE, At: at, Rank: r, Bank: b})
+			now = at
+		}
+	}
+	for i := 0; i < steps; i++ {
+		r := rng.Intn(geo.Ranks)
+		b := rng.Intn(geo.Banks)
+		switch op := rng.Intn(12); {
+		case op < 5: // column access, activating if needed
+			row := rng.Intn(geo.Rows)
+			if open := d.OpenRow(r, b); open != noRow && open != int64(row) {
+				closeBank(r, b)
+			}
+			if d.OpenRow(r, b) == noRow {
+				at := d.EarliestACT(now, r, b)
+				d.IssueACT(at, r, b, row)
+				issue(Command{Kind: CmdACT, At: at, Rank: r, Bank: b, Row: row})
+				now = at
+			}
+			if rng.Intn(2) == 0 {
+				at := d.EarliestRD(now, r, b)
+				d.IssueRD(at, r, b)
+				issue(Command{Kind: CmdRD, At: at, Rank: r, Bank: b})
+				now = at
+			} else {
+				at := d.EarliestWR(now, r, b)
+				d.IssueWR(at, r, b)
+				issue(Command{Kind: CmdWR, At: at, Rank: r, Bank: b})
+				now = at
+			}
+		case op < 6: // precharge if open
+			closeBank(r, b)
+		case op < 7: // all-bank refresh
+			for ob := 0; ob < geo.Banks; ob++ {
+				closeBank(r, ob)
+			}
+			at := d.EarliestREF(now, r)
+			d.IssueREF(at, r)
+			issue(Command{Kind: CmdREF, At: at, Rank: r})
+			now = at
+		case op < 9: // bank-granularity refresh of b's slot
+			slot := d.SlotOf(b)
+			for _, sb := range d.SlotBanks(slot) {
+				closeBank(r, sb)
+			}
+			at := d.EarliestREFSlot(now, r, slot)
+			d.IssueREFSlot(at, r, slot)
+			for _, sb := range d.SlotBanks(slot) {
+				issue(Command{Kind: CmdREFpb, At: at, Rank: r, Bank: sb})
+			}
+			now = at
+		default: // idle a little
+			now += event.Cycle(rng.Intn(20))
+		}
+	}
+}
+
+// TestConformanceAllStandards runs the device-vs-checker conformance
+// property for every registered standard × declared FGR mode.
+func TestConformanceAllStandards(t *testing.T) {
+	steps := 3000
+	if testing.Short() {
+		steps = 600
+	}
+	for _, std := range Standards() {
+		for _, mode := range std.Refresh().Modes {
+			t.Run(std.Name()+"/"+mode.String(), func(t *testing.T) {
+				for seed := int64(1); seed <= 3; seed++ {
+					driveConformance(t, std, mode, seed, steps)
+				}
+			})
+		}
+	}
+}
+
+// FuzzConformance is the randomized-seed form of the conformance
+// property: the fuzzer explores seeds, and every (standard, mode) pair
+// must keep device and checker in agreement.
+func FuzzConformance(f *testing.F) {
+	for seed := int64(1); seed <= 5; seed++ {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		for _, std := range Standards() {
+			for _, mode := range std.Refresh().Modes {
+				driveConformance(t, std, mode, seed, 400)
+			}
+		}
+	})
+}
+
+// TestCheckerCatchesEarlyCommands issues streams that are exactly one
+// cycle too early for one timing rule, per standard: the checker must
+// reject what the device would never emit.
+func TestCheckerCatchesEarlyCommands(t *testing.T) {
+	for _, std := range Standards() {
+		p, err := std.Params(std.Refresh().Modes[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		geo := std.Geometry(1)
+		geo.Rows = 128
+		cases := []struct {
+			name string
+			cmds []Command
+		}{
+			{"tRCD one early", []Command{
+				{Kind: CmdACT, At: 0, Bank: 0, Row: 1},
+				{Kind: CmdRD, At: p.RCD - 1, Bank: 0},
+			}},
+			{"tRP one early", []Command{
+				{Kind: CmdACT, At: 0, Bank: 0, Row: 1},
+				{Kind: CmdPRE, At: p.RAS, Bank: 0},
+				{Kind: CmdACT, At: p.RAS + p.RP - 1, Bank: 0, Row: 2},
+			}},
+			{"tRFCpb one early", []Command{
+				{Kind: CmdREFpb, At: 0, Bank: 0},
+				{Kind: CmdACT, At: p.RFCpb - 1, Bank: 0, Row: 1},
+			}},
+			{"REFpb on open bank", []Command{
+				{Kind: CmdACT, At: 0, Bank: 0, Row: 1},
+				{Kind: CmdREFpb, At: p.RC, Bank: 0},
+			}},
+			{"tRFC one early", []Command{
+				{Kind: CmdREF, At: 0},
+				{Kind: CmdACT, At: p.RFC - 1, Bank: 0, Row: 1},
+			}},
+			{"REF over in-flight REFpb", []Command{
+				{Kind: CmdREFpb, At: 0, Bank: 0},
+				{Kind: CmdREF, At: p.RFCpb - 1},
+			}},
+		}
+		for _, tc := range cases {
+			c := NewChecker(p, geo)
+			var lastErr error
+			for _, cmd := range tc.cmds {
+				if lastErr = c.Check(cmd); lastErr != nil {
+					break
+				}
+			}
+			if lastErr == nil {
+				t.Errorf("%s: checker accepted %s", std.Name(), tc.name)
+			}
+		}
+	}
+}
+
+// TestCheckerAcceptsBoundaryCommands is the complement: the same streams
+// shifted one cycle later must pass, pinning the rules as ≥ not >.
+func TestCheckerAcceptsBoundaryCommands(t *testing.T) {
+	for _, std := range Standards() {
+		p, err := std.Params(std.Refresh().Modes[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		geo := std.Geometry(1)
+		geo.Rows = 128
+		cases := []struct {
+			name string
+			cmds []Command
+		}{
+			{"tRCD boundary", []Command{
+				{Kind: CmdACT, At: 0, Bank: 0, Row: 1},
+				{Kind: CmdRD, At: p.RCD, Bank: 0},
+			}},
+			{"tRFCpb boundary", []Command{
+				{Kind: CmdREFpb, At: 0, Bank: 0},
+				{Kind: CmdACT, At: p.RFCpb, Bank: 0, Row: 1},
+			}},
+			{"tRFC boundary", []Command{
+				{Kind: CmdREF, At: 0},
+				{Kind: CmdACT, At: p.RFC, Bank: 0, Row: 1},
+			}},
+		}
+		for _, tc := range cases {
+			c := NewChecker(p, geo)
+			for _, cmd := range tc.cmds {
+				if err := c.Check(cmd); err != nil {
+					t.Errorf("%s: checker rejected %s: %v", std.Name(), tc.name, err)
+					break
+				}
+			}
+		}
+	}
+}

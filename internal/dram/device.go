@@ -18,6 +18,11 @@ const (
 	CmdRD
 	CmdWR
 	CmdREF
+	// CmdREFpb is a bank-granularity refresh (LPDDR4 REFpb / DDR5
+	// REFsb / the paper's §VII bank refresh): only the target bank
+	// locks, for tRFCpb. A same-bank refresh emits one CmdREFpb per
+	// bank of its set.
+	CmdREFpb
 )
 
 // String implements fmt.Stringer.
@@ -33,6 +38,8 @@ func (k CommandKind) String() string {
 		return "WR"
 	case CmdREF:
 		return "REF"
+	case CmdREFpb:
+		return "REFpb"
 	}
 	return fmt.Sprintf("CommandKind(%d)", int(k))
 }
@@ -86,6 +93,11 @@ type Device struct {
 	geo   addr.Geometry
 	ranks []rank
 
+	// slotBanks maps each refresh slot to the banks one bank-granularity
+	// refresh command locks: singletons for per-bank refresh, one bank
+	// per bank group for DDR5-style same-bank refresh (see RefreshSlots).
+	slotBanks [][]int
+
 	busFreeAt   event.Cycle // data bus free from this cycle on
 	lastBusRank int         // rank that last owned the data bus
 
@@ -129,7 +141,51 @@ func NewDevice(p Params, geo addr.Geometry) *Device {
 			d.ranks[r].faw[i] = fawNever
 		}
 	}
+	d.slotBanks = buildSlotBanks(p, geo)
 	return d
+}
+
+// buildSlotBanks precomputes the slot-to-banks map: under same-bank
+// refresh slot s covers bank index s of every bank group (banks are
+// numbered group-major, so the set is {s, s+banksPerGroup, ...});
+// otherwise every bank is its own slot.
+func buildSlotBanks(p Params, geo addr.Geometry) [][]int {
+	if p.NativeGranularity == GranularitySameBank && p.BankGroups > 1 {
+		if geo.Banks%p.BankGroups != 0 {
+			panic(fmt.Sprintf("dram: %d banks not divisible into %d bank groups",
+				geo.Banks, p.BankGroups))
+		}
+		per := geo.Banks / p.BankGroups
+		sets := make([][]int, per)
+		for s := 0; s < per; s++ {
+			for g := 0; g < p.BankGroups; g++ {
+				sets[s] = append(sets[s], g*per+s)
+			}
+		}
+		return sets
+	}
+	sets := make([][]int, geo.Banks)
+	for b := 0; b < geo.Banks; b++ {
+		sets[b] = []int{b}
+	}
+	return sets
+}
+
+// RefreshSlots reports how many bank-granularity refresh commands one
+// full refresh round takes: banks-per-group under same-bank refresh
+// (one REFsb covers a whole bank set), the bank count otherwise.
+func (d *Device) RefreshSlots() int { return len(d.slotBanks) }
+
+// SlotBanks reports the banks the given refresh slot's command locks.
+// The returned slice is shared; callers must not mutate it.
+func (d *Device) SlotBanks(slot int) []int { return d.slotBanks[slot] }
+
+// SlotOf reports which refresh slot covers the given bank.
+func (d *Device) SlotOf(bank int) int {
+	if n := len(d.slotBanks); n < d.geo.Banks {
+		return bank % n // same-bank sets: slot = bank index within group
+	}
+	return bank
 }
 
 // Params reports the device timing parameters.
@@ -243,6 +299,43 @@ func (d *Device) IssueREFpb(at event.Cycle, rankID, bankID int) event.Cycle {
 	bk.actAllowed = maxCycle(bk.actAllowed, end)
 	d.NumREF.Inc()
 	d.RefLockedCycles.Add(int64(d.p.RFCpb))
+	return end
+}
+
+// EarliestREFSlot reports the first cycle ≥ now at which the given
+// refresh slot's bank-granularity refresh is legal: the latest
+// EarliestREFpb over the slot's (closed) bank set. For singleton slots
+// it is exactly EarliestREFpb.
+func (d *Device) EarliestREFSlot(now event.Cycle, rankID, slot int) event.Cycle {
+	t := now
+	for _, b := range d.slotBanks[slot] {
+		t = maxCycle(t, d.EarliestREFpb(now, rankID, b))
+	}
+	return t
+}
+
+// IssueREFSlot commits one bank-granularity refresh command for the
+// slot: every bank in the slot's set locks for tRFCpb (DDR5 REFsb
+// refreshes the same bank index in all groups at once; per-bank
+// standards lock just the one bank). One command increments NumREF
+// once; the locked time accounts each frozen bank. It returns the
+// unlock cycle.
+func (d *Device) IssueREFSlot(at event.Cycle, rankID, slot int) event.Cycle {
+	if d.p.RFCpb <= 0 {
+		panic("dram: REF slot without RFCpb timing")
+	}
+	rk := &d.ranks[rankID]
+	end := at + d.p.RFCpb
+	for _, b := range d.slotBanks[slot] {
+		bk := &rk.banks[b]
+		if bk.openRow != noRow {
+			panic("dram: slot refresh with open bank")
+		}
+		bk.refBusyUntil = end
+		bk.actAllowed = maxCycle(bk.actAllowed, end)
+		d.RefLockedCycles.Add(int64(d.p.RFCpb))
+	}
+	d.NumREF.Inc()
 	return end
 }
 

@@ -60,6 +60,19 @@ type Params struct {
 	RTP event.Cycle // read to PRE
 	RTR event.Cycle // rank-to-rank data-bus switch penalty
 
+	// Burst is the data-bus occupancy of one burst in bus cycles. The
+	// simulator's clock is fixed at the DDR4-1600 bus tick (1.25 ns), so
+	// faster interfaces move a burst in fewer ticks; zero falls back to
+	// the legacy BL/2 (one tick per beat pair), which matches DDR4-1600.
+	Burst event.Cycle
+	// NativeGranularity is the standard's native refresh granularity
+	// (see Granularity); it selects how bank-granularity refresh
+	// commands map onto banks (Device.SlotBanks).
+	NativeGranularity Granularity
+	// BankGroups is the bank-group count a same-bank refresh spans
+	// (DDR5: 8); zero or one for standards without same-bank refresh.
+	BankGroups int
+
 	REFI event.Cycle // average refresh interval
 	RFC  event.Cycle // refresh cycle time (rank locked)
 	// RFCpb is the per-bank refresh cycle time for bank-level refresh
@@ -76,8 +89,12 @@ type Params struct {
 	Subarrays int
 }
 
-// DataCycles reports how long one burst occupies the data bus.
+// DataCycles reports how long one burst occupies the data bus: the
+// standard's Burst entry when set, else the legacy BL/2 fallback.
 func (p Params) DataCycles() event.Cycle {
+	if p.Burst > 0 {
+		return p.Burst
+	}
 	//simlint:cycles "DDR moves two beats per bus cycle, so BL/2 beats is exactly a bus-cycle count"
 	return event.Cycle(p.BL / 2)
 }
@@ -121,38 +138,16 @@ func (p Params) Validate() error {
 
 // DDR4_1600 returns the paper's device: DDR4-1600 timings for 8 Gb chips
 // (Table III: tREFI = 7.8 µs, tRFC = 350 ns in 1x mode) under the given
-// fine-grained refresh mode.
+// fine-grained refresh mode. It is the historical constructor, now a
+// thin view of the "DDR4-1600" registry entry; the cycle values are
+// unchanged (TestStandardPins pins them).
 func DDR4_1600(mode RefreshMode) Params {
-	p := Params{
-		Name: "DDR4-1600/8Gb/" + mode.String(),
-		CL:   event.FromNanos(13.75), // 11 cycles
-		CWL:  event.FromNanos(11.25), // 9 cycles
-		RCD:  event.FromNanos(13.75), // 11 cycles
-		RP:   event.FromNanos(13.75), // 11 cycles
-		RAS:  event.FromNanos(35),    // 28 cycles
-		RC:   event.FromNanos(48.75), // 39 cycles
-		BL:   8,                      // 64-byte line over a 64-bit bus
-		CCD:  4,                      // tCCD_L, defined in cycles
-		RRD:  event.FromNanos(7.5),   // 6 cycles
-		FAW:  event.FromNanos(35),    // 28 cycles
-		WR:   event.FromNanos(15),    // 12 cycles
-		WTR:  event.FromNanos(7.5),   // 6 cycles
-		RTP:  event.FromNanos(7.5),   // 6 cycles
-		RTR:  2,                      // rank switch bubble, defined in cycles
+	std, err := Lookup(DefaultStandard)
+	if err != nil {
+		panic(err)
 	}
-	p.Subarrays = 8
-	// tREFI = 7.8 µs; tRFC / tRFCpb / tRFCsa per fine-grained mode.
-	switch mode {
-	case Refresh1x:
-		p.REFI, p.RFC, p.RFCpb, p.RFCsa =
-			event.FromNanos(7800), event.FromNanos(350), event.FromNanos(140), event.FromNanos(60)
-	case Refresh2x:
-		p.REFI, p.RFC, p.RFCpb, p.RFCsa =
-			event.FromNanos(3900), event.FromNanos(260), event.FromNanos(110), event.FromNanos(50)
-	case Refresh4x:
-		p.REFI, p.RFC, p.RFCpb, p.RFCsa =
-			event.FromNanos(1950), event.FromNanos(160), event.FromNanos(70), event.FromNanos(40)
-	default:
+	p, err := std.Params(mode)
+	if err != nil {
 		panic(fmt.Sprintf("dram: unknown refresh mode %d", int(mode)))
 	}
 	return p

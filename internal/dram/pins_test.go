@@ -1,0 +1,173 @@
+package dram
+
+import (
+	"testing"
+
+	"ropsim/internal/event"
+)
+
+// pinnedParams is the datasheet pin table: every timing entry of every
+// registered standard × mode, as bus cycles at the simulator's fixed
+// 1.25 ns tick (event.FromNanos rounds the ns datasheet value up).
+// These values anchor all golden artifacts — a table edit that shifts
+// any of them is a simulator-behavior change and must be deliberate.
+type pinnedParams struct {
+	CL, CWL, RCD, RP, RAS, RC   event.Cycle
+	BL                          int
+	CCD, RRD, FAW, WR, WTR, RTP event.Cycle
+	RTR, Burst                  event.Cycle
+	REFI, RFC, RFCpb, RFCsa     event.Cycle
+	Subarrays, BankGroups       int
+	Granularity                 Granularity
+	Banks, Rows, Cols           int
+}
+
+var standardPins = map[string]map[RefreshMode]pinnedParams{
+	// The paper's device (Table III): tCK 1.25 ns, so ns values divide
+	// exactly or round up by one tick. REFI 7800 ns = 6240 cycles,
+	// RFC 350 ns = 280 cycles — the §II-B refresh duty cycle of 4.5%.
+	"DDR4-1600": {
+		Refresh1x: {CL: 11, CWL: 9, RCD: 11, RP: 11, RAS: 28, RC: 39,
+			BL: 8, CCD: 4, RRD: 6, FAW: 28, WR: 12, WTR: 6, RTP: 6, RTR: 2, Burst: 4,
+			REFI: 6240, RFC: 280, RFCpb: 112, RFCsa: 48,
+			Subarrays: 8, Granularity: GranularityAllBank, Banks: 8, Rows: 32768, Cols: 128},
+		Refresh2x: {CL: 11, CWL: 9, RCD: 11, RP: 11, RAS: 28, RC: 39,
+			BL: 8, CCD: 4, RRD: 6, FAW: 28, WR: 12, WTR: 6, RTP: 6, RTR: 2, Burst: 4,
+			REFI: 3120, RFC: 208, RFCpb: 88, RFCsa: 40,
+			Subarrays: 8, Granularity: GranularityAllBank, Banks: 8, Rows: 32768, Cols: 128},
+		Refresh4x: {CL: 11, CWL: 9, RCD: 11, RP: 11, RAS: 28, RC: 39,
+			BL: 8, CCD: 4, RRD: 6, FAW: 28, WR: 12, WTR: 6, RTP: 6, RTR: 2, Burst: 4,
+			REFI: 1560, RFC: 128, RFCpb: 56, RFCsa: 32,
+			Subarrays: 8, Granularity: GranularityAllBank, Banks: 8, Rows: 32768, Cols: 128},
+	},
+	// Same 8 Gb die as DDR4-1600 (identical refresh rows), faster
+	// interface: CL 12.5 ns → 10 cycles, burst 3.33 ns → 3 cycles.
+	"DDR4-2400": {
+		Refresh1x: {CL: 10, CWL: 8, RCD: 10, RP: 10, RAS: 26, RC: 36,
+			BL: 8, CCD: 4, RRD: 4, FAW: 24, WR: 12, WTR: 6, RTP: 6, RTR: 2, Burst: 3,
+			REFI: 6240, RFC: 280, RFCpb: 112, RFCsa: 48,
+			Subarrays: 8, Granularity: GranularityAllBank, Banks: 8, Rows: 32768, Cols: 128},
+		Refresh2x: {CL: 10, CWL: 8, RCD: 10, RP: 10, RAS: 26, RC: 36,
+			BL: 8, CCD: 4, RRD: 4, FAW: 24, WR: 12, WTR: 6, RTP: 6, RTR: 2, Burst: 3,
+			REFI: 3120, RFC: 208, RFCpb: 88, RFCsa: 40,
+			Subarrays: 8, Granularity: GranularityAllBank, Banks: 8, Rows: 32768, Cols: 128},
+		Refresh4x: {CL: 10, CWL: 8, RCD: 10, RP: 10, RAS: 26, RC: 36,
+			BL: 8, CCD: 4, RRD: 4, FAW: 24, WR: 12, WTR: 6, RTP: 6, RTR: 2, Burst: 3,
+			REFI: 1560, RFC: 128, RFCpb: 56, RFCsa: 32,
+			Subarrays: 8, Granularity: GranularityAllBank, Banks: 8, Rows: 32768, Cols: 128},
+	},
+	"DDR4-3200": {
+		Refresh1x: {CL: 11, CWL: 8, RCD: 11, RP: 11, RAS: 26, RC: 37,
+			BL: 8, CCD: 4, RRD: 4, FAW: 20, WR: 12, WTR: 6, RTP: 6, RTR: 2, Burst: 2,
+			REFI: 6240, RFC: 280, RFCpb: 112, RFCsa: 48,
+			Subarrays: 8, Granularity: GranularityAllBank, Banks: 8, Rows: 32768, Cols: 128},
+		Refresh2x: {CL: 11, CWL: 8, RCD: 11, RP: 11, RAS: 26, RC: 37,
+			BL: 8, CCD: 4, RRD: 4, FAW: 20, WR: 12, WTR: 6, RTP: 6, RTR: 2, Burst: 2,
+			REFI: 3120, RFC: 208, RFCpb: 88, RFCsa: 40,
+			Subarrays: 8, Granularity: GranularityAllBank, Banks: 8, Rows: 32768, Cols: 128},
+		Refresh4x: {CL: 11, CWL: 8, RCD: 11, RP: 11, RAS: 26, RC: 37,
+			BL: 8, CCD: 4, RRD: 4, FAW: 20, WR: 12, WTR: 6, RTP: 6, RTR: 2, Burst: 2,
+			REFI: 1560, RFC: 128, RFCpb: 56, RFCsa: 32,
+			Subarrays: 8, Granularity: GranularityAllBank, Banks: 8, Rows: 32768, Cols: 128},
+	},
+	// 16 Gb DDR5: 32 banks in 8 groups, BL16, same-bank refresh. The
+	// 16.67 ns CAS latency lands at 14 ticks; tREFI1 3.9 µs = 3120.
+	"DDR5-4800": {
+		Refresh1x: {CL: 14, CWL: 13, RCD: 14, RP: 14, RAS: 26, RC: 40,
+			BL: 16, CCD: 6, RRD: 4, FAW: 16, WR: 24, WTR: 8, RTP: 6, RTR: 2, Burst: 3,
+			REFI: 3120, RFC: 236, RFCpb: 104, RFCsa: 44,
+			Subarrays: 8, BankGroups: 8, Granularity: GranularitySameBank,
+			Banks: 32, Rows: 32768, Cols: 128},
+		Refresh2x: {CL: 14, CWL: 13, RCD: 14, RP: 14, RAS: 26, RC: 40,
+			BL: 16, CCD: 6, RRD: 4, FAW: 16, WR: 24, WTR: 8, RTP: 6, RTR: 2, Burst: 3,
+			REFI: 1560, RFC: 128, RFCpb: 104, RFCsa: 44,
+			Subarrays: 8, BankGroups: 8, Granularity: GranularitySameBank,
+			Banks: 32, Rows: 32768, Cols: 128},
+	},
+	// 8 Gb LPDDR4: BL16, native per-bank refresh at tREFIpb; no JEDEC
+	// FGR table, so 1x is the only mode. tRCD/tRP 18 ns → 15 ticks.
+	"LPDDR4-3200": {
+		Refresh1x: {CL: 14, CWL: 7, RCD: 15, RP: 15, RAS: 34, RC: 51,
+			BL: 16, CCD: 4, RRD: 6, FAW: 24, WR: 15, WTR: 8, RTP: 6, RTR: 2, Burst: 4,
+			REFI: 3124, RFC: 144, RFCpb: 72, RFCsa: 36,
+			Subarrays: 8, Granularity: GranularityPerBank, Banks: 8, Rows: 32768, Cols: 128},
+	},
+}
+
+// TestStandardPins pins every timing entry of every registered standard
+// to its datasheet-derived bus-cycle value.
+func TestStandardPins(t *testing.T) {
+	for name, modes := range standardPins {
+		std, err := Lookup(name)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		for mode, pin := range modes {
+			p, err := std.Params(mode)
+			if err != nil {
+				t.Errorf("%s/%v: %v", name, mode, err)
+				continue
+			}
+			got := pinnedParams{
+				CL: p.CL, CWL: p.CWL, RCD: p.RCD, RP: p.RP, RAS: p.RAS, RC: p.RC,
+				BL: p.BL, CCD: p.CCD, RRD: p.RRD, FAW: p.FAW, WR: p.WR, WTR: p.WTR,
+				RTP: p.RTP, RTR: p.RTR, Burst: p.Burst,
+				REFI: p.REFI, RFC: p.RFC, RFCpb: p.RFCpb, RFCsa: p.RFCsa,
+				Subarrays: p.Subarrays, BankGroups: p.BankGroups,
+				Granularity: p.NativeGranularity,
+			}
+			geo := std.Geometry(1)
+			got.Banks, got.Rows, got.Cols = geo.Banks, geo.Rows, geo.ColumnLines
+			if got != pin {
+				t.Errorf("%s/%v:\n got %+v\nwant %+v", name, mode, got, pin)
+			}
+		}
+	}
+}
+
+// TestStandardPinsComplete fails when a standard or a declared FGR mode
+// has no pin entry, so new registrations cannot dodge the pin table.
+func TestStandardPinsComplete(t *testing.T) {
+	for _, std := range Standards() {
+		modes, ok := standardPins[std.Name()]
+		if !ok {
+			t.Errorf("standard %s has no pin table entry", std.Name())
+			continue
+		}
+		for _, m := range std.Refresh().Modes {
+			if _, ok := modes[m]; !ok {
+				t.Errorf("standard %s mode %v has no pin entry", std.Name(), m)
+			}
+		}
+		if len(modes) != len(std.Refresh().Modes) {
+			t.Errorf("standard %s: pin table has %d modes, standard declares %d",
+				std.Name(), len(modes), len(std.Refresh().Modes))
+		}
+	}
+}
+
+// TestParamsNameEncodesStandardAndMode pins the Name convention the
+// energy model and reports rely on ("<label>/<mode>").
+func TestParamsNameEncodesStandardAndMode(t *testing.T) {
+	want := map[string]string{
+		"DDR4-1600":   "DDR4-1600/8Gb/1x",
+		"DDR4-2400":   "DDR4-2400/8Gb/1x",
+		"DDR4-3200":   "DDR4-3200/8Gb/1x",
+		"DDR5-4800":   "DDR5-4800/16Gb/1x",
+		"LPDDR4-3200": "LPDDR4-3200/8Gb/1x",
+	}
+	for name, label := range want {
+		std, err := Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := std.Params(Refresh1x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Name != label {
+			t.Errorf("%s: Params.Name = %q, want %q", name, p.Name, label)
+		}
+	}
+}

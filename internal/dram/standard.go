@@ -1,0 +1,377 @@
+package dram
+
+import (
+	"fmt"
+	"sort"
+
+	"ropsim/internal/addr"
+	"ropsim/internal/event"
+)
+
+// Granularity enumerates the native refresh granularity of a DRAM
+// standard: the finest per-command refresh unit its command set exposes.
+// It drives which banks one fine-granularity refresh command locks (see
+// Device.SlotBanks) and which refresh policy a cross-standard sweep
+// treats as the standard's native one.
+type Granularity int
+
+// Native refresh granularities.
+const (
+	// GranularityAllBank is DDR4-style REF: one command freezes the
+	// whole rank for tRFC.
+	GranularityAllBank Granularity = iota
+	// GranularitySameBank is DDR5 REFsb: one command refreshes the same
+	// bank index in every bank group simultaneously, locking that bank
+	// set for tRFCsb while the other bank indices keep serving.
+	GranularitySameBank
+	// GranularityPerBank is LPDDR4 REFpb: one command refreshes a single
+	// bank for tRFCpb; banks take turns in round-robin order.
+	GranularityPerBank
+)
+
+// String implements fmt.Stringer.
+func (g Granularity) String() string {
+	switch g {
+	case GranularityAllBank:
+		return "all-bank"
+	case GranularitySameBank:
+		return "same-bank"
+	case GranularityPerBank:
+		return "per-bank"
+	}
+	return fmt.Sprintf("Granularity(%d)", int(g))
+}
+
+// RefreshTiming is one row of a standard's fine-granularity refresh
+// trade-off table, in datasheet nanoseconds. Each supported RefreshMode
+// maps to one row: finer modes shorten the refresh interval and the
+// per-command refresh cycle time together (JEDEC FGR).
+type RefreshTiming struct {
+	// REFINanos is the average refresh interval tREFI in ns.
+	REFINanos float64
+	// RFCNanos is the all-bank refresh cycle time tRFC in ns.
+	RFCNanos float64
+	// RFCpbNanos is the per-bank (or DDR5 same-bank) refresh cycle time
+	// in ns; zero when the standard has no bank-granularity refresh.
+	RFCpbNanos float64
+	// RFCsaNanos is the per-subarray refresh cycle time in ns (the
+	// paper's §VII hypothetical finest granularity).
+	RFCsaNanos float64
+}
+
+// RefreshDescriptor describes a standard's refresh schedule: its native
+// granularity, the bank-group structure that same-bank refresh spans,
+// and which fine-granularity modes its trade-off table defines.
+type RefreshDescriptor struct {
+	// Granularity is the standard's native refresh granularity.
+	Granularity Granularity
+	// BankGroups is the bank-group count a same-bank refresh command
+	// spans (DDR5: 8); zero for standards without same-bank refresh.
+	BankGroups int
+	// Modes lists the supported fine-granularity refresh modes in
+	// ascending fineness; Params returns an error for any other mode.
+	Modes []RefreshMode
+}
+
+// Standard is one composable DRAM standard / speed grade: a named
+// command-timing table, a device geometry, and a refresh schedule
+// descriptor. Every registered Standard can run under every refresh
+// policy the controller implements; the timing table is materialized
+// into typed event.Cycle entries by Params.
+type Standard interface {
+	// Name is the registry key, e.g. "DDR4-1600".
+	Name() string
+	// Params materializes the timing table for the given fine-grained
+	// refresh mode. It returns an error when the standard's refresh
+	// table has no row for the mode.
+	Params(mode RefreshMode) (Params, error)
+	// Geometry builds the channel geometry for the given rank count.
+	Geometry(ranks int) addr.Geometry
+	// Refresh describes the standard's refresh schedule.
+	Refresh() RefreshDescriptor
+}
+
+// DefaultStandard names the paper's device; an empty standard selection
+// resolves to it.
+const DefaultStandard = "DDR4-1600"
+
+// registry holds the registered standards in registration order (init
+// order is deterministic, so listings are stable across runs).
+var registry []Standard
+
+// Register adds a standard to the registry. It panics on a duplicate
+// name or on a standard whose timing table fails validation for any
+// declared mode: registration happens at init time and a broken table
+// must fail loudly, not at first use. Not safe for concurrent use;
+// call from init functions only.
+func Register(s Standard) {
+	for _, have := range registry {
+		if have.Name() == s.Name() {
+			panic(fmt.Sprintf("dram: duplicate standard %q", s.Name()))
+		}
+	}
+	desc := s.Refresh()
+	if len(desc.Modes) == 0 {
+		panic(fmt.Sprintf("dram: standard %q declares no refresh modes", s.Name()))
+	}
+	for _, m := range desc.Modes {
+		p, err := s.Params(m)
+		if err != nil {
+			panic(fmt.Sprintf("dram: standard %q mode %v: %v", s.Name(), m, err))
+		}
+		if err := p.Validate(); err != nil {
+			panic(fmt.Sprintf("dram: standard %q mode %v: %v", s.Name(), m, err))
+		}
+	}
+	registry = append(registry, s)
+}
+
+// Lookup resolves a registered standard by name; the empty string
+// resolves to DefaultStandard. Unknown names list the registry in the
+// error so a mistyped CLI flag surfaces the valid choices.
+func Lookup(name string) (Standard, error) {
+	if name == "" {
+		name = DefaultStandard
+	}
+	for _, s := range registry {
+		if s.Name() == name {
+			return s, nil
+		}
+	}
+	return nil, fmt.Errorf("dram: unknown standard %q (have %v)", name, StandardNames())
+}
+
+// Standards returns the registered standards in registration order.
+// The returned slice is shared; callers must not mutate it.
+func Standards() []Standard {
+	return registry
+}
+
+// StandardNames returns the registered standard names, sorted.
+func StandardNames() []string {
+	names := make([]string, 0, len(registry))
+	for _, s := range registry {
+		names = append(names, s.Name())
+	}
+	sort.Strings(names)
+	return names
+}
+
+// coreTable is the nanosecond command-timing table shared by the
+// table-driven standards. Datasheet values stay in ns and convert to
+// bus cycles (1.25 ns tick) through event.FromNanos at Params time;
+// entries that JEDEC defines in controller clocks rather than absolute
+// time (CCD, RTR) are held directly as bus-cycle counts.
+type coreTable struct {
+	CLNanos    float64     // CAS (read) latency in ns
+	CWLNanos   float64     // CAS write latency in ns
+	RCDNanos   float64     // tRCD in ns
+	RPNanos    float64     // tRP in ns
+	RASNanos   float64     // tRAS in ns
+	RCNanos    float64     // tRC in ns
+	BL         int         // burst length in transfers
+	CCD        event.Cycle // column-to-column gap, in bus cycles
+	RRDNanos   float64     // tRRD in ns
+	FAWNanos   float64     // tFAW in ns
+	WRNanos    float64     // tWR in ns
+	WTRNanos   float64     // tWTR in ns
+	RTPNanos   float64     // tRTP in ns
+	RTR        event.Cycle // rank-to-rank bus switch penalty, in bus cycles
+	BurstNanos float64     // data-bus occupancy of one burst in ns
+	Subarrays  int         // subarrays per bank (paper §VII modeling)
+}
+
+// tableStandard is a Standard built from a ns timing table plus a
+// per-mode refresh trade-off table. All registered standards use it;
+// a standard with exotic behavior can implement Standard directly.
+type tableStandard struct {
+	name  string                        // registry key ("DDR4-1600")
+	label string                        // Params.Name prefix ("DDR4-1600/8Gb")
+	core  coreTable                     // command timings
+	fgr   map[RefreshMode]RefreshTiming // refresh trade-off table
+	desc  RefreshDescriptor             // refresh schedule descriptor
+	banks int                           // banks per rank
+	rows  int                           // rows per bank
+	cols  int                           // column lines per row
+}
+
+// Name implements Standard.
+func (s *tableStandard) Name() string { return s.name }
+
+// Refresh implements Standard.
+func (s *tableStandard) Refresh() RefreshDescriptor { return s.desc }
+
+// Geometry implements Standard.
+func (s *tableStandard) Geometry(ranks int) addr.Geometry {
+	return addr.Geometry{Channels: 1, Ranks: ranks, Banks: s.banks,
+		Rows: s.rows, ColumnLines: s.cols}
+}
+
+// Params implements Standard: the ns table is materialized into typed
+// bus-cycle entries (rounding up, via event.FromNanos) for the given
+// fine-grained refresh mode.
+func (s *tableStandard) Params(mode RefreshMode) (Params, error) {
+	rt, ok := s.fgr[mode]
+	if !ok {
+		return Params{}, fmt.Errorf("dram: standard %s does not support refresh mode %v (modes %v)",
+			s.name, mode, s.desc.Modes)
+	}
+	t := s.core
+	p := Params{
+		Name:              s.label + "/" + mode.String(),
+		CL:                event.FromNanos(t.CLNanos),
+		CWL:               event.FromNanos(t.CWLNanos),
+		RCD:               event.FromNanos(t.RCDNanos),
+		RP:                event.FromNanos(t.RPNanos),
+		RAS:               event.FromNanos(t.RASNanos),
+		RC:                event.FromNanos(t.RCNanos),
+		BL:                t.BL,
+		CCD:               t.CCD,
+		RRD:               event.FromNanos(t.RRDNanos),
+		FAW:               event.FromNanos(t.FAWNanos),
+		WR:                event.FromNanos(t.WRNanos),
+		WTR:               event.FromNanos(t.WTRNanos),
+		RTP:               event.FromNanos(t.RTPNanos),
+		RTR:               t.RTR,
+		Burst:             event.FromNanos(t.BurstNanos),
+		Subarrays:         t.Subarrays,
+		NativeGranularity: s.desc.Granularity,
+		BankGroups:        s.desc.BankGroups,
+		REFI:              event.FromNanos(rt.REFINanos),
+		RFC:               event.FromNanos(rt.RFCNanos),
+	}
+	if rt.RFCpbNanos > 0 {
+		p.RFCpb = event.FromNanos(rt.RFCpbNanos)
+	}
+	if rt.RFCsaNanos > 0 {
+		p.RFCsa = event.FromNanos(rt.RFCsaNanos)
+	}
+	return p, nil
+}
+
+// ddr4Core returns the command-timing entries every modeled DDR4 speed
+// grade shares structurally (BL8 over a 64-bit bus, cycle-defined
+// CCD/RTR, 8 subarrays per bank); speed-grade ns values are filled in
+// by the caller.
+func ddr4Core() coreTable {
+	return coreTable{BL: 8, CCD: 4, RTR: 2, Subarrays: 8}
+}
+
+// ddr4FGR is the 8 Gb DDR4 fine-granularity refresh trade-off table
+// (JESD79-4 Table 131: tREFI and tRFC1/2/4; tRFCpb/tRFCsa per the
+// paper's §VII bank/subarray modeling). It is shared by every DDR4
+// speed grade: refresh is a function of the die, not the interface
+// clock.
+func ddr4FGR() map[RefreshMode]RefreshTiming {
+	return map[RefreshMode]RefreshTiming{
+		Refresh1x: {REFINanos: 7800, RFCNanos: 350, RFCpbNanos: 140, RFCsaNanos: 60},
+		Refresh2x: {REFINanos: 3900, RFCNanos: 260, RFCpbNanos: 110, RFCsaNanos: 50},
+		Refresh4x: {REFINanos: 1950, RFCNanos: 160, RFCpbNanos: 70, RFCsaNanos: 40},
+	}
+}
+
+// ddr4Modes lists the DDR4 FGR modes in ascending fineness.
+func ddr4Modes() []RefreshMode { return []RefreshMode{Refresh1x, Refresh2x, Refresh4x} }
+
+func init() {
+	// DDR4-1600: the paper's device (Table III). Its cycle values are
+	// pinned by TestStandardPins and must stay byte-identical to the
+	// historical DDR4_1600 constructor: every golden artifact anchors
+	// on them.
+	c1600 := ddr4Core()
+	c1600.CLNanos, c1600.CWLNanos = 13.75, 11.25
+	c1600.RCDNanos, c1600.RPNanos = 13.75, 13.75
+	c1600.RASNanos, c1600.RCNanos = 35, 48.75
+	c1600.RRDNanos, c1600.FAWNanos = 7.5, 35
+	c1600.WRNanos, c1600.WTRNanos, c1600.RTPNanos = 15, 7.5, 7.5
+	c1600.BurstNanos = 5 // 8 beats at 1600 MT/s
+	Register(&tableStandard{
+		name: "DDR4-1600", label: "DDR4-1600/8Gb",
+		core: c1600, fgr: ddr4FGR(),
+		desc:  RefreshDescriptor{Granularity: GranularityAllBank, Modes: ddr4Modes()},
+		banks: 8, rows: 32768, cols: 128,
+	})
+
+	// DDR4-2400 (CL15 bin, 8 Gb): same die and refresh table as
+	// DDR4-1600, faster interface (tighter CAS/RCD/RP, shorter burst).
+	c2400 := ddr4Core()
+	c2400.CLNanos, c2400.CWLNanos = 12.5, 10
+	c2400.RCDNanos, c2400.RPNanos = 12.5, 12.5
+	c2400.RASNanos, c2400.RCNanos = 32, 45
+	c2400.RRDNanos, c2400.FAWNanos = 4.9, 30
+	c2400.WRNanos, c2400.WTRNanos, c2400.RTPNanos = 15, 7.5, 7.5
+	c2400.BurstNanos = 10.0 / 3 // 8 beats at 2400 MT/s
+	Register(&tableStandard{
+		name: "DDR4-2400", label: "DDR4-2400/8Gb",
+		core: c2400, fgr: ddr4FGR(),
+		desc:  RefreshDescriptor{Granularity: GranularityAllBank, Modes: ddr4Modes()},
+		banks: 8, rows: 32768, cols: 128,
+	})
+
+	// DDR4-3200 (CL22 bin, 8 Gb): the fastest standard DDR4 grade.
+	c3200 := ddr4Core()
+	c3200.CLNanos, c3200.CWLNanos = 13.75, 10
+	c3200.RCDNanos, c3200.RPNanos = 13.75, 13.75
+	c3200.RASNanos, c3200.RCNanos = 32, 45.75
+	c3200.RRDNanos, c3200.FAWNanos = 4.9, 25
+	c3200.WRNanos, c3200.WTRNanos, c3200.RTPNanos = 15, 7.5, 7.5
+	c3200.BurstNanos = 2.5 // 8 beats at 3200 MT/s
+	Register(&tableStandard{
+		name: "DDR4-3200", label: "DDR4-3200/8Gb",
+		core: c3200, fgr: ddr4FGR(),
+		desc:  RefreshDescriptor{Granularity: GranularityAllBank, Modes: ddr4Modes()},
+		banks: 8, rows: 32768, cols: 128,
+	})
+
+	// DDR5-4800 (16 Gb, CL40 bin): 32 banks in 8 bank groups, BL16, and
+	// native same-bank refresh — one REFsb refreshes the same bank index
+	// in all 8 groups for tRFCsb, while the other three bank indices
+	// keep serving. JESD79-5 defines FGR modes 1x and 2x only.
+	Register(&tableStandard{
+		name: "DDR5-4800", label: "DDR5-4800/16Gb",
+		core: coreTable{
+			CLNanos: 16.67, CWLNanos: 15.83,
+			RCDNanos: 16.67, RPNanos: 16.67,
+			RASNanos: 32, RCNanos: 50,
+			BL: 16, CCD: 6,
+			RRDNanos: 5, FAWNanos: 20,
+			WRNanos: 30, WTRNanos: 10, RTPNanos: 7.5,
+			RTR:        2,
+			BurstNanos: 10.0 / 3, // 16 beats at 4800 MT/s
+			Subarrays:  8,
+		},
+		fgr: map[RefreshMode]RefreshTiming{
+			Refresh1x: {REFINanos: 3900, RFCNanos: 295, RFCpbNanos: 130, RFCsaNanos: 55},
+			Refresh2x: {REFINanos: 1950, RFCNanos: 160, RFCpbNanos: 130, RFCsaNanos: 55},
+		},
+		desc: RefreshDescriptor{Granularity: GranularitySameBank, BankGroups: 8,
+			Modes: []RefreshMode{Refresh1x, Refresh2x}},
+		banks: 32, rows: 32768, cols: 128,
+	})
+
+	// LPDDR4-3200 (8 Gb): BL16 and native per-bank refresh — REFpb
+	// cycles through the 8 banks in round-robin order at tREFIpb =
+	// tREFI/8, locking one bank for tRFCpb each. LPDDR4 has no JEDEC
+	// FGR trade-off table (per-bank refresh is its fine granularity),
+	// so 1x is the only mode.
+	Register(&tableStandard{
+		name: "LPDDR4-3200", label: "LPDDR4-3200/8Gb",
+		core: coreTable{
+			CLNanos: 17.5, CWLNanos: 8.75,
+			RCDNanos: 18, RPNanos: 18,
+			RASNanos: 42, RCNanos: 63,
+			BL: 16, CCD: 4,
+			RRDNanos: 7.5, FAWNanos: 30,
+			WRNanos: 18, WTRNanos: 10, RTPNanos: 7.5,
+			RTR:        2,
+			BurstNanos: 5, // 16 beats at 3200 MT/s
+			Subarrays:  8,
+		},
+		fgr: map[RefreshMode]RefreshTiming{
+			Refresh1x: {REFINanos: 3904, RFCNanos: 180, RFCpbNanos: 90, RFCsaNanos: 45},
+		},
+		desc: RefreshDescriptor{Granularity: GranularityPerBank,
+			Modes: []RefreshMode{Refresh1x}},
+		banks: 8, rows: 32768, cols: 128,
+	})
+}

@@ -1,0 +1,320 @@
+package dram
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"ropsim/internal/event"
+)
+
+// wantStandards is the full expected registry. Adding a standard must
+// extend this list (and the pin/conformance tables that key off it).
+var wantStandards = []string{
+	"DDR4-1600", "DDR4-2400", "DDR4-3200", "DDR5-4800", "LPDDR4-3200",
+}
+
+func TestRegistryComplete(t *testing.T) {
+	if got := StandardNames(); !reflect.DeepEqual(got, wantStandards) {
+		t.Fatalf("StandardNames() = %v, want %v", got, wantStandards)
+	}
+	if len(Standards()) != len(wantStandards) {
+		t.Fatalf("Standards() has %d entries, want %d", len(Standards()), len(wantStandards))
+	}
+}
+
+func TestLookupDefaultAndErrors(t *testing.T) {
+	std, err := Lookup("")
+	if err != nil {
+		t.Fatalf("Lookup(\"\"): %v", err)
+	}
+	if std.Name() != DefaultStandard {
+		t.Fatalf("Lookup(\"\") = %q, want default %q", std.Name(), DefaultStandard)
+	}
+	if _, err := Lookup("DDR3-800"); err == nil {
+		t.Fatal("Lookup accepted an unknown standard")
+	} else if !strings.Contains(err.Error(), "DDR4-1600") {
+		t.Fatalf("unknown-standard error should list the registry, got: %v", err)
+	}
+}
+
+// TestDDR4ConstructorMatchesRegistry pins the historical DDR4_1600
+// constructor to the registry entry it now delegates to: byte-identical
+// Params for every FGR mode, so golden artifacts cannot drift.
+func TestDDR4ConstructorMatchesRegistry(t *testing.T) {
+	std, err := Lookup("DDR4-1600")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []RefreshMode{Refresh1x, Refresh2x, Refresh4x} {
+		want, err := std.Params(mode)
+		if err != nil {
+			t.Fatalf("mode %v: %v", mode, err)
+		}
+		if got := DDR4_1600(mode); got != want {
+			t.Errorf("mode %v: DDR4_1600 = %+v\nregistry = %+v", mode, got, want)
+		}
+	}
+}
+
+// TestAllStandardsBuildDevices exercises every registered standard ×
+// every declared FGR mode end-to-end: Params validate, a device builds,
+// and the refresh descriptor is self-consistent.
+func TestAllStandardsBuildDevices(t *testing.T) {
+	for _, std := range Standards() {
+		desc := std.Refresh()
+		if len(desc.Modes) == 0 {
+			t.Errorf("%s: no refresh modes declared", std.Name())
+			continue
+		}
+		if desc.Granularity == GranularitySameBank && desc.BankGroups <= 1 {
+			t.Errorf("%s: same-bank refresh needs BankGroups > 1, got %d",
+				std.Name(), desc.BankGroups)
+		}
+		geo := std.Geometry(2)
+		if err := geo.Validate(); err != nil {
+			t.Errorf("%s: geometry: %v", std.Name(), err)
+			continue
+		}
+		for _, mode := range desc.Modes {
+			p, err := std.Params(mode)
+			if err != nil {
+				t.Errorf("%s/%v: %v", std.Name(), mode, err)
+				continue
+			}
+			if err := p.Validate(); err != nil {
+				t.Errorf("%s/%v: %v", std.Name(), mode, err)
+				continue
+			}
+			if p.RFCpb <= 0 {
+				t.Errorf("%s/%v: RFCpb must be positive (bank refresh runs on every standard)",
+					std.Name(), mode)
+			}
+			d := NewDevice(p, geo)
+			if d.RefreshSlots() <= 0 {
+				t.Errorf("%s/%v: no refresh slots", std.Name(), mode)
+			}
+		}
+	}
+}
+
+func TestUnsupportedModesError(t *testing.T) {
+	cases := []struct {
+		standard string
+		mode     RefreshMode
+	}{
+		{"DDR5-4800", Refresh4x},
+		{"LPDDR4-3200", Refresh2x},
+		{"LPDDR4-3200", Refresh4x},
+	}
+	for _, tc := range cases {
+		std, err := Lookup(tc.standard)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := std.Params(tc.mode); err == nil {
+			t.Errorf("%s accepted unsupported mode %v", tc.standard, tc.mode)
+		}
+	}
+}
+
+// TestRefreshSlotLayout pins the slot-to-banks mapping: same-bank DDR5
+// groups one bank per bank group into each slot; every other standard
+// keeps the legacy one-bank-per-slot layout (so DDR4/LPDDR4 bank-refresh
+// schedules are byte-identical to the pre-registry simulator).
+func TestRefreshSlotLayout(t *testing.T) {
+	for _, std := range Standards() {
+		p, err := std.Params(std.Refresh().Modes[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		geo := std.Geometry(1)
+		d := NewDevice(p, geo)
+		if std.Refresh().Granularity == GranularitySameBank {
+			per := geo.Banks / std.Refresh().BankGroups
+			if d.RefreshSlots() != per {
+				t.Errorf("%s: RefreshSlots = %d, want %d", std.Name(), d.RefreshSlots(), per)
+			}
+			for s := 0; s < d.RefreshSlots(); s++ {
+				want := make([]int, 0, std.Refresh().BankGroups)
+				for g := 0; g < std.Refresh().BankGroups; g++ {
+					want = append(want, g*per+s)
+				}
+				if got := d.SlotBanks(s); !reflect.DeepEqual(got, want) {
+					t.Errorf("%s slot %d: banks %v, want %v", std.Name(), s, got, want)
+				}
+			}
+		} else {
+			if d.RefreshSlots() != geo.Banks {
+				t.Errorf("%s: RefreshSlots = %d, want %d", std.Name(), d.RefreshSlots(), geo.Banks)
+			}
+			for s := 0; s < d.RefreshSlots(); s++ {
+				if got := d.SlotBanks(s); !reflect.DeepEqual(got, []int{s}) {
+					t.Errorf("%s slot %d: banks %v, want [%d]", std.Name(), s, got, s)
+				}
+			}
+		}
+		for b := 0; b < geo.Banks; b++ {
+			found := false
+			for _, sb := range d.SlotBanks(d.SlotOf(b)) {
+				if sb == b {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("%s: SlotOf(%d) = %d does not cover bank %d",
+					std.Name(), b, d.SlotOf(b), b)
+			}
+		}
+	}
+}
+
+// TestIssueREFSlotSameBank checks DDR5 same-bank refresh semantics: one
+// slot command locks the slot's whole bank set for tRFCsb, counts as one
+// refresh command, and leaves the other bank indices operational.
+func TestIssueREFSlotSameBank(t *testing.T) {
+	std, err := Lookup("DDR5-4800")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := std.Params(Refresh1x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := NewDevice(p, std.Geometry(1))
+	end := d.IssueREFSlot(0, 0, 0)
+	if want := p.RFCpb; end != want {
+		t.Fatalf("unlock cycle %d, want %d", end, want)
+	}
+	for _, b := range d.SlotBanks(0) {
+		if !d.BankRefreshing(0, b, end-1) {
+			t.Errorf("bank %d not locked by slot refresh", b)
+		}
+		if d.BankRefreshing(0, b, end) {
+			t.Errorf("bank %d still locked at unlock cycle", b)
+		}
+	}
+	for s := 1; s < d.RefreshSlots(); s++ {
+		for _, b := range d.SlotBanks(s) {
+			if d.BankRefreshing(0, b, 1) {
+				t.Errorf("bank %d of idle slot %d locked", b, s)
+			}
+		}
+	}
+	if got := d.NumREF.Value(); got != 1 {
+		t.Errorf("NumREF = %d, want 1 (one command per slot)", got)
+	}
+	if got, want := d.RefLockedCycles.Value(), int64(p.RFCpb)*int64(len(d.SlotBanks(0))); got != want {
+		t.Errorf("RefLockedCycles = %d, want %d (each locked bank accounts)", got, want)
+	}
+	// The next refresh of the same slot must wait out the in-flight one.
+	if at := d.EarliestREFSlot(0, 0, 0); at != end {
+		t.Errorf("EarliestREFSlot during refresh = %d, want %d", at, end)
+	}
+}
+
+// TestIssueREFSlotSingletonMatchesREFpb pins the backward-compatible
+// path: for standards without same-bank refresh, a slot refresh is
+// exactly the legacy per-bank refresh.
+func TestIssueREFSlotSingletonMatchesREFpb(t *testing.T) {
+	for _, name := range []string{"DDR4-1600", "LPDDR4-3200"} {
+		std, err := Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := std.Params(Refresh1x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		slotDev := NewDevice(p, std.Geometry(1))
+		pbDev := NewDevice(p, std.Geometry(1))
+		const bank = 3
+		if a, b := slotDev.EarliestREFSlot(7, 0, bank), pbDev.EarliestREFpb(7, 0, bank); a != b {
+			t.Errorf("%s: EarliestREFSlot = %d, EarliestREFpb = %d", name, a, b)
+		}
+		if a, b := slotDev.IssueREFSlot(7, 0, bank), pbDev.IssueREFpb(7, 0, bank); a != b {
+			t.Errorf("%s: IssueREFSlot end = %d, IssueREFpb end = %d", name, a, b)
+		}
+		if a, b := slotDev.EarliestACT(8, 0, bank), pbDev.EarliestACT(8, 0, bank); a != b {
+			t.Errorf("%s: post-refresh EarliestACT diverges: slot %d, pb %d", name, a, b)
+		}
+	}
+}
+
+func TestRegisterRejectsBrokenStandards(t *testing.T) {
+	defer func(saved []Standard) { registry = saved }(registry)
+
+	mustPanic := func(name string, s Standard) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("Register accepted %s", name)
+			}
+		}()
+		Register(s)
+	}
+	dup, err := Lookup("DDR4-1600")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustPanic("a duplicate name", dup)
+	mustPanic("a standard with no modes", &tableStandard{
+		name: "empty", core: ddr4Core(),
+		fgr: map[RefreshMode]RefreshTiming{}, desc: RefreshDescriptor{},
+	})
+	broken := &tableStandard{
+		name: "broken", core: coreTable{BL: 8, CCD: 4, RTR: 2}, // all ns timings zero
+		fgr:   map[RefreshMode]RefreshTiming{Refresh1x: {REFINanos: 7800, RFCNanos: 350}},
+		desc:  RefreshDescriptor{Modes: []RefreshMode{Refresh1x}},
+		banks: 8, rows: 128, cols: 32,
+	}
+	mustPanic("an invalid timing table", broken)
+}
+
+// TestGranularityStrings covers the Stringer for the new enum.
+func TestGranularityStrings(t *testing.T) {
+	cases := map[Granularity]string{
+		GranularityAllBank:  "all-bank",
+		GranularitySameBank: "same-bank",
+		GranularityPerBank:  "per-bank",
+		Granularity(9):      "Granularity(9)",
+	}
+	for g, want := range cases {
+		if g.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(g), g.String(), want)
+		}
+	}
+	if CmdREFpb.String() != "REFpb" {
+		t.Errorf("CmdREFpb.String() = %q", CmdREFpb.String())
+	}
+}
+
+// TestBurstScalesWithDataRate checks that faster interfaces move a burst
+// in fewer 1.25 ns bus ticks, and that DDR4-1600 keeps the legacy BL/2.
+func TestBurstScalesWithDataRate(t *testing.T) {
+	want := map[string]event.Cycle{
+		"DDR4-1600":   4, // 5 ns
+		"DDR4-2400":   3, // 3.33 ns
+		"DDR4-3200":   2, // 2.5 ns
+		"DDR5-4800":   3, // BL16 at 4800 MT/s = 3.33 ns
+		"LPDDR4-3200": 4, // BL16 at 3200 MT/s = 5 ns
+	}
+	for name, cycles := range want {
+		std, err := Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := std.Params(Refresh1x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.DataCycles() != cycles {
+			t.Errorf("%s: DataCycles = %d, want %d", name, p.DataCycles(), cycles)
+		}
+	}
+	legacy := DDR4_1600(Refresh1x)
+	legacy.Burst = 0
+	if legacy.DataCycles() != 4 {
+		t.Errorf("BL/2 fallback = %d, want 4", legacy.DataCycles())
+	}
+}

@@ -293,7 +293,10 @@ func New(cfg Config, dev *dram.Device, q *event.Queue) (*Controller, error) {
 		cadence := p.REFI
 		switch cfg.Mode {
 		case ModeBankRefresh, ModeROPBank:
-			cadence = p.REFI / event.Cycle(geo.Banks)
+			// One bank-granularity command per slot per tREFI: slots =
+			// banks, except under same-bank refresh (DDR5) where one
+			// command covers a whole bank set.
+			cadence = p.REFI / event.Cycle(dev.RefreshSlots())
 		case ModeSubarrayRefresh:
 			cadence = p.REFI / event.Cycle(geo.Banks*p.Subarrays)
 			if cadence < 1 {
@@ -314,8 +317,8 @@ func New(cfg Config, dev *dram.Device, q *event.Queue) (*Controller, error) {
 			c.rop, err = core.NewEngine(cfg.ROP, geo, p.REFI, p.RFC)
 		case ModeROPBank:
 			// Bank-level refresh: the observational window and freeze
-			// length shrink to the per-bank schedule.
-			c.rop, err = core.NewEngine(cfg.ROP, geo, p.REFI/event.Cycle(geo.Banks), p.RFCpb)
+			// length shrink to the per-slot schedule.
+			c.rop, err = core.NewEngine(cfg.ROP, geo, p.REFI/event.Cycle(dev.RefreshSlots()), p.RFCpb)
 		}
 		if err != nil {
 			return nil, err
@@ -714,11 +717,11 @@ func (c *Controller) scheduleStep(now event.Cycle) bool {
 }
 
 // bankBlocked is the bank-granularity refresh block (bank modes only):
-// the round's target bank is quiescing or locked by its per-bank
-// refresh.
+// the round's target refresh slot covers the bank and is quiescing, or
+// the bank is locked by its per-bank refresh.
 func (c *Controller) bankBlocked(rank, bank int, now event.Cycle) bool {
 	if c.refresh != nil {
-		if rr := &c.refresh[rank]; rr.phase == refClosing && rr.targetBank == bank {
+		if rr := &c.refresh[rank]; rr.phase == refClosing && rr.targetBank == c.dev.SlotOf(bank) {
 			return true
 		}
 	}

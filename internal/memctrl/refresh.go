@@ -1,6 +1,7 @@
 package memctrl
 
 import (
+	"ropsim/internal/addr"
 	"ropsim/internal/dram"
 	"ropsim/internal/event"
 )
@@ -53,8 +54,10 @@ type rankRefresh struct {
 	// segDone counts completed segments of the in-flight pausable
 	// refresh (ModePausing).
 	segDone int
-	// targetBank is the bank being refreshed this round (bank modes);
-	// banks take turns round-robin.
+	// targetBank is the refresh target this round: under bank modes it
+	// is the refresh slot (dram.Device.SlotBanks maps it to the banks
+	// one command locks; slots take turns round-robin), under subarray
+	// mode the bank itself.
 	targetBank int
 	// targetSA is the subarray being refreshed (ModeSubarrayRefresh).
 	targetSA      int
@@ -425,7 +428,7 @@ func (c *Controller) beginBankRefresh(rank int, now event.Cycle) {
 		rr.phase = refClosing
 		return
 	}
-	cadence := float64(c.dev.Params().REFI) / float64(c.geo.Banks)
+	cadence := float64(c.dev.Params().REFI) / float64(c.dev.RefreshSlots())
 	dec := c.rop.OnRefreshStart(rank, now)
 	rr.wantPrefetch = dec.Prefetch
 	rr.drainDeadline = now + event.FromFloat(0.1*cadence)
@@ -433,19 +436,29 @@ func (c *Controller) beginBankRefresh(rank int, now event.Cycle) {
 	rr.phase = refDraining
 }
 
-// hasBankReads reports whether any queued demand read targets the bank.
-func (c *Controller) hasBankReads(rank, bank int) bool {
-	return len(c.readIdx.list(rank, bank)) > 0
+// hasBankReads reports whether any queued demand read targets a bank of
+// the given refresh slot.
+func (c *Controller) hasBankReads(rank, slot int) bool {
+	for _, b := range c.dev.SlotBanks(slot) {
+		if len(c.readIdx.list(rank, b)) > 0 {
+			return true
+		}
+	}
+	return false
 }
 
-// startBankFills generates and queues the target bank's prefetch fills.
+// startBankFills generates and queues prefetch fills for every bank of
+// the target refresh slot.
 func (c *Controller) startBankFills(rank int, now event.Cycle) {
 	rr := &c.refresh[rank]
 	rr.phase = refClosing
 	if !rr.wantPrefetch {
 		return
 	}
-	locs := c.rop.GenerateBankCandidates(rank, rr.targetBank)
+	var locs []addr.Loc
+	for _, b := range c.dev.SlotBanks(rr.targetBank) {
+		locs = append(locs, c.rop.GenerateBankCandidates(rank, b)...)
+	}
 	if len(locs) == 0 {
 		return
 	}
@@ -465,44 +478,53 @@ func (c *Controller) startBankFills(rank int, now event.Cycle) {
 	rr.phase = refFilling
 }
 
-// closeBankStep precharges the target bank if needed and issues its
-// per-bank refresh. It reports whether a command was issued.
+// closeBankStep precharges the target refresh slot's open banks (one
+// per tick) and then issues the slot's bank-granularity refresh: one
+// command that locks every bank of the slot's set (a single bank under
+// per-bank refresh, one bank per group under DDR5 same-bank refresh).
+// It reports whether a command was issued.
 func (c *Controller) closeBankStep(rank int, now event.Cycle) bool {
 	rr := &c.refresh[rank]
-	b := rr.targetBank
-	if c.dev.OpenRow(rank, b) >= 0 {
+	slot := rr.targetBank
+	for _, b := range c.dev.SlotBanks(slot) {
+		if c.dev.OpenRow(rank, b) < 0 {
+			continue
+		}
 		if c.dev.EarliestPRE(now, rank, b) == now {
 			c.dev.IssuePRE(now, rank, b)
 			c.emit(dram.Command{Kind: dram.CmdPRE, At: now, Rank: rank, Bank: b})
 			return true
 		}
+		return false // a set bank is open but PRE is not yet legal: wait
+	}
+	if c.dev.EarliestREFSlot(now, rank, slot) != now {
 		return false
 	}
-	if c.dev.EarliestREFpb(now, rank, b) != now {
-		return false
-	}
-	end := c.dev.IssueREFpb(now, rank, b)
+	end := c.dev.IssueREFSlot(now, rank, slot)
 	if c.capture != nil {
 		c.capture.Refresh(now, rank)
+	}
+	for _, b := range c.dev.SlotBanks(slot) {
+		c.emit(dram.Command{Kind: dram.CmdREFpb, At: now, Rank: rank, Bank: b})
 	}
 	c.RefreshesIssued.Inc()
 	c.RefreshPostponedCycles.Observe(float64(now - rr.due))
 	rr.refEnd = end
-	rr.due += c.dev.Params().REFI / event.Cycle(c.geo.Banks)
+	rr.due += c.dev.Params().REFI / event.Cycle(c.dev.RefreshSlots())
 	rr.phase = refRefreshing
 	if c.rop != nil {
-		c.probeQueuedBankReads(rank, b, now)
+		c.probeQueuedBankReads(rank, slot, now)
 	}
-	rr.targetBank = (rr.targetBank + 1) % c.geo.Banks
+	rr.targetBank = (rr.targetBank + 1) % c.dev.RefreshSlots()
 	return true
 }
 
-// probeQueuedBankReads serves queued reads to the frozen bank from the
-// SRAM buffer where possible.
-func (c *Controller) probeQueuedBankReads(rank, bank int, now event.Cycle) {
+// probeQueuedBankReads serves queued reads to the frozen slot's banks
+// from the SRAM buffer where possible.
+func (c *Controller) probeQueuedBankReads(rank, slot int, now event.Cycle) {
 	kept := c.readQ[:0]
 	for _, req := range c.readQ {
-		if req.loc.Rank == rank && req.loc.Bank == bank && !req.prefetch &&
+		if req.loc.Rank == rank && c.dev.SlotOf(req.loc.Bank) == slot && !req.prefetch &&
 			c.rop.ProbeRead(req.loc, now, true) {
 			c.SRAMServed.Inc()
 			c.ReadsServed.Inc()

@@ -174,11 +174,12 @@ func (c *Controller) closingWake(r int, now event.Cycle) event.Cycle {
 		}
 		return c.dev.EarliestREFsa(base, r, b, sa)
 	case c.bankMode():
-		b := rr.targetBank
-		if c.dev.OpenRow(r, b) >= 0 {
-			return c.dev.EarliestPRE(base, r, b)
+		for _, b := range c.dev.SlotBanks(rr.targetBank) {
+			if c.dev.OpenRow(r, b) >= 0 {
+				return c.dev.EarliestPRE(base, r, b)
+			}
 		}
-		return c.dev.EarliestREFpb(base, r, b)
+		return c.dev.EarliestREFSlot(base, r, rr.targetBank)
 	default:
 		for b := 0; b < c.geo.Banks; b++ {
 			if c.dev.OpenRow(r, b) >= 0 {
@@ -249,7 +250,7 @@ func (c *Controller) queueWake(ix *bankIndex, now event.Cycle, isWrite, demand b
 				continue
 			}
 			if demand && c.bankMode() && c.refresh != nil {
-				if rr := &c.refresh[r]; rr.phase == refClosing && rr.targetBank == b {
+				if rr := &c.refresh[r]; rr.phase == refClosing && rr.targetBank == c.dev.SlotOf(b) {
 					continue
 				}
 			}

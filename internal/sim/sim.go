@@ -54,6 +54,9 @@ type Config struct {
 	ROPPredictor core.Predictor
 	// FGR selects the fine-grained refresh mode (paper default 1x).
 	FGR dram.RefreshMode
+	// Standard names the DRAM standard to simulate (dram.Lookup); empty
+	// selects dram.DefaultStandard, the paper's DDR4-1600 device.
+	Standard string
 	// Instructions is the per-core instruction budget.
 	Instructions int64
 	// Seed drives workload generation and the ROP gate.
@@ -129,6 +132,13 @@ func (c Config) Validate() error {
 	}
 	if c.RunTimeout < 0 {
 		return fmt.Errorf("sim: negative RunTimeout %v", c.RunTimeout)
+	}
+	std, err := dram.Lookup(c.Standard)
+	if err != nil {
+		return err
+	}
+	if _, err := std.Params(c.FGR); err != nil {
+		return err
 	}
 	return c.CPU.Validate()
 }
@@ -317,8 +327,15 @@ func run(ctx context.Context, cfg Config) (*Result, *dram.Device, *memctrl.Contr
 	reg := stats.NewRegistry()
 
 	q := &event.Queue{}
-	geo := addr.DDR4Geometry(cfg.Ranks)
-	params := dram.DDR4_1600(cfg.FGR)
+	std, err := dram.Lookup(cfg.Standard)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	geo := std.Geometry(cfg.Ranks)
+	params, err := std.Params(cfg.FGR)
+	if err != nil {
+		return nil, nil, nil, err
+	}
 	if cfg.Mode == memctrl.ModeNoRefresh {
 		params = dram.NoRefresh(params)
 	}

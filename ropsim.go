@@ -114,6 +114,11 @@ func WeightedSpeedup(shared *Result, alone []float64) float64 {
 // Table I order.
 func Benchmarks() []string { return workload.PaperOrder() }
 
+// DRAMStandards lists the registered DRAM standard names, sorted
+// (Config.Standard accepts any of them; empty selects the paper's
+// DDR4-1600 device).
+func DRAMStandards() []string { return dram.StandardNames() }
+
 // Mix is a multiprogrammed 4-core workload.
 type Mix = workload.Mix
 

@@ -53,7 +53,8 @@ const (
 
 func main() {
 	var (
-		exps       = flag.String("exp", "all", "comma-separated experiment ids: fig1 fig2 fig3 fig4 tab1 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 abl-gate abl-pred abl-fgr abl-page policy future-bank xstd, or all")
+		exps       = flag.String("exp", "all", "comma-separated experiment ids: fig1 fig2 fig3 fig4 tab1 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 abl-gate abl-pred abl-fgr abl-page policy policies future-bank xstd, or all")
+		densities  = flag.String("densities", "", "restrict the policies sweep to comma-separated die densities in Gbit (default: 8,16,32,64)")
 		quickF     = flag.Bool("quick", false, "reduced run lengths (smoke test scale)")
 		insts      = flag.Int64("insts", 0, "override single-core instructions per run")
 		minsts     = flag.Int64("minsts", 0, "override per-core instructions of 4-core runs")
@@ -123,6 +124,15 @@ func main() {
 	o.Check = *checkF
 	o.RunTimeout = *runTimeout
 	o.Standard = *standard
+	if *densities != "" {
+		for _, s := range strings.Split(*densities, ",") {
+			var gb int
+			if _, err := fmt.Sscanf(strings.TrimSpace(s), "%d", &gb); err != nil {
+				usageErr(fmt.Errorf("bad -densities entry %q", s))
+			}
+			o.DensitiesGb = append(o.DensitiesGb, gb)
+		}
+	}
 
 	if *journalF != "" {
 		if !*resumeF {
@@ -377,6 +387,14 @@ func main() {
 	}
 	if sel("xstd") {
 		t, err := ropsim.CrossStandard(o)
+		if err != nil {
+			fail(err)
+		} else {
+			print(t)
+		}
+	}
+	if sel("policies") {
+		t, err := ropsim.Policies(o)
 		if err != nil {
 			fail(err)
 		} else {

@@ -39,8 +39,9 @@ func main() {
 	var (
 		bench      = flag.String("bench", "libquantum", "benchmark name, or comma-separated list for multi-core")
 		mix        = flag.String("mix", "", "workload mix name (WL1-WL6); overrides -bench")
-		mode       = flag.String("mode", "baseline", "refresh mode: baseline | norefresh | rop | elastic | pausing | bankrefresh | rop-bank | subarray")
+		mode       = flag.String("mode", "baseline", "refresh mode: baseline | norefresh | rop | elastic | pausing | bankrefresh | rop-bank | subarray | ooo-bank | darp | sarp")
 		standard   = flag.String("standard", "", "DRAM standard (see -list; default DDR4-1600)")
+		density    = flag.Int("density", 0, "projected die density in Gbit for tRFC scaling (0 = datasheet 8 Gb)")
 		insts      = flag.Int64("insts", 2_000_000, "instructions per core")
 		sram       = flag.Int("sram", 64, "ROP SRAM buffer capacity in cache lines")
 		llcMiB     = flag.Int("llc", 0, "LLC size in MiB (0 = paper default for core count)")
@@ -113,6 +114,12 @@ func main() {
 		cfg.Mode = ropsim.ModeROPBank
 	case "subarray":
 		cfg.Mode = ropsim.ModeSubarrayRefresh
+	case "ooo-bank":
+		cfg.Mode = ropsim.ModeOutOfOrderBank
+	case "darp":
+		cfg.Mode = ropsim.ModeDARP
+	case "sarp":
+		cfg.Mode = ropsim.ModeSARP
 	default:
 		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *mode)
 		os.Exit(2)
@@ -125,6 +132,7 @@ func main() {
 	cfg.Check = *checkF
 	cfg.RunTimeout = *runTimeout
 	cfg.Standard = *standard
+	cfg.DensityGb = *density
 	if *llcMiB > 0 {
 		cfg.LLCBytes = *llcMiB * cache.MiB
 	}
@@ -156,6 +164,9 @@ func main() {
 		cfg.Mode, cfg.Ranks, cfg.LLCBytes/cache.MiB, cfg.Instructions, cfg.Seed)
 	if cfg.Standard != "" {
 		fmt.Printf("standard=%s\n", cfg.Standard)
+	}
+	if cfg.DensityGb != 0 {
+		fmt.Printf("density=%dGb\n", cfg.DensityGb)
 	}
 	for i, c := range res.Cores {
 		fmt.Printf("core %d %-11s IPC=%.4f memReads=%d memWrites=%d llcHitReads=%d\n",

@@ -36,6 +36,9 @@ type ExpOptions struct {
 	SRAMSizes []int
 	// LLCSizesMiB lists the LLC sweep sizes of Figs 12-14.
 	LLCSizesMiB []int
+	// DensitiesGb restricts the die-density points of the Policies sweep
+	// (nil = every dram.Densities() point).
+	DensitiesGb []int
 	// Progress, when non-nil, receives one line per completed run.
 	// Workers log concurrently; lines are serialized but their order is
 	// scheduling-dependent. The rendered tables are not.
@@ -357,25 +360,33 @@ func Fig7to9(o ExpOptions) (fig7, fig8, fig9 *Table, err error) {
 	return fig7, fig8, fig9, nil
 }
 
-// aloneKey identifies one memoized alone-IPC run: the benchmark and the
-// LLC size it ran under (0 = the multiprogram default).
+// aloneKey identifies one memoized alone-IPC run: the benchmark, the
+// LLC size it ran under (0 = the multiprogram default), and the die
+// density (0 = datasheet 8 Gb).
 type aloneKey struct {
-	bench string
-	llc   int
+	bench   string
+	llc     int
+	density int
 }
 
 // aloneIPC computes (once per key, concurrency-safe) the alone IPC of
-// bench on the multi-core platform: 4 ranks and the given LLC.
-func (o *ExpOptions) aloneIPC(bench string, llcBytes int, memo *runner.Memo[aloneKey, float64]) (float64, error) {
-	return memo.Do(aloneKey{bench, llcBytes}, func() (float64, error) {
+// bench on the multi-core platform: 4 ranks and the given LLC, at the
+// given die density.
+func (o *ExpOptions) aloneIPC(bench string, llcBytes, density int, memo *runner.Memo[aloneKey, float64]) (float64, error) {
+	return memo.Do(aloneKey{bench, llcBytes, density}, func() (float64, error) {
 		cfg := o.multi([]string{bench}, ModeBaseline, false)
 		cfg.Ranks = 4
+		cfg.DensityGb = density
 		if llcBytes > 0 {
 			cfg.LLCBytes = llcBytes
 		} else {
 			cfg.LLCBytes = Default("a", "b", "c", "d").LLCBytes
 		}
-		res, err := o.runOne("alone/"+bench, cfg)
+		label := "alone/" + bench
+		if density != 0 {
+			label = fmt.Sprintf("alone/%s/%dGb", bench, density)
+		}
+		res, err := o.runOne(label, cfg)
 		if err != nil {
 			return 0, err
 		}
@@ -385,10 +396,10 @@ func (o *ExpOptions) aloneIPC(bench string, llcBytes int, memo *runner.Memo[alon
 
 // aloneIPCs resolves the per-member alone IPCs of a mix through the
 // memo (all cache hits when the batch pre-warmed it).
-func (o *ExpOptions) aloneIPCs(members []string, llcBytes int, memo *runner.Memo[aloneKey, float64]) ([]float64, error) {
+func (o *ExpOptions) aloneIPCs(members []string, llcBytes, density int, memo *runner.Memo[aloneKey, float64]) ([]float64, error) {
 	out := make([]float64, len(members))
 	for i, b := range members {
-		v, err := o.aloneIPC(b, llcBytes, memo)
+		v, err := o.aloneIPC(b, llcBytes, density, memo)
 		if err != nil {
 			return nil, err
 		}
@@ -397,16 +408,19 @@ func (o *ExpOptions) aloneIPCs(members []string, llcBytes int, memo *runner.Memo
 	return out, nil
 }
 
-// aloneTask warms the alone-IPC memo for one (bench, LLC) key as part
-// of a batch; the result is read back through the memo, so the task's
-// own *Result slot stays nil.
-func (o *ExpOptions) aloneTask(bench string, llcBytes int, memo *runner.Memo[aloneKey, float64]) runner.Task[*Result] {
+// aloneTask warms the alone-IPC memo for one (bench, LLC, density) key
+// as part of a batch; the result is read back through the memo, so the
+// task's own *Result slot stays nil.
+func (o *ExpOptions) aloneTask(bench string, llcBytes, density int, memo *runner.Memo[aloneKey, float64]) runner.Task[*Result] {
 	label := "alone/" + bench
 	if llcBytes > 0 {
 		label = fmt.Sprintf("alone/%s/%dMB", bench, llcBytes/cache.MiB)
 	}
+	if density != 0 {
+		label = fmt.Sprintf("%s/%dGb", label, density)
+	}
 	return runner.Task[*Result]{Label: label, Run: func(context.Context) (*Result, error) {
-		_, err := o.aloneIPC(bench, llcBytes, memo)
+		_, err := o.aloneIPC(bench, llcBytes, density, memo)
 		return nil, err
 	}}
 }
@@ -427,7 +441,7 @@ func Fig10and11(o ExpOptions) (fig10, fig11 *Table, err error) {
 		for _, b := range m.Members {
 			if !seen[b] {
 				seen[b] = true
-				tasks = append(tasks, o.aloneTask(b, 0, memo))
+				tasks = append(tasks, o.aloneTask(b, 0, 0, memo))
 			}
 		}
 	}
@@ -445,7 +459,7 @@ func Fig10and11(o ExpOptions) (fig10, fig11 *Table, err error) {
 
 	var ratios []float64
 	for i, m := range mixes {
-		alone, err := o.aloneIPCs(m.Members, 0, memo)
+		alone, err := o.aloneIPCs(m.Members, 0, 0, memo)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -483,10 +497,10 @@ func Fig12to14(o ExpOptions) (fig12, fig13, fig14 *Table, err error) {
 		llc := mb * cache.MiB
 		for _, m := range mixes {
 			for _, b := range m.Members {
-				key := aloneKey{b, llc}
+				key := aloneKey{bench: b, llc: llc}
 				if !seen[key] {
 					seen[key] = true
-					tasks = append(tasks, o.aloneTask(b, llc, memo))
+					tasks = append(tasks, o.aloneTask(b, llc, 0, memo))
 				}
 			}
 		}
@@ -516,7 +530,7 @@ func Fig12to14(o ExpOptions) (fig12, fig13, fig14 *Table, err error) {
 		hitRow := []any{m.Name}
 		for _, mb := range o.LLCSizesMiB {
 			llc := mb * cache.MiB
-			alone, err := o.aloneIPCs(m.Members, llc, memo)
+			alone, err := o.aloneIPCs(m.Members, llc, 0, memo)
 			if err != nil {
 				return nil, nil, nil, err
 			}
@@ -782,6 +796,102 @@ func CrossStandard(o ExpOptions) (*Table, error) {
 			t.AddRow(std.Name(), b, rb.Cores[0].IPC, rr.Cores[0].IPC, rn.Cores[0].IPC,
 				recovered, busy)
 		}
+	}
+	return t, nil
+}
+
+// Policies runs the refresh-policy lab: the native baseline, the Chang
+// et al. HPCA'14 line (out-of-order per-bank scheduling, DARP, SARP),
+// ROP, and the no-refresh ideal, head-to-head on the 4-core mixes
+// across projected die densities (8/16/32/64 Gb tRFC scaling,
+// dram.ScaleDensity). Each row reports weighted speedup normalized to
+// the same-density native baseline — all-bank auto-refresh on all-bank
+// standards, bank-granularity refresh otherwise (with ROP layered on
+// the same native granularity, as in CrossStandard) — plus the
+// fraction of the device the baseline spent refresh-locked, and each
+// density closes with a GEOMEAN row. ExpOptions.DensitiesGb restricts
+// the density points (nil = every dram.Densities() point).
+func Policies(o ExpOptions) (*Table, error) {
+	t := &Table{ID: "policies", Title: "Refresh-policy lab: weighted speedup normalized to the native baseline, by die density",
+		Header: []string{"density_gb", "mix", "Baseline", "OoO", "DARP", "SARP", "ROP", "NoRefresh", "base_refresh_busy_%"}}
+	std, err := dram.Lookup(o.Standard)
+	if err != nil {
+		return nil, err
+	}
+	base, rop := ModeBaseline, ModeROP
+	if std.Refresh().Granularity != dram.GranularityAllBank {
+		base, rop = ModeBankRefresh, ModeROPBank
+	}
+	modes := []Mode{base, ModeOutOfOrderBank, ModeDARP, ModeSARP, rop, ModeNoRefresh}
+	densities := o.DensitiesGb
+	if len(densities) == 0 {
+		densities = dram.Densities()
+	}
+	mixes := o.mixes()
+	memo := &runner.Memo[aloneKey, float64]{}
+	var tasks []runner.Task[*Result]
+	seen := map[aloneKey]bool{}
+	for _, gb := range densities {
+		for _, m := range mixes {
+			for _, b := range m.Members {
+				key := aloneKey{bench: b, density: gb}
+				if !seen[key] {
+					seen[key] = true
+					tasks = append(tasks, o.aloneTask(b, 0, gb, memo))
+				}
+			}
+		}
+	}
+	sysBase := len(tasks)
+	for _, gb := range densities {
+		for _, m := range mixes {
+			for _, mode := range modes {
+				cfg := o.multi(m.Members, mode, false)
+				cfg.DensityGb = gb
+				tasks = append(tasks, o.task(fmt.Sprintf("policies/%dGb/%s/%v", gb, m.Name, mode), cfg))
+			}
+		}
+	}
+	results, err := o.runBatch(tasks)
+	if err != nil {
+		return nil, err
+	}
+	idx := sysBase
+	for _, gb := range densities {
+		norm := make([][]float64, len(modes))
+		for _, m := range mixes {
+			alone, err := o.aloneIPCs(m.Members, 0, gb, memo)
+			if err != nil {
+				return nil, err
+			}
+			rb := results[idx]
+			wsBase := WeightedSpeedup(rb, alone)
+			row := []any{gb, m.Name}
+			for j := range modes {
+				v := WeightedSpeedup(results[idx+j], alone) / wsBase
+				norm[j] = append(norm[j], v)
+				row = append(row, v)
+			}
+			idx += len(modes)
+			busy := 0.0
+			if locked, ok := rb.Metrics.Field("dram.ref_locked_cycles", "value"); ok {
+				// Same normalization as CrossStandard: rank-cycles under
+				// all-bank REF, locked-bank-cycles under bank granularity.
+				denom := float64(rb.ElapsedBus) * float64(Default(m.Members...).Ranks)
+				if std.Refresh().Granularity != dram.GranularityAllBank {
+					denom *= float64(std.Geometry(1).Banks)
+				}
+				busy = locked / denom * 100
+			}
+			row = append(row, busy)
+			t.AddRow(row...)
+		}
+		gmRow := []any{gb, "GEOMEAN"}
+		for j := range modes {
+			gmRow = append(gmRow, stats.GeoMean(norm[j]))
+		}
+		gmRow = append(gmRow, "")
+		t.AddRow(gmRow...)
 	}
 	return t, nil
 }

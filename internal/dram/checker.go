@@ -15,6 +15,12 @@ type Checker struct {
 	p   Params
 	geo addr.Geometry
 
+	// REFsaDur overrides the subarray-lock duration the checker models
+	// for CmdREFsa: zero selects tRFCsa (ModeSubarrayRefresh); SARP runs
+	// set it to tRFCpb, since SARP confines a full per-bank refresh to
+	// one subarray per command (Chang et al. HPCA'14).
+	REFsaDur event.Cycle
+
 	open       [][]int64       // open row per rank/bank, noRow if closed
 	lastACT    [][]event.Cycle // per bank
 	lastPRE    [][]event.Cycle
@@ -24,6 +30,7 @@ type Checker struct {
 	lastWREnd  []event.Cycle   // per rank: end of last write burst
 	refEnd     []event.Cycle   // per rank
 	bankRefEnd [][]event.Cycle // per bank: end of an in-flight REFpb
+	saRefEnd   [][][]event.Cycle // per bank: subarray-refresh ends, lazily allocated
 	busBusyTil event.Cycle
 	seen       bool // any command seen yet
 	lastAt     event.Cycle
@@ -43,8 +50,10 @@ func NewChecker(p Params, geo addr.Geometry) *Checker {
 	c.lastWREnd = make([]event.Cycle, geo.Ranks)
 	c.refEnd = make([]event.Cycle, geo.Ranks)
 	c.bankRefEnd = make([][]event.Cycle, geo.Ranks)
+	c.saRefEnd = make([][][]event.Cycle, geo.Ranks)
 	for r := 0; r < geo.Ranks; r++ {
 		c.bankRefEnd[r] = fillNever(geo.Banks)
+		c.saRefEnd[r] = make([][]event.Cycle, geo.Banks)
 		c.open[r] = make([]int64, geo.Banks)
 		c.lastACT[r] = fillNever(geo.Banks)
 		c.lastPRE[r] = fillNever(geo.Banks)
@@ -65,6 +74,24 @@ func fillNever(n int) []event.Cycle {
 		s[i] = neverIssued
 	}
 	return s
+}
+
+// subarrayOf mirrors Device.SubarrayOf independently (the checker
+// shares no code with Device by design): rows partition evenly into
+// Subarrays regions, with the remainder clamped into the last.
+func (c *Checker) subarrayOf(row int) int {
+	if c.p.Subarrays <= 0 {
+		return 0
+	}
+	per := c.geo.Rows / c.p.Subarrays
+	if per == 0 {
+		return 0
+	}
+	sa := row / per
+	if sa >= c.p.Subarrays {
+		sa = c.p.Subarrays - 1
+	}
+	return sa
 }
 
 func (c *Checker) violation(cmd Command, format string, args ...any) error {
@@ -108,6 +135,11 @@ func (c *Checker) Check(cmd Command) error {
 		}
 		if cmd.At < c.bankRefEnd[r][b] {
 			return c.violation(cmd, "bank frozen by per-bank refresh until %d", c.bankRefEnd[r][b])
+		}
+		if sas := c.saRefEnd[r][b]; sas != nil {
+			if sa := c.subarrayOf(cmd.Row); cmd.At < sas[sa] {
+				return c.violation(cmd, "ACT into subarray %d refreshing until %d", sa, sas[sa])
+			}
 		}
 		if err := c.requireGap(cmd, c.lastACT[r][b], c.p.RC, "tRC"); err != nil {
 			return err
@@ -214,6 +246,35 @@ func (c *Checker) Check(cmd Command) error {
 			return err
 		}
 		c.bankRefEnd[r][b] = cmd.At + c.p.RFCpb
+
+	case CmdREFsa:
+		// Mirrors Device.IssueREFsa / IssueREFpbSub semantics: the target
+		// subarray must be quiet (no open row inside it, no refresh in
+		// flight on it), but the bank itself keeps serving, so there is
+		// deliberately no tRP/tRC gating against the whole bank.
+		dur := c.REFsaDur
+		if dur <= 0 {
+			dur = c.p.RFCsa
+		}
+		if dur <= 0 || c.p.Subarrays <= 0 {
+			return c.violation(cmd, "REFsa without subarray timing")
+		}
+		if cmd.Sub < 0 || cmd.Sub >= c.p.Subarrays {
+			return c.violation(cmd, "subarray %d out of range", cmd.Sub)
+		}
+		if cmd.At < c.bankRefEnd[r][b] {
+			return c.violation(cmd, "REFsa over bank's per-bank refresh (until %d)", c.bankRefEnd[r][b])
+		}
+		if c.open[r][b] != noRow && c.subarrayOf(int(c.open[r][b])) == cmd.Sub {
+			return c.violation(cmd, "REFsa with the target subarray's row open (row %d)", c.open[r][b])
+		}
+		if sas := c.saRefEnd[r][b]; sas != nil && cmd.At < sas[cmd.Sub] {
+			return c.violation(cmd, "subarray already refreshing until %d", sas[cmd.Sub])
+		}
+		if c.saRefEnd[r][b] == nil {
+			c.saRefEnd[r][b] = fillNever(c.p.Subarrays)
+		}
+		c.saRefEnd[r][b][cmd.Sub] = cmd.At + dur
 
 	default:
 		return c.violation(cmd, "unknown command kind")

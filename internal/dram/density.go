@@ -1,0 +1,52 @@
+package dram
+
+import (
+	"fmt"
+
+	"ropsim/internal/event"
+)
+
+// densityRFCNanos maps die density in Gbit to the projected all-bank
+// tRFC in nanoseconds. 8 Gb and 16 Gb are the JESD79-4 datasheet
+// values (350 ns and 550 ns); 32 Gb and 64 Gb extrapolate the
+// ~1.6x-per-density-doubling trend that both the ROP paper (§I) and
+// Chang et al. HPCA'14 (§7) use for their refresh-overhead
+// projections.
+var densityRFCNanos = map[int]int64{8: 350, 16: 550, 32: 880, 64: 1408}
+
+// densityBaseGb is the datasheet die density the registered standards'
+// refresh cycle times describe.
+const densityBaseGb = 8
+
+// Densities lists the supported die densities in Gbit, ascending — the
+// sweep axis of the refresh-policy density extrapolation.
+func Densities() []int { return []int{8, 16, 32, 64} }
+
+// ScaleDensity returns p with its refresh cycle times scaled from the
+// 8 Gb datasheet die to a gb-Gbit die: tRFC (and proportionally tRFCpb
+// and tRFCsa) grows with the density projection while tREFI stays
+// fixed, so denser dies spend a larger fraction of every refresh
+// interval frozen. gb = 0 or 8 returns p unchanged; unsupported
+// densities are an error listing Densities().
+func ScaleDensity(p Params, gb int) (Params, error) {
+	if gb == 0 || gb == densityBaseGb {
+		return p, nil
+	}
+	target, ok := densityRFCNanos[gb]
+	if !ok {
+		return Params{}, fmt.Errorf("dram: unsupported density %d Gb (supported: %v)", gb, Densities())
+	}
+	base := densityRFCNanos[densityBaseGb]
+	scale := func(v event.Cycle) event.Cycle {
+		if v <= 0 {
+			return v
+		}
+		//simlint:cycles "integer rescaling of an existing bus-cycle refresh duration by the density tRFC ratio, rounded up"
+		return event.Cycle((int64(v)*target + base - 1) / base)
+	}
+	p.RFC = scale(p.RFC)
+	p.RFCpb = scale(p.RFCpb)
+	p.RFCsa = scale(p.RFCsa)
+	p.Name = fmt.Sprintf("%s/%dGb", p.Name, gb)
+	return p, nil
+}

@@ -23,6 +23,12 @@ const (
 	// locks, for tRFCpb. A same-bank refresh emits one CmdREFpb per
 	// bank of its set.
 	CmdREFpb
+	// CmdREFsa is a subarray-scoped refresh: only the Sub subarray of
+	// the target bank locks, so the bank's other subarrays keep serving
+	// accesses. ModeSubarrayRefresh issues it with duration tRFCsa; SARP
+	// (Chang et al. HPCA'14) issues it with duration tRFCpb — a full
+	// per-bank refresh confined to one subarray region per command.
+	CmdREFsa
 )
 
 // String implements fmt.Stringer.
@@ -40,6 +46,8 @@ func (k CommandKind) String() string {
 		return "REF"
 	case CmdREFpb:
 		return "REFpb"
+	case CmdREFsa:
+		return "REFsa"
 	}
 	return fmt.Sprintf("CommandKind(%d)", int(k))
 }
@@ -53,6 +61,7 @@ type Command struct {
 	Bank int         // unused for REF
 	Row  int         // ACT only
 	Col  int         // RD/WR only
+	Sub  int         // REFsa only: the refreshed subarray
 }
 
 const noRow = -1
@@ -272,6 +281,62 @@ func (d *Device) IssueREFsa(at event.Cycle, rankID, bankID, sa int) event.Cycle 
 	bk.saRefBusyUntil[sa] = end
 	d.NumREF.Inc()
 	d.RefLockedCycles.Add(int64(d.p.RFCsa))
+	return end
+}
+
+// AnySubarrayRefreshing reports whether any subarray of the bank is
+// locked by a subarray-scoped refresh at cycle now. SARP's
+// parallel-service accounting uses it to count demand commands served
+// while the bank is mid-refresh.
+func (d *Device) AnySubarrayRefreshing(rankID, bankID int, now event.Cycle) bool {
+	bk := &d.ranks[rankID].banks[bankID]
+	for _, t := range bk.saRefBusyUntil {
+		if now < t {
+			return true
+		}
+	}
+	return false
+}
+
+// EarliestREFpbSub reports the first cycle ≥ now at which a SARP
+// subarray-confined bank refresh of the slot's banks is legal: like a
+// slot refresh, but only the target subarray of each bank must be
+// quiet — open rows in other subarrays keep the banks serving.
+func (d *Device) EarliestREFpbSub(now event.Cycle, rankID, slot, sa int) event.Cycle {
+	t := now
+	for _, b := range d.slotBanks[slot] {
+		t = maxCycle(t, d.EarliestREFsa(now, rankID, b, sa))
+	}
+	return t
+}
+
+// IssueREFpbSub commits one SARP refresh command (Chang et al.
+// HPCA'14): each bank of the slot locks only subarray sa, for tRFCpb —
+// the full per-bank refresh current and duration, confined by SARP's
+// per-subarray peripherals to one subarray region per command. Demand
+// to the banks' other subarrays proceeds throughout. One command
+// increments NumREF once; the locked time accounts each bank's frozen
+// subarray window. It returns the unlock cycle.
+func (d *Device) IssueREFpbSub(at event.Cycle, rankID, slot, sa int) event.Cycle {
+	if d.p.RFCpb <= 0 || d.p.Subarrays <= 0 {
+		panic("dram: REFpbSub without RFCpb/subarray timing")
+	}
+	if sa < 0 || sa >= d.p.Subarrays {
+		panic("dram: subarray out of range")
+	}
+	end := at + d.p.RFCpb
+	for _, b := range d.slotBanks[slot] {
+		bk := &d.ranks[rankID].banks[b]
+		if bk.openRow != noRow && d.SubarrayOf(int(bk.openRow)) == sa {
+			panic("dram: REFpbSub with the target subarray's row open")
+		}
+		if bk.saRefBusyUntil == nil {
+			bk.saRefBusyUntil = make([]event.Cycle, d.p.Subarrays)
+		}
+		bk.saRefBusyUntil[sa] = end
+		d.RefLockedCycles.Add(int64(d.p.RFCpb))
+	}
+	d.NumREF.Inc()
 	return end
 }
 

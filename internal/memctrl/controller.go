@@ -52,6 +52,23 @@ const (
 	// §VII finest granularity, SALP-style): only rows of the refreshing
 	// subarray conflict; the rest of the bank keeps serving.
 	ModeSubarrayRefresh
+	// ModeOutOfOrderBank is out-of-order per-bank refresh scheduling
+	// (Chang et al. HPCA'14 §4.2 baseline scheduler): each refresh
+	// slot's due time is tracked separately, an idle slot's refresh is
+	// pulled forward and a busy slot's postponed, both within the JEDEC
+	// eight-command pull-in/postpone window.
+	ModeOutOfOrderBank
+	// ModeDARP is Dynamic Access-Refresh Parallelization (Chang et al.
+	// HPCA'14): out-of-order per-bank refresh plus write-drain
+	// piggybacking — during a write-drain batch, refreshes issue to
+	// banks with no pending writes, hiding them under the drain.
+	ModeDARP
+	// ModeSARP is Subarray Access-Refresh Parallelization (Chang et al.
+	// HPCA'14): a bank's refresh is confined to one subarray per
+	// command, so demand to the bank's other subarrays proceeds during
+	// the whole tRFCpb window (~0.71% DRAM die cost, surfaced as a
+	// metric).
+	ModeSARP
 )
 
 // String implements fmt.Stringer.
@@ -73,6 +90,12 @@ func (m Mode) String() string {
 		return "rop-bank"
 	case ModeSubarrayRefresh:
 		return "subarray"
+	case ModeOutOfOrderBank:
+		return "ooo-bank"
+	case ModeDARP:
+		return "darp"
+	case ModeSARP:
+		return "sarp"
 	}
 	return fmt.Sprintf("Mode(%d)", int(m))
 }
@@ -216,7 +239,22 @@ type Controller struct {
 	// PrefetchThrottled counts fill sessions cut short by the demand
 	// queue pressure throttle.
 	PrefetchThrottled stats.Counter
+	// RefreshPullIns counts refreshes issued ahead of their slot's due
+	// time (out-of-order scheduling's JEDEC pull-in window).
+	RefreshPullIns stats.Counter
+	// DrainPiggybacks counts refreshes issued during a write-drain batch
+	// under DARP (write-refresh parallelization, Chang et al. HPCA'14).
+	DrainPiggybacks stats.Counter
+	// SARPParallelServes counts demand ACT/RD/WR commands issued to a
+	// bank while one of its subarrays was refreshing — the accesses SARP
+	// parallelizes with refresh.
+	SARPParallelServes stats.Counter
 }
+
+// sarpDieAreaPct is the DRAM die area overhead Chang et al. HPCA'14
+// report for SARP's per-subarray peripherals (§5.4), in percent;
+// surfaced as a gauge so the cost rides along with the benefit.
+const sarpDieAreaPct = 0.71
 
 // readLatencyBounds are the ReadLatencyHist bucket bounds in bus
 // cycles: the low end captures SRAM-buffer hits (~1 cycle) and row
@@ -242,6 +280,12 @@ func (c *Controller) RegisterMetrics(r *stats.Registry) {
 	r.Register("fills_dropped", &c.FillsDropped)
 	r.Register("fill_phase_cycles", &c.FillPhaseCycles)
 	r.Register("prefetch_throttled", &c.PrefetchThrottled)
+	r.Register("refresh_pull_ins", &c.RefreshPullIns)
+	r.Register("drain_piggybacks", &c.DrainPiggybacks)
+	r.Register("sarp_parallel_cmds", &c.SARPParallelServes)
+	if c.cfg.Mode == ModeSARP {
+		r.Gauge("sarp_die_area_overhead_pct", func() float64 { return sarpDieAreaPct })
+	}
 	if c.rop != nil {
 		c.rop.RegisterMetrics(r.Sub("rop"))
 	}
@@ -265,13 +309,17 @@ func New(cfg Config, dev *dram.Device, q *event.Queue) (*Controller, error) {
 	p0 := dev.Params()
 	if p0.REFI > 0 {
 		switch cfg.Mode {
-		case ModeBankRefresh, ModeROPBank:
+		case ModeBankRefresh, ModeROPBank, ModeOutOfOrderBank, ModeDARP:
 			if p0.RFCpb <= 0 {
 				return nil, fmt.Errorf("memctrl: bank-refresh mode requires RFCpb timing")
 			}
 		case ModeSubarrayRefresh:
 			if p0.RFCsa <= 0 || p0.Subarrays <= 0 {
 				return nil, fmt.Errorf("memctrl: subarray-refresh mode requires RFCsa/Subarrays timing")
+			}
+		case ModeSARP:
+			if p0.RFCpb <= 0 || p0.Subarrays <= 0 {
+				return nil, fmt.Errorf("memctrl: SARP requires RFCpb/Subarrays timing")
 			}
 		}
 	}
@@ -292,7 +340,7 @@ func New(cfg Config, dev *dram.Device, q *event.Queue) (*Controller, error) {
 		c.refresh = make([]rankRefresh, geo.Ranks)
 		cadence := p.REFI
 		switch cfg.Mode {
-		case ModeBankRefresh, ModeROPBank:
+		case ModeBankRefresh, ModeROPBank, ModeOutOfOrderBank, ModeDARP, ModeSARP:
 			// One bank-granularity command per slot per tREFI: slots =
 			// banks, except under same-bank refresh (DDR5) where one
 			// command covers a whole bank set.
@@ -308,6 +356,24 @@ func New(cfg Config, dev *dram.Device, q *event.Queue) (*Controller, error) {
 			// at most one rank is frozen at a time (and the shared SRAM
 			// buffer is never contended).
 			c.refresh[r].due = cadence * event.Cycle(r+1) / event.Cycle(geo.Ranks)
+			switch {
+			case c.oooMode():
+				// Out-of-order scheduling tracks a due time per slot: the
+				// in-order schedule would visit slot s one cadence after
+				// slot s-1, each slot recurring every tREFI.
+				n := dev.RefreshSlots()
+				sd := make([]event.Cycle, n)
+				for s := 0; s < n; s++ {
+					sd[s] = c.refresh[r].due + cadence*event.Cycle(s)
+				}
+				c.refresh[r].slotDue = sd
+			case cfg.Mode == ModeSARP:
+				// A rotating subarray counter per slot: a shared counter
+				// would alias with the slot rotation (same slot count and
+				// subarray count ⇒ every bank refreshing one subarray
+				// forever), so each slot rotates independently.
+				c.refresh[r].slotSA = make([]int, dev.RefreshSlots())
+			}
 		}
 	}
 	if p.REFI > 0 {
@@ -364,6 +430,14 @@ func (c *Controller) SetCommandObserver(fn func(dram.Command)) { c.cmdObs = fn }
 // command-issue site routes through here so the sanitizer sees the
 // complete stream.
 func (c *Controller) emit(cmd dram.Command) {
+	if c.cfg.Mode == ModeSARP {
+		switch cmd.Kind {
+		case dram.CmdACT, dram.CmdRD, dram.CmdWR:
+			if c.dev.AnySubarrayRefreshing(cmd.Rank, cmd.Bank, cmd.At) {
+				c.SARPParallelServes.Inc()
+			}
+		}
+	}
 	if c.capture != nil {
 		c.capture.Command(cmd)
 	}
@@ -597,22 +671,45 @@ func (c *Controller) tick(now event.Cycle) {
 // refresh mode under it. Not safe to toggle mid-run.
 var CrossCheckWake bool
 
-// nextRefreshDue reports the earliest refresh due time across ranks.
+// nextRefreshDue reports the earliest cycle at which any rank's
+// refresh machine wants attention: the earliest due time, except under
+// out-of-order scheduling where it is the earliest issuable pick or
+// slot-schedule boundary (oooWake).
 func (c *Controller) nextRefreshDue() (event.Cycle, bool) {
+	ooo := c.oooMode()
+	now := c.q.Now()
 	var best event.Cycle
 	found := false
 	for r := range c.refresh {
-		if !found || c.refresh[r].due < best {
-			best = c.refresh[r].due
+		due := c.refresh[r].due
+		if ooo && c.refresh[r].phase == refIdle {
+			due = c.oooWake(r, now)
+		}
+		if !found || due < best {
+			best = due
 			found = true
 		}
 	}
 	return best, found
 }
 
-// bankMode reports whether refresh runs at bank granularity.
+// bankMode reports whether refresh runs at bank granularity: a due
+// refresh targets one slot and demand blocking is per bank, not per
+// rank. SARP qualifies — its refresh command covers a slot — but its
+// banks never set refBusyUntil, so bankBlocked only covers the brief
+// refClosing quiesce of the target slot.
 func (c *Controller) bankMode() bool {
-	return c.cfg.Mode == ModeBankRefresh || c.cfg.Mode == ModeROPBank
+	switch c.cfg.Mode {
+	case ModeBankRefresh, ModeROPBank, ModeOutOfOrderBank, ModeDARP, ModeSARP:
+		return true
+	}
+	return false
+}
+
+// oooMode reports whether refresh slots are scheduled out of order
+// (per-slot due times with the JEDEC pull-in/postpone window).
+func (c *Controller) oooMode() bool {
+	return c.cfg.Mode == ModeOutOfOrderBank || c.cfg.Mode == ModeDARP
 }
 
 // completeRead finishes a demand read or prefetch fill at dataAt.

@@ -9,6 +9,11 @@ import (
 // debugElastic is a test hook.
 var debugElastic func(now, due event.Cycle, backlog, readq int)
 
+// debugOoO is a test hook observing out-of-order refresh accounting at
+// each issue: the rank's owed (postponed) and pulled-ahead refresh
+// counts right after the issue.
+var debugOoO func(now event.Cycle, owed, ahead int)
+
 // refPhase is the per-rank refresh state.
 type refPhase int
 
@@ -36,8 +41,13 @@ const (
 const drainFracREFI = 0.03
 
 // maxElasticBacklog is the JEDEC limit on outstanding postponed
-// refreshes (ModeElastic).
+// refreshes (ModeElastic and the out-of-order bank modes).
 const maxElasticBacklog = 8
+
+// maxPullInAhead is the JEDEC limit on refreshes issued ahead of
+// schedule (the pull-in half of the 8×tREFI elasticity window the
+// out-of-order bank modes exploit).
+const maxPullInAhead = 8
 
 // pauseSegments is how many pausable segments one refresh divides into
 // (ModePausing), and pauseResumeOverhead the extra cycles each resumed
@@ -60,7 +70,19 @@ type rankRefresh struct {
 	// mode the bank itself.
 	targetBank int
 	// targetSA is the subarray being refreshed (ModeSubarrayRefresh).
-	targetSA      int
+	targetSA int
+	// slotDue (out-of-order bank modes) is each refresh slot's own
+	// schedule: the tREFI boundary its next refresh is nominally due at.
+	// Out-of-order scheduling picks among slots instead of rotating, so
+	// the schedule must be tracked per slot rather than via due.
+	slotDue []event.Cycle
+	// slotSA (ModeSARP) is each refresh slot's rotating subarray
+	// counter. Kept per slot so slot rotation and subarray rotation
+	// cannot alias when RefreshSlots divides Subarrays evenly.
+	slotSA []int
+	// pullIn marks the pending refClosing issue as a pull-in (the picked
+	// slot's schedule is still in the future).
+	pullIn        bool
 	phase         refPhase
 	due           event.Cycle // scheduled tREFI boundary of the next refresh
 	drainDeadline event.Cycle // drain must finish by here (ROP)
@@ -83,6 +105,15 @@ func (c *Controller) refreshStep(now event.Cycle) bool {
 			case refIdle:
 				if c.cfg.Mode == ModeSubarrayRefresh {
 					if now >= rr.due {
+						rr.phase = refClosing
+						progress = true
+					}
+					break
+				}
+				if c.oooMode() {
+					if slot, pullIn := c.pickOoOSlot(r, now); slot >= 0 {
+						rr.targetBank = slot
+						rr.pullIn = pullIn
 						rr.phase = refClosing
 						progress = true
 					}
@@ -139,6 +170,12 @@ func (c *Controller) refreshStep(now event.Cycle) bool {
 			case refClosing:
 				if c.cfg.Mode == ModeSubarrayRefresh {
 					if c.closeSubarrayStep(r, now) {
+						return true
+					}
+					break
+				}
+				if c.cfg.Mode == ModeSARP {
+					if c.closeSARPStep(r, now) {
 						return true
 					}
 					break
@@ -419,6 +456,19 @@ func SetDebugElastic(fn func(now, due int64, backlog, readq int)) {
 	}
 }
 
+// SetDebugOoO installs the out-of-order refresh test hook
+// (diagnostics): it observes the rank's owed and pulled-ahead refresh
+// counts right after each out-of-order issue.
+func SetDebugOoO(fn func(now int64, owed, ahead int)) {
+	if fn == nil {
+		debugOoO = nil
+		return
+	}
+	debugOoO = func(now event.Cycle, owed, ahead int) {
+		fn(int64(now), owed, ahead)
+	}
+}
+
 // beginBankRefresh starts one bank's refresh round (bank modes). Under
 // ModeROPBank the engine's gate decides whether the bank's predicted
 // lines are staged first.
@@ -508,15 +558,122 @@ func (c *Controller) closeBankStep(rank int, now event.Cycle) bool {
 		c.emit(dram.Command{Kind: dram.CmdREFpb, At: now, Rank: rank, Bank: b})
 	}
 	c.RefreshesIssued.Inc()
-	c.RefreshPostponedCycles.Observe(float64(now - rr.due))
+	if c.oooMode() {
+		// Out-of-order accounting: each slot keeps its own schedule, and
+		// the issue either retires an owed refresh (postponement is how
+		// far past the slot's boundary it ran) or banks a pull-in.
+		if rr.pullIn {
+			c.RefreshPullIns.Inc()
+		} else {
+			c.RefreshPostponedCycles.Observe(float64(now - rr.slotDue[slot]))
+		}
+		if c.cfg.Mode == ModeDARP && c.draining {
+			c.DrainPiggybacks.Inc()
+		}
+		rr.slotDue[slot] += c.dev.Params().REFI
+		rr.pullIn = false
+		due := rr.slotDue[0]
+		for _, d := range rr.slotDue[1:] {
+			if d < due {
+				due = d
+			}
+		}
+		rr.due = due
+		if debugOoO != nil {
+			owed, ahead := c.oooBacklog(rank, now)
+			debugOoO(now, owed, ahead)
+		}
+	} else {
+		c.RefreshPostponedCycles.Observe(float64(now - rr.due))
+		rr.due += c.dev.Params().REFI / event.Cycle(c.dev.RefreshSlots())
+	}
 	rr.refEnd = end
-	rr.due += c.dev.Params().REFI / event.Cycle(c.dev.RefreshSlots())
 	rr.phase = refRefreshing
 	if c.rop != nil {
 		c.probeQueuedBankReads(rank, slot, now)
 	}
-	rr.targetBank = (rr.targetBank + 1) % c.dev.RefreshSlots()
+	if !c.oooMode() {
+		rr.targetBank = (rr.targetBank + 1) % c.dev.RefreshSlots()
+	}
 	return true
+}
+
+// oooBacklog tallies the rank's out-of-order refresh position at now:
+// owed counts refreshes whose slot boundary has passed without an
+// issue, ahead counts refreshes issued before their boundary (pull-ins
+// still in credit).
+func (c *Controller) oooBacklog(rank int, now event.Cycle) (owed, ahead int) {
+	refi := c.dev.Params().REFI
+	for _, d := range c.refresh[rank].slotDue {
+		if d <= now {
+			owed += int((now-d)/refi) + 1
+		} else {
+			ahead += int((d - now - 1) / refi)
+		}
+	}
+	return owed, ahead
+}
+
+// oooSlotIdle reports whether the slot's bank set has no queued demand
+// of the kind the scheduler is currently serving: reads normally, and
+// writes during a DARP write-drain batch (the drain serves writes, so a
+// bank with no queued writes is free to refresh — Chang et al.
+// HPCA'14's write-refresh parallelization).
+func (c *Controller) oooSlotIdle(rank, slot int) bool {
+	if c.cfg.Mode == ModeDARP && c.draining {
+		return !c.hasBankWrites(rank, slot)
+	}
+	return !c.hasBankReads(rank, slot)
+}
+
+// hasBankWrites reports whether any queued write targets a bank of the
+// given refresh slot.
+func (c *Controller) hasBankWrites(rank, slot int) bool {
+	for _, b := range c.dev.SlotBanks(slot) {
+		if len(c.writeIdx.list(rank, b)) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// pickOoOSlot chooses which refresh slot (if any) the out-of-order
+// scheduler should refresh at now. It returns the slot and whether the
+// issue is a pull-in, or -1 when no slot should issue. The policy is
+// Chang et al. HPCA'14's out-of-order per-bank refresh: once the rank
+// owes maxElasticBacklog refreshes the most-overdue slot issues
+// unconditionally; otherwise the earliest-scheduled idle slot issues —
+// retiring owed work early when its banks are idle, and pulling future
+// refreshes in (up to maxPullInAhead of credit) when everything is on
+// schedule.
+func (c *Controller) pickOoOSlot(rank int, now event.Cycle) (slot int, pullIn bool) {
+	rr := &c.refresh[rank]
+	owed, ahead := c.oooBacklog(rank, now)
+	if owed >= maxElasticBacklog {
+		best := -1
+		for s, d := range rr.slotDue {
+			if d <= now && (best < 0 || d < rr.slotDue[best]) {
+				best = s
+			}
+		}
+		return best, false
+	}
+	best := -1
+	for s, d := range rr.slotDue {
+		if !c.oooSlotIdle(rank, s) {
+			continue
+		}
+		if d > now && ahead >= maxPullInAhead {
+			continue // pull-in credit exhausted
+		}
+		if best < 0 || d < rr.slotDue[best] {
+			best = s
+		}
+	}
+	if best < 0 {
+		return -1, false
+	}
+	return best, rr.slotDue[best] > now
 }
 
 // probeQueuedBankReads serves queued reads to the frozen slot's banks
@@ -566,6 +723,7 @@ func (c *Controller) closeSubarrayStep(rank int, now event.Cycle) bool {
 	if c.capture != nil {
 		c.capture.Refresh(now, rank)
 	}
+	c.emit(dram.Command{Kind: dram.CmdREFsa, At: now, Rank: rank, Bank: b, Sub: sa})
 	c.RefreshesIssued.Inc()
 	c.RefreshPostponedCycles.Observe(float64(now - rr.due))
 	rr.refEnd = end
@@ -578,5 +736,48 @@ func (c *Controller) closeSubarrayStep(rank int, now event.Cycle) bool {
 		rr.targetSA = 0
 		rr.targetBank = (rr.targetBank + 1) % c.geo.Banks
 	}
+	return true
+}
+
+// closeSARPStep issues one subarray-confined per-bank refresh to the
+// target slot (SARP, Chang et al. HPCA'14): the slot's banks keep
+// serving demand to every other subarray while the target subarray
+// absorbs the full tRFCpb refresh. Open rows inside the target
+// subarray are precharged first (one per tick); rows elsewhere in the
+// bank stay open.
+func (c *Controller) closeSARPStep(rank int, now event.Cycle) bool {
+	rr := &c.refresh[rank]
+	slot := rr.targetBank
+	sa := rr.slotSA[slot]
+	for _, b := range c.dev.SlotBanks(slot) {
+		open := c.dev.OpenRow(rank, b)
+		if open < 0 || c.dev.SubarrayOf(int(open)) != sa {
+			continue
+		}
+		if c.dev.EarliestPRE(now, rank, b) == now {
+			c.dev.IssuePRE(now, rank, b)
+			c.emit(dram.Command{Kind: dram.CmdPRE, At: now, Rank: rank, Bank: b})
+			return true
+		}
+		return false
+	}
+	if c.dev.EarliestREFpbSub(now, rank, slot, sa) != now {
+		return false
+	}
+	end := c.dev.IssueREFpbSub(now, rank, slot, sa)
+	if c.capture != nil {
+		c.capture.Refresh(now, rank)
+	}
+	for _, b := range c.dev.SlotBanks(slot) {
+		c.emit(dram.Command{Kind: dram.CmdREFsa, At: now, Rank: rank, Bank: b, Sub: sa})
+	}
+	c.RefreshesIssued.Inc()
+	c.RefreshPostponedCycles.Observe(float64(now - rr.due))
+	rr.refEnd = end
+	rr.due += c.dev.Params().REFI / event.Cycle(c.dev.RefreshSlots())
+	rr.phase = refRefreshing
+	// Rotate this slot's subarray, then hand the round to the next slot.
+	rr.slotSA[slot] = (sa + 1) % c.dev.Params().Subarrays
+	rr.targetBank = (rr.targetBank + 1) % c.dev.RefreshSlots()
 	return true
 }

@@ -119,6 +119,9 @@ func (c *Controller) refreshWake(r int, now event.Cycle) event.Cycle {
 	rr := &c.refresh[r]
 	switch rr.phase {
 	case refIdle:
+		if c.oooMode() {
+			return c.oooWake(r, now)
+		}
 		if c.cfg.Mode == ModeElastic && rr.backlog > 0 &&
 			(rr.backlog >= maxElasticBacklog || !c.hasDemandReads(r)) {
 			return now + 1 // owed refresh can issue in this idle gap
@@ -159,6 +162,35 @@ func (c *Controller) refreshWake(r int, now event.Cycle) event.Cycle {
 	return cycleNever
 }
 
+// oooWake reports the next cycle the out-of-order refresh scheduler
+// could act for rank r: now+1 when a slot is pickable right now
+// (refreshStep runs the pick on its next tick), else the earliest
+// upcoming slot-schedule boundary — the first cycle a refresh becomes
+// owed (possibly forcing an issue) or a pull-in credit decays (freeing
+// room for another pull-in), either of which can change the pick.
+// Queue changes that unblock a pick between boundaries arm immediate
+// ticks of their own.
+func (c *Controller) oooWake(r int, now event.Cycle) event.Cycle {
+	if slot, _ := c.pickOoOSlot(r, now); slot >= 0 {
+		return now + 1
+	}
+	refi := c.dev.Params().REFI
+	t := cycleNever
+	for _, d := range c.refresh[r].slotDue {
+		var b event.Cycle
+		if d > now {
+			// Next cycle this slot's ahead-count drops by one (its due
+			// boundary when only one tREFI ahead).
+			b = d - ((d-now-1)/refi)*refi
+		} else {
+			// Already owed: next cycle its owed-count grows by one.
+			b = d + ((now-d)/refi+1)*refi
+		}
+		t = minCycle(t, b)
+	}
+	return t
+}
+
 // closingWake reports when the closing sequence can issue its next
 // command: the first open bank's legal PRE, or — once quiesced — the
 // legal REF (rank, per-bank, or per-subarray form, matching
@@ -173,6 +205,15 @@ func (c *Controller) closingWake(r int, now event.Cycle) event.Cycle {
 			return c.dev.EarliestPRE(base, r, b)
 		}
 		return c.dev.EarliestREFsa(base, r, b, sa)
+	case c.cfg.Mode == ModeSARP:
+		slot := rr.targetBank
+		sa := rr.slotSA[slot]
+		for _, b := range c.dev.SlotBanks(slot) {
+			if open := c.dev.OpenRow(r, b); open >= 0 && c.dev.SubarrayOf(int(open)) == sa {
+				return c.dev.EarliestPRE(base, r, b)
+			}
+		}
+		return c.dev.EarliestREFpbSub(base, r, slot, sa)
 	case c.bankMode():
 		for _, b := range c.dev.SlotBanks(rr.targetBank) {
 			if c.dev.OpenRow(r, b) >= 0 {
@@ -236,7 +277,7 @@ func (c *Controller) scheduleWake(now event.Cycle) event.Cycle {
 func (c *Controller) queueWake(ix *bankIndex, now event.Cycle, isWrite, demand bool) event.Cycle {
 	t := cycleNever
 	base := now + 1
-	saMode := c.cfg.Mode == ModeSubarrayRefresh
+	saMode := c.cfg.Mode == ModeSubarrayRefresh || c.cfg.Mode == ModeSARP
 	for r := 0; r < c.geo.Ranks; r++ {
 		if ix.rankN[r] == 0 {
 			continue

@@ -57,6 +57,10 @@ type Config struct {
 	// Standard names the DRAM standard to simulate (dram.Lookup); empty
 	// selects dram.DefaultStandard, the paper's DDR4-1600 device.
 	Standard string
+	// DensityGb scales the standard's refresh cycle times to a projected
+	// die density via dram.ScaleDensity (tRFC grows, tREFI stays fixed);
+	// zero keeps the 8 Gb datasheet timings.
+	DensityGb int
 	// Instructions is the per-core instruction budget.
 	Instructions int64
 	// Seed drives workload generation and the ROP gate.
@@ -137,7 +141,11 @@ func (c Config) Validate() error {
 	if err != nil {
 		return err
 	}
-	if _, err := std.Params(c.FGR); err != nil {
+	p, err := std.Params(c.FGR)
+	if err != nil {
+		return err
+	}
+	if _, err := dram.ScaleDensity(p, c.DensityGb); err != nil {
 		return err
 	}
 	return c.CPU.Validate()
@@ -336,6 +344,10 @@ func run(ctx context.Context, cfg Config) (*Result, *dram.Device, *memctrl.Contr
 	if err != nil {
 		return nil, nil, nil, err
 	}
+	params, err = dram.ScaleDensity(params, cfg.DensityGb)
+	if err != nil {
+		return nil, nil, nil, err
+	}
 	if cfg.Mode == memctrl.ModeNoRefresh {
 		params = dram.NoRefresh(params)
 	}
@@ -368,6 +380,11 @@ func run(ctx context.Context, cfg Config) (*Result, *dram.Device, *memctrl.Contr
 	var checkErr error
 	if cfg.Check {
 		checker := dram.NewChecker(params, geo)
+		if cfg.Mode == memctrl.ModeSARP {
+			// SARP confines a full per-bank refresh to one subarray, so
+			// its REFsa commands lock for tRFCpb, not tRFCsa.
+			checker.REFsaDur = params.RFCpb
+		}
 		ctrl.SetCommandObserver(func(cmd dram.Command) {
 			if checkErr == nil {
 				checkErr = checker.Check(cmd)

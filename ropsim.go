@@ -62,6 +62,15 @@ const (
 	ModeROPBank = memctrl.ModeROPBank
 	// ModeSubarrayRefresh refreshes one subarray at a time (§VII).
 	ModeSubarrayRefresh = memctrl.ModeSubarrayRefresh
+	// ModeOutOfOrderBank schedules per-bank refreshes out of order
+	// within the JEDEC pull-in/postpone window (Chang et al. HPCA'14).
+	ModeOutOfOrderBank = memctrl.ModeOutOfOrderBank
+	// ModeDARP adds write-drain refresh piggybacking on top of the
+	// out-of-order scheduler (Chang et al. HPCA'14 DARP).
+	ModeDARP = memctrl.ModeDARP
+	// ModeSARP refreshes one subarray of a bank while the rest of the
+	// bank serves accesses (Chang et al. HPCA'14 SARP).
+	ModeSARP = memctrl.ModeSARP
 )
 
 // GatePolicy selects how ROP decides to launch a prefetch.

@@ -107,9 +107,10 @@ func TestCrossCheckWakeAllStandards(t *testing.T) {
 	modes := []Mode{
 		ModeBaseline, ModeNoRefresh, ModeROP, ModeElastic, ModePausing,
 		ModeBankRefresh, ModeROPBank, ModeSubarrayRefresh,
+		ModeOutOfOrderBank, ModeDARP, ModeSARP,
 	}
 	if testing.Short() {
-		modes = []Mode{ModeBaseline, ModeBankRefresh, ModeROPBank}
+		modes = []Mode{ModeBaseline, ModeBankRefresh, ModeROPBank, ModeDARP, ModeSARP}
 	}
 	for _, std := range DRAMStandards() {
 		for _, mode := range modes {

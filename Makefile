@@ -5,7 +5,7 @@ GO ?= go
 # Latest committed baseline, used as the regression reference.
 REF ?= $(lastword $(sort $(wildcard BENCH_*.json)))
 
-.PHONY: test race lint lint-fix-check bench bench-gate microbench quick
+.PHONY: test race lint lint-fix-check bench bench-gate microbench quick distributed chaos
 
 # test builds everything and runs the full suite (tier-1 gate).
 test:
@@ -45,3 +45,14 @@ microbench:
 # protocol sanitizer enabled.
 quick:
 	$(GO) run ./cmd/ropexp -exp fig1,tab1 -quick -check -stats-out quick-stats.json
+
+# distributed runs the distributed-campaign byte-identity gate:
+# coordinator + 2 workers, one SIGKILLed mid-run, artifact compared
+# against a single-process golden (docs/ROBUSTNESS.md).
+distributed:
+	sh scripts/distributed_ci.sh
+
+# chaos runs the heavier in-tree chaos test through the real binaries
+# (3 workers: one SIGKILLed, one SIGSTOP-wedged, plus a replacement).
+chaos:
+	$(GO) test -run TestFaultDistributedWorkerLossByteIdentical -v -count=1 .

@@ -24,6 +24,14 @@
 // -fail-policy picks fail-fast or run-to-completion on errors. SIGINT
 // or SIGTERM cancels in-flight runs, flushes the partial artifact and
 // journal, and exits with code 3; a second signal exits immediately.
+//
+// Campaigns also distribute: -serve host:port coordinates the campaign
+// across worker processes (cmd/ropworker, or ropexp -connect), leasing
+// runs to attached workers, re-dispatching them on worker loss, and
+// falling back to in-process execution while none are attached — with
+// a byte-identical artifact either way. -http serves live progress and
+// per-worker health. See docs/ROBUSTNESS.md ("The distributed
+// campaign") and EXPERIMENTS.md for recipes.
 package main
 
 import (
@@ -31,6 +39,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"os/signal"
 	"runtime"
@@ -39,16 +48,19 @@ import (
 	"syscall"
 
 	"ropsim"
+	"ropsim/internal/campaign"
 	"ropsim/internal/runner"
 )
 
 // Exit codes: 0 success, 1 experiment failure, 2 usage error,
 // 3 interrupted by signal (partial artifact and journal flushed).
+// The authoritative definitions — shared with cmd/ropworker — live in
+// internal/campaign and are documented in docs/ROBUSTNESS.md.
 const (
-	exitOK          = 0
-	exitFailure     = 1
-	exitUsage       = 2
-	exitInterrupted = 3
+	exitOK          = campaign.ExitOK
+	exitFailure     = campaign.ExitFailure
+	exitUsage       = campaign.ExitUsage
+	exitInterrupted = campaign.ExitInterrupted
 )
 
 func main() {
@@ -72,6 +84,11 @@ func main() {
 		failPolicy = flag.String("fail-policy", "failfast", "on run failure: failfast (cancel the batch) or continue (finish siblings, summarize at the end)")
 		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile of the evaluation to this file")
 		memprofile = flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
+		serveF     = flag.String("serve", "", "host:port to coordinate a distributed campaign on; workers attach with ropworker -connect (docs/ROBUSTNESS.md)")
+		connectF   = flag.String("connect", "", "host:port of a coordinator to attach to as a worker (instead of running experiments)")
+		httpF      = flag.String("http", "", "with -serve: host:port serving live campaign progress and per-worker health over HTTP")
+		heartbeatE = flag.Duration("heartbeat", campaign.DefaultHeartbeatEvery, "with -serve: heartbeat interval dictated to workers")
+		heartbeatM = flag.Duration("heartbeat-timeout", campaign.DefaultHeartbeatMiss, "with -serve: silence deadline after which a worker is declared lost and its runs re-dispatched")
 	)
 	flag.Parse()
 
@@ -85,6 +102,20 @@ func main() {
 	}
 	if *resumeF && *journalF == "" {
 		usageErr(errors.New("-resume requires -journal"))
+	}
+	if *serveF != "" && *connectF != "" {
+		usageErr(errors.New("-serve and -connect are mutually exclusive"))
+	}
+	if *httpF != "" && *serveF == "" {
+		usageErr(errors.New("-http requires -serve"))
+	}
+	if *heartbeatM <= *heartbeatE {
+		usageErr(errors.New("-heartbeat-timeout must exceed -heartbeat"))
+	}
+	if *connectF != "" {
+		// Worker mode: this process executes runs leased by a
+		// coordinator instead of running its own campaign.
+		os.Exit(workerMain(*connectF, *jobs, *verbose))
 	}
 
 	stopCPUProfile := func() {}
@@ -164,7 +195,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "ropexp: %v: cancelling in-flight runs (signal again to abort immediately)\n", s)
 		cancel()
 		<-sigCh
-		os.Exit(130)
+		os.Exit(campaign.ExitAborted)
 	}()
 	o.Ctx = ctx
 
@@ -183,6 +214,40 @@ func main() {
 			fmt.Fprintf(os.Stderr, "[%d/%d] %-40s %8s  eta %s\n",
 				ev.Completed, ev.Submitted, ev.Label, ev.Duration.Round(1e6), ev.ETA.Round(1e8))
 		})
+	}
+
+	// -serve turns this campaign into a distributed coordinator: runs
+	// are leased to attached workers (and re-dispatched on worker
+	// loss), falling back to in-process execution while none are
+	// attached. Results merge through the same journal/artifact path
+	// as local runs, so the artifact stays byte-identical.
+	var coord *campaign.Coordinator
+	if *serveF != "" {
+		c, err := campaign.NewCoordinator(*serveF, campaign.CoordinatorOptions{
+			Clock:          runner.WallClock{},
+			HeartbeatEvery: *heartbeatE,
+			HeartbeatMiss:  *heartbeatM,
+			Local: ropsim.RemoteExec(func(ctx context.Context, _ string, cfg ropsim.Config) (*ropsim.Result, error) {
+				return ropsim.RunCtx(ctx, cfg)
+			}),
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, format+"\n", args...)
+			},
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(exitFailure)
+		}
+		coord = c
+		fmt.Fprintf(os.Stderr, "campaign: coordinating on %s\n", coord.Addr())
+		o.Remote = ropsim.RemoteDo(coord.Do)
+		if *httpF != "" {
+			go func() {
+				if err := http.ListenAndServe(*httpF, coord.Handler()); err != nil {
+					fmt.Fprintf(os.Stderr, "campaign: http: %v\n", err)
+				}
+			}()
+		}
 	}
 
 	want := map[string]bool{}
@@ -223,7 +288,21 @@ func main() {
 			fmt.Fprintf(os.Stderr, "stats: %d run snapshots -> %s\n", o.Artifact.Len(), *statsOut)
 		}
 	}
+	// closeCampaign winds a -serve coordinator down: a clean end drains
+	// attached workers (they finish in-flight runs and exit 0); an
+	// interrupt or failure aborts them immediately.
+	closeCampaign := func(code int) {
+		if coord == nil {
+			return
+		}
+		if code == exitOK {
+			coord.Close()
+		} else {
+			coord.Abort()
+		}
+	}
 	finish := func(code int) {
+		closeCampaign(code)
 		flush()
 		stopCPUProfile()
 		os.Exit(code)
@@ -410,6 +489,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "ropexp: %d experiment(s) failed\n", len(campaignErrs))
 		finish(exitFailure)
 	}
+	closeCampaign(exitOK)
 	flush()
 	stopCPUProfile()
 	if *memprofile != "" {

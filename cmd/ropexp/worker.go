@@ -1,0 +1,82 @@
+// Worker mode: ropexp -connect attaches this process to a campaign
+// coordinator as a worker — identical in protocol and exit-code
+// contract to cmd/ropworker.
+
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"ropsim"
+	"ropsim/internal/campaign"
+	"ropsim/internal/runner"
+)
+
+// workerMain runs the worker loop against the coordinator at addr and
+// returns the process exit code: 0 on a clean campaign drain, 3 on
+// first-signal interruption, 1 on an unrecoverable error. A second
+// signal aborts with 130 (the shared contract in internal/campaign).
+func workerMain(addr string, jobs int, verbose bool) int {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sigCh := make(chan os.Signal, 2)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s := <-sigCh
+		fmt.Fprintf(os.Stderr, "ropexp: %v: cancelling in-flight runs (signal again to abort immediately)\n", s)
+		cancel()
+		<-sigCh
+		os.Exit(campaign.ExitAborted)
+	}()
+
+	pool := runner.New(jobs)
+	host, _ := os.Hostname()
+	name := fmt.Sprintf("%s-%d", host, os.Getpid())
+	logf := func(string, ...any) {}
+	if verbose {
+		logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+
+	// Each leased run goes through the shared pool as a single-task
+	// batch: panics become errors, transient failures retry, and the
+	// pool accumulates campaign-wide runner statistics.
+	exec := ropsim.RemoteExec(func(ctx context.Context, label string, cfg ropsim.Config) (*ropsim.Result, error) {
+		rs, err := runner.Run(ctx, pool, []runner.Task[*ropsim.Result]{{
+			Label: label,
+			Run:   func(ctx context.Context) (*ropsim.Result, error) { return ropsim.RunCtx(ctx, cfg) },
+		}})
+		if err != nil {
+			return nil, err
+		}
+		return rs[0], nil
+	})
+
+	err := campaign.Work(ctx, campaign.WorkerOptions{
+		Addr:  addr,
+		Name:  name,
+		Slots: pool.Jobs(),
+		Exec:  exec,
+		Clock: runner.WallClock{},
+		Logf:  logf,
+	})
+	if s := pool.Stats(); s.Completed > 0 {
+		fmt.Fprintf(os.Stderr, "runner: %s\n", s)
+	}
+	switch {
+	case err == nil:
+		return campaign.ExitOK
+	case errors.Is(err, context.Canceled):
+		fmt.Fprintln(os.Stderr, "ropexp: interrupted")
+		return campaign.ExitInterrupted
+	default:
+		fmt.Fprintln(os.Stderr, err)
+		return campaign.ExitFailure
+	}
+}

@@ -1,0 +1,123 @@
+// Command ropworker executes simulation runs leased to it by a
+// campaign coordinator (ropexp -serve). It attaches over TCP, executes
+// runs on -jobs worker goroutines, heartbeats on the interval the
+// coordinator dictates, and reconnects with jittered exponential
+// backoff when the coordinator goes away.
+//
+//	ropworker -connect host:7490
+//	ropworker -connect host:7490 -jobs 4 -name rack3-a -v
+//
+// The exit-code contract is shared with ropexp (internal/campaign,
+// documented in docs/ROBUSTNESS.md): 0 after a clean campaign drain,
+// 1 on an unrecoverable error (coordinator unreachable past the
+// -reconnect-for window, protocol mismatch), 2 on a usage error, 3
+// after a first SIGINT/SIGTERM (in-flight runs cancelled, leases
+// returned to the coordinator via connection loss), and 130 on a
+// second signal (immediate abort).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ropsim"
+	"ropsim/internal/campaign"
+	"ropsim/internal/runner"
+)
+
+func main() {
+	var (
+		connectF  = flag.String("connect", "", "host:port of the campaign coordinator (required)")
+		jobsF     = flag.Int("jobs", 0, "concurrent simulation slots (0 = GOMAXPROCS, 1 = serial)")
+		nameF     = flag.String("name", "", "worker name reported to the coordinator (default host-pid)")
+		reconnect = flag.Duration("reconnect-for", campaign.DefaultReconnectWindow, "keep retrying an unreachable coordinator for this long before exiting")
+		verbose   = flag.Bool("v", false, "log attach, reconnect, and run activity to stderr")
+	)
+	flag.Parse()
+	if *connectF == "" {
+		fmt.Fprintln(os.Stderr, "ropworker: -connect is required")
+		os.Exit(campaign.ExitUsage)
+	}
+
+	// First SIGINT/SIGTERM cancels in-flight runs and detaches (the
+	// coordinator re-dispatches the lost leases); a second signal
+	// aborts immediately. Same two-stage contract as ropexp.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sigCh := make(chan os.Signal, 2)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s := <-sigCh
+		fmt.Fprintf(os.Stderr, "ropworker: %v: cancelling in-flight runs (signal again to abort immediately)\n", s)
+		cancel()
+		<-sigCh
+		os.Exit(campaign.ExitAborted)
+	}()
+
+	pool := runner.New(*jobsF)
+	name := *nameF
+	if name == "" {
+		host, _ := os.Hostname()
+		name = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	logf := func(string, ...any) {}
+	if *verbose {
+		logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+
+	// Each leased run goes through the pool as a single-task batch:
+	// panics become lease failures, transient errors retry, and the
+	// pool accumulates the session's runner statistics.
+	exec := ropsim.RemoteExec(func(ctx context.Context, label string, cfg ropsim.Config) (*ropsim.Result, error) {
+		rs, err := runner.Run(ctx, pool, []runner.Task[*ropsim.Result]{{
+			Label: label,
+			Run:   func(ctx context.Context) (*ropsim.Result, error) { return ropsim.RunCtx(ctx, cfg) },
+		}})
+		if err != nil {
+			return nil, err
+		}
+		return rs[0], nil
+	})
+
+	backoff := runner.Backoff{
+		Base:       campaign.DefaultReconnectBase,
+		Max:        campaign.DefaultReconnectMax,
+		MaxElapsed: *reconnect,
+		Jitter:     0.5,
+		Seed:       1,
+	}
+	if *reconnect <= 0 {
+		backoff.MaxElapsed = time.Nanosecond // retrying disabled: fail on first dial error
+	}
+
+	err := campaign.Work(ctx, campaign.WorkerOptions{
+		Addr:      *connectF,
+		Name:      name,
+		Slots:     pool.Jobs(),
+		Exec:      exec,
+		Clock:     runner.WallClock{},
+		Reconnect: backoff,
+		Logf:      logf,
+	})
+	if s := pool.Stats(); s.Completed > 0 {
+		fmt.Fprintf(os.Stderr, "runner: %s\n", s)
+	}
+	switch {
+	case err == nil:
+		os.Exit(campaign.ExitOK)
+	case errors.Is(err, context.Canceled):
+		fmt.Fprintln(os.Stderr, "ropworker: interrupted")
+		os.Exit(campaign.ExitInterrupted)
+	default:
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(campaign.ExitFailure)
+	}
+}

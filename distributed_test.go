@@ -1,0 +1,157 @@
+package ropsim
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+
+	"ropsim/internal/campaign"
+)
+
+// TestFaultDistributedWorkerLossByteIdentical drives the real
+// coordinator/worker binaries through the distributed chaos story: a
+// campaign sharded across three workers loses one to SIGKILL and a
+// second to a wedge (SIGSTOP: heartbeats stop, but the socket stays
+// open) mid-run, attaches a replacement, and must still finish with a
+// -stats-out artifact byte-identical to a single-process -jobs 2 run.
+// This is the campaign determinism contract of docs/ROBUSTNESS.md end
+// to end: lease revocation, heartbeat-deadline detection, re-dispatch,
+// and exactly-once completion.
+func TestFaultDistributedWorkerLossByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the ropexp and ropworker binaries; skipped in -short")
+	}
+	dir := t.TempDir()
+	ropexp := filepath.Join(dir, "ropexp")
+	ropworker := filepath.Join(dir, "ropworker")
+	for exe, pkg := range map[string]string{ropexp: "./cmd/ropexp", ropworker: "./cmd/ropworker"} {
+		build := exec.Command("go", "build", "-o", exe, pkg)
+		if out, err := build.CombinedOutput(); err != nil {
+			t.Fatalf("go build %s: %v\n%s", pkg, err, out)
+		}
+	}
+
+	refOut := filepath.Join(dir, "ref.json")
+	distOut := filepath.Join(dir, "dist.json")
+	journal := filepath.Join(dir, "dist.jsonl")
+
+	// Sized like the SIGINT test: a few seconds of campaign, so the
+	// worker kills land mid-run with room for re-dispatch after.
+	args := []string{"-exp", "fig1", "-insts", "10000000"}
+
+	// Reference: the same campaign, single-process.
+	ref := exec.Command(ropexp, append(args, "-jobs", "2", "-stats-out", refOut)...)
+	if out, err := ref.CombinedOutput(); err != nil {
+		t.Fatalf("reference campaign: %v\n%s", err, out)
+	}
+
+	// Free loopback ports for the coordinator and its HTTP endpoint.
+	freePort := func() string {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer ln.Close()
+		return ln.Addr().String()
+	}
+	addr, httpAddr := freePort(), freePort()
+
+	var coordErr bytes.Buffer
+	coord := exec.Command(ropexp, append(args,
+		"-jobs", "4",
+		"-serve", addr,
+		"-http", httpAddr,
+		"-heartbeat", "100ms",
+		"-heartbeat-timeout", "500ms",
+		"-journal", journal,
+		"-stats-out", distOut)...)
+	coord.Stderr = &coordErr
+	if err := coord.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Process.Kill()
+
+	worker := func(name string) *exec.Cmd {
+		w := exec.Command(ropworker, "-connect", addr, "-jobs", "1", "-name", name)
+		w.Stderr = os.Stderr
+		if err := w.Start(); err != nil {
+			t.Fatal(err)
+		}
+		return w
+	}
+	w1 := worker("w1-doomed")
+	w2 := worker("w2-wedged")
+	w3 := worker("w3-steady")
+	for _, w := range []*exec.Cmd{w1, w2, w3} {
+		defer w.Process.Kill()
+	}
+	// The wedged worker must be resumed before it can be reaped.
+	defer w2.Process.Signal(syscall.SIGCONT)
+
+	// Let the chaos land mid-campaign: wait (via the live progress
+	// endpoint) until all three workers are attached and the journal
+	// shows checkpointed runs, then strike.
+	progress := func() campaign.Status {
+		var st campaign.Status
+		resp, err := http.Get("http://" + httpAddr + "/progress")
+		if err != nil {
+			return st
+		}
+		defer resp.Body.Close()
+		json.NewDecoder(resp.Body).Decode(&st)
+		return st
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		st, err := os.Stat(journal)
+		if err == nil && st.Size() > 0 && len(progress().Workers) >= 3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("campaign never got underway with 3 workers (progress: %+v); coordinator stderr:\n%s",
+				progress(), coordErr.String())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if err := w1.Process.Kill(); err != nil { // SIGKILL: connection drops
+		t.Fatal(err)
+	}
+	if err := w2.Process.Signal(syscall.SIGSTOP); err != nil { // wedge: socket open, heartbeats stop
+		t.Fatal(err)
+	}
+	w4 := worker("w4-replacement")
+	defer w4.Process.Kill()
+
+	if err := coord.Wait(); err != nil {
+		t.Fatalf("distributed campaign: %v\nstderr:\n%s", err, coordErr.String())
+	}
+	stderr := coordErr.String()
+	if !bytes.Contains([]byte(stderr), []byte("lost")) {
+		t.Errorf("coordinator never reported the SIGKILLed worker lost; stderr:\n%s", stderr)
+	}
+	if !bytes.Contains([]byte(stderr), []byte("heartbeat deadline exceeded")) {
+		t.Errorf("coordinator never reaped the wedged worker; stderr:\n%s", stderr)
+	}
+
+	want, err := os.ReadFile(refOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(distOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want, got) {
+		t.Errorf("distributed artifact differs from the single-process reference (%d vs %d bytes)",
+			len(got), len(want))
+	}
+	fmt.Fprintf(os.Stderr, "chaos campaign survived; coordinator stderr:\n%s", stderr)
+}

@@ -25,6 +25,7 @@ func TestExportedSymbolsDocumented(t *testing.T) {
 		"internal/addr",
 		"internal/analysis",
 		"internal/cache",
+		"internal/campaign",
 		"internal/core",
 		"internal/cpu",
 		"internal/dram",

@@ -67,6 +67,14 @@ type ExpOptions struct {
 	// re-simulating (the -resume flag). Capture-bearing runs are never
 	// journaled — they re-run deterministically on resume.
 	Journal *Journal
+	// Remote, when non-nil, executes runs through a distributed
+	// campaign coordinator (cmd/ropexp -serve) instead of in-process.
+	// Only journal-eligible runs are remotable: capture-bearing and
+	// trace-driven configs always run locally, because their payloads
+	// do not round-trip the wire format. Results coming back remote
+	// are journaled and recorded exactly like local ones, so the
+	// artifact is byte-identical either way.
+	Remote func(ctx context.Context, label string, cfg Config) (*Result, error)
 	// Standard names the DRAM standard every run simulates (dram.Lookup
 	// names; empty = the paper's DDR4-1600). CrossStandard ignores it and
 	// sweeps all registered standards instead.
@@ -177,7 +185,8 @@ func (o *ExpOptions) multi(members []string, mode Mode, rankPartition bool) Conf
 // journaled ones, which round-trip JSON exactly, so a resumed campaign
 // writes a byte-identical artifact.
 func (o *ExpOptions) runOne(label string, cfg Config) (*Result, error) {
-	journaled := o.Journal != nil && !cfg.Capture && cfg.Traces == nil
+	remotable := !cfg.Capture && cfg.Traces == nil
+	journaled := o.Journal != nil && remotable
 	var hash string
 	if journaled {
 		hash = ConfigHash(cfg)
@@ -189,7 +198,13 @@ func (o *ExpOptions) runOne(label string, cfg Config) (*Result, error) {
 			return e.Result, nil
 		}
 	}
-	res, err := RunCtx(o.ctx(), cfg)
+	var res *Result
+	var err error
+	if o.Remote != nil && remotable {
+		res, err = o.Remote(o.ctx(), label, cfg)
+	} else {
+		res, err = RunCtx(o.ctx(), cfg)
+	}
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,87 @@
+// Package campaign shards an experiment campaign across worker
+// processes: a coordinator (ropexp -serve) leases tasks to workers
+// (cmd/ropworker, or ropexp -connect) over a length-prefixed binary
+// protocol on TCP, streams per-run results back, and survives worker
+// loss by re-dispatching revoked leases — falling all the way back to
+// in-process execution when no workers are attached.
+//
+// The robustness contract (docs/ROBUSTNESS.md, "The distributed
+// campaign") in one paragraph: every attached worker heartbeats on the
+// interval the coordinator hands it at welcome; a worker that misses
+// its heartbeat deadline, closes its connection, or is killed loses
+// every lease it held, and those tasks return to the queue to be
+// re-dispatched — to another worker if one is attached, otherwise to
+// the coordinator's own in-process executor. A task completes exactly
+// once: the first result for a lease wins, and results for revoked
+// leases are counted and dropped. The simulator is deterministic and
+// results round-trip JSON byte-exactly, so a campaign sharded across N
+// workers — including workers lost and replaced mid-run — produces
+// byte-identical artifacts to a single-process run.
+//
+// The package never reads the host clock directly: every deadline and
+// heartbeat goes through the injected Clock seam (runner.WallClock in
+// production, a manually advanced fake in tests), and the simlint
+// wallclock analyzer enforces this with zero escape hatches.
+package campaign
+
+import "time"
+
+// Exit codes shared by cmd/ropexp and cmd/ropworker — the one
+// authoritative definition of the CLI exit contract, documented in
+// docs/ROBUSTNESS.md ("Graceful shutdown and exit codes").
+const (
+	// ExitOK reports a fully successful campaign or worker session.
+	ExitOK = 0
+	// ExitFailure reports one or more failed runs (or a worker session
+	// that ended in an unrecoverable error).
+	ExitFailure = 1
+	// ExitUsage reports a command-line usage error.
+	ExitUsage = 2
+	// ExitInterrupted reports a first-signal graceful shutdown: partial
+	// artifacts and journal flushed, safe to resume.
+	ExitInterrupted = 3
+	// ExitAborted reports a second-signal immediate abort (128 + SIGINT).
+	ExitAborted = 130
+)
+
+// ProtocolVersion is the wire-protocol generation. A coordinator
+// rejects hellos from a different generation and a worker rejects
+// mismatched welcomes, so mixed-version fleets fail loudly at attach
+// time instead of corrupting a campaign.
+const ProtocolVersion = 1
+
+// Heartbeat defaults (the -heartbeat / -heartbeat-timeout flags).
+const (
+	// DefaultHeartbeatEvery is the interval the coordinator instructs
+	// workers to beat at.
+	DefaultHeartbeatEvery = 1 * time.Second
+	// DefaultHeartbeatMiss is the per-worker deadline: a worker silent
+	// for this long is declared lost and its leases are re-dispatched.
+	DefaultHeartbeatMiss = 5 * time.Second
+)
+
+// DefaultReconnectBackoff is the worker's dial-retry schedule base: it
+// is completed with the worker's name as jitter salt, so a restarted
+// fleet never reconnects in lockstep, yet each worker's schedule is
+// reproducible.
+const (
+	// DefaultReconnectBase is the first reconnect delay.
+	DefaultReconnectBase = 250 * time.Millisecond
+	// DefaultReconnectMax caps each individual reconnect delay.
+	DefaultReconnectMax = 5 * time.Second
+	// DefaultReconnectWindow bounds the total time a worker keeps
+	// retrying a dead coordinator before exiting.
+	DefaultReconnectWindow = 1 * time.Minute
+)
+
+// Clock abstracts host time for heartbeat and deadline bookkeeping.
+// Production code injects runner.WallClock; tests inject a manually
+// advanced fake so lease expiry is deterministic. No code in this
+// package reads the host clock any other way (the simlint wallclock
+// analyzer covers the package).
+type Clock interface {
+	// Now returns the current time.
+	Now() time.Time
+	// After returns a channel that delivers the time after d elapses.
+	After(d time.Duration) <-chan time.Time
+}

@@ -1,0 +1,510 @@
+// The coordinator: lease-based task dispatch over attached workers,
+// heartbeat-deadline loss detection, exactly-once completion, and
+// graceful degradation to in-process execution.
+
+package campaign
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"ropsim/internal/stats"
+)
+
+// LocalFunc executes one run in-process — the coordinator's graceful
+// degradation path when no workers are attached. cmd/ropexp wires it
+// to the simulator; the result bytes must be exactly what a worker
+// would have produced (deterministic simulation + canonical JSON).
+type LocalFunc func(ctx context.Context, label string, cfg []byte) ([]byte, error)
+
+// CoordinatorOptions configures NewCoordinator.
+type CoordinatorOptions struct {
+	// Clock is the injected host clock (runner.WallClock in
+	// production). Required.
+	Clock Clock
+	// HeartbeatEvery is the interval workers are told to beat at
+	// (0 = DefaultHeartbeatEvery).
+	HeartbeatEvery time.Duration
+	// HeartbeatMiss is the per-worker silence deadline (0 =
+	// DefaultHeartbeatMiss).
+	HeartbeatMiss time.Duration
+	// Local executes a run in-process when no workers are attached.
+	// Required: a campaign must always be able to make progress.
+	Local LocalFunc
+	// Logf, when non-nil, receives operational log lines (worker
+	// attach/loss, re-dispatches).
+	Logf func(format string, args ...any)
+}
+
+// errCoordinatorClosed reports a Do call racing coordinator shutdown.
+var errCoordinatorClosed = errors.New("campaign: coordinator closed")
+
+// outcome resolves one waiting Do call.
+type outcome struct {
+	result []byte
+	err    error
+	// runLocal hands the task back to the submitting goroutine for
+	// in-process execution (the no-workers degradation path).
+	runLocal bool
+}
+
+// task is one submitted run inside the coordinator.
+type task struct {
+	label string
+	cfg   []byte
+	ch    chan outcome // buffered 1; exactly one send ever happens
+	// lease is the current lease id (0 = unleased); owner the worker
+	// holding it. Both are guarded by the coordinator mutex.
+	lease    uint64
+	owner    *remoteWorker
+	resolved bool
+}
+
+// remoteWorker is one attached worker connection.
+type remoteWorker struct {
+	id        uint64
+	name      string
+	addr      string
+	slots     int
+	conn      *conn
+	lastBeat  time.Time
+	inflight  map[uint64]*task
+	completed int64
+	gone      bool
+}
+
+// Coordinator shards campaign tasks across attached workers. Create
+// with NewCoordinator; submit with Do (one call per run, typically
+// from the runner pool's worker goroutines); stop with Close (drain)
+// or Abort.
+type Coordinator struct {
+	opts CoordinatorOptions
+	ln   net.Listener
+
+	reg *stats.Registry
+	// Campaign counters (exposed via the registry and /metrics).
+	cSubmitted  stats.AtomicCounter
+	cCompleted  stats.AtomicCounter
+	cFailed     stats.AtomicCounter
+	cLocal      stats.AtomicCounter
+	cRedispatch stats.AtomicCounter
+	cDuplicate  stats.AtomicCounter
+	cAttached   stats.AtomicCounter
+	cLost       stats.AtomicCounter
+	cHeartbeats stats.AtomicCounter
+
+	mu         sync.Mutex
+	workers    map[uint64]*remoteWorker
+	pending    []*task
+	leases     map[uint64]*task
+	nextWorker uint64
+	nextLease  uint64
+	closed     bool
+
+	done     chan struct{}
+	shutdown sync.Once
+}
+
+// NewCoordinator listens on addr and starts the accept and
+// heartbeat-monitor loops. Use Addr for the bound address (addr may
+// end in ":0").
+func NewCoordinator(addr string, o CoordinatorOptions) (*Coordinator, error) {
+	if o.Clock == nil {
+		return nil, errors.New("campaign: coordinator needs a Clock")
+	}
+	if o.Local == nil {
+		return nil, errors.New("campaign: coordinator needs a Local executor")
+	}
+	if o.HeartbeatEvery <= 0 {
+		o.HeartbeatEvery = DefaultHeartbeatEvery
+	}
+	if o.HeartbeatMiss <= 0 {
+		o.HeartbeatMiss = DefaultHeartbeatMiss
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: listen %s: %w", addr, err)
+	}
+	c := &Coordinator{
+		opts:    o,
+		ln:      ln,
+		workers: map[uint64]*remoteWorker{},
+		leases:  map[uint64]*task{},
+		done:    make(chan struct{}),
+	}
+	c.reg = stats.NewRegistry()
+	sub := c.reg.Sub("campaign")
+	sub.Register("tasks_submitted", &c.cSubmitted)
+	sub.Register("tasks_completed", &c.cCompleted)
+	sub.Register("tasks_failed", &c.cFailed)
+	sub.Register("tasks_local", &c.cLocal)
+	sub.Register("tasks_redispatched", &c.cRedispatch)
+	sub.Register("results_duplicate", &c.cDuplicate)
+	sub.Register("workers_attached", &c.cAttached)
+	sub.Register("workers_lost", &c.cLost)
+	sub.Register("heartbeats", &c.cHeartbeats)
+	go c.acceptLoop()
+	go c.monitorLoop()
+	return c, nil
+}
+
+// Addr reports the coordinator's bound listen address.
+func (c *Coordinator) Addr() string { return c.ln.Addr().String() }
+
+// logf forwards to the configured logger.
+func (c *Coordinator) logf(format string, args ...any) {
+	if c.opts.Logf != nil {
+		c.opts.Logf(format, args...)
+	}
+}
+
+// Do executes one run through the campaign: the task is leased to an
+// attached worker, or — when none is attached now or after every
+// holder was lost — executed in-process via the Local function. Do
+// blocks until the run completes, ctx is cancelled, or the
+// coordinator shuts down. Safe for concurrent use; the runner pool's
+// worker count bounds how many Do calls are in flight.
+func (c *Coordinator) Do(ctx context.Context, label string, cfg []byte) ([]byte, error) {
+	tk := &task{label: label, cfg: cfg, ch: make(chan outcome, 1)}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, errCoordinatorClosed
+	}
+	c.cSubmitted.Inc()
+	c.pending = append(c.pending, tk)
+	c.kick()
+	c.mu.Unlock()
+
+	select {
+	case out := <-tk.ch:
+		if out.runLocal {
+			return c.opts.Local(ctx, label, cfg)
+		}
+		return out.result, out.err
+	case <-ctx.Done():
+		c.abandon(tk)
+		return nil, ctx.Err()
+	case <-c.done:
+		return nil, errCoordinatorClosed
+	}
+}
+
+// abandon withdraws a task whose submitter stopped waiting: it leaves
+// the pending queue, and any live lease is revoked so a late result is
+// dropped as a duplicate.
+func (c *Coordinator) abandon(tk *task) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if tk.resolved {
+		return
+	}
+	tk.resolved = true
+	for i, p := range c.pending {
+		if p == tk {
+			c.pending = append(c.pending[:i], c.pending[i+1:]...)
+			break
+		}
+	}
+	if tk.lease != 0 {
+		delete(c.leases, tk.lease)
+		if tk.owner != nil {
+			delete(tk.owner.inflight, tk.lease)
+		}
+	}
+}
+
+// kick dispatches pending tasks. Callers hold c.mu. Tasks go to the
+// attached worker with the most free slots (ties to the lowest id);
+// when no worker is attached at all, the task is handed back to its
+// submitting goroutine for in-process execution. When workers exist
+// but are saturated, tasks wait for a slot (or for the heartbeat
+// monitor to reap a dead holder).
+func (c *Coordinator) kick() {
+	for len(c.pending) > 0 {
+		w := c.pickWorker()
+		if w == nil {
+			if len(c.workers) > 0 {
+				return // saturated: a result or a loss will re-kick
+			}
+			tk := c.pending[0]
+			c.pending = c.pending[1:]
+			tk.resolved = true
+			c.cLocal.Inc()
+			tk.ch <- outcome{runLocal: true}
+			continue
+		}
+		tk := c.pending[0]
+		c.pending = c.pending[1:]
+		c.nextLease++
+		lease := c.nextLease
+		tk.lease, tk.owner = lease, w
+		c.leases[lease] = tk
+		w.inflight[lease] = tk
+		msg := taskMsg{Lease: lease, Label: tk.label, Config: tk.cfg}
+		go func(w *remoteWorker) {
+			if err := w.conn.send(msgTask, msg); err != nil {
+				c.dropWorker(w, fmt.Errorf("send: %w", err))
+			}
+		}(w)
+	}
+}
+
+// pickWorker selects the attached worker with the most free slots
+// (ties broken by lowest id, for stable behavior). Callers hold c.mu.
+func (c *Coordinator) pickWorker() *remoteWorker {
+	var best *remoteWorker
+	bestFree := 0
+	for _, w := range c.workers {
+		free := w.slots - len(w.inflight)
+		if free <= 0 {
+			continue
+		}
+		if best == nil || free > bestFree || (free == bestFree && w.id < best.id) {
+			best, bestFree = w, free
+		}
+	}
+	return best
+}
+
+// acceptLoop admits worker connections until the listener closes.
+func (c *Coordinator) acceptLoop() {
+	for {
+		nc, err := c.ln.Accept()
+		if err != nil {
+			select {
+			case <-c.done:
+				return
+			default:
+			}
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			c.logf("campaign: accept: %v", err)
+			continue
+		}
+		go c.handleConn(nc)
+	}
+}
+
+// handleConn runs one worker session: hello/welcome handshake, then
+// the frame loop. Any protocol violation or read error drops the
+// worker and re-dispatches its leases.
+func (c *Coordinator) handleConn(nc net.Conn) {
+	cn := newConn(nc)
+	// Bound the handshake with the clock seam: a connection that never
+	// says hello is cut at the heartbeat-miss deadline.
+	helloDone := make(chan struct{})
+	go func() {
+		select {
+		case <-helloDone:
+		case <-c.opts.Clock.After(c.opts.HeartbeatMiss):
+			cn.close()
+		case <-c.done:
+			cn.close()
+		}
+	}()
+	t, body, err := cn.recv()
+	close(helloDone)
+	if err != nil || t != msgHello {
+		cn.close()
+		return
+	}
+	hello, err := decode[helloMsg](body)
+	if err != nil || hello.Proto != ProtocolVersion || hello.Slots < 1 {
+		c.logf("campaign: rejecting worker from %s: %v (proto %d, slots %d)",
+			nc.RemoteAddr(), err, hello.Proto, hello.Slots)
+		cn.close()
+		return
+	}
+	w := &remoteWorker{
+		name:     hello.Name,
+		addr:     nc.RemoteAddr().String(),
+		slots:    hello.Slots,
+		conn:     cn,
+		lastBeat: c.opts.Clock.Now(),
+		inflight: map[uint64]*task{},
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		cn.close()
+		return
+	}
+	c.nextWorker++
+	w.id = c.nextWorker
+	c.workers[w.id] = w
+	c.cAttached.Inc()
+	c.kick()
+	c.mu.Unlock()
+	if err := cn.send(msgWelcome, welcomeMsg{
+		Proto:          ProtocolVersion,
+		HeartbeatEvery: c.opts.HeartbeatEvery,
+		HeartbeatMiss:  c.opts.HeartbeatMiss,
+	}); err != nil {
+		c.dropWorker(w, fmt.Errorf("welcome: %w", err))
+		return
+	}
+	c.logf("campaign: worker %q attached from %s (%d slots)", w.name, w.addr, w.slots)
+
+	for {
+		t, body, err := cn.recv()
+		if err != nil {
+			c.dropWorker(w, err)
+			return
+		}
+		c.mu.Lock()
+		w.lastBeat = c.opts.Clock.Now()
+		c.mu.Unlock()
+		switch t {
+		case msgHeartbeat:
+			c.cHeartbeats.Inc()
+		case msgResult:
+			res, err := decode[resultMsg](body)
+			if err != nil {
+				c.dropWorker(w, err)
+				return
+			}
+			c.resolve(w, res)
+		case msgBye:
+			c.dropWorker(w, nil)
+			return
+		default:
+			c.dropWorker(w, fmt.Errorf("unexpected message type %d", t))
+			return
+		}
+	}
+}
+
+// resolve completes (or drops) one lease's result. The first result
+// for a live lease wins; results for revoked or already-completed
+// leases are counted as duplicates and discarded — that is the
+// "re-dispatched exactly once" contract's delivery half.
+func (c *Coordinator) resolve(w *remoteWorker, res resultMsg) {
+	c.mu.Lock()
+	tk, ok := c.leases[res.Lease]
+	if !ok || tk.owner != w || tk.resolved {
+		c.mu.Unlock()
+		c.cDuplicate.Inc()
+		return
+	}
+	delete(c.leases, res.Lease)
+	delete(w.inflight, res.Lease)
+	w.completed++
+	tk.resolved = true
+	c.kick()
+	c.mu.Unlock()
+
+	if res.Err != "" {
+		c.cFailed.Inc()
+		tk.ch <- outcome{err: fmt.Errorf("campaign: worker %q: %s", w.name, res.Err)}
+		return
+	}
+	c.cCompleted.Inc()
+	tk.ch <- outcome{result: res.Result}
+}
+
+// dropWorker detaches a worker (nil err = graceful bye) and requeues
+// every lease it still held for re-dispatch. Idempotent.
+func (c *Coordinator) dropWorker(w *remoteWorker, err error) {
+	c.mu.Lock()
+	if w.gone {
+		c.mu.Unlock()
+		return
+	}
+	w.gone = true
+	delete(c.workers, w.id)
+	requeued := 0
+	for lease, tk := range w.inflight {
+		delete(c.leases, lease)
+		delete(w.inflight, lease)
+		if tk.resolved {
+			continue
+		}
+		tk.lease, tk.owner = 0, nil
+		c.pending = append(c.pending, tk)
+		c.cRedispatch.Inc()
+		requeued++
+	}
+	if err != nil {
+		c.cLost.Inc()
+	}
+	c.kick()
+	c.mu.Unlock()
+	w.conn.close()
+	if err != nil {
+		c.logf("campaign: worker %q lost (%v); %d lease(s) re-dispatched", w.name, err, requeued)
+	} else {
+		c.logf("campaign: worker %q detached; %d lease(s) re-dispatched", w.name, requeued)
+	}
+}
+
+// monitorLoop reaps workers whose heartbeats stopped: a worker silent
+// past HeartbeatMiss — wedged, killed, or partitioned — loses its
+// leases even though its socket may still be open.
+func (c *Coordinator) monitorLoop() {
+	interval := c.opts.HeartbeatMiss / 4
+	if interval <= 0 {
+		interval = time.Millisecond
+	}
+	for {
+		select {
+		case <-c.done:
+			return
+		case <-c.opts.Clock.After(interval):
+		}
+		now := c.opts.Clock.Now()
+		var expired []*remoteWorker
+		c.mu.Lock()
+		for _, w := range c.workers {
+			if now.Sub(w.lastBeat) > c.opts.HeartbeatMiss {
+				expired = append(expired, w)
+			}
+		}
+		c.mu.Unlock()
+		for _, w := range expired {
+			c.dropWorker(w, fmt.Errorf("heartbeat deadline exceeded (%v)", c.opts.HeartbeatMiss))
+		}
+	}
+}
+
+// Close shuts the coordinator down gracefully: workers are asked to
+// drain (finish in-flight runs and exit), the listener closes, and
+// waiting Do calls fail. Call after the campaign's last Do returned.
+func (c *Coordinator) Close() error { return c.stop(msgDrain) }
+
+// Abort shuts the coordinator down immediately: workers are told to
+// cancel their in-flight runs and exit. Used on the second-signal
+// abort path.
+func (c *Coordinator) Abort() error { return c.stop(msgAbort) }
+
+// stop broadcasts the shutdown message and tears the coordinator
+// down. On a drain the worker connections stay open so each worker
+// can finish, say bye, and hang up itself; on an abort they are
+// closed immediately.
+func (c *Coordinator) stop(t msgType) error {
+	c.shutdown.Do(func() {
+		c.mu.Lock()
+		c.closed = true
+		ws := make([]*remoteWorker, 0, len(c.workers))
+		for _, w := range c.workers {
+			ws = append(ws, w)
+		}
+		c.mu.Unlock()
+		for _, w := range ws {
+			w.conn.send(t, struct{}{}) // best effort: a dead session is dropped anyway
+		}
+		close(c.done)
+		c.ln.Close()
+		if t == msgAbort {
+			for _, w := range ws {
+				w.conn.close()
+			}
+		}
+	})
+	return nil
+}

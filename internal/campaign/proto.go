@@ -1,0 +1,193 @@
+// The wire protocol: length-prefixed frames on TCP.
+//
+// A frame is a 4-byte big-endian payload length followed by the
+// payload: one message-type byte and a JSON body. The codec is
+// deliberately hostile-input-proof — an oversized length, an empty
+// frame, a truncated stream, or garbage bytes produce an error, never
+// a panic or an unbounded allocation (the protocol fuzz test pins
+// this). A *partial* frame on a live socket simply waits, which is the
+// heartbeat deadline's job to bound.
+
+package campaign
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// maxFrame bounds one frame's payload (type byte + JSON body). Run
+// results with full metric snapshots are well under a megabyte; the
+// limit exists so a corrupt or malicious length prefix cannot demand
+// an arbitrary allocation.
+const maxFrame = 64 << 20
+
+// msgType tags a frame's payload.
+type msgType byte
+
+// Protocol messages. Direction is fixed per type.
+const (
+	// msgHello (worker → coordinator) opens a session: protocol
+	// version, worker name, and slot count.
+	msgHello msgType = iota + 1
+	// msgWelcome (coordinator → worker) accepts a hello and dictates
+	// the heartbeat interval and miss deadline.
+	msgWelcome
+	// msgTask (coordinator → worker) leases one run to the worker.
+	msgTask
+	// msgResult (worker → coordinator) completes a lease: the run's
+	// serialized result, or its error.
+	msgResult
+	// msgHeartbeat (worker → coordinator) proves liveness.
+	msgHeartbeat
+	// msgDrain (coordinator → worker) asks the worker to finish its
+	// in-flight runs, return their results, and exit cleanly.
+	msgDrain
+	// msgAbort (coordinator → worker) asks the worker to cancel its
+	// in-flight runs and exit immediately.
+	msgAbort
+	// msgBye (either direction) announces a clean session end.
+	msgBye
+)
+
+// helloMsg opens a worker session.
+type helloMsg struct {
+	// Proto is the worker's ProtocolVersion.
+	Proto int `json:"proto"`
+	// Name identifies the worker in logs and the status endpoint.
+	Name string `json:"name"`
+	// Slots is how many runs the worker executes concurrently; the
+	// coordinator never leases it more than this many at once.
+	Slots int `json:"slots"`
+}
+
+// welcomeMsg accepts a hello.
+type welcomeMsg struct {
+	// Proto is the coordinator's ProtocolVersion.
+	Proto int `json:"proto"`
+	// HeartbeatEvery is the interval the worker must beat at.
+	HeartbeatEvery time.Duration `json:"heartbeat_every"`
+	// HeartbeatMiss is the silence deadline after which the
+	// coordinator declares the worker lost.
+	HeartbeatMiss time.Duration `json:"heartbeat_miss"`
+}
+
+// taskMsg leases one run to a worker.
+type taskMsg struct {
+	// Lease identifies this dispatch; the worker echoes it in the
+	// result. A re-dispatched task gets a fresh lease, so results from
+	// revoked leases are recognized and dropped.
+	Lease uint64 `json:"lease"`
+	// Label is the run's campaign label (for logs and errors).
+	Label string `json:"label"`
+	// Config is the serialized run configuration.
+	Config json.RawMessage `json:"config"`
+}
+
+// resultMsg completes a lease.
+type resultMsg struct {
+	// Lease echoes the taskMsg lease being completed.
+	Lease uint64 `json:"lease"`
+	// Label echoes the run label.
+	Label string `json:"label"`
+	// Result is the serialized run result (nil when Err is set).
+	Result json.RawMessage `json:"result,omitempty"`
+	// Err is the run's failure, empty on success.
+	Err string `json:"err,omitempty"`
+}
+
+// heartbeatMsg proves worker liveness.
+type heartbeatMsg struct {
+	// InFlight is the worker's current in-flight run count.
+	InFlight int `json:"in_flight"`
+}
+
+// writeFrame marshals v and writes one frame: 4-byte length, type
+// byte, JSON body — as a single Write so concurrent senders (guarded
+// by the conn mutex) never interleave partial frames.
+func writeFrame(w io.Writer, t msgType, v any) error {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("campaign: encode %d: %w", t, err)
+	}
+	n := 1 + len(body)
+	if n > maxFrame {
+		return fmt.Errorf("campaign: frame of %d bytes exceeds the %d limit", n, maxFrame)
+	}
+	buf := make([]byte, 4+n)
+	binary.BigEndian.PutUint32(buf, uint32(n))
+	buf[4] = byte(t)
+	copy(buf[5:], body)
+	_, err = w.Write(buf)
+	return err
+}
+
+// readFrame reads one frame and returns its type and body. Any
+// malformed input — zero or oversized length, truncation — is an
+// error; readFrame never panics and never allocates more than
+// maxFrame.
+func readFrame(r io.Reader) (msgType, []byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 {
+		return 0, nil, fmt.Errorf("campaign: empty frame")
+	}
+	if n > maxFrame {
+		return 0, nil, fmt.Errorf("campaign: frame length %d exceeds the %d limit", n, maxFrame)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return 0, nil, fmt.Errorf("campaign: truncated frame: %w", err)
+	}
+	t := msgType(payload[0])
+	if t < msgHello || t > msgBye {
+		return 0, nil, fmt.Errorf("campaign: unknown message type %d", t)
+	}
+	return t, payload[1:], nil
+}
+
+// decode unmarshals a frame body into T.
+func decode[T any](body []byte) (T, error) {
+	var v T
+	if err := json.Unmarshal(body, &v); err != nil {
+		return v, fmt.Errorf("campaign: bad message body: %w", err)
+	}
+	return v, nil
+}
+
+// conn wraps one protocol session: buffered reads plus a write mutex
+// so the heartbeat loop and result senders never interleave frames.
+type conn struct {
+	nc  net.Conn
+	r   *bufio.Reader
+	wmu sync.Mutex
+}
+
+// newConn wraps a net.Conn for framed use.
+func newConn(nc net.Conn) *conn {
+	return &conn{nc: nc, r: bufio.NewReaderSize(nc, 64<<10)}
+}
+
+// send writes one frame under the write mutex.
+func (c *conn) send(t msgType, v any) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	return writeFrame(c.nc, t, v)
+}
+
+// recv reads the next frame.
+func (c *conn) recv() (msgType, []byte, error) { return readFrame(c.r) }
+
+// close tears the session down; concurrent senders fail fast.
+func (c *conn) close() error { return c.nc.Close() }

@@ -1,0 +1,128 @@
+package campaign
+
+import (
+	"bytes"
+	"encoding/binary"
+	"strings"
+	"testing"
+)
+
+// TestProtoRoundTrip pins the framing: every message type survives a
+// write/read cycle with its body intact.
+func TestProtoRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	in := taskMsg{Lease: 42, Label: "fig1/lbm/base", Config: []byte(`{"x":1}`)}
+	if err := writeFrame(&buf, msgTask, in); err != nil {
+		t.Fatal(err)
+	}
+	typ, body, err := readFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ != msgTask {
+		t.Fatalf("type = %d, want %d", typ, msgTask)
+	}
+	out, err := decode[taskMsg](body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Lease != in.Lease || out.Label != in.Label || string(out.Config) != string(in.Config) {
+		t.Fatalf("round trip: got %+v, want %+v", out, in)
+	}
+}
+
+// TestProtoRejectsHostileInput pins the codec's failure contract: a
+// zero-length frame, an oversized length prefix, a truncated payload,
+// an unknown message type, and a short header must each produce an
+// error — never a panic, a hang, or an oversized allocation.
+func TestProtoRejectsHostileInput(t *testing.T) {
+	frame := func(n uint32, payload []byte) []byte {
+		b := make([]byte, 4+len(payload))
+		binary.BigEndian.PutUint32(b, n)
+		copy(b[4:], payload)
+		return b
+	}
+	cases := []struct {
+		name string
+		in   []byte
+		want string
+	}{
+		{"empty frame", frame(0, nil), "empty frame"},
+		{"oversized length", frame(maxFrame+1, []byte{byte(msgHello)}), "exceeds"},
+		{"truncated payload", frame(100, []byte{byte(msgHello), '{', '}'}), "truncated"},
+		{"unknown type zero", frame(1, []byte{0}), "unknown message type"},
+		{"unknown type high", frame(2, []byte{200, 'x'}), "unknown message type"},
+		{"short header", []byte{0x00, 0x00}, ""},
+		{"no input", nil, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, _, err := readFrame(bytes.NewReader(tc.in))
+			if err == nil {
+				t.Fatal("malformed input accepted")
+			}
+			if tc.want != "" && !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("err = %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestProtoWriteRejectsOversized pins the send-side guard: a frame
+// that would exceed maxFrame is refused before any bytes hit the wire.
+func TestProtoWriteRejectsOversized(t *testing.T) {
+	var buf bytes.Buffer
+	huge := resultMsg{Lease: 1, Result: bytes.Repeat([]byte("a"), maxFrame)}
+	if err := writeFrame(&buf, msgResult, huge); err == nil {
+		t.Fatal("oversized frame accepted")
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("refused frame still wrote %d bytes", buf.Len())
+	}
+}
+
+// FuzzProtoReadFrame throws arbitrary bytes at the codec: it must
+// return cleanly (frame or error) without panicking, and an accepted
+// frame must re-encode consistently.
+func FuzzProtoReadFrame(f *testing.F) {
+	var seedBuf bytes.Buffer
+	writeFrame(&seedBuf, msgHello, helloMsg{Proto: 1, Name: "w", Slots: 2})
+	f.Add(seedBuf.Bytes())
+	f.Add([]byte{0, 0, 0, 1, byte(msgBye)})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		typ, body, err := readFrame(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if typ < msgHello || typ > msgBye {
+			t.Fatalf("accepted frame with invalid type %d", typ)
+		}
+		if len(body) > maxFrame {
+			t.Fatalf("accepted %d-byte body past the %d limit", len(body), maxFrame)
+		}
+	})
+}
+
+// TestProtoPartialFrameWaits documents (and pins) that a partial frame
+// on a live reader is not an error — the reader blocks for more input,
+// and bounding that wait is the heartbeat deadline's job. With an
+// io.Reader that ends, the wait surfaces as truncation.
+func TestProtoPartialFrameWaits(t *testing.T) {
+	var buf bytes.Buffer
+	writeFrame(&buf, msgHeartbeat, heartbeatMsg{InFlight: 3})
+	whole := buf.Bytes()
+	for cut := 1; cut < len(whole); cut++ {
+		_, _, err := readFrame(bytes.NewReader(whole[:cut]))
+		if err == nil {
+			t.Fatalf("cut at %d: truncated frame accepted", cut)
+		}
+		if cut > 4 && err != nil && !strings.Contains(err.Error(), "truncated") {
+			t.Fatalf("cut at %d: err = %v, want truncation", cut, err)
+		}
+	}
+	if _, _, err := readFrame(bytes.NewReader(whole)); err != nil {
+		t.Fatalf("whole frame rejected: %v", err)
+	}
+}

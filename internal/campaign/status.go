@@ -1,0 +1,126 @@
+// Live campaign visibility: a Status snapshot plus an http.Handler
+// serving progress, per-worker health, and the campaign metric
+// registry.
+
+package campaign
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+	"time"
+
+	"ropsim/internal/stats"
+)
+
+// WorkerStatus is one attached worker's health in a Status snapshot.
+type WorkerStatus struct {
+	// ID is the coordinator-assigned worker id (attach order).
+	ID uint64 `json:"id"`
+	// Name is the worker's self-reported name.
+	Name string `json:"name"`
+	// Addr is the worker's remote address.
+	Addr string `json:"addr"`
+	// Slots is the worker's concurrent-run capacity.
+	Slots int `json:"slots"`
+	// InFlight is how many leases the worker currently holds.
+	InFlight int `json:"in_flight"`
+	// Completed counts leases this worker finished.
+	Completed int64 `json:"completed"`
+	// LastBeat is how long ago the worker was last heard from.
+	LastBeat time.Duration `json:"last_beat"`
+}
+
+// Status is a point-in-time view of a running campaign.
+type Status struct {
+	// Addr is the coordinator's listen address.
+	Addr string `json:"addr"`
+	// Submitted counts tasks handed to Do so far.
+	Submitted int64 `json:"submitted"`
+	// Completed counts tasks finished successfully by workers.
+	Completed int64 `json:"completed"`
+	// Failed counts tasks whose worker run returned an error.
+	Failed int64 `json:"failed"`
+	// Local counts tasks executed in-process (no workers attached).
+	Local int64 `json:"local"`
+	// Redispatched counts leases requeued after worker loss.
+	Redispatched int64 `json:"redispatched"`
+	// Duplicates counts dropped results from revoked leases.
+	Duplicates int64 `json:"duplicates"`
+	// WorkersLost counts workers dropped for errors or missed
+	// heartbeats.
+	WorkersLost int64 `json:"workers_lost"`
+	// Pending is the current unleased queue depth.
+	Pending int `json:"pending"`
+	// Leased is the current in-flight lease count.
+	Leased int `json:"leased"`
+	// Workers lists attached workers in attach order.
+	Workers []WorkerStatus `json:"workers"`
+}
+
+// Status captures the coordinator's current progress and per-worker
+// health. Safe for concurrent use.
+func (c *Coordinator) Status() Status {
+	now := c.opts.Clock.Now()
+	c.mu.Lock()
+	s := Status{
+		Addr:    c.Addr(),
+		Pending: len(c.pending),
+		Leased:  len(c.leases),
+	}
+	for _, w := range c.workers {
+		s.Workers = append(s.Workers, WorkerStatus{
+			ID:        w.id,
+			Name:      w.name,
+			Addr:      w.addr,
+			Slots:     w.slots,
+			InFlight:  len(w.inflight),
+			Completed: w.completed,
+			LastBeat:  now.Sub(w.lastBeat),
+		})
+	}
+	c.mu.Unlock()
+	s.Submitted = c.cSubmitted.Value()
+	s.Completed = c.cCompleted.Value()
+	s.Failed = c.cFailed.Value()
+	s.Local = c.cLocal.Value()
+	s.Redispatched = c.cRedispatch.Value()
+	s.Duplicates = c.cDuplicate.Value()
+	s.WorkersLost = c.cLost.Value()
+	sort.Slice(s.Workers, func(i, j int) bool { return s.Workers[i].ID < s.Workers[j].ID })
+	return s
+}
+
+// Metrics snapshots the campaign counter registry (the "campaign.*"
+// namespace). Counters are atomic, so a concurrent snapshot is safe.
+func (c *Coordinator) Metrics() stats.Snapshot { return c.reg.Snapshot() }
+
+// Handler serves live campaign state over HTTP:
+//
+//	/progress — Status as JSON (progress counters + per-worker health)
+//	/metrics  — the campaign stats registry as a stats.Snapshot
+//	/healthz  — 200 while the coordinator runs, 503 after shutdown
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	writeJSON := func(w http.ResponseWriter, v any) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(v)
+	}
+	mux.HandleFunc("/progress", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, c.Status())
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, c.Metrics())
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		select {
+		case <-c.done:
+			http.Error(w, "campaign shut down", http.StatusServiceUnavailable)
+		default:
+			w.Write([]byte("ok\n"))
+		}
+	})
+	return mux
+}

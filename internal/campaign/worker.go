@@ -1,0 +1,286 @@
+// The worker: dials the coordinator, heartbeats, executes leased runs,
+// and reconnects with deterministic jittered backoff when the
+// coordinator goes away.
+
+package campaign
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"ropsim/internal/runner"
+)
+
+// ExecFunc executes one leased run on a worker. cfg is the serialized
+// run configuration from the coordinator; the returned bytes are the
+// serialized result streamed back. Exec is called from at most Slots
+// goroutines at once and must honor ctx cancellation (the abort path).
+type ExecFunc func(ctx context.Context, label string, cfg []byte) ([]byte, error)
+
+// WorkerOptions configures Work.
+type WorkerOptions struct {
+	// Addr is the coordinator's host:port. Required.
+	Addr string
+	// Name identifies this worker in coordinator logs and the status
+	// endpoint; it also salts the reconnect jitter.
+	Name string
+	// Slots is the worker's concurrent-run capacity (minimum 1).
+	Slots int
+	// Exec executes one leased run. Required.
+	Exec ExecFunc
+	// Clock is the injected host clock (runner.WallClock in
+	// production). Required.
+	Clock Clock
+	// Reconnect is the dial-retry schedule; the zero value uses the
+	// package reconnect defaults. The schedule resets after any
+	// session that attached successfully, so only consecutive dial
+	// failures consume the window.
+	Reconnect runner.Backoff
+	// Logf, when non-nil, receives operational log lines.
+	Logf func(format string, args ...any)
+}
+
+// errDrained signals a session that ended because the coordinator
+// asked the worker to drain — a clean campaign end, not a failure.
+var errDrained = errors.New("campaign: drained")
+
+// errSessionLost signals a session that ended mid-campaign (read
+// error, coordinator crash); the worker should redial.
+var errSessionLost = errors.New("campaign: session lost")
+
+// Work attaches to the coordinator at opts.Addr and executes leased
+// runs until the campaign drains, ctx is cancelled, or the reconnect
+// window is exhausted. It returns nil on a clean drain, ctx.Err() on
+// cancellation, and a descriptive error when the coordinator stays
+// unreachable.
+func Work(ctx context.Context, opts WorkerOptions) error {
+	if opts.Addr == "" {
+		return errors.New("campaign: worker needs a coordinator address")
+	}
+	if opts.Exec == nil {
+		return errors.New("campaign: worker needs an Exec function")
+	}
+	if opts.Clock == nil {
+		return errors.New("campaign: worker needs a Clock")
+	}
+	if opts.Slots < 1 {
+		opts.Slots = 1
+	}
+	if opts.Reconnect == (runner.Backoff{}) {
+		opts.Reconnect = runner.Backoff{
+			Base:       DefaultReconnectBase,
+			Max:        DefaultReconnectMax,
+			MaxElapsed: DefaultReconnectWindow,
+			Jitter:     0.5,
+			Seed:       1,
+		}
+	}
+	logf := opts.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+
+	sched := opts.Reconnect.Schedule(opts.Name)
+	var lastErr error
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		attached, err := workSession(ctx, opts, logf)
+		switch {
+		case errors.Is(err, errDrained):
+			return nil
+		case ctx.Err() != nil:
+			return ctx.Err()
+		}
+		lastErr = err
+		if attached {
+			// The campaign was live; start a fresh reconnect window.
+			sched = opts.Reconnect.Schedule(opts.Name)
+		}
+		d, ok := sched.Next()
+		if !ok {
+			return fmt.Errorf("campaign: coordinator %s unreachable for %v: %w",
+				opts.Addr, sched.Elapsed(), lastErr)
+		}
+		logf("campaign: reconnecting to %s in %v (%v)", opts.Addr, d.Round(time.Millisecond), err)
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-opts.Clock.After(d):
+		}
+	}
+}
+
+// workSession runs one coordinator session: dial, hello/welcome,
+// heartbeat loop, task loop. attached reports whether the handshake
+// completed (used to reset the reconnect window).
+func workSession(ctx context.Context, opts WorkerOptions, logf func(string, ...any)) (attached bool, err error) {
+	var dialer net.Dialer
+	nc, err := dialer.DialContext(ctx, "tcp", opts.Addr)
+	if err != nil {
+		return false, err
+	}
+	cn := newConn(nc)
+
+	// One watcher closes the socket on ctx cancellation so every
+	// blocking read and write in the session unblocks.
+	sctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var watch sync.WaitGroup
+	watch.Add(1)
+	go func() {
+		defer watch.Done()
+		<-sctx.Done()
+		cn.close()
+	}()
+	defer watch.Wait()
+	defer cancel()
+
+	if err := cn.send(msgHello, helloMsg{Proto: ProtocolVersion, Name: opts.Name, Slots: opts.Slots}); err != nil {
+		return false, fmt.Errorf("hello: %w", err)
+	}
+	// Bound the welcome wait via the clock seam: a coordinator that
+	// accepts but never answers is abandoned.
+	welcomeDone := make(chan struct{})
+	go func() {
+		select {
+		case <-welcomeDone:
+		case <-opts.Clock.After(DefaultHeartbeatMiss):
+			cn.close()
+		case <-sctx.Done():
+		}
+	}()
+	t, body, err := cn.recv()
+	close(welcomeDone)
+	if err != nil {
+		return false, fmt.Errorf("welcome: %w", err)
+	}
+	if t != msgWelcome {
+		return false, fmt.Errorf("campaign: expected welcome, got message type %d", t)
+	}
+	welcome, err := decode[welcomeMsg](body)
+	if err != nil {
+		return false, err
+	}
+	if welcome.Proto != ProtocolVersion {
+		return true, fmt.Errorf("campaign: coordinator speaks protocol %d, this worker speaks %d",
+			welcome.Proto, ProtocolVersion)
+	}
+	beatEvery := welcome.HeartbeatEvery
+	if beatEvery <= 0 {
+		beatEvery = DefaultHeartbeatEvery
+	}
+	logf("campaign: attached to %s (heartbeat every %v, %d slots)", opts.Addr, beatEvery, opts.Slots)
+
+	// In-flight accounting: the heartbeat reports it, and drain waits
+	// for it.
+	var mu sync.Mutex
+	inFlight := 0
+	idle := sync.NewCond(&mu)
+	var exec sync.WaitGroup
+
+	// Heartbeat loop: beats on the coordinator's interval until the
+	// session ends. A send failure cancels the session.
+	watch.Add(1)
+	go func() {
+		defer watch.Done()
+		for {
+			select {
+			case <-sctx.Done():
+				return
+			case <-opts.Clock.After(beatEvery):
+			}
+			mu.Lock()
+			n := inFlight
+			mu.Unlock()
+			if err := cn.send(msgHeartbeat, heartbeatMsg{InFlight: n}); err != nil {
+				cancel()
+				return
+			}
+		}
+	}()
+
+	// Task loop.
+	for {
+		t, body, err := cn.recv()
+		if err != nil {
+			cancel()
+			exec.Wait()
+			return true, fmt.Errorf("%w: %v", errSessionLost, err)
+		}
+		switch t {
+		case msgTask:
+			task, err := decode[taskMsg](body)
+			if err != nil {
+				cancel()
+				exec.Wait()
+				return true, err
+			}
+			mu.Lock()
+			inFlight++
+			mu.Unlock()
+			exec.Add(1)
+			go func() {
+				defer exec.Done()
+				res := runTask(sctx, opts.Exec, task)
+				mu.Lock()
+				inFlight--
+				if inFlight == 0 {
+					idle.Broadcast()
+				}
+				mu.Unlock()
+				if err := cn.send(msgResult, res); err != nil {
+					cancel()
+				}
+			}()
+		case msgDrain:
+			// Finish in-flight runs (their results already stream back as
+			// they complete), say goodbye, and end the campaign cleanly.
+			mu.Lock()
+			for inFlight > 0 {
+				idle.Wait()
+			}
+			mu.Unlock()
+			cn.send(msgBye, struct{}{})
+			cancel()
+			exec.Wait()
+			return true, errDrained
+		case msgAbort:
+			cancel()
+			exec.Wait()
+			return true, errDrained
+		case msgBye:
+			cancel()
+			exec.Wait()
+			return true, errDrained
+		default:
+			cancel()
+			exec.Wait()
+			return true, fmt.Errorf("campaign: unexpected message type %d", t)
+		}
+	}
+}
+
+// runTask executes one leased run, converting a panic in the executor
+// into a lease failure instead of a worker crash.
+func runTask(ctx context.Context, exec ExecFunc, task taskMsg) (res resultMsg) {
+	res = resultMsg{Lease: task.Lease, Label: task.Label}
+	defer func() {
+		if r := recover(); r != nil {
+			res.Result = nil
+			res.Err = fmt.Sprintf("panic: %v", r)
+		}
+	}()
+	out, err := exec(ctx, task.Label, task.Config)
+	if err != nil {
+		res.Err = err.Error()
+		return res
+	}
+	res.Result = out
+	return res
+}

@@ -21,7 +21,8 @@ func TestDetmap(t *testing.T) {
 
 func TestWallclock(t *testing.T) {
 	linttest.Run(t, "testdata/wallclock", lint.Wallclock,
-		"ropsim/internal/core", "ropsim/internal/runner")
+		"ropsim/internal/core", "ropsim/internal/runner",
+		"ropsim/internal/campaign")
 }
 
 func TestUnitsafe(t *testing.T) {

@@ -1,0 +1,29 @@
+// Package campaign mirrors the distributed-campaign coordinator: a
+// host-side package with NO hostcode annotation — heartbeats and
+// deadlines must flow through an injected clock seam, so raw host-time
+// reads are violations outright.
+package campaign
+
+import "time"
+
+// Clock mirrors the real package's injected seam.
+type Clock interface {
+	Now() time.Time
+	After(d time.Duration) <-chan time.Time
+}
+
+func badDeadline(last time.Time) bool {
+	return time.Since(last) > time.Second // want `reads the host clock`
+}
+
+func badBeat() time.Time {
+	return time.Now() // want `reads the host clock`
+}
+
+func goodDeadline(clk Clock, last time.Time, miss time.Duration) bool {
+	return clk.Now().Sub(last) > miss
+}
+
+func goodWait(clk Clock, every time.Duration) <-chan time.Time {
+	return clk.After(every)
+}

@@ -15,6 +15,12 @@ import (
 // runner pool, the simulation watchdog) carries a file- or
 // package-scoped //simlint:hostcode annotation. The analyzer inspects
 // _test.go files too: tests feed the same golden artifacts.
+//
+// Beyond the simulated domain, the analyzer also covers host-side
+// packages whose testability depends on an injected clock seam
+// (wallclockHostPackages): internal/campaign must route every
+// heartbeat and deadline through its Clock interface so lease expiry
+// is reproducible under test, with zero escape hatches.
 var Wallclock = &Analyzer{
 	Name:         "wallclock",
 	Doc:          "flags time.Now/Since/Until/Sleep and global math/rand use in simulation packages (escape: //simlint:hostcode)",
@@ -40,8 +46,19 @@ var wallclockGlobalRand = map[string]bool{
 	"Seed": true,
 }
 
+// wallclockHostPackages are host-side packages the analyzer covers in
+// addition to the simulated domain. The runner pool is included so its
+// sanctioned host-timing stays confined to its package annotation; the
+// campaign coordinator/worker is included so every heartbeat and
+// deadline goes through the injected Clock seam (no annotation exists
+// there — the package must stay violation-free outright).
+var wallclockHostPackages = map[string]bool{
+	"ropsim/internal/runner":   true,
+	"ropsim/internal/campaign": true,
+}
+
 func runWallclock(pass *Pass) {
-	if !inSimDomain(pass.Path()) && pass.Path() != "ropsim/internal/runner" {
+	if !inSimDomain(pass.Path()) && !wallclockHostPackages[pass.Path()] {
 		return
 	}
 	for _, f := range pass.Files {

@@ -1,0 +1,129 @@
+// Host-side retry/reconnect backoff schedules.
+//
+// The pool's transient-task retry and the campaign worker's reconnect
+// loop (internal/campaign) share one schedule shape: exponential growth
+// from a base delay, a per-delay cap, multiplicative jitter from an
+// explicitly seeded source (so two schedules never thundering-herd a
+// coordinator, yet every schedule is reproducible under test), and a
+// max-elapsed budget that bounds how long a caller keeps retrying
+// before giving up.
+
+package runner
+
+import (
+	"hash/fnv"
+	"math"
+	"math/rand"
+	"time"
+)
+
+// backoffCeiling bounds a single delay when Backoff.Max is unset, so
+// exponential growth can never overflow time.Duration.
+const backoffCeiling = time.Hour
+
+// Backoff describes a retry-delay schedule: exponential growth with
+// deterministic jitter and a total-time budget. The zero value yields
+// zero-length delays forever (retry without waiting), which is what
+// the pool's historical SetRetry(max, 0) behavior was.
+type Backoff struct {
+	// Base is the first delay; subsequent delays grow by Factor.
+	Base time.Duration
+	// Factor is the per-attempt growth multiplier; values <= 1 select
+	// the default of 2 (each delay doubles).
+	Factor float64
+	// Max caps every individual delay (0 = capped only by the internal
+	// one-hour overflow ceiling).
+	Max time.Duration
+	// MaxElapsed bounds the schedule's total sleeping time: once the
+	// sum of returned delays would exceed it, Next reports exhaustion
+	// and the caller stops retrying (0 = no budget, retry forever).
+	MaxElapsed time.Duration
+	// Jitter is the multiplicative randomization fraction in [0, 1):
+	// each delay is scaled by a factor drawn uniformly from
+	// [1-Jitter, 1+Jitter]. Zero disables jitter.
+	Jitter float64
+	// Seed seeds the jitter source. Schedules derived with the same
+	// (Seed, salt) pair produce identical delay sequences, so retry
+	// timing is reproducible under test.
+	Seed int64
+}
+
+// DefaultRetryBackoff is the schedule SetRetry installs for a given
+// base delay: doubling growth, 30 s per-delay cap, 2 min total budget,
+// 25% jitter, seed 1.
+func DefaultRetryBackoff(base time.Duration) Backoff {
+	return Backoff{Base: base, Factor: 2, Max: 30 * time.Second,
+		MaxElapsed: 2 * time.Minute, Jitter: 0.25, Seed: 1}
+}
+
+// Schedule instantiates the stateful delay iterator. The salt (usually
+// the task label or worker name) is hashed into the jitter seed, so
+// concurrent schedules are decorrelated from each other while each
+// remains deterministic for its (Seed, salt) pair.
+func (b Backoff) Schedule(salt string) *BackoffSchedule {
+	h := fnv.New64a()
+	h.Write([]byte(salt))
+	seed := b.Seed ^ int64(h.Sum64())
+	return &BackoffSchedule{b: b, rng: rand.New(rand.NewSource(seed))}
+}
+
+// BackoffSchedule is one instantiated Backoff: an iterator over the
+// delay sequence. Not safe for concurrent use; each retry loop owns
+// its own schedule.
+type BackoffSchedule struct {
+	b       Backoff
+	rng     *rand.Rand
+	attempt int
+	slept   time.Duration
+}
+
+// Next returns the delay to sleep before the next attempt and whether
+// the schedule still permits one. It reports false — without advancing
+// — once the accumulated delays would exceed MaxElapsed.
+func (s *BackoffSchedule) Next() (time.Duration, bool) {
+	factor := s.b.Factor
+	if factor <= 1 {
+		factor = 2
+	}
+	d := float64(s.b.Base) * math.Pow(factor, float64(s.attempt))
+	max := s.b.Max
+	if max <= 0 || max > backoffCeiling {
+		max = backoffCeiling
+	}
+	if d > float64(max) {
+		d = float64(max)
+	}
+	if s.b.Jitter > 0 {
+		d *= 1 + s.b.Jitter*(2*s.rng.Float64()-1)
+	}
+	if d < 0 {
+		d = 0
+	}
+	delay := time.Duration(d)
+	if s.b.MaxElapsed > 0 && s.slept+delay > s.b.MaxElapsed {
+		return 0, false
+	}
+	s.attempt++
+	s.slept += delay
+	return delay, true
+}
+
+// Elapsed reports the summed delays handed out so far.
+func (s *BackoffSchedule) Elapsed() time.Duration { return s.slept }
+
+// Attempts reports how many delays the schedule has handed out.
+func (s *BackoffSchedule) Attempts() int { return s.attempt }
+
+// WallClock is the production host clock: time.Now and time.After.
+// It satisfies the campaign package's injected-clock seam (and any
+// other structural {Now; After} clock interface); tests substitute a
+// manually advanced fake so heartbeat and lease deadlines are
+// deterministic. It lives here because internal/runner is the repo's
+// sanctioned host-side timing package (see the package annotation).
+type WallClock struct{}
+
+// Now returns the current host time.
+func (WallClock) Now() time.Time { return time.Now() }
+
+// After waits for d on the host clock.
+func (WallClock) After(d time.Duration) <-chan time.Time { return time.After(d) }

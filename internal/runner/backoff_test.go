@@ -1,0 +1,139 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestBackoffDeterministicSchedule proves the reproducibility contract:
+// the same (Seed, salt) pair yields an identical delay sequence, and a
+// different salt yields a different (decorrelated) one.
+func TestBackoffDeterministicSchedule(t *testing.T) {
+	b := Backoff{Base: 10 * time.Millisecond, Factor: 2, Max: time.Second,
+		Jitter: 0.5, Seed: 42}
+	delays := func(salt string, n int) []time.Duration {
+		s := b.Schedule(salt)
+		out := make([]time.Duration, n)
+		for i := range out {
+			d, ok := s.Next()
+			if !ok {
+				t.Fatalf("schedule exhausted at attempt %d with no MaxElapsed", i)
+			}
+			out[i] = d
+		}
+		return out
+	}
+	a1, a2 := delays("task-a", 8), delays("task-a", 8)
+	for i := range a1 {
+		if a1[i] != a2[i] {
+			t.Fatalf("attempt %d: same (seed, salt) gave %v then %v", i, a1[i], a2[i])
+		}
+	}
+	bb := delays("task-b", 8)
+	same := true
+	for i := range a1 {
+		if a1[i] != bb[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different salts produced identical jitter sequences")
+	}
+}
+
+// TestBackoffGrowthCapAndJitterBounds checks the schedule's shape: the
+// un-jittered spine doubles from Base, every delay stays within the
+// jitter envelope, and no delay exceeds Max*(1+Jitter).
+func TestBackoffGrowthCapAndJitterBounds(t *testing.T) {
+	b := Backoff{Base: 8 * time.Millisecond, Factor: 2, Max: 64 * time.Millisecond,
+		Jitter: 0.25, Seed: 7}
+	s := b.Schedule("x")
+	for i := 0; i < 12; i++ {
+		d, ok := s.Next()
+		if !ok {
+			t.Fatalf("exhausted at %d with no MaxElapsed", i)
+		}
+		spine := float64(b.Base) * float64(int(1)<<uint(i))
+		if spine > float64(b.Max) {
+			spine = float64(b.Max)
+		}
+		lo := time.Duration(spine * (1 - b.Jitter))
+		hi := time.Duration(spine * (1 + b.Jitter))
+		if d < lo || d > hi {
+			t.Errorf("attempt %d: delay %v outside jitter envelope [%v, %v]", i, d, lo, hi)
+		}
+	}
+	if s.Attempts() != 12 {
+		t.Errorf("Attempts() = %d, want 12", s.Attempts())
+	}
+}
+
+// TestBackoffMaxElapsedExhausts proves the total-budget cap: once the
+// summed delays would exceed MaxElapsed, Next reports exhaustion and
+// Elapsed never overshoots the budget.
+func TestBackoffMaxElapsedExhausts(t *testing.T) {
+	b := Backoff{Base: 10 * time.Millisecond, Factor: 2,
+		MaxElapsed: 100 * time.Millisecond, Seed: 1}
+	s := b.Schedule("t")
+	n := 0
+	for {
+		d, ok := s.Next()
+		if !ok {
+			break
+		}
+		n++
+		if d < 0 {
+			t.Fatalf("negative delay %v", d)
+		}
+		if n > 100 {
+			t.Fatal("schedule never exhausted its 100 ms budget")
+		}
+	}
+	// 10+20+40 = 70 ms fits; +80 would blow the 100 ms budget.
+	if n != 3 {
+		t.Errorf("handed out %d delays before exhaustion, want 3", n)
+	}
+	if s.Elapsed() > b.MaxElapsed {
+		t.Errorf("Elapsed %v exceeds MaxElapsed %v", s.Elapsed(), b.MaxElapsed)
+	}
+}
+
+// TestBackoffZeroValueNeverWaits pins the compatibility contract: the
+// zero-value Backoff (what SetRetry(max, 0) historically meant) hands
+// out zero-length delays forever.
+func TestBackoffZeroValueNeverWaits(t *testing.T) {
+	s := Backoff{}.Schedule("z")
+	for i := 0; i < 50; i++ {
+		d, ok := s.Next()
+		if !ok || d != 0 {
+			t.Fatalf("attempt %d: got (%v, %v), want (0, true)", i, d, ok)
+		}
+	}
+}
+
+// TestRetryStopsAtMaxElapsed proves the pool integration: a transient
+// task whose retries would outlive the schedule's budget stops retrying
+// early and surfaces its last failure instead of sleeping on.
+func TestRetryStopsAtMaxElapsed(t *testing.T) {
+	p := New(1)
+	// Budget admits exactly one delay (1 ms base, 1 ms budget): the task
+	// gets its first attempt plus one retry, then the schedule exhausts.
+	p.SetRetryBackoff(10, Backoff{Base: time.Millisecond,
+		MaxElapsed: time.Millisecond, Seed: 3})
+	attempts := 0
+	boom := errors.New("still broken")
+	tasks := []Task[int]{{Label: "t", Transient: true,
+		Run: func(context.Context) (int, error) { attempts++; return 0, boom }}}
+	_, err := Run(context.Background(), p, tasks)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped %v", err, boom)
+	}
+	if attempts != 2 {
+		t.Errorf("task attempted %d times, want 2 (initial + one budgeted retry)", attempts)
+	}
+	if got := p.Stats().Retried; got != 1 {
+		t.Errorf("Retried = %d, want 1", got)
+	}
+}

@@ -84,10 +84,10 @@ type Pool struct {
 	durMean   stats.Mean
 	progress  func(Event)
 
-	policy       Policy
-	retryMax     int           // extra attempts for Transient tasks
-	retryBackoff time.Duration // base backoff, scaled linearly per attempt
-	faultHook    func(label string, attempt int) error
+	policy    Policy
+	retryMax  int     // extra attempts for Transient tasks
+	retry     Backoff // delay schedule between attempts
+	faultHook func(label string, attempt int) error
 
 	completed stats.AtomicCounter
 	failed    stats.AtomicCounter
@@ -111,12 +111,23 @@ func (p *Pool) Policy() Policy {
 }
 
 // SetRetry configures bounded retry for Transient tasks: up to max
-// re-attempts, sleeping backoff*attempt between tries (linear backoff).
-// max <= 0 disables retry (the default). Install before submitting
+// re-attempts under DefaultRetryBackoff(backoff) — exponential delays
+// from the given base with 25% seeded jitter, a 30 s per-delay cap and
+// a 2 min total budget. max <= 0 disables retry (the default). Use
+// SetRetryBackoff for full schedule control. Install before submitting
 // work.
 func (p *Pool) SetRetry(max int, backoff time.Duration) {
+	p.SetRetryBackoff(max, DefaultRetryBackoff(backoff))
+}
+
+// SetRetryBackoff configures bounded retry for Transient tasks with an
+// explicit delay schedule: up to max re-attempts, sleeping per b
+// between tries. Each task derives its own deterministic schedule from
+// (b.Seed, task label), so retry timing is reproducible and tasks
+// never retry in lockstep. Install before submitting work.
+func (p *Pool) SetRetryBackoff(max int, b Backoff) {
 	p.mu.Lock()
-	p.retryMax, p.retryBackoff = max, backoff
+	p.retryMax, p.retry = max, b
 	p.mu.Unlock()
 }
 
@@ -133,10 +144,10 @@ func (p *Pool) SetFaultHook(fn func(label string, attempt int) error) {
 }
 
 // runConfig snapshots the pool's per-batch behavior knobs.
-func (p *Pool) runConfig() (Policy, int, time.Duration, func(string, int) error) {
+func (p *Pool) runConfig() (Policy, int, Backoff, func(string, int) error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return p.policy, p.retryMax, p.retryBackoff, p.faultHook
+	return p.policy, p.retryMax, p.retry, p.faultHook
 }
 
 // New returns a pool of the given size. jobs <= 0 selects
@@ -384,19 +395,30 @@ func Run[R any](ctx context.Context, p *Pool, tasks []Task[R]) ([]R, error) {
 }
 
 // attempt executes one task with panic recovery, the fault-injection
-// hook, and bounded retry for Transient tasks.
+// hook, and bounded retry for Transient tasks. Retry delays follow the
+// pool's Backoff; a schedule that exhausts its max-elapsed budget ends
+// the retries early with the last failure.
 func attempt[R any](ctx context.Context, p *Pool, t Task[R], retryMax int,
-	backoff time.Duration, hook func(string, int) error) (res R, err error) {
+	backoff Backoff, hook func(string, int) error) (res R, err error) {
 	maxAtt := 0
 	if t.Transient {
 		maxAtt = retryMax
 	}
+	var sched *BackoffSchedule
 	for att := 0; ; att++ {
 		res, err = runOnce(ctx, p, t, att, hook)
 		if err == nil || att >= maxAtt || ctx.Err() != nil || isCancellation(err) {
 			return res, err
 		}
-		if !sleepBackoff(ctx.Done(), backoff*time.Duration(att+1)) {
+		if sched == nil {
+			sched = backoff.Schedule(t.Label)
+		}
+		d, ok := sched.Next()
+		if !ok {
+			// Max-elapsed budget spent: surface the failure now.
+			return res, err
+		}
+		if !sleepBackoff(ctx.Done(), d) {
 			return res, err
 		}
 		p.retried.Inc()

@@ -1,0 +1,58 @@
+package ropsim
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+)
+
+// This file adapts the simulator to the distributed campaign wire
+// format (internal/campaign): run configs and results cross the wire
+// as JSON. Config is plain data and Result round-trips JSON
+// byte-exactly (the journal resume tests pin this), so a run executed
+// on a worker records the same artifact bytes as one executed
+// in-process — the foundation of the campaign determinism contract.
+
+// RemoteExec adapts a run function to the campaign executor shape:
+// it decodes a wire config, runs it, and encodes the result. Both
+// cmd/ropworker and ropexp -connect wrap their pool-scheduled RunCtx
+// in this; ropexp -serve uses it for the coordinator's in-process
+// fallback executor.
+func RemoteExec(run func(ctx context.Context, label string, cfg Config) (*Result, error)) func(ctx context.Context, label string, cfg []byte) ([]byte, error) {
+	return func(ctx context.Context, label string, raw []byte) ([]byte, error) {
+		var cfg Config
+		if err := json.Unmarshal(raw, &cfg); err != nil {
+			return nil, fmt.Errorf("%s: bad wire config: %w", label, err)
+		}
+		res, err := run(ctx, label, cfg)
+		if err != nil {
+			return nil, err
+		}
+		out, err := json.Marshal(res)
+		if err != nil {
+			return nil, fmt.Errorf("%s: encode result: %w", label, err)
+		}
+		return out, nil
+	}
+}
+
+// RemoteDo adapts a campaign coordinator's Do method to the
+// ExpOptions.Remote shape: it encodes the run config for the wire,
+// dispatches it, and decodes the result that streams back.
+func RemoteDo(do func(ctx context.Context, label string, cfg []byte) ([]byte, error)) func(ctx context.Context, label string, cfg Config) (*Result, error) {
+	return func(ctx context.Context, label string, cfg Config) (*Result, error) {
+		raw, err := json.Marshal(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("%s: encode wire config: %w", label, err)
+		}
+		out, err := do(ctx, label, raw)
+		if err != nil {
+			return nil, err
+		}
+		var res Result
+		if err := json.Unmarshal(out, &res); err != nil {
+			return nil, fmt.Errorf("%s: bad wire result: %w", label, err)
+		}
+		return &res, nil
+	}
+}

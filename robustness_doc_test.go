@@ -25,10 +25,13 @@ func TestRobustnessDocComplete(t *testing.T) {
 	}
 	text := string(doc)
 
-	// Every robustness flag of ropexp/ropsim and both policy spellings.
+	// Every robustness flag of ropexp/ropworker (the distributed
+	// campaign surface included) and both policy spellings.
 	for _, flag := range []string{
 		"-journal", "-resume", "-check", "-run-timeout", "-fail-policy",
 		"failfast", "continue",
+		"-serve", "-connect", "-http", "-heartbeat", "-heartbeat-timeout",
+		"-reconnect-for",
 	} {
 		if !strings.Contains(text, "`"+flag+"`") {
 			t.Errorf("docs/ROBUSTNESS.md does not document %q", flag)
@@ -51,10 +54,11 @@ func TestRobustnessDocComplete(t *testing.T) {
 		t.Errorf("docs/ROBUSTNESS.md does not state the livelock default %s", want)
 	}
 
-	// Every campaign-level fault-injection test (root package and the
-	// simulation watchdog suite) must be described in the doc.
+	// Every campaign-level fault-injection test (root package, the
+	// simulation watchdog suite, and the distributed-campaign suite)
+	// must be described in the doc.
 	re := regexp.MustCompile(`func (TestFault\w+)\(`)
-	for _, dir := range []string{".", "internal/sim"} {
+	for _, dir := range []string{".", "internal/sim", "internal/campaign"} {
 		entries, err := os.ReadDir(dir)
 		if err != nil {
 			t.Fatal(err)

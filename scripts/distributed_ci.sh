@@ -1,0 +1,60 @@
+#!/bin/sh
+# distributed_ci.sh — the distributed-campaign byte-identity gate.
+#
+# Builds ropexp and ropworker, renders a single-process golden artifact,
+# then re-runs the identical sweep through a coordinator with two
+# attached workers, SIGKILLs one worker mid-campaign, and requires the
+# distributed artifact to be byte-identical to the golden. The journal
+# (dist.jsonl, in the working directory) is left behind on failure so CI
+# can upload it, and removed on success.
+#
+# Used by `make distributed` and the CI `distributed` job. Scale is
+# chosen so runs are long enough for the workers to attach and hold
+# leases before the campaign drains (quick scale finishes before the
+# first reconnect dial lands, which would make the kill vacuous).
+set -eu
+
+EXPS="${EXPS:-fig1}"
+INSTS="${INSTS:-10000000}"
+PORT="${PORT:-$((20000 + $$ % 20000))}"
+
+dir="$(mktemp -d)"
+w1= w2= coord=
+cleanup() {
+    for pid in $w1 $w2 $coord; do
+        kill -9 "$pid" 2>/dev/null || true
+    done
+    rm -rf "$dir"
+}
+trap cleanup EXIT INT TERM
+
+go build -o "$dir/ropexp" ./cmd/ropexp
+go build -o "$dir/ropworker" ./cmd/ropworker
+
+echo "== golden: single-process -jobs 2 =="
+"$dir/ropexp" -exp "$EXPS" -insts "$INSTS" -check -jobs 2 \
+    -stats-out "$dir/golden.json" > /dev/null
+
+# Workers first: their seeded, jittered backoff retries the dial until
+# the coordinator's listener is up.
+"$dir/ropworker" -connect "127.0.0.1:$PORT" -jobs 1 -name ci-w1 -reconnect-for 30s &
+w1=$!
+"$dir/ropworker" -connect "127.0.0.1:$PORT" -jobs 1 -name ci-w2 -reconnect-for 30s &
+w2=$!
+
+echo "== distributed: coordinator + 2 workers, one SIGKILLed mid-run =="
+"$dir/ropexp" -exp "$EXPS" -insts "$INSTS" -check -jobs 2 \
+    -serve "127.0.0.1:$PORT" -heartbeat 100ms -heartbeat-timeout 500ms \
+    -journal dist.jsonl -stats-out "$dir/dist.json" > /dev/null &
+coord=$!
+
+sleep 1   # let both workers attach and pull leases
+kill -9 "$w1" 2>/dev/null || true
+echo "== SIGKILLed worker ci-w1 ($w1) =="
+
+wait "$coord"
+coord=
+
+cmp "$dir/golden.json" "$dir/dist.json"
+rm -f dist.jsonl
+echo "distributed: artifact byte-identical through worker loss"

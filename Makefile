@@ -5,7 +5,7 @@ GO ?= go
 # Latest committed baseline, used as the regression reference.
 REF ?= $(lastword $(sort $(wildcard BENCH_*.json)))
 
-.PHONY: test race lint lint-fix-check bench bench-gate microbench quick distributed chaos
+.PHONY: test race lint lint-fix-check bench bench-gate microbench quick distributed chaos traces
 
 # test builds everything and runs the full suite (tier-1 gate).
 test:
@@ -51,6 +51,12 @@ quick:
 # against a single-process golden (docs/ROBUSTNESS.md).
 distributed:
 	sh scripts/distributed_ci.sh
+
+# traces runs the trace-format gate: every committed zoo trace must
+# validate, round-trip .ropt -> text -> .ropt byte-identically, and a
+# checked replay must match the committed golden (docs/TRACES.md).
+traces:
+	sh scripts/traces_ci.sh
 
 # chaos runs the heavier in-tree chaos test through the real binaries
 # (3 workers: one SIGKILLed, one SIGSTOP-wedged, plus a replacement).

@@ -2,7 +2,8 @@
 // gates regressions against a committed reference. It measures the
 // hot-path microbenchmarks (event queue, controller service paths, the
 // idle refresh sleep), the quick Fig1 campaign wall-clock at one
-// worker, and the simulated-cycles-per-second headline, then writes
+// worker, the simulated-cycles-per-second headline, and the
+// trace-replay throughput over a committed zoo trace, then writes
 // them as a BENCH_<date>.json artifact (docs/PERFORMANCE.md documents
 // the schema).
 //
@@ -12,9 +13,10 @@
 // With -ref, every measurement the reference flags with "gate": true
 // is compared: the run fails (exit 1) when a time-based metric
 // regresses by more than -tolerance (default 15%), or a
-// higher-is-better metric drops by more than the same fraction. Only
-// the campaign wall-clock is gated by default; microbenchmarks are
-// recorded for trend reading but are too noisy to fail a build on.
+// higher-is-better metric drops by more than the same fraction. The
+// campaign wall-clock and trace-replay throughput are gated by
+// default; microbenchmarks are recorded for trend reading but are too
+// noisy to fail a build on.
 // Absolute numbers vary across machines; the gate is meant for
 // same-machine comparisons (CI runners of one class, or a developer's
 // before/after).
@@ -50,8 +52,9 @@ type Measurement struct {
 	HigherIsBetter bool    `json:"higher_is_better,omitempty"`
 	// Gate marks the metric as regression-gated: -ref compares only
 	// measurements flagged in the reference artifact. Campaign
-	// wall-clock is gated; microbenchmarks and throughput are recorded
-	// for trend reading but too noisy to fail a build on.
+	// wall-clock and trace-replay throughput are gated;
+	// microbenchmarks and the simulation-throughput headline are
+	// recorded for trend reading but too noisy to fail a build on.
 	Gate bool   `json:"gate,omitempty"`
 	Note string `json:"note,omitempty"`
 }
@@ -87,6 +90,7 @@ func main() {
 	}
 	b.Results = append(b.Results, microBenchmarks()...)
 	b.Results = append(b.Results, campaign(*runs)...)
+	b.Results = append(b.Results, traceReplay(*runs))
 
 	data, err := json.MarshalIndent(b, "", "  ")
 	if err != nil {
@@ -240,6 +244,41 @@ func campaign(runs int) []Measurement {
 			HigherIsBetter: true,
 			Note:           "libquantum baseline, 300k instructions",
 		},
+	}
+}
+
+// traceReplayPath is the committed workload-zoo trace the replay gate
+// times. benchgate runs from the repo root (the Makefile's bench and
+// bench-gate targets), so the path is repo-relative.
+const traceReplayPath = "testdata/traces/scan.ropt"
+
+// traceReplay measures trace-replay throughput: a full simulator run
+// driven by a committed zoo trace, reported as replayed requests per
+// wall-clock second. The measurement is gated (docs/TRACES.md) so
+// replay-path regressions cannot land silently.
+func traceReplay(runs int) Measurement {
+	cfg := ropsim.Default("trace:" + traceReplayPath)
+	cfg.Mode = ropsim.ModeBaseline
+	best := time.Duration(1<<63 - 1)
+	var replayed float64
+	for i := 0; i < runs; i++ {
+		start := time.Now()
+		res, err := ropsim.Run(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		if d := time.Since(start); d < best {
+			best = d
+		}
+		replayed, _ = res.Metrics.Field("trace.core0.records_replayed", "value")
+	}
+	return Measurement{
+		Name:           "trace_replay_reqs_per_sec",
+		Unit:           "req/s",
+		Value:          replayed / best.Seconds(),
+		HigherIsBetter: true,
+		Gate:           true,
+		Note:           fmt.Sprintf("%s, best of %d", traceReplayPath, runs),
 	}
 }
 

@@ -12,6 +12,13 @@
 //	ropsim -bench libquantum -mode rop -stats-out run.stats.json
 //	ropsim -bench lbm -insts 8000000 -cpuprofile cpu.pprof
 //	ropsim -bench libquantum -mode rop -check -run-timeout 5m
+//	ropsim -bench trace:testdata/traces/pointer.ropt -mode rop
+//	ropsim -bench scan -capture-trace out -insts 600000
+//
+// A benchmark name of the form "trace:<path>" replays the trace file
+// at <path> (text or .ropt, sniffed by content) instead of a synthetic
+// generator; -capture-trace records each core's request stream to
+// <prefix>.core<N>.ropt for later byte-exact replay (docs/TRACES.md).
 //
 // -check validates every DRAM command the controller issues against
 // the JEDEC timing checker; -run-timeout arms the in-run watchdog.
@@ -33,6 +40,7 @@ import (
 
 	"ropsim"
 	"ropsim/internal/cache"
+	"ropsim/internal/trace"
 )
 
 func main() {
@@ -52,6 +60,7 @@ func main() {
 		checkF     = flag.Bool("check", false, "validate every DRAM command against the JEDEC timing checker")
 		runTimeout = flag.Duration("run-timeout", 0, "wall-clock watchdog deadline for the run (0 = none)")
 		statsOut   = flag.String("stats-out", "", "write the run's metric snapshot to this file (.csv selects CSV, else JSON; see docs/METRICS.md)")
+		capTrace   = flag.String("capture-trace", "", "record each core's request stream to <prefix>.core<N>.ropt for byte-exact replay (see docs/TRACES.md)")
 		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memprofile = flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 	)
@@ -74,6 +83,7 @@ func main() {
 
 	if *listFlag {
 		fmt.Println("benchmarks:", strings.Join(ropsim.Benchmarks(), " "))
+		fmt.Println("zoo:", strings.Join(ropsim.ZooBenchmarks(), " "))
 		for _, m := range ropsim.Mixes() {
 			fmt.Printf("%s: %s\n", m.Name, strings.Join(m.Members, " "))
 		}
@@ -133,6 +143,7 @@ func main() {
 	cfg.RunTimeout = *runTimeout
 	cfg.Standard = *standard
 	cfg.DensityGb = *density
+	cfg.CaptureTraces = *capTrace != ""
 	if *llcMiB > 0 {
 		cfg.LLCBytes = *llcMiB * cache.MiB
 	}
@@ -184,6 +195,23 @@ func main() {
 	fmt.Printf("energy: total=%.4g J (background=%.3g actpre=%.3g read=%.3g write=%.3g refresh=%.3g sram=%.3g)\n",
 		e.Total(), e.BackgroundJ, e.ActPreJ, e.ReadJ, e.WriteJ, e.RefreshJ, e.SRAMJ)
 
+	if *capTrace != "" {
+		for i, recs := range res.CoreTraces {
+			name := fmt.Sprintf("%s.core%d.ropt", *capTrace, i)
+			f, err := os.Create(name)
+			if err != nil {
+				fail(err)
+			}
+			if err := trace.EncodeRopt(f, recs); err != nil {
+				f.Close()
+				fail(err)
+			}
+			if err := f.Close(); err != nil {
+				fail(err)
+			}
+			fmt.Fprintf(os.Stderr, "trace: %d records -> %s\n", len(recs), name)
+		}
+	}
 	if *statsOut != "" {
 		art := ropsim.NewArtifact()
 		art.Record(fmt.Sprintf("%s/%s", cfg.Mode, strings.Join(benches, "+")), res.Metrics)

@@ -35,6 +35,7 @@ func TestExportedSymbolsDocumented(t *testing.T) {
 		"internal/runner",
 		"internal/sim",
 		"internal/stats",
+		"internal/trace",
 		"internal/vldp",
 		"internal/workload",
 	}

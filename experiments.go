@@ -12,7 +12,20 @@ import (
 	"ropsim/internal/dram"
 	"ropsim/internal/runner"
 	"ropsim/internal/stats"
+	"ropsim/internal/trace"
 )
+
+// hasTraceSource reports whether any benchmark name is a "trace:<path>"
+// trace source. Such configs must run locally: the trace file lives on
+// this machine and its contents are not part of the wire config.
+func hasTraceSource(benches []string) bool {
+	for _, b := range benches {
+		if trace.IsSource(b) {
+			return true
+		}
+	}
+	return false
+}
 
 // ExpOptions scales the experiment harness. The paper simulates 1 B
 // instructions per benchmark; the harness defaults to a few million,
@@ -64,8 +77,9 @@ type ExpOptions struct {
 	Artifact *Artifact
 	// Journal, when non-nil, checkpoints every completed run keyed by
 	// its config hash and serves already-journaled runs without
-	// re-simulating (the -resume flag). Capture-bearing runs are never
-	// journaled — they re-run deterministically on resume.
+	// re-simulating (the -resume flag). Capture-bearing and
+	// trace-driven runs are never journaled — they re-run
+	// deterministically on resume.
 	Journal *Journal
 	// Remote, when non-nil, executes runs through a distributed
 	// campaign coordinator (cmd/ropexp -serve) instead of in-process.
@@ -185,7 +199,7 @@ func (o *ExpOptions) multi(members []string, mode Mode, rankPartition bool) Conf
 // journaled ones, which round-trip JSON exactly, so a resumed campaign
 // writes a byte-identical artifact.
 func (o *ExpOptions) runOne(label string, cfg Config) (*Result, error) {
-	remotable := !cfg.Capture && cfg.Traces == nil
+	remotable := !cfg.Capture && !cfg.CaptureTraces && cfg.Traces == nil && !hasTraceSource(cfg.Benches)
 	journaled := o.Journal != nil && remotable
 	var hash string
 	if journaled {

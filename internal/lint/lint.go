@@ -215,6 +215,7 @@ var simDomain = map[string]bool{
 	"ropsim/internal/memctrl":  true,
 	"ropsim/internal/sim":      true,
 	"ropsim/internal/stats":    true,
+	"ropsim/internal/trace":    true,
 	"ropsim/internal/vldp":     true,
 	"ropsim/internal/workload": true,
 }

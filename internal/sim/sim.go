@@ -20,6 +20,7 @@ import (
 	"ropsim/internal/event"
 	"ropsim/internal/memctrl"
 	"ropsim/internal/stats"
+	"ropsim/internal/trace"
 	"ropsim/internal/workload"
 )
 
@@ -70,6 +71,10 @@ type Config struct {
 	ClosedPage bool
 	// Capture records the request/refresh timeline for offline analysis.
 	Capture bool
+	// CaptureTraces records each core's delivered request stream
+	// (Result.CoreTraces) for later byte-exact replay via Traces or the
+	// .ropt trace files (ropsim -capture-trace, docs/TRACES.md).
+	CaptureTraces bool
 	// CPU configures the core model.
 	CPU cpu.Config
 
@@ -115,6 +120,12 @@ func (c Config) Validate() error {
 	}
 	if c.Traces == nil {
 		for _, b := range c.Benches {
+			if trace.IsSource(b) {
+				if trace.SourcePath(b) == "" {
+					return fmt.Errorf("sim: trace source %q names no file", b)
+				}
+				continue
+			}
 			if _, err := workload.Get(b); err != nil {
 				return err
 			}
@@ -190,6 +201,11 @@ type Result struct {
 
 	// Capture is the recorded timeline when Config.Capture was set.
 	Capture *memctrl.Capture
+
+	// CoreTraces holds each core's delivered request stream when
+	// Config.CaptureTraces was set (one slice per core, in core-ID
+	// order); replaying them via Config.Traces reproduces the run.
+	CoreTraces [][]workload.Record
 
 	// Metrics is the run's full metric-registry snapshot: every counter,
 	// mean, histogram and gauge each component registered, under dotted
@@ -415,16 +431,33 @@ func run(ctx context.Context, cfg Config) (*Result, *dram.Device, *memctrl.Contr
 
 	remaining := len(cfg.Benches)
 	cores := make([]*cpu.Core, len(cfg.Benches))
+	recorders := make([]*trace.Recorder, len(cfg.Benches))
 	for i, bench := range cfg.Benches {
 		var stream workload.Stream
-		if cfg.Traces != nil {
+		switch {
+		case cfg.Traces != nil:
 			stream = cfg.Traces[i]
-		} else {
+		case trace.IsSource(bench):
+			recs, err := trace.LoadFile(trace.SourcePath(bench))
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			rs := trace.NewReplayStream(recs)
+			// Replay metrics only exist for trace-driven cores, so
+			// synthetic runs keep their metric namespace (and golden
+			// artifacts) unchanged.
+			rs.RegisterMetrics(reg.Sub(fmt.Sprintf("trace.core%d", i)))
+			stream = rs
+		default:
 			prof, err := workload.Get(bench)
 			if err != nil {
 				return nil, nil, nil, err
 			}
 			stream = workload.NewGenerator(prof, cfg.Seed*1_000_003+int64(i)*97+int64(len(bench)))
+		}
+		if cfg.CaptureTraces {
+			recorders[i] = trace.NewRecorder(stream)
+			stream = recorders[i]
 		}
 		cores[i] = cpu.New(cfg.CPU, i, stream, ms, q, cfg.Instructions)
 		cores[i].RegisterMetrics(reg.Sub(fmt.Sprintf("cpu.core%d", i)))
@@ -483,6 +516,12 @@ func run(ctx context.Context, cfg Config) (*Result, *dram.Device, *memctrl.Contr
 	}
 	q.RunUntil(elapsed)
 	res := &Result{ElapsedBus: elapsed, Capture: ctrl.CaptureLog()}
+	if cfg.CaptureTraces {
+		res.CoreTraces = make([][]workload.Record, len(recorders))
+		for i, rec := range recorders {
+			res.CoreTraces[i] = rec.Records()
+		}
+	}
 	for i, c := range cores {
 		res.Cores = append(res.Cores, CoreResult{
 			Bench:        cfg.Benches[i],

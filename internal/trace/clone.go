@@ -1,0 +1,294 @@
+package trace
+
+import (
+	"fmt"
+
+	"ropsim/internal/stats"
+	"ropsim/internal/workload"
+)
+
+// DefaultCloneWindow is the burstiness-measurement window in
+// instructions. It matches the ≈25k instructions per tREFI the paper's
+// Table I λ/β characterization uses, so fitted burstiness lands in the
+// same regime the refresh policies care about.
+const DefaultCloneWindow = 25_000
+
+// Summary is the statistical fingerprint of a trace: the quantities
+// the workload cloner fits and reports error against. All fractions
+// are in [0, 1].
+type Summary struct {
+	// Records is the trace length in records.
+	Records int
+	// Insts is the total instruction count the trace spans (each record
+	// is one memory instruction preceded by Gap non-memory ones).
+	Insts float64
+	// APKI is memory accesses per kilo-instruction (the
+	// controller-visible analogue of MPKI; the traces this package
+	// handles are LLC-access-level streams).
+	APKI float64
+	// ReadFrac is the fraction of load records.
+	ReadFrac float64
+	// SeqFrac is the fraction of records whose line is exactly the
+	// successor of the previous record's line — the row-locality proxy
+	// the delta table is fitted from.
+	SeqFrac float64
+	// Lambda is the burstiness persistence P{window i has accesses |
+	// window i-1 had accesses} over fixed instruction windows, the
+	// trace-level analogue of the paper's Table I λ.
+	Lambda float64
+	// Beta is the idleness persistence P{window i is empty | window i-1
+	// was empty}, the analogue of Table I β.
+	Beta float64
+	// DistinctLines is the number of distinct cache lines touched.
+	DistinctLines int
+	// ReusedLines is the number of distinct lines accessed three or
+	// more times — the hot working-set estimate.
+	ReusedLines int
+}
+
+// Measure computes the Summary of recs using the given burstiness
+// window in instructions (windowInsts <= 0 selects DefaultCloneWindow).
+func Measure(recs []workload.Record, windowInsts int) Summary {
+	if windowInsts <= 0 {
+		windowInsts = DefaultCloneWindow
+	}
+	var s Summary
+	s.Records = len(recs)
+	if len(recs) == 0 {
+		return s
+	}
+
+	counts := make(map[uint64]int, len(recs))
+	reads := 0
+	seq := 0
+	var prevLine uint64
+	insts := 0.0
+
+	// Window occupancy for λ/β: walk instruction time, marking windows
+	// that contain at least one access.
+	var occ []bool
+	winIdx := func(inst float64) int { return int(inst) / windowInsts }
+
+	for i, r := range recs {
+		insts += float64(r.Gap) + 1
+		counts[r.Line]++
+		// Count a line into the hot set exactly when its count reaches
+		// the reuse threshold (no map iteration: deterministic order).
+		if counts[r.Line] == 3 {
+			s.ReusedLines++
+		}
+		if !r.Write {
+			reads++
+		}
+		if i > 0 && r.Line == prevLine+1 {
+			seq++
+		}
+		prevLine = r.Line
+		w := winIdx(insts - 1)
+		for len(occ) <= w {
+			occ = append(occ, false)
+		}
+		occ[w] = true
+	}
+
+	s.Insts = insts
+	s.APKI = float64(len(recs)) / insts * 1000
+	s.ReadFrac = float64(reads) / float64(len(recs))
+	if len(recs) > 1 {
+		s.SeqFrac = float64(seq) / float64(len(recs)-1)
+	}
+	s.DistinctLines = len(counts)
+
+	// λ = P{occ[i] | occ[i-1]}, β = P{!occ[i] | !occ[i-1]}.
+	var onOn, onAny, offOff, offAny int
+	for i := 1; i < len(occ); i++ {
+		if occ[i-1] {
+			onAny++
+			if occ[i] {
+				onOn++
+			}
+		} else {
+			offAny++
+			if !occ[i] {
+				offOff++
+			}
+		}
+	}
+	if onAny > 0 {
+		s.Lambda = float64(onOn) / float64(onAny)
+	}
+	if offAny > 0 {
+		s.Beta = float64(offOff) / float64(offAny)
+	}
+	return s
+}
+
+// Fit is the workload cloner's output: a runnable synthetic profile
+// fitted to a measured trace, plus the target and achieved summaries
+// the fit error is computed from. Fit implements
+// workload.Parameterized, so fitted parameters and hand-written
+// profile parameters flow through the same interface.
+type Fit struct {
+	// Profile is the fitted, validated workload profile; feeding it to
+	// workload.NewGenerator yields the clone.
+	Profile workload.Profile
+	// Target is the summary of the input trace.
+	Target Summary
+	// Achieved is the summary of a same-length trace generated from
+	// Profile with the clone seed.
+	Achieved Summary
+	// Window is the burstiness window (instructions) both summaries
+	// were measured with.
+	Window int
+}
+
+// Clone fits a workload profile to recs with the default burstiness
+// window. seed drives the validation generation (and is the natural
+// seed to replay the clone with).
+func Clone(recs []workload.Record, seed int64) (*Fit, error) {
+	return CloneWindow(recs, seed, DefaultCloneWindow)
+}
+
+// CloneWindow is Clone with an explicit burstiness window in
+// instructions.
+func CloneWindow(recs []workload.Record, seed int64, windowInsts int) (*Fit, error) {
+	if windowInsts <= 0 {
+		windowInsts = DefaultCloneWindow
+	}
+	if len(recs) < 16 {
+		return nil, fmt.Errorf("trace: %d records is too short to clone (need 16+)", len(recs))
+	}
+	target := Measure(recs, windowInsts)
+
+	p := workload.Profile{Name: "clone"}
+	p.Intensive = target.APKI >= 5
+	p.ReadFrac = target.ReadFrac
+
+	// Phase structure from window occupancy: if a meaningful fraction
+	// of windows are idle, fit ON/OFF phase lengths from the λ/β
+	// persistence probabilities (mean geometric run length 1/(1-p)).
+	// The empty-window fraction follows from the two-state chain's
+	// stationary distribution: P{empty} = (1-λ) / ((1-λ) + (1-β)).
+	emptyFrac := 0.0
+	if gl, gb := 1-target.Lambda, 1-target.Beta; gl+gb > 0 {
+		emptyFrac = gl / (gl + gb)
+	}
+	onGap := target.Insts/float64(target.Records) - 1
+	if emptyFrac > 0.05 && target.Lambda < 1 && target.Beta < 1 {
+		p.OnMeanInsts = float64(windowInsts) / (1 - target.Lambda)
+		p.OffMeanInsts = float64(windowInsts) / (1 - target.Beta)
+		// Concentrate the accesses into the ON fraction of time.
+		onGap = onGap*(1-emptyFrac) - 1
+	}
+	if onGap < 0 {
+		onGap = 0
+	}
+	p.OnGapMean = onGap
+
+	// Locality split: lines touched once or twice are streaming
+	// traffic, lines reused 3+ times form the hot working set. Two
+	// passes over the records (never over the map) keep the count
+	// deterministic: an access contributes iff its line's final count
+	// reaches the reuse threshold.
+	reuseAccesses := 0
+	{
+		counts := make(map[uint64]int, len(recs))
+		for _, r := range recs {
+			counts[r.Line]++
+		}
+		for _, r := range recs {
+			if counts[r.Line] >= 3 {
+				reuseAccesses++
+			}
+		}
+	}
+	streamFrac := 1 - float64(reuseAccesses)/float64(len(recs))
+	if streamFrac < 0 {
+		streamFrac = 0
+	}
+	p.StreamFrac = streamFrac
+	p.WSLines = target.ReusedLines
+	if p.WSLines < 1024 {
+		p.WSLines = 1024
+	}
+	p.FootprintLines = target.DistinctLines * 2
+	if p.FootprintLines < 4096 {
+		p.FootprintLines = 4096
+	}
+
+	// Delta table from the sequentiality fraction.
+	switch {
+	case target.SeqFrac >= 0.99:
+		p.Deltas = []workload.DeltaChoice{{Seq: []int64{1}, Weight: 1}}
+	case target.SeqFrac <= 0.01:
+		p.Deltas = []workload.DeltaChoice{{Random: true, Weight: 1}}
+	default:
+		p.Deltas = []workload.DeltaChoice{
+			{Seq: []int64{1}, Weight: target.SeqFrac},
+			{Random: true, Weight: 1 - target.SeqFrac},
+		}
+	}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("trace: fitted profile invalid: %w", err)
+	}
+
+	synth := workload.Take(workload.NewGenerator(p, seed), len(recs))
+	return &Fit{
+		Profile:  p,
+		Target:   target,
+		Achieved: Measure(synth, windowInsts),
+		Window:   windowInsts,
+	}, nil
+}
+
+// WorkloadParams implements workload.Parameterized with the fitted
+// parameter vector.
+func (f *Fit) WorkloadParams() workload.Params { return f.Profile.WorkloadParams() }
+
+// relErr is |a-b| / max(|b|, floor): relative error with an absolute
+// floor so near-zero targets do not blow up the score.
+func relErr(a, b float64) float64 {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	den := b
+	if den < 0 {
+		den = -den
+	}
+	if den < 0.05 {
+		den = 0.05
+	}
+	return d / den
+}
+
+// FitError is the mean relative error across the fitted dimensions
+// (APKI, read fraction, sequentiality, λ, β) between Target and
+// Achieved: 0 is a perfect clone, 0.10 means 10% average miss.
+func (f *Fit) FitError() float64 {
+	errs := []float64{
+		relErr(f.Achieved.APKI, f.Target.APKI),
+		relErr(f.Achieved.ReadFrac, f.Target.ReadFrac),
+		relErr(f.Achieved.SeqFrac, f.Target.SeqFrac),
+		relErr(f.Achieved.Lambda, f.Target.Lambda),
+		relErr(f.Achieved.Beta, f.Target.Beta),
+	}
+	sum := 0.0
+	for _, e := range errs {
+		sum += e
+	}
+	return sum / float64(len(errs))
+}
+
+// RegisterMetrics registers the fit-error gauges under reg (the
+// "trace.fit" namespace in roptrace; see docs/METRICS.md).
+func (f *Fit) RegisterMetrics(reg *stats.Registry) {
+	reg.Gauge("fit_error", f.FitError)
+	reg.Gauge("target_apki", func() float64 { return f.Target.APKI })
+	reg.Gauge("achieved_apki", func() float64 { return f.Achieved.APKI })
+	reg.Gauge("apki_err", func() float64 { return relErr(f.Achieved.APKI, f.Target.APKI) })
+	reg.Gauge("read_frac_err", func() float64 { return relErr(f.Achieved.ReadFrac, f.Target.ReadFrac) })
+	reg.Gauge("seq_frac_err", func() float64 { return relErr(f.Achieved.SeqFrac, f.Target.SeqFrac) })
+	reg.Gauge("lambda_err", func() float64 { return relErr(f.Achieved.Lambda, f.Target.Lambda) })
+	reg.Gauge("beta_err", func() float64 { return relErr(f.Achieved.Beta, f.Target.Beta) })
+}

@@ -1,0 +1,103 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"ropsim/internal/workload"
+)
+
+// FuzzTraceText feeds arbitrary bytes to the text parser: it must
+// either error or produce records that round-trip through
+// WriteTraceText/ParseText — never panic or hang. The seed corpus runs
+// under plain `go test` (CI's fuzz regression mode).
+func FuzzTraceText(f *testing.F) {
+	f.Add([]byte("10 R 0x1000\n20 W 0x1040\n"))
+	f.Add([]byte("# comment\n\n5 RD 40\n"))
+	f.Add([]byte("// c\n1 write 0xffffffffffffffff\n"))
+	f.Add([]byte("10 R 0x0\n5 R 0x0\n")) // backwards cycle
+	f.Add([]byte("1 R\n"))
+	f.Add([]byte("x y z\n"))
+	f.Add([]byte("18446744073709551615 R 0x0\n"))
+	f.Add(bytes.Repeat([]byte("9 R 0x40 "), 100))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		recs, err := ParseText(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Accepted input must round-trip for lines below 2^58 (all
+		// parsed lines are, since they come from addr >> 6).
+		var buf bytes.Buffer
+		if err := WriteTraceText(&buf, recs); err != nil {
+			t.Fatalf("re-encode of accepted input failed: %v", err)
+		}
+		again, err := ParseText(&buf)
+		if err != nil {
+			t.Fatalf("re-parse of our own output failed: %v", err)
+		}
+		if len(recs) != len(again) {
+			t.Fatalf("round trip changed record count %d -> %d", len(recs), len(again))
+		}
+		// Gap saturation makes cycle stamps non-invertible in general,
+		// but lines and ops must survive exactly.
+		for i := range recs {
+			if recs[i].Line != again[i].Line || recs[i].Write != again[i].Write {
+				t.Fatalf("record %d changed: %+v -> %+v", i, recs[i], again[i])
+			}
+		}
+	})
+}
+
+// FuzzRoptDecode feeds arbitrary bytes to the .ropt decoder: malformed
+// headers, indexes and payloads must error — never panic, hang, or
+// allocate unboundedly. Structurally valid traces must re-encode
+// byte-identically (canonical encoding).
+func FuzzRoptDecode(f *testing.F) {
+	seed := func(recs []workload.Record, block int) []byte {
+		var buf bytes.Buffer
+		if err := EncodeRoptBlocked(&buf, recs, block); err != nil {
+			f.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	f.Add([]byte{})
+	f.Add([]byte("ROPT"))
+	f.Add(seed(nil, 16))
+	f.Add(seed(randomRecords(100, 1), 16))
+	f.Add(seed(randomRecords(33, 2), 8))
+	f.Add(seed([]workload.Record{{Gap: ^uint32(0), Line: LineMask, Write: true}}, 1))
+	trunc := seed(randomRecords(50, 3), 10)
+	f.Add(trunc[:len(trunc)-3])
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := DecodeRopt(data)
+		if err != nil {
+			return
+		}
+		recs, err := tr.ReadAll()
+		if err != nil {
+			return
+		}
+		if len(recs) != tr.Records() {
+			t.Fatalf("ReadAll returned %d records, header says %d", len(recs), tr.Records())
+		}
+		var buf bytes.Buffer
+		if err := EncodeRoptBlocked(&buf, recs, tr.BlockRecords()); err != nil {
+			t.Fatalf("re-encode of decoded trace failed: %v", err)
+		}
+		if !bytes.Equal(buf.Bytes(), data) {
+			t.Fatal("fully valid file did not re-encode byte-identically")
+		}
+		// Seek equivalence on a few positions.
+		for _, p := range []int{0, len(recs) / 2, len(recs)} {
+			s, err := tr.Seek(p)
+			if err != nil {
+				t.Fatalf("seek %d: %v", p, err)
+			}
+			rest := workload.Take(s, len(recs)-p+1)
+			if !reflect.DeepEqual(rest, recs[p:]) && !(len(rest) == 0 && len(recs[p:]) == 0) {
+				t.Fatalf("seek %d suffix mismatch", p)
+			}
+		}
+	})
+}

@@ -1,0 +1,378 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"ropsim/internal/workload"
+)
+
+// The .ropt binary trace format (normative spec: docs/TRACES.md):
+//
+//	header  32 bytes, little-endian:
+//	        [0:4]   magic "ROPT"
+//	        [4:6]   version   uint16 (currently 1)
+//	        [6:8]   flags     uint16 (must be 0 in version 1)
+//	        [8:16]  records   uint64 (total record count)
+//	        [16:20] blockRecs uint32 (records per block, last may be short)
+//	        [20:24] blocks    uint32 (= ceil(records/blockRecs))
+//	        [24:32] indexOff  uint64 (file offset of the block index)
+//	blocks  contiguous from offset 32 to indexOff. Block i holds records
+//	        [i*blockRecs, min((i+1)*blockRecs, records)). Each record is
+//	        uvarint(gap<<1 | writeBit) followed by svarint(lineDelta);
+//	        the delta baseline resets to 0 at every block start, so each
+//	        block decodes independently (this is what makes O(1) seek
+//	        possible). Lines must be < 2^63.
+//	index   blocks entries of 16 bytes each at indexOff: block byte
+//	        offset uint64, block byte length uint32, reserved uint32
+//	        (must be 0). The file ends exactly after the index.
+//
+// Decoding validates everything before trusting it: magic, version,
+// count/index consistency, block contiguity, exact per-block record
+// counts, varint well-formedness, and gap/line ranges. Allocations are
+// bounded by the actual file size, never by claimed counts alone.
+
+const (
+	// Version is the .ropt format version this package reads and writes.
+	Version = 1
+	// DefaultBlockRecords is the encoder's default block size in
+	// records: large enough to amortize index overhead, small enough
+	// that a seek decodes only a few tens of KB.
+	DefaultBlockRecords = 4096
+	// MaxBlockRecords bounds the per-block record count a file may
+	// declare, capping per-block decode allocations.
+	MaxBlockRecords = 1 << 20
+
+	headerSize     = 32
+	indexEntrySize = 16
+	// maxLine is the exclusive upper bound on encodable line indexes
+	// (line deltas are signed 64-bit).
+	maxLine = uint64(1) << 63
+)
+
+// roptMagic identifies a .ropt file.
+var roptMagic = [4]byte{'R', 'O', 'P', 'T'}
+
+// EncodeRopt writes recs to w in the .ropt format with
+// DefaultBlockRecords records per block.
+func EncodeRopt(w io.Writer, recs []workload.Record) error {
+	return EncodeRoptBlocked(w, recs, DefaultBlockRecords)
+}
+
+// EncodeRoptBlocked is EncodeRopt with an explicit block size. The
+// encoding is canonical: identical (recs, blockRecords) inputs produce
+// identical bytes, so re-encoding a decoded trace round-trips exactly.
+func EncodeRoptBlocked(w io.Writer, recs []workload.Record, blockRecords int) error {
+	if blockRecords < 1 || blockRecords > MaxBlockRecords {
+		return fmt.Errorf("trace: block size %d outside [1, %d]", blockRecords, MaxBlockRecords)
+	}
+	for i, r := range recs {
+		if r.Line >= maxLine {
+			return fmt.Errorf("trace: record %d line %#x exceeds 63 bits", i, r.Line)
+		}
+	}
+	blocks := (len(recs) + blockRecords - 1) / blockRecords
+
+	var body bytes.Buffer
+	index := make([]byte, 0, blocks*indexEntrySize)
+	var buf [binary.MaxVarintLen64]byte
+	for b := 0; b < blocks; b++ {
+		start := body.Len()
+		prev := int64(0)
+		lo, hi := b*blockRecords, (b+1)*blockRecords
+		if hi > len(recs) {
+			hi = len(recs)
+		}
+		for _, r := range recs[lo:hi] {
+			op := uint64(r.Gap) << 1
+			if r.Write {
+				op |= 1
+			}
+			body.Write(buf[:binary.PutUvarint(buf[:], op)])
+			body.Write(buf[:binary.PutVarint(buf[:], int64(r.Line)-prev)])
+			prev = int64(r.Line)
+		}
+		var entry [indexEntrySize]byte
+		binary.LittleEndian.PutUint64(entry[0:], uint64(headerSize+start))
+		binary.LittleEndian.PutUint32(entry[8:], uint32(body.Len()-start))
+		index = append(index, entry[:]...)
+	}
+
+	var hdr [headerSize]byte
+	copy(hdr[0:], roptMagic[:])
+	binary.LittleEndian.PutUint16(hdr[4:], Version)
+	binary.LittleEndian.PutUint16(hdr[6:], 0)
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(len(recs)))
+	binary.LittleEndian.PutUint32(hdr[16:], uint32(blockRecords))
+	binary.LittleEndian.PutUint32(hdr[20:], uint32(blocks))
+	binary.LittleEndian.PutUint64(hdr[24:], uint64(headerSize+body.Len()))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := w.Write(body.Bytes()); err != nil {
+		return err
+	}
+	_, err := w.Write(index)
+	return err
+}
+
+// blockRef locates one decoded-on-demand block inside the file image.
+type blockRef struct{ off, end int }
+
+// Ropt is a validated, lazily decoded .ropt trace. DecodeRopt checks
+// the header and index structurally; record payloads are decoded per
+// block on access, so seeking into a multi-million-record trace does
+// not decode it all.
+type Ropt struct {
+	data         []byte
+	records      int
+	blockRecords int
+	blocks       []blockRef
+}
+
+// DecodeRopt parses and structurally validates a .ropt file image.
+// The data slice is retained (not copied).
+func DecodeRopt(data []byte) (*Ropt, error) {
+	if len(data) < headerSize {
+		return nil, fmt.Errorf("trace: ropt file too short (%d bytes)", len(data))
+	}
+	if !bytes.Equal(data[0:4], roptMagic[:]) {
+		return nil, fmt.Errorf("trace: bad magic %q", data[0:4])
+	}
+	if v := binary.LittleEndian.Uint16(data[4:]); v != Version {
+		return nil, fmt.Errorf("trace: unsupported ropt version %d (want %d)", v, Version)
+	}
+	if f := binary.LittleEndian.Uint16(data[6:]); f != 0 {
+		return nil, fmt.Errorf("trace: unsupported flags %#x", f)
+	}
+	records := binary.LittleEndian.Uint64(data[8:])
+	blockRecords := binary.LittleEndian.Uint32(data[16:])
+	blockCount := binary.LittleEndian.Uint32(data[20:])
+	indexOff := binary.LittleEndian.Uint64(data[24:])
+
+	if blockRecords < 1 || blockRecords > MaxBlockRecords {
+		return nil, fmt.Errorf("trace: block size %d outside [1, %d]", blockRecords, MaxBlockRecords)
+	}
+	wantBlocks := (records + uint64(blockRecords) - 1) / uint64(blockRecords)
+	if uint64(blockCount) != wantBlocks {
+		return nil, fmt.Errorf("trace: %d blocks for %d records of %d (want %d)",
+			blockCount, records, blockRecords, wantBlocks)
+	}
+	if indexOff < headerSize || indexOff > uint64(len(data)) {
+		return nil, fmt.Errorf("trace: index offset %d outside file of %d bytes", indexOff, len(data))
+	}
+	if want := indexOff + uint64(blockCount)*indexEntrySize; want != uint64(len(data)) {
+		return nil, fmt.Errorf("trace: file is %d bytes, header implies %d", len(data), want)
+	}
+	// Every record costs at least 2 body bytes, which bounds the claimed
+	// count by the actual payload and thereby every decode allocation.
+	if body := indexOff - headerSize; records > 2*body {
+		return nil, fmt.Errorf("trace: %d records cannot fit in %d body bytes", records, body)
+	}
+
+	t := &Ropt{
+		data:         data,
+		records:      int(records),
+		blockRecords: int(blockRecords),
+		blocks:       make([]blockRef, blockCount),
+	}
+	next := uint64(headerSize)
+	for i := range t.blocks {
+		e := data[indexOff+uint64(i)*indexEntrySize:]
+		off := binary.LittleEndian.Uint64(e[0:])
+		length := binary.LittleEndian.Uint32(e[8:])
+		if rsv := binary.LittleEndian.Uint32(e[12:]); rsv != 0 {
+			return nil, fmt.Errorf("trace: block %d reserved field %#x", i, rsv)
+		}
+		if off != next {
+			return nil, fmt.Errorf("trace: block %d at offset %d, want contiguous %d", i, off, next)
+		}
+		next = off + uint64(length)
+		if next > indexOff {
+			return nil, fmt.Errorf("trace: block %d overruns index (ends %d, index at %d)", i, next, indexOff)
+		}
+		t.blocks[i] = blockRef{off: int(off), end: int(next)}
+	}
+	if len(t.blocks) > 0 && next != indexOff {
+		return nil, fmt.Errorf("trace: %d byte gap between blocks and index", indexOff-next)
+	}
+	return t, nil
+}
+
+// LoadFile reads the trace file at path in either supported format,
+// sniffing by content: a file beginning with the "ROPT" magic decodes
+// as .ropt, anything else parses as a text trace. This is the loader
+// behind the "trace:<path>" workload source.
+func LoadFile(path string) ([]workload.Record, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) >= len(roptMagic) && bytes.Equal(data[:len(roptMagic)], roptMagic[:]) {
+		t, err := DecodeRopt(data)
+		if err != nil {
+			return nil, fmt.Errorf("trace: %s: %w", path, err)
+		}
+		recs, err := t.ReadAll()
+		if err != nil {
+			return nil, fmt.Errorf("trace: %s: %w", path, err)
+		}
+		return recs, nil
+	}
+	recs, err := ParseText(bytes.NewReader(data))
+	if err != nil {
+		return nil, fmt.Errorf("trace: %s: %w", path, err)
+	}
+	return recs, nil
+}
+
+// ReadRoptFile reads and validates the .ropt file at path.
+func ReadRoptFile(path string) (*Ropt, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	t, err := DecodeRopt(data)
+	if err != nil {
+		return nil, fmt.Errorf("trace: %s: %w", path, err)
+	}
+	return t, nil
+}
+
+// Records reports the trace's total record count.
+func (t *Ropt) Records() int { return t.records }
+
+// Blocks reports the block count.
+func (t *Ropt) Blocks() int { return len(t.blocks) }
+
+// BlockRecords reports the records-per-block the file was encoded with.
+func (t *Ropt) BlockRecords() int { return t.blockRecords }
+
+// blockLen reports how many records block b holds.
+func (t *Ropt) blockLen(b int) int {
+	n := t.records - b*t.blockRecords
+	if n > t.blockRecords {
+		n = t.blockRecords
+	}
+	return n
+}
+
+// Block decodes block b into dst (appending) and returns the result.
+func (t *Ropt) Block(b int, dst []workload.Record) ([]workload.Record, error) {
+	if b < 0 || b >= len(t.blocks) {
+		return nil, fmt.Errorf("trace: block %d of %d", b, len(t.blocks))
+	}
+	ref := t.blocks[b]
+	buf := t.data[ref.off:ref.end]
+	prev := int64(0)
+	want := t.blockLen(b)
+	for i := 0; i < want; i++ {
+		op, n := binary.Uvarint(buf)
+		if n <= 0 {
+			return nil, fmt.Errorf("trace: block %d record %d: bad op varint", b, i)
+		}
+		buf = buf[n:]
+		if op>>1 > uint64(^uint32(0)) {
+			return nil, fmt.Errorf("trace: block %d record %d: gap %d overflows uint32", b, i, op>>1)
+		}
+		delta, n := binary.Varint(buf)
+		if n <= 0 {
+			return nil, fmt.Errorf("trace: block %d record %d: bad delta varint", b, i)
+		}
+		buf = buf[n:]
+		// prev is always in [0, 2^63) and delta in [-2^63, 2^63), so the
+		// sum cannot wrap below zero without being negative: one sign
+		// check catches every out-of-range line.
+		line := prev + delta
+		if line < 0 {
+			return nil, fmt.Errorf("trace: block %d record %d: line delta %d out of range", b, i, delta)
+		}
+		prev = line
+		dst = append(dst, workload.Record{
+			Gap:   uint32(op >> 1),
+			Line:  uint64(line),
+			Write: op&1 == 1,
+		})
+	}
+	if len(buf) != 0 {
+		return nil, fmt.Errorf("trace: block %d: %d trailing bytes after %d records", b, len(buf), want)
+	}
+	return dst, nil
+}
+
+// ReadAll decodes every record. Decode errors anywhere in the payload
+// surface here, so a nil error means the whole file is well-formed.
+func (t *Ropt) ReadAll() ([]workload.Record, error) {
+	out := make([]workload.Record, 0, t.records)
+	for b := range t.blocks {
+		var err error
+		out, err = t.Block(b, out)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// RoptStream iterates a Ropt trace block by block, implementing
+// workload.Stream without decoding the whole file up front. Because
+// Stream.Next has no error channel, a corrupt block ends the stream
+// early; Err reports what happened.
+type RoptStream struct {
+	t    *Ropt
+	next int // next block to decode
+	cur  []workload.Record
+	pos  int
+	err  error
+}
+
+// Stream returns a cursor positioned at record 0.
+func (t *Ropt) Stream() *RoptStream { return &RoptStream{t: t} }
+
+// Seek returns a cursor positioned at record rec, decoding only the
+// block that holds it — O(1) in the trace length.
+func (t *Ropt) Seek(rec int) (*RoptStream, error) {
+	if rec < 0 || rec > t.records {
+		return nil, fmt.Errorf("trace: seek to record %d of %d", rec, t.records)
+	}
+	s := &RoptStream{t: t}
+	if rec == t.records {
+		s.next = len(t.blocks)
+		return s, nil
+	}
+	b := rec / t.blockRecords
+	cur, err := t.Block(b, nil)
+	if err != nil {
+		return nil, err
+	}
+	s.cur = cur
+	s.pos = rec - b*t.blockRecords
+	s.next = b + 1
+	return s, nil
+}
+
+// Next implements workload.Stream.
+func (s *RoptStream) Next() (workload.Record, bool) {
+	for s.pos >= len(s.cur) {
+		if s.err != nil || s.next >= len(s.t.blocks) {
+			return workload.Record{}, false
+		}
+		cur, err := s.t.Block(s.next, s.cur[:0])
+		if err != nil {
+			s.err = err
+			return workload.Record{}, false
+		}
+		s.cur = cur
+		s.pos = 0
+		s.next++
+	}
+	r := s.cur[s.pos]
+	s.pos++
+	return r, true
+}
+
+// Err reports the decode error that ended the stream early, if any.
+func (s *RoptStream) Err() error { return s.err }

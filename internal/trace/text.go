@@ -1,0 +1,114 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"ropsim/internal/workload"
+)
+
+// The text trace grammar (normative spec: docs/TRACES.md), one request
+// per line in the DRAMSim2/Ramulator style:
+//
+//	<cycle> <op> <hex-addr>
+//
+// cycle is a non-decreasing decimal cycle stamp; op is R/W (also
+// RD/WR/READ/WRITE, case-insensitive); addr is a hexadecimal byte
+// address with optional 0x prefix. Blank lines and comments starting
+// with '#' or '//' are ignored; fields may be separated by any
+// whitespace. Cycle stamps become Record gaps (successive differences,
+// saturating at 2^32-1) and byte addresses become cache-line indexes
+// (addr >> 6 for 64-byte lines).
+
+// addrShift converts a byte address to a cache-line index (64 B lines).
+const addrShift = 6
+
+// maxTextLine bounds one input line's length; longer lines are hostile
+// input and error out instead of growing the scanner without bound.
+const maxTextLine = 1 << 20
+
+// ParseText decodes a text trace per the grammar above. Any malformed
+// line — wrong field count, bad number, unknown op, a cycle stamp that
+// goes backwards — returns an error naming the line; hostile input
+// never panics or allocates unboundedly.
+func ParseText(r io.Reader) ([]workload.Record, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), maxTextLine)
+	var recs []workload.Record
+	var prevCycle uint64
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") || strings.HasPrefix(text, "//") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("trace: line %d: want 3 fields (<cycle> <R|W> <hex-addr>), got %d",
+				lineNo, len(fields))
+		}
+		cycle, err := strconv.ParseUint(fields[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: cycle: %w", lineNo, err)
+		}
+		if cycle < prevCycle {
+			return nil, fmt.Errorf("trace: line %d: cycle %d goes backwards (previous %d)",
+				lineNo, cycle, prevCycle)
+		}
+		var write bool
+		switch strings.ToUpper(fields[1]) {
+		case "R", "RD", "READ":
+			write = false
+		case "W", "WR", "WRITE":
+			write = true
+		default:
+			return nil, fmt.Errorf("trace: line %d: unknown op %q", lineNo, fields[1])
+		}
+		addrField := strings.TrimPrefix(strings.ToLower(fields[2]), "0x")
+		addrVal, err := strconv.ParseUint(addrField, 16, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: address: %w", lineNo, err)
+		}
+		gap := cycle - prevCycle
+		if gap > uint64(^uint32(0)) {
+			gap = uint64(^uint32(0))
+		}
+		prevCycle = cycle
+		recs = append(recs, workload.Record{
+			Gap:   uint32(gap),
+			Line:  addrVal >> addrShift,
+			Write: write,
+		})
+	}
+	if err := sc.Err(); err != nil {
+		if err == bufio.ErrTooLong {
+			return nil, fmt.Errorf("trace: line %d: longer than %d bytes", lineNo+1, maxTextLine)
+		}
+		return nil, err
+	}
+	return recs, nil
+}
+
+// WriteTraceText encodes records in the text grammar: cycle stamps are
+// accumulated gaps and addresses are line<<6, so
+// ParseText(WriteTraceText(recs)) reproduces recs exactly for any
+// trace with lines below 2^58 (every .ropt trace qualifies).
+func WriteTraceText(w io.Writer, recs []workload.Record) error {
+	bw := bufio.NewWriter(w)
+	cycle := uint64(0)
+	for _, r := range recs {
+		cycle += uint64(r.Gap)
+		op := "R"
+		if r.Write {
+			op = "W"
+		}
+		if _, err := fmt.Fprintf(bw, "%d %s 0x%x\n", cycle, op, r.Line<<addrShift); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

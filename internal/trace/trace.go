@@ -1,0 +1,146 @@
+// Package trace is the real-trace front-end: it ingests
+// DRAMSim2/Ramulator-style text address traces and the repo's own
+// compact binary .ropt format, replays them through the simulator as a
+// first-class workload source ("trace:<path>" anywhere a benchmark
+// name is accepted), captures the per-core request stream of any run
+// for byte-exact replay, and statistically clones a captured trace
+// back into internal/workload profile parameters.
+//
+// Every decoder in this package is hostile-input-safe in the style of
+// internal/campaign/proto.go: malformed input of any shape returns an
+// error — never a panic, never an unbounded allocation, never a hang.
+// docs/TRACES.md is the normative format specification and recipe
+// book; TestTracesDocComplete keeps it honest.
+package trace
+
+import (
+	"strings"
+
+	"ropsim/internal/stats"
+	"ropsim/internal/workload"
+)
+
+// Prefix marks a benchmark name as a trace source: "trace:<path>"
+// replays the trace file at <path> (text or .ropt, sniffed by
+// content) instead of a synthetic generator.
+const Prefix = "trace:"
+
+// IsSource reports whether a benchmark name is a trace source.
+func IsSource(bench string) bool { return strings.HasPrefix(bench, Prefix) }
+
+// SourcePath extracts the file path from a "trace:<path>" benchmark
+// name. It returns "" when bench is not a trace source or names no
+// path.
+func SourcePath(bench string) string {
+	if !IsSource(bench) {
+		return ""
+	}
+	return bench[len(Prefix):]
+}
+
+// LineBits is the width of the per-core cache-line index space. The
+// simulator packs the source core ID above this many bits when forming
+// LLC/DRAM keys (sim.coreKey), so external trace lines wider than this
+// would alias into another core's space; replay folds them instead.
+const LineBits = 44
+
+// LineMask masks a line index to LineBits bits.
+const LineMask = 1<<LineBits - 1
+
+// FoldLine folds an arbitrary 64-bit line index into the simulator's
+// LineBits-bit per-core line space. XOR-folding the high bits (rather
+// than truncating) keeps distinct high regions of a wide trace distinct
+// in the folded space with high probability.
+func FoldLine(line uint64) uint64 {
+	if line <= LineMask {
+		return line
+	}
+	return (line ^ line>>LineBits) & LineMask
+}
+
+// ReplayStream replays a fixed record slice as a workload.Stream,
+// folding out-of-range lines into the simulator's line space and
+// counting what it delivers. One ReplayStream drives one core; its
+// metrics register under "trace.core<N>" for trace-driven runs (see
+// docs/METRICS.md).
+type ReplayStream struct {
+	// Replayed counts records delivered to the core.
+	Replayed stats.Counter
+	// Reads counts delivered load records.
+	Reads stats.Counter
+	// Writes counts delivered store records.
+	Writes stats.Counter
+	// FoldedLines counts delivered records whose line index exceeded
+	// LineBits bits and was folded by FoldLine. A nonzero value means
+	// the trace's address space is wider than the simulator models.
+	FoldedLines stats.Counter
+
+	recs []workload.Record
+	pos  int
+}
+
+// NewReplayStream builds a replay stream over recs (not copied).
+func NewReplayStream(recs []workload.Record) *ReplayStream {
+	return &ReplayStream{recs: recs}
+}
+
+// Len reports the total number of records in the stream.
+func (s *ReplayStream) Len() int { return len(s.recs) }
+
+// Reset rewinds the stream (counters keep accumulating).
+func (s *ReplayStream) Reset() { s.pos = 0 }
+
+// Next implements workload.Stream.
+func (s *ReplayStream) Next() (workload.Record, bool) {
+	if s.pos >= len(s.recs) {
+		return workload.Record{}, false
+	}
+	r := s.recs[s.pos]
+	s.pos++
+	if r.Line > LineMask {
+		r.Line = FoldLine(r.Line)
+		s.FoldedLines.Inc()
+	}
+	s.Replayed.Inc()
+	if r.Write {
+		s.Writes.Inc()
+	} else {
+		s.Reads.Inc()
+	}
+	return r, true
+}
+
+// RegisterMetrics registers the stream's counters under reg.
+func (s *ReplayStream) RegisterMetrics(reg *stats.Registry) {
+	reg.Register("records_replayed", &s.Replayed)
+	reg.Register("reads", &s.Reads)
+	reg.Register("writes", &s.Writes)
+	reg.Register("folded_lines", &s.FoldedLines)
+}
+
+// Recorder tees a workload.Stream, retaining every record it delivers.
+// sim.Run wraps each core's stream in a Recorder when
+// Config.CaptureTraces is set; the retained records are exactly the
+// request stream the core consumed, so replaying them reproduces the
+// run byte-for-byte.
+type Recorder struct {
+	src  workload.Stream
+	recs []workload.Record
+}
+
+// NewRecorder wraps src in a recording tee.
+func NewRecorder(src workload.Stream) *Recorder {
+	return &Recorder{src: src}
+}
+
+// Next implements workload.Stream, recording each delivered record.
+func (r *Recorder) Next() (workload.Record, bool) {
+	rec, ok := r.src.Next()
+	if ok {
+		r.recs = append(r.recs, rec)
+	}
+	return rec, ok
+}
+
+// Records returns the records delivered so far (not copied).
+func (r *Recorder) Records() []workload.Record { return r.recs }

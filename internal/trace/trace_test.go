@@ -1,0 +1,431 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"os"
+	"reflect"
+	"strings"
+	"testing"
+
+	"ropsim/internal/stats"
+	"ropsim/internal/workload"
+)
+
+// randomRecords builds a reproducible record slice exercising wide
+// gaps, forward/backward deltas and both ops.
+func randomRecords(n int, seed int64) []workload.Record {
+	rng := rand.New(rand.NewSource(seed))
+	recs := make([]workload.Record, n)
+	line := uint64(1 << 20)
+	for i := range recs {
+		switch rng.Intn(4) {
+		case 0:
+			line++
+		case 1:
+			line += uint64(rng.Intn(4096))
+		case 2:
+			d := uint64(rng.Intn(1 << 18))
+			if d > line {
+				d = line
+			}
+			line -= d
+		case 3:
+			line = uint64(rng.Int63n(1 << 44))
+		}
+		recs[i] = workload.Record{
+			Gap:   uint32(rng.Intn(1 << 16)),
+			Line:  line,
+			Write: rng.Intn(3) == 0,
+		}
+	}
+	return recs
+}
+
+func encodeAll(t *testing.T, recs []workload.Record, block int) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := EncodeRoptBlocked(&buf, recs, block); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func TestRoptRoundTrip(t *testing.T) {
+	for _, n := range []int{0, 1, 5, 4096, 4097, 10_000} {
+		recs := randomRecords(n, int64(n)+1)
+		data := encodeAll(t, recs, 512)
+		tr, err := DecodeRopt(data)
+		if err != nil {
+			t.Fatalf("n=%d: decode: %v", n, err)
+		}
+		if tr.Records() != n {
+			t.Fatalf("n=%d: Records()=%d", n, tr.Records())
+		}
+		got, err := tr.ReadAll()
+		if err != nil {
+			t.Fatalf("n=%d: ReadAll: %v", n, err)
+		}
+		if n == 0 {
+			if len(got) != 0 {
+				t.Fatalf("n=0: got %d records", len(got))
+			}
+			continue
+		}
+		if !reflect.DeepEqual(got, recs) {
+			t.Fatalf("n=%d: round trip mismatch", n)
+		}
+	}
+}
+
+func TestRoptCanonicalReencode(t *testing.T) {
+	recs := randomRecords(5000, 7)
+	data := encodeAll(t, recs, DefaultBlockRecords)
+	tr, err := DecodeRopt(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := tr.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	again := encodeAll(t, got, DefaultBlockRecords)
+	if !bytes.Equal(data, again) {
+		t.Fatal("decode→re-encode is not byte-identical (encoding not canonical)")
+	}
+}
+
+func TestRoptStreamMatchesReadAll(t *testing.T) {
+	recs := randomRecords(3000, 11)
+	tr, err := DecodeRopt(encodeAll(t, recs, 256))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tr.Stream()
+	for i, want := range recs {
+		got, ok := s.Next()
+		if !ok || got != want {
+			t.Fatalf("record %d: got %+v ok=%v want %+v", i, got, ok, want)
+		}
+	}
+	if _, ok := s.Next(); ok {
+		t.Fatal("stream did not end")
+	}
+	if s.Err() != nil {
+		t.Fatalf("stream error: %v", s.Err())
+	}
+}
+
+// TestRoptSeekVsLinear is the index-seek-vs-linear-scan equivalence
+// property: for any seek point, the seeked stream must produce exactly
+// the linear stream's suffix.
+func TestRoptSeekVsLinear(t *testing.T) {
+	recs := randomRecords(2500, 13)
+	tr, err := DecodeRopt(encodeAll(t, recs, 128))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(99))
+	points := []int{0, 1, 127, 128, 129, len(recs) - 1, len(recs)}
+	for i := 0; i < 50; i++ {
+		points = append(points, rng.Intn(len(recs)+1))
+	}
+	for _, p := range points {
+		s, err := tr.Seek(p)
+		if err != nil {
+			t.Fatalf("seek %d: %v", p, err)
+		}
+		for j := p; j < len(recs); j++ {
+			got, ok := s.Next()
+			if !ok || got != recs[j] {
+				t.Fatalf("seek %d record %d: got %+v ok=%v want %+v", p, j, got, ok, recs[j])
+			}
+		}
+		if _, ok := s.Next(); ok {
+			t.Fatalf("seek %d: stream did not end", p)
+		}
+	}
+	if _, err := tr.Seek(-1); err == nil {
+		t.Fatal("seek -1 succeeded")
+	}
+	if _, err := tr.Seek(len(recs) + 1); err == nil {
+		t.Fatal("seek past end succeeded")
+	}
+}
+
+func TestRoptHostileHeaders(t *testing.T) {
+	recs := randomRecords(600, 17)
+	good := encodeAll(t, recs, 100)
+
+	mutate := func(f func(b []byte)) []byte {
+		b := append([]byte(nil), good...)
+		f(b)
+		return b
+	}
+	cases := map[string][]byte{
+		"empty":             {},
+		"short header":      good[:31],
+		"bad magic":         mutate(func(b []byte) { b[0] = 'X' }),
+		"bad version":       mutate(func(b []byte) { binary.LittleEndian.PutUint16(b[4:], 9) }),
+		"bad flags":         mutate(func(b []byte) { binary.LittleEndian.PutUint16(b[6:], 1) }),
+		"zero block size":   mutate(func(b []byte) { binary.LittleEndian.PutUint32(b[16:], 0) }),
+		"huge block size":   mutate(func(b []byte) { binary.LittleEndian.PutUint32(b[16:], 1<<24) }),
+		"inflated records":  mutate(func(b []byte) { binary.LittleEndian.PutUint64(b[8:], 1<<40) }),
+		"wrong block count": mutate(func(b []byte) { binary.LittleEndian.PutUint32(b[20:], 1) }),
+		"index off the end": mutate(func(b []byte) { binary.LittleEndian.PutUint64(b[24:], uint64(len(good))+100) }),
+		"index before hdr":  mutate(func(b []byte) { binary.LittleEndian.PutUint64(b[24:], 4) }),
+		"truncated file":    good[:len(good)-5],
+		"trailing garbage":  append(append([]byte(nil), good...), 0xEE),
+		"reserved set": mutate(func(b []byte) {
+			idx := binary.LittleEndian.Uint64(b[24:])
+			binary.LittleEndian.PutUint32(b[idx+12:], 7)
+		}),
+		"non-contiguous block": mutate(func(b []byte) {
+			idx := binary.LittleEndian.Uint64(b[24:])
+			binary.LittleEndian.PutUint64(b[idx+16:], 99)
+		}),
+	}
+	for name, data := range cases {
+		if _, err := DecodeRopt(data); err == nil {
+			t.Errorf("%s: decode succeeded, want error", name)
+		}
+	}
+}
+
+func TestRoptCorruptPayloadErrors(t *testing.T) {
+	recs := randomRecords(300, 19)
+	good := encodeAll(t, recs, 50)
+	// Scribble over payload bytes; structural decode may pass but
+	// ReadAll must either succeed or error — never panic. Flipping a
+	// varint continuation bit typically desyncs the block.
+	for i := headerSize; i < headerSize+40; i++ {
+		b := append([]byte(nil), good...)
+		b[i] ^= 0x80
+		tr, err := DecodeRopt(b)
+		if err != nil {
+			continue
+		}
+		_, _ = tr.ReadAll() // must not panic
+	}
+}
+
+func TestEncodeRejectsWideLines(t *testing.T) {
+	var buf bytes.Buffer
+	err := EncodeRopt(&buf, []workload.Record{{Line: 1 << 63}})
+	if err == nil {
+		t.Fatal("encoding a 2^63 line succeeded")
+	}
+}
+
+func TestParseTextGrammar(t *testing.T) {
+	in := `
+# comment
+// also a comment
+10 R 0x1000
+  25   WR   1040
+25 read 0x0
+125 WRITE 0xffffffffffffffff
+`
+	recs, err := ParseText(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []workload.Record{
+		{Gap: 10, Line: 0x1000 >> 6, Write: false},
+		{Gap: 15, Line: 0x1040 >> 6, Write: true},
+		{Gap: 0, Line: 0, Write: false},
+		{Gap: 100, Line: 0xffffffffffffffff >> 6, Write: true},
+	}
+	if !reflect.DeepEqual(recs, want) {
+		t.Fatalf("got %+v want %+v", recs, want)
+	}
+}
+
+func TestParseTextErrors(t *testing.T) {
+	cases := map[string]string{
+		"field count":     "1 R\n",
+		"bad cycle":       "x R 0x0\n",
+		"bad op":          "1 Q 0x0\n",
+		"bad addr":        "1 R zz\n",
+		"backwards cycle": "10 R 0x0\n5 R 0x0\n",
+		"huge line":       strings.Repeat("a", maxTextLine+2),
+	}
+	for name, in := range cases {
+		if _, err := ParseText(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: parse succeeded, want error", name)
+		}
+	}
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	recs := randomRecords(2000, 23)
+	var buf bytes.Buffer
+	if err := WriteTraceText(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, recs) {
+		t.Fatal("text round trip mismatch")
+	}
+}
+
+func TestSourceHelpers(t *testing.T) {
+	if !IsSource("trace:foo.ropt") || IsSource("libquantum") {
+		t.Fatal("IsSource misclassifies")
+	}
+	if SourcePath("trace:foo.ropt") != "foo.ropt" {
+		t.Fatalf("SourcePath = %q", SourcePath("trace:foo.ropt"))
+	}
+	if SourcePath("libquantum") != "" || SourcePath("trace:") != "" {
+		t.Fatal("SourcePath should be empty for non-sources")
+	}
+}
+
+func TestReplayStreamFoldsAndCounts(t *testing.T) {
+	wide := uint64(3)<<LineBits | 42
+	rs := NewReplayStream([]workload.Record{
+		{Line: 1, Write: false},
+		{Line: wide, Write: true},
+	})
+	reg := stats.NewRegistry()
+	rs.RegisterMetrics(reg.Sub("trace.core0"))
+	r1, _ := rs.Next()
+	r2, ok := rs.Next()
+	if !ok {
+		t.Fatal("stream ended early")
+	}
+	if r1.Line != 1 {
+		t.Fatalf("in-range line changed: %d", r1.Line)
+	}
+	if r2.Line != FoldLine(wide) || r2.Line > LineMask {
+		t.Fatalf("wide line not folded: %#x", r2.Line)
+	}
+	if _, ok := rs.Next(); ok {
+		t.Fatal("stream did not end")
+	}
+	snap := reg.Snapshot()
+	for path, want := range map[string]float64{
+		"trace.core0.records_replayed": 2,
+		"trace.core0.reads":            1,
+		"trace.core0.writes":           1,
+		"trace.core0.folded_lines":     1,
+	} {
+		if v, ok := snap.Field(path, "value"); !ok || v != want {
+			t.Errorf("%s = %v (ok=%v), want %v", path, v, ok, want)
+		}
+	}
+}
+
+func TestRecorderTee(t *testing.T) {
+	recs := randomRecords(100, 29)
+	rec := NewRecorder(workload.NewSliceStream(recs))
+	got := workload.Take(rec, 40)
+	if !reflect.DeepEqual(got, recs[:40]) {
+		t.Fatal("tee altered the stream")
+	}
+	if !reflect.DeepEqual(rec.Records(), recs[:40]) {
+		t.Fatal("recorder did not retain exactly the delivered records")
+	}
+}
+
+func TestLoadFileSniffsFormats(t *testing.T) {
+	recs := randomRecords(500, 31)
+	dir := t.TempDir()
+
+	var bin bytes.Buffer
+	if err := EncodeRopt(&bin, recs); err != nil {
+		t.Fatal(err)
+	}
+	var txt bytes.Buffer
+	if err := WriteTraceText(&txt, recs); err != nil {
+		t.Fatal(err)
+	}
+	binPath := dir + "/t.ropt"
+	txtPath := dir + "/t.trace"
+	if err := os.WriteFile(binPath, bin.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(txtPath, txt.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{binPath, txtPath} {
+		got, err := LoadFile(p)
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		if !reflect.DeepEqual(got, recs) {
+			t.Fatalf("%s: loaded records differ", p)
+		}
+	}
+	if _, err := LoadFile(dir + "/missing"); err == nil {
+		t.Fatal("loading a missing file succeeded")
+	}
+}
+
+func TestCloneFitsGeneratorTrace(t *testing.T) {
+	prof := workload.MustGet("libquantum")
+	recs := workload.Take(workload.NewGenerator(prof, 42), 20_000)
+	fit, err := Clone(recs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fit.Profile.Validate(); err != nil {
+		t.Fatalf("fitted profile invalid: %v", err)
+	}
+	if fe := fit.FitError(); fe > 0.5 {
+		t.Fatalf("fit error %.3f too large for a generator-produced trace", fe)
+	}
+	// The fitted output and hand-written profiles share the parameter
+	// interface (the ISSUE's "common interface" satellite).
+	var params []workload.Parameterized = []workload.Parameterized{prof, fit}
+	for _, p := range params {
+		if p.WorkloadParams().OnGapMean < 0 {
+			t.Fatal("negative OnGapMean via Parameterized")
+		}
+	}
+
+	reg := stats.NewRegistry()
+	fit.RegisterMetrics(reg.Sub("trace.fit"))
+	if _, ok := reg.Snapshot().Field("trace.fit.fit_error", "value"); !ok {
+		t.Fatal("trace.fit.fit_error not registered")
+	}
+}
+
+func TestCloneRejectsTinyTraces(t *testing.T) {
+	if _, err := Clone(randomRecords(5, 1), 1); err == nil {
+		t.Fatal("cloning a 5-record trace succeeded")
+	}
+}
+
+func TestMeasureBurstiness(t *testing.T) {
+	// A trace alternating dense windows and empty windows should show
+	// intermediate λ/β; a dense-only trace should show λ≈1.
+	var bursty []workload.Record
+	for w := 0; w < 40; w++ {
+		if w%2 == 0 {
+			for i := 0; i < 50; i++ {
+				bursty = append(bursty, workload.Record{Gap: 19, Line: uint64(i)})
+			}
+		} else {
+			bursty = append(bursty, workload.Record{Gap: 2000, Line: 0})
+		}
+	}
+	s := Measure(bursty, 1000)
+	if s.Lambda >= 0.99 {
+		t.Fatalf("bursty trace measured λ=%.3f", s.Lambda)
+	}
+	dense := randomRecords(5000, 3)
+	for i := range dense {
+		dense[i].Gap = 10
+	}
+	if s := Measure(dense, 1000); s.Lambda < 0.99 {
+		t.Fatalf("dense trace measured λ=%.3f", s.Lambda)
+	}
+	if s := Measure(nil, 0); s.Records != 0 {
+		t.Fatal("empty measure not zero")
+	}
+}

@@ -1,0 +1,61 @@
+package workload
+
+// Params is the numeric parameter vector shared by hand-written
+// profiles and statistically fitted ones (the trace cloner in
+// internal/trace). It carries exactly the knobs a Profile exposes,
+// without the identity fields (name, intensity class) or the delta
+// table, so a fit and a profile can be compared knob by knob.
+type Params struct {
+	// OnGapMean is the mean non-memory instruction gap between LLC
+	// accesses during an ON phase (the memory-intensity knob: lower
+	// means more accesses per kilo-instruction).
+	OnGapMean float64
+	// OnMeanInsts and OffMeanInsts are the mean ON/OFF phase lengths in
+	// instructions; OffMeanInsts == 0 means always ON.
+	OnMeanInsts, OffMeanInsts float64
+	// StreamFrac is the fraction of accesses walking the streaming
+	// (LLC-missing) region.
+	StreamFrac float64
+	// ReadFrac is the fraction of loads.
+	ReadFrac float64
+	// WSLines is the hot working-set size in cache lines.
+	WSLines int
+	// FootprintLines is the streaming region size in cache lines.
+	FootprintLines int
+}
+
+// Parameterized is implemented by anything that exposes a workload
+// parameter vector: a hand-written Profile, or the trace cloner's
+// fitted output (trace.Fit). It is the seam that lets fit-error
+// metrics compare the two through one code path.
+type Parameterized interface {
+	// WorkloadParams returns the parameter vector.
+	WorkloadParams() Params
+}
+
+// WorkloadParams implements Parameterized for a profile.
+func (p Profile) WorkloadParams() Params {
+	return Params{
+		OnGapMean:      p.OnGapMean,
+		OnMeanInsts:    p.OnMeanInsts,
+		OffMeanInsts:   p.OffMeanInsts,
+		StreamFrac:     p.StreamFrac,
+		ReadFrac:       p.ReadFrac,
+		WSLines:        p.WSLines,
+		FootprintLines: p.FootprintLines,
+	}
+}
+
+// Apply writes the parameter vector back into a profile, keeping the
+// profile's identity fields and delta table. The cloner uses it to
+// materialize a runnable Profile from a fit.
+func (p Params) Apply(base Profile) Profile {
+	base.OnGapMean = p.OnGapMean
+	base.OnMeanInsts = p.OnMeanInsts
+	base.OffMeanInsts = p.OffMeanInsts
+	base.StreamFrac = p.StreamFrac
+	base.ReadFrac = p.ReadFrac
+	base.WSLines = p.WSLines
+	base.FootprintLines = p.FootprintLines
+	return base
+}

@@ -266,13 +266,16 @@ func PaperOrder() []string {
 	}
 }
 
-// Get returns the profile for a benchmark name.
+// Get returns the profile for a benchmark name. Both the SPEC-like
+// table and the server-class zoo (zoo.go) resolve here.
 func Get(name string) (Profile, error) {
-	p, ok := profiles[name]
-	if !ok {
-		return Profile{}, fmt.Errorf("workload: unknown benchmark %q", name)
+	if p, ok := profiles[name]; ok {
+		return p, nil
 	}
-	return p, nil
+	if p, ok := zoo[name]; ok {
+		return p, nil
+	}
+	return Profile{}, fmt.Errorf("workload: unknown benchmark %q", name)
 }
 
 // MustGet is Get for static benchmark names; it panics on unknown names.

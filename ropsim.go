@@ -123,6 +123,12 @@ func WeightedSpeedup(shared *Result, alone []float64) float64 {
 // Table I order.
 func Benchmarks() []string { return workload.PaperOrder() }
 
+// ZooBenchmarks lists the server-class workload-zoo benchmarks
+// (pointer-chasing, scan-heavy, memcached-like). They resolve anywhere
+// a benchmark name is accepted but stay out of the paper's
+// twelve-benchmark tables; docs/TRACES.md has the catalog.
+func ZooBenchmarks() []string { return workload.ZooNames() }
+
 // DRAMStandards lists the registered DRAM standard names, sorted
 // (Config.Standard accepts any of them; empty selects the paper's
 // DDR4-1600 device).

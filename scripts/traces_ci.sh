@@ -1,0 +1,46 @@
+#!/bin/sh
+# traces_ci.sh — the trace-format round-trip and replay gate.
+#
+# For every committed workload-zoo trace (testdata/traces/*.ropt) it
+# checks the full format contract end to end:
+#
+#   1. `roptrace validate` accepts the committed file;
+#   2. .ropt -> text -> .ropt round-trips byte-identically (the .ropt
+#      encoding is canonical, so any re-encode of the same records must
+#      reproduce the committed bytes exactly — see docs/TRACES.md);
+#   3. a checked (-check) simulator run driven by the pointer trace
+#      produces a metric snapshot byte-identical to the committed
+#      replay golden (testdata/traces/pointer_replay.golden.json);
+#   4. `go test ./internal/trace/` re-runs the package suite, which
+#      includes the FuzzTraceText / FuzzRoptDecode seed corpora as
+#      plain regression tests.
+#
+# Used by `make traces` and the CI `traces` job. Run from the repo
+# root; the replay golden's run label embeds the repo-relative trace
+# path, so the working directory matters.
+set -eu
+
+dir="$(mktemp -d)"
+trap 'rm -rf "$dir"' EXIT INT TERM
+
+go build -o "$dir/roptrace" ./cmd/roptrace
+go build -o "$dir/ropsim" ./cmd/ropsim
+
+for f in testdata/traces/*.ropt; do
+    name="$(basename "$f" .ropt)"
+    echo "== $name: validate + text round-trip =="
+    "$dir/roptrace" validate -in "$f"
+    "$dir/roptrace" convert -in "$f" -out "$dir/$name.trace"
+    "$dir/roptrace" convert -in "$dir/$name.trace" -out "$dir/$name.ropt"
+    cmp "$f" "$dir/$name.ropt"
+done
+
+echo "== pointer: checked replay vs committed golden =="
+"$dir/ropsim" -bench trace:testdata/traces/pointer.ropt -mode baseline \
+    -insts 600000 -check -stats-out "$dir/replay.json" > /dev/null
+cmp testdata/traces/pointer_replay.golden.json "$dir/replay.json"
+
+echo "== internal/trace suite (fuzz seed regression) =="
+go test ./internal/trace/
+
+echo "traces: round-trip byte-identical, replay matches golden"

@@ -1,0 +1,206 @@
+package ropsim
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"ropsim/internal/trace"
+	"ropsim/internal/workload"
+)
+
+// captureTrace runs a short checked synthetic simulation with trace
+// capture armed and returns the captured core-0 stream plus the run's
+// serialized metric snapshot.
+func captureTrace(t *testing.T, bench string, insts int64) ([]workload.Record, string) {
+	t.Helper()
+	cfg := Default(bench)
+	cfg.Instructions = insts
+	cfg.CaptureTraces = true
+	cfg.Check = true
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.CoreTraces) != 1 || len(res.CoreTraces[0]) == 0 {
+		t.Fatalf("capture returned %d traces", len(res.CoreTraces))
+	}
+	var buf bytes.Buffer
+	if err := res.Metrics.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return res.CoreTraces[0], buf.String()
+}
+
+// TestTraceCaptureConvertReplayByteEquivalence is the tentpole's
+// capture→convert→replay chain: a captured stream survives the .ropt
+// encode/decode round trip record-exactly, and replaying it through
+// the full system reproduces the original run's metric snapshot
+// byte-for-byte (protocol sanitizer armed on both runs).
+func TestTraceCaptureConvertReplayByteEquivalence(t *testing.T) {
+	recs, origSnap := captureTrace(t, "scan", 150_000)
+
+	path := filepath.Join(t.TempDir(), "scan.ropt")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.EncodeRopt(f, recs); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := trace.LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(decoded, recs) {
+		t.Fatal("captured records did not survive the .ropt round trip")
+	}
+
+	cfg := Default("scan")
+	cfg.Instructions = 150_000
+	cfg.Check = true
+	cfg.Traces = []workload.Stream{workload.NewSliceStream(decoded)}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.Metrics.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != origSnap {
+		t.Fatal("replayed run's metric snapshot differs from the captured run")
+	}
+}
+
+// TestTraceSourceReplayJobsDeterminism is the acceptance criterion: a
+// captured trace replayed through the experiment harness as a
+// "trace:<path>" workload source emits a byte-identical artifact at
+// -jobs 1 and -jobs 8, with the protocol sanitizer clean.
+func TestTraceSourceReplayJobsDeterminism(t *testing.T) {
+	recs, _ := captureTrace(t, "memcached", 150_000)
+	path := filepath.Join(t.TempDir(), "memcached.ropt")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.EncodeRopt(f, recs); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	render := func(jobs int) string {
+		o := QuickOptions()
+		o.Instructions = 150_000
+		o.Benches = []string{"trace:" + path}
+		o.Jobs = jobs
+		o.Check = true
+		o.Artifact = NewArtifact()
+		if _, err := Fig1(o); err != nil {
+			t.Fatalf("jobs=%d: %v", jobs, err)
+		}
+		var buf bytes.Buffer
+		if err := o.Artifact.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	serial := render(1)
+	parallel := render(8)
+	if serial != parallel {
+		t.Fatal("trace replay artifact differs between -jobs 1 and -jobs 8")
+	}
+	if !bytes.Contains([]byte(serial), []byte("trace.core0.records_replayed")) {
+		t.Fatal("replay artifact lacks trace.core0 metrics")
+	}
+}
+
+// TestTraceSourceMetricsNamespace checks that a trace-driven run
+// registers the trace.core<N> replay counters and that synthetic runs
+// do not (keeping the golden artifact namespace unchanged).
+func TestTraceSourceMetricsNamespace(t *testing.T) {
+	recs, _ := captureTrace(t, "pointer", 100_000)
+	path := filepath.Join(t.TempDir(), "pointer.ropt")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.EncodeRopt(f, recs); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := Default("trace:" + path)
+	cfg.Instructions = 100_000
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed, ok := res.Metrics.Field("trace.core0.records_replayed", "value")
+	if !ok {
+		t.Fatal("trace.core0.records_replayed missing from trace-driven run")
+	}
+	if replayed <= 0 || replayed > float64(len(recs)) {
+		t.Fatalf("records_replayed = %v of %d captured", replayed, len(recs))
+	}
+	if folded, _ := res.Metrics.Field("trace.core0.folded_lines", "value"); folded != 0 {
+		t.Fatalf("capture-sourced trace should need no folding, got %v", folded)
+	}
+
+	synth := Default("pointer")
+	synth.Instructions = 100_000
+	sres, err := Run(synth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range sres.Metrics.Paths() {
+		if len(p) >= 6 && p[:6] == "trace." {
+			t.Fatalf("synthetic run leaked trace metric %s", p)
+		}
+	}
+}
+
+// TestZooTracesCommittedAndFresh validates the committed workload zoo:
+// every zoo profile has a committed .ropt trace that decodes cleanly,
+// and regenerating it through the capture path reproduces the
+// committed bytes exactly (the zoo is deterministic).
+func TestZooTracesCommittedAndFresh(t *testing.T) {
+	for _, name := range ZooBenchmarks() {
+		path := filepath.Join("testdata", "traces", name+".ropt")
+		committed, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("missing committed zoo trace (regenerate with `go run ./cmd/roptrace zoo`): %v", err)
+		}
+		tr, err := trace.DecodeRopt(committed)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		if tr.Records() == 0 {
+			t.Fatalf("%s: empty trace", path)
+		}
+
+		cfg := Default(name)
+		cfg.Instructions = 600_000 // must match cmd/roptrace zooInstructions
+		cfg.CaptureTraces = true
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		var buf bytes.Buffer
+		if err := trace.EncodeRopt(&buf, res.CoreTraces[0]); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf.Bytes(), committed) {
+			t.Fatalf("%s: fresh capture differs from committed trace", name)
+		}
+	}
+}

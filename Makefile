@@ -16,15 +16,20 @@ test:
 race:
 	$(GO) test -race -short ./internal/... .
 
+# LINT_FACTCACHE holds serialized cross-package fact summaries so
+# unchanged packages skip fact recomputation (CI restores it with
+# actions/cache).
+LINT_FACTCACHE := .lintcache/facts
+
 # lint runs the simlint suite (docs/LINT.md): determinism, unit-safety,
 # event-queue discipline and metrics-registration analyzers.
 lint:
-	$(GO) run ./cmd/simlint ./...
+	$(GO) run ./cmd/simlint -time -factcache $(LINT_FACTCACHE) ./...
 
 # lint-fix-check is lint plus stale-escape-hatch detection: justified
 # //simlint: annotations that no longer suppress anything fail the run.
 lint-fix-check:
-	$(GO) run ./cmd/simlint -unused ./...
+	$(GO) run ./cmd/simlint -unused -time -factcache $(LINT_FACTCACHE) ./...
 
 # bench measures the hot-path baseline and emits BENCH_<today>.json
 # (docs/PERFORMANCE.md documents the schema and how to read it).

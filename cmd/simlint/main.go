@@ -1,20 +1,28 @@
 // Command simlint runs the simulation lint suite (ropsim/internal/lint)
-// over the module: determinism, unit-safety, event-queue discipline and
-// metrics-registration analyzers, plus validation of the //simlint:
-// escape-hatch annotations themselves. Exit status is 1 when any
-// finding is reported, 2 on a load failure, 0 on a clean tree.
+// over the module: determinism, unit-safety, event-queue discipline,
+// metrics-registration, and — via the cross-package fact engine —
+// concurrency and hostile-input analyzers, plus validation of the
+// //simlint: escape-hatch annotations themselves. Exit status is 1 when
+// any finding is reported, 2 on a load failure, 0 on a clean tree.
 //
 // Usage:
 //
-//	simlint [-unused] [packages]
+//	simlint [-unused] [-json] [-time] [-factcache dir] [packages]
 //
 // With no package patterns it analyzes ./... from the current
 // directory. The -unused flag additionally reports justified
 // annotations that suppress nothing — stale escape hatches whose
 // violations have since been fixed (the `make lint-fix-check` mode).
+// -json emits findings as a JSON array (file/line/column/analyzer/
+// message/justification) for machine consumers — CI wires a GitHub
+// problem matcher to the default text form instead. -time prints a
+// per-analyzer wall-time summary to stderr. -factcache points at a
+// directory where serialized per-package fact summaries are reused
+// across runs (CI restores it with actions/cache).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -23,12 +31,28 @@ import (
 	"ropsim/internal/lint"
 )
 
+// jsonFinding is the -json wire form of one diagnostic.
+type jsonFinding struct {
+	File          string `json:"file"`
+	Line          int    `json:"line"`
+	Column        int    `json:"column"`
+	Analyzer      string `json:"analyzer"`
+	Message       string `json:"message"`
+	Justification string `json:"justification,omitempty"`
+}
+
 func main() {
 	unused := flag.Bool("unused", false,
 		"also report justified simlint annotations that suppress nothing (stale escape hatches)")
+	jsonOut := flag.Bool("json", false,
+		"emit findings as a JSON array on stdout instead of text lines")
+	timing := flag.Bool("time", false,
+		"print a per-analyzer wall-time summary to stderr")
+	factCache := flag.String("factcache", "",
+		"directory for serialized cross-package fact summaries, reused when sources and dependency facts are unchanged")
 	flag.Usage = func() {
 		out := flag.CommandLine.Output()
-		fmt.Fprintf(out, "usage: simlint [-unused] [packages]\n\nAnalyzers:\n")
+		fmt.Fprintf(out, "usage: simlint [-unused] [-json] [-time] [-factcache dir] [packages]\n\nAnalyzers:\n")
 		for _, a := range lint.All() {
 			fmt.Fprintf(out, "  %-16s %s\n", a.Name, a.Doc)
 		}
@@ -41,22 +65,53 @@ func main() {
 		patterns = []string{"./..."}
 	}
 
-	units, err := lint.Load(".", patterns)
+	units, err := lint.LoadCached(".", patterns, *factCache)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "simlint:", err)
 		os.Exit(2)
 	}
-	diags := lint.Run(units, lint.All(), lint.Options{ReportUnusedAnnotations: *unused})
+	diags, timings := lint.RunTimed(units, lint.All(), lint.Options{ReportUnusedAnnotations: *unused})
 	cwd, _ := os.Getwd()
-	for _, d := range diags {
-		d.Pos.Filename = relPath(cwd, d.Pos.Filename)
-		fmt.Println(d)
+	for i := range diags {
+		diags[i].Pos.Filename = relPath(cwd, diags[i].Pos.Filename)
+	}
+	if *jsonOut {
+		findings := make([]jsonFinding, 0, len(diags))
+		for _, d := range diags {
+			findings = append(findings, jsonFinding{
+				File:          d.Pos.Filename,
+				Line:          d.Pos.Line,
+				Column:        d.Pos.Column,
+				Analyzer:      d.Analyzer,
+				Message:       d.Message,
+				Justification: d.Justification,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintln(os.Stderr, "simlint:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+	}
+	if *timing {
+		fmt.Fprintf(os.Stderr, "simlint: analyzer wall time over %d package(s):\n", len(units))
+		for _, t := range timings {
+			fmt.Fprintf(os.Stderr, "  %-16s %v\n", t.Name, t.Elapsed.Round(timeRound))
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "simlint: %d finding(s)\n", len(diags))
 		os.Exit(1)
 	}
 }
+
+// timeRound is the display granularity of the -time summary.
+const timeRound = 10_000 // 10µs in nanoseconds
 
 // relPath shortens an absolute diagnostic path to be relative to the
 // working directory when possible.

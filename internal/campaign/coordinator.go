@@ -107,6 +107,10 @@ type Coordinator struct {
 
 	done     chan struct{}
 	shutdown sync.Once
+	// loops joins the accept and monitor loops on shutdown, so Close
+	// never returns while a coordinator goroutine still touches the
+	// listener or the worker table.
+	loops sync.WaitGroup
 }
 
 // NewCoordinator listens on addr and starts the accept and
@@ -147,6 +151,7 @@ func NewCoordinator(addr string, o CoordinatorOptions) (*Coordinator, error) {
 	sub.Register("workers_attached", &c.cAttached)
 	sub.Register("workers_lost", &c.cLost)
 	sub.Register("heartbeats", &c.cHeartbeats)
+	c.loops.Add(2)
 	go c.acceptLoop()
 	go c.monitorLoop()
 	return c, nil
@@ -177,8 +182,9 @@ func (c *Coordinator) Do(ctx context.Context, label string, cfg []byte) ([]byte,
 	}
 	c.cSubmitted.Inc()
 	c.pending = append(c.pending, tk)
-	c.kick()
+	local := c.kick()
 	c.mu.Unlock()
+	c.runLocally(local)
 
 	select {
 	case out := <-tk.ch:
@@ -221,21 +227,23 @@ func (c *Coordinator) abandon(tk *task) {
 // kick dispatches pending tasks. Callers hold c.mu. Tasks go to the
 // attached worker with the most free slots (ties to the lowest id);
 // when no worker is attached at all, the task is handed back to its
-// submitting goroutine for in-process execution. When workers exist
-// but are saturated, tasks wait for a slot (or for the heartbeat
-// monitor to reap a dead holder).
-func (c *Coordinator) kick() {
+// submitting goroutine for in-process execution — returned to the
+// caller, who must pass the batch to runLocally after releasing c.mu
+// so no channel send happens inside the critical section. When
+// workers exist but are saturated, tasks wait for a slot (or for the
+// heartbeat monitor to reap a dead holder).
+func (c *Coordinator) kick() (local []*task) {
 	for len(c.pending) > 0 {
 		w := c.pickWorker()
 		if w == nil {
 			if len(c.workers) > 0 {
-				return // saturated: a result or a loss will re-kick
+				return local // saturated: a result or a loss will re-kick
 			}
 			tk := c.pending[0]
 			c.pending = c.pending[1:]
 			tk.resolved = true
 			c.cLocal.Inc()
-			tk.ch <- outcome{runLocal: true}
+			local = append(local, tk)
 			continue
 		}
 		tk := c.pending[0]
@@ -251,6 +259,18 @@ func (c *Coordinator) kick() {
 				c.dropWorker(w, fmt.Errorf("send: %w", err))
 			}
 		}(w)
+	}
+	return local
+}
+
+// runLocally delivers the run-local outcome to every task kick handed
+// back. Callers invoke it after releasing c.mu: each task channel is
+// buffered for its single outcome, so the sends cannot block, but
+// keeping them out of the critical section makes that a structural
+// property instead of a buffering accident.
+func (c *Coordinator) runLocally(local []*task) {
+	for _, tk := range local {
+		tk.ch <- outcome{runLocal: true}
 	}
 }
 
@@ -273,6 +293,7 @@ func (c *Coordinator) pickWorker() *remoteWorker {
 
 // acceptLoop admits worker connections until the listener closes.
 func (c *Coordinator) acceptLoop() {
+	defer c.loops.Done()
 	for {
 		nc, err := c.ln.Accept()
 		if err != nil {
@@ -299,7 +320,10 @@ func (c *Coordinator) handleConn(nc net.Conn) {
 	// Bound the handshake with the clock seam: a connection that never
 	// says hello is cut at the heartbeat-miss deadline.
 	helloDone := make(chan struct{})
+	var watch sync.WaitGroup
+	watch.Add(1)
 	go func() {
+		defer watch.Done()
 		select {
 		case <-helloDone:
 		case <-c.opts.Clock.After(c.opts.HeartbeatMiss):
@@ -308,6 +332,9 @@ func (c *Coordinator) handleConn(nc net.Conn) {
 			cn.close()
 		}
 	}()
+	// Every return below happens after helloDone closes, so this join
+	// never waits on the watchdog's timers.
+	defer watch.Wait()
 	t, body, err := cn.recv()
 	close(helloDone)
 	if err != nil || t != msgHello {
@@ -339,8 +366,9 @@ func (c *Coordinator) handleConn(nc net.Conn) {
 	w.id = c.nextWorker
 	c.workers[w.id] = w
 	c.cAttached.Inc()
-	c.kick()
+	local := c.kick()
 	c.mu.Unlock()
+	c.runLocally(local)
 	if err := cn.send(msgWelcome, welcomeMsg{
 		Proto:          ProtocolVersion,
 		HeartbeatEvery: c.opts.HeartbeatEvery,
@@ -396,8 +424,9 @@ func (c *Coordinator) resolve(w *remoteWorker, res resultMsg) {
 	delete(w.inflight, res.Lease)
 	w.completed++
 	tk.resolved = true
-	c.kick()
+	local := c.kick()
 	c.mu.Unlock()
+	c.runLocally(local)
 
 	if res.Err != "" {
 		c.cFailed.Inc()
@@ -433,8 +462,9 @@ func (c *Coordinator) dropWorker(w *remoteWorker, err error) {
 	if err != nil {
 		c.cLost.Inc()
 	}
-	c.kick()
+	local := c.kick()
 	c.mu.Unlock()
+	c.runLocally(local)
 	w.conn.close()
 	if err != nil {
 		c.logf("campaign: worker %q lost (%v); %d lease(s) re-dispatched", w.name, err, requeued)
@@ -447,6 +477,7 @@ func (c *Coordinator) dropWorker(w *remoteWorker, err error) {
 // past HeartbeatMiss — wedged, killed, or partitioned — loses its
 // leases even though its socket may still be open.
 func (c *Coordinator) monitorLoop() {
+	defer c.loops.Done()
 	interval := c.opts.HeartbeatMiss / 4
 	if interval <= 0 {
 		interval = time.Millisecond
@@ -505,6 +536,12 @@ func (c *Coordinator) stop(t msgType) error {
 				w.conn.close()
 			}
 		}
+		// Join the accept and monitor loops: both exit promptly once
+		// done is closed and the listener is down. Per-connection
+		// handlers are deliberately not joined — a drain must survive a
+		// wedged worker (the chaos suite SIGSTOPs one), and their
+		// sockets unblock via the bye/close paths on their own.
+		c.loops.Wait()
 	})
 	return nil
 }

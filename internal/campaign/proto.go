@@ -183,6 +183,7 @@ func newConn(nc net.Conn) *conn {
 func (c *conn) send(t msgType, v any) error {
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
+	//simlint:locksafe "wmu exists to serialize whole-frame socket writes: the blocking write IS the critical section, and close() unblocks stuck senders"
 	return writeFrame(c.nc, t, v)
 }
 

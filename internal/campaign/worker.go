@@ -147,7 +147,9 @@ func workSession(ctx context.Context, opts WorkerOptions, logf func(string, ...a
 	// Bound the welcome wait via the clock seam: a coordinator that
 	// accepts but never answers is abandoned.
 	welcomeDone := make(chan struct{})
+	watch.Add(1)
 	go func() {
+		defer watch.Done()
 		select {
 		case <-welcomeDone:
 		case <-opts.Clock.After(DefaultHeartbeatMiss):
@@ -205,8 +207,15 @@ func workSession(ctx context.Context, opts WorkerOptions, logf func(string, ...a
 		}
 	}()
 
-	// Task loop.
+	// Task loop. The cancellation poll at the top is belt-and-braces
+	// next to the socket-closing watcher: recv unblocks because the
+	// watcher closed cn, and the poll guarantees the loop observes the
+	// cancellation even on a message that arrived in the same instant.
 	for {
+		if sctx.Err() != nil {
+			exec.Wait()
+			return true, fmt.Errorf("%w: %v", errSessionLost, sctx.Err())
+		}
 		t, body, err := cn.recv()
 		if err != nil {
 			cancel()
@@ -242,6 +251,7 @@ func workSession(ctx context.Context, opts WorkerOptions, logf func(string, ...a
 			// Finish in-flight runs (their results already stream back as
 			// they complete), say goodbye, and end the campaign cleanly.
 			mu.Lock()
+			//simlint:ctxpoll "drain must wait out in-flight runs; each run is bound to sctx, whose cancellation empties inFlight and broadcasts idle, so this Cond loop cannot outlive the context"
 			for inFlight > 0 {
 				idle.Wait()
 			}

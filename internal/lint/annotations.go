@@ -5,6 +5,7 @@ import (
 	"go/ast"
 	"go/token"
 	"regexp"
+	"sort"
 	"strings"
 )
 
@@ -67,6 +68,11 @@ var justificationRE = regexp.MustCompile(`^"([^"]+)"\s*(?://.*)?$`)
 // names); unknown names are recorded as malformed so typos fail loudly
 // instead of silently not suppressing.
 func parseAnnotations(fset *token.FileSet, files []*ast.File, valid map[string]bool) *annotations {
+	known := make([]string, 0, len(valid))
+	for name := range valid {
+		known = append(known, name)
+	}
+	sort.Strings(known)
 	anns := &annotations{}
 	for _, f := range files {
 		filename := fset.Position(f.Pos()).Filename
@@ -97,7 +103,7 @@ func parseAnnotations(fset *token.FileSet, files []*ast.File, valid map[string]b
 					a.lines = [2]int{pos.Line, fset.Position(cg.End()).Line + 1}
 				}
 				if !valid[a.name] {
-					a.malformed = fmt.Sprintf("unknown simlint annotation name %q (known: ordered, hostcode, cycles, discipline, unregistered)", a.name)
+					a.malformed = fmt.Sprintf("unknown simlint annotation name %q (known: %s)", a.name, strings.Join(known, ", "))
 					anns.list = append(anns.list, a)
 					continue
 				}

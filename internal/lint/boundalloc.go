@@ -1,0 +1,66 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Boundalloc turns the "hostile input never over-allocates" property
+// of the trace readers and the campaign frame protocol from test
+// coverage into a build-time invariant: an allocation size (a make()
+// length or capacity, or an io.CopyN byte count) whose value is
+// wire-derived — produced by encoding/binary decoding, or returned by
+// a function the fact engine marks WireResults, in this package or any
+// dependency — must pass an explicit clamp before the allocation.
+//
+// A clamp is any guarding comparison that mentions the tainted value:
+// the canonical form compares against a named constant
+// (`if n > maxFrame { return err }`), but an equality check against a
+// structurally implied size (`if blockCount != wantBlocks`) binds just
+// as hard. The taint analysis is function-local and statement-ordered;
+// wire values stored unclamped into struct fields taint later reads of
+// the same field within the package, so a constructor that validates
+// before storing keeps its accessors clean. Escape:
+// //simlint:boundalloc "why" — for sizes bounded by construction in a
+// way the walker cannot see.
+var Boundalloc = &Analyzer{
+	Name:     "boundalloc",
+	Doc:      "flags make()/io.CopyN sizes derived from wire input (encoding/binary, WireResults facts) with no clamping comparison before allocation (escape: //simlint:boundalloc)",
+	Suppress: "boundalloc",
+	Run:      runBoundalloc,
+}
+
+// wireDecodePackages are the packages that parse hostile bytes: the
+// trace front-end (.ropt readers), the campaign frame protocol, and
+// the workload decoders they feed.
+var wireDecodePackages = map[string]bool{
+	"ropsim/internal/trace":    true,
+	"ropsim/internal/campaign": true,
+	"ropsim/internal/workload": true,
+}
+
+func runBoundalloc(pass *Pass) {
+	if !wireDecodePackages[pass.Path()] {
+		return
+	}
+	pf := pass.Facts().Package(pass.Path())
+	for _, f := range pass.Files {
+		if strings.HasSuffix(pass.Fset().Position(f.Pos()).Filename, "_test.go") {
+			continue
+		}
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			tw := newTaintWalker(pass.Unit, pass.Facts(), pf)
+			tw.onAlloc = func(pos token.Pos, what string, expr ast.Expr) {
+				pass.Reportf(pos,
+					"%s %q derives from wire input with no clamping comparison before allocation; validate against a named bound first (escape: //simlint:boundalloc)",
+					what, exprString(expr))
+			}
+			tw.walkBody(fd.Body)
+		}
+	}
+}

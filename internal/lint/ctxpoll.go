@@ -1,0 +1,198 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Ctxpoll guards the coordinator drain/abort and worker reconnect
+// paths: a loop in the campaign or runner packages that can block —
+// directly on a channel operation, or through a callee the fact engine
+// knows may block on channels, I/O or a condition variable — must stay
+// cancellable, by selecting on ctx.Done() or polling ctx.Err() on the
+// loop's own path. The check applies only inside functions that
+// actually have a context.Context in scope (parameter, local, or
+// captured); loops governed by other cancellation mechanisms (the
+// coordinator's done channel) are out of its jurisdiction. Nested
+// function literals and `go` statements are excluded from a loop's
+// blocking scan — their bodies run on another goroutine or at another
+// time — and likewise cannot satisfy the consult requirement for the
+// enclosing loop. Escape: //simlint:ctxpoll "why" for loops whose
+// blocking is bounded by other means (e.g. a Cond.Wait drain loop
+// whose waiters are themselves ctx-bound).
+var Ctxpoll = &Analyzer{
+	Name:     "ctxpoll",
+	Doc:      "flags blocking loops in internal/campaign and internal/runner that never consult their context.Context (escape: //simlint:ctxpoll)",
+	Suppress: "ctxpoll",
+	Run:      runCtxpoll,
+}
+
+// concurrencyPackages are the host-side packages whose goroutine and
+// lock discipline the byte-identical-artifact guarantee depends on:
+// the distributed campaign service and the local runner pool. ctxpoll,
+// goroleak and locksafe all scope here.
+var concurrencyPackages = map[string]bool{
+	"ropsim/internal/campaign": true,
+	"ropsim/internal/runner":   true,
+}
+
+// ctxBlockMask is the blocking classes a loop must stay cancellable
+// against. BlockLock is excluded: lock acquisition is bounded by
+// locksafe's no-blocking-while-held rule, not by cancellation.
+const ctxBlockMask = BlockChan | BlockIO | BlockCond
+
+func runCtxpoll(pass *Pass) {
+	if !concurrencyPackages[pass.Path()] {
+		return
+	}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if !hasContextInScope(pass, fd) {
+				continue
+			}
+			checkLoops(pass, fd.Body)
+		}
+	}
+}
+
+// hasContextInScope reports whether the function declares, receives or
+// references any context.Context-typed identifier — the gate for
+// ctxpoll's jurisdiction.
+func hasContextInScope(pass *Pass, fd *ast.FuncDecl) bool {
+	found := false
+	ast.Inspect(fd, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || found {
+			return !found
+		}
+		obj := pass.Info().Uses[id]
+		if obj == nil {
+			obj = pass.Info().Defs[id]
+		}
+		if obj != nil && isContextType(obj.Type()) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// checkLoops walks a body, flagging blocking loops that never consult
+// a context.
+func checkLoops(pass *Pass, body ast.Node) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		var loopBody *ast.BlockStmt
+		var cond ast.Expr
+		switch n := n.(type) {
+		case *ast.ForStmt:
+			loopBody = n.Body
+			cond = n.Cond
+		case *ast.RangeStmt:
+			loopBody = n.Body
+		default:
+			return true
+		}
+		blocks := loopBlocking(pass, loopBody)
+		if blocks == 0 {
+			return true
+		}
+		if loopConsultsCtx(pass, loopBody, cond) {
+			return true
+		}
+		pass.Reportf(n.Pos(),
+			"loop may block (%s) without consulting its context: select on ctx.Done() or poll ctx.Err() so cancellation can interrupt it (escape: //simlint:ctxpoll)",
+			blocks)
+		return true
+	})
+}
+
+// loopBlocking computes the blocking classes reachable on a loop
+// body's own goroutine and iteration: channel operations, selects
+// without a default, ranges over channels, and calls whose fact
+// engine summary intersects ctxBlockMask. FuncLit and GoStmt subtrees
+// are skipped.
+func loopBlocking(pass *Pass, body *ast.BlockStmt) BlockClass {
+	var blocks BlockClass
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit, *ast.GoStmt:
+			return false
+		case *ast.SendStmt:
+			blocks |= BlockChan
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				blocks |= BlockChan
+			}
+		case *ast.RangeStmt:
+			if tv, ok := pass.Info().Types[n.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					blocks |= BlockChan
+				}
+			}
+		case *ast.SelectStmt:
+			for _, c := range n.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+					return true // has default: never blocks
+				}
+			}
+			blocks |= BlockChan
+		case *ast.CallExpr:
+			if fn := calleeFunc(pass.Info(), n); fn != nil {
+				blocks |= pass.Facts().FuncFact(fn).Blocks & ctxBlockMask
+			}
+		}
+		return true
+	})
+	return blocks
+}
+
+// loopConsultsCtx reports whether the loop body (or its condition)
+// receives from a context's Done() channel or calls its Err() method,
+// outside nested function literals.
+func loopConsultsCtx(pass *Pass, body *ast.BlockStmt, cond ast.Expr) bool {
+	consults := false
+	check := func(n ast.Node) bool {
+		if consults {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if sel.Sel.Name != "Done" && sel.Sel.Name != "Err" {
+			return true
+		}
+		if tv, ok := pass.Info().Types[sel.X]; ok && isContextType(tv.Type) {
+			consults = true
+			return false
+		}
+		return true
+	}
+	ast.Inspect(body, check)
+	if cond != nil && !consults {
+		ast.Inspect(cond, check)
+	}
+	return consults
+}

@@ -45,8 +45,9 @@ func TestLintDocComplete(t *testing.T) {
 	for _, needle := range []string{
 		":file", ":package",
 		"make lint", "make lint-fix-check",
-		"cmd/simlint", "-unused",
+		"cmd/simlint", "-unused", "-json", "-time", "-factcache",
 		"TestRepoLintClean", "govulncheck",
+		"## Cross-package facts", "WireResults",
 	} {
 		if !strings.Contains(text, needle) {
 			t.Errorf("docs/LINT.md does not mention %q", needle)

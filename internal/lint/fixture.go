@@ -27,6 +27,7 @@ func LoadTree(srcRoot string, paths ...string) ([]*Unit, error) {
 		units:   map[string]*Unit{},
 		exports: map[string]string{},
 		loading: map[string]bool{},
+		facts:   NewFactSet(),
 	}
 	l.gc = importer.ForCompiler(l.fset, "gc", exportLookup(l.exports))
 	var out []*Unit
@@ -50,6 +51,7 @@ type treeLoader struct {
 	exports map[string]string
 	loading map[string]bool
 	gc      types.Importer
+	facts   *FactSet
 }
 
 // Import resolves an import path for the type checker: fixture packages
@@ -119,7 +121,12 @@ func (l *treeLoader) load(path string) (*Unit, error) {
 	if err != nil {
 		return nil, fmt.Errorf("type-checking fixture %s: %v", path, err)
 	}
-	u := &Unit{Path: path, Fset: l.fset, Files: files, Pkg: pkg, Info: info}
+	u := &Unit{Path: path, Fset: l.fset, Files: files, Pkg: pkg, Info: info, Facts: l.facts}
 	l.units[path] = u
+	// Fixture imports resolve through Import above, so every fixture
+	// dependency finished its own load — and fact computation — before
+	// this package's type check returned; dependency order holds here
+	// just as it does in LoadCached.
+	l.facts.addPackageFacts(u)
 	return u, nil
 }

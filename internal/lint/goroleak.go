@@ -1,0 +1,107 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// Goroleak requires every `go` statement in the campaign and runner
+// packages to have a join path — some way for the spawner (or an
+// observer) to learn the goroutine finished, so shutdown can't strand
+// work mid-write and tests can't leak goroutines between cases. Two
+// shapes satisfy it:
+//
+//  1. Add-before-spawn: a sync.WaitGroup .Add call appears earlier in
+//     the same function body than the `go` statement, the classic
+//     wg.Add(1); go func() { defer wg.Done(); ... }() lifecycle.
+//  2. Signalling body: the spawned function itself signals completion —
+//     it sends on a channel, closes one, or calls WaitGroup.Done
+//     (directly, or through a callee the fact engine marks Signals) —
+//     so a receiver holds the join.
+//
+// Anything else is a naked goroutine and a finding. The analysis is a
+// per-function over-approximation (an Add anywhere earlier in the
+// function vouches for every later spawn; any transitive signal
+// counts), which keeps the sanctioned idioms quiet while still
+// refusing fire-and-forget spawns with no completion story at all.
+// Escape: //simlint:goroleak "why" — for goroutines that are
+// deliberately unjoined because joining could block shutdown behind a
+// wedged peer (the coordinator's per-connection handlers; the chaos
+// suite pins that drain survives a SIGSTOP'd worker).
+var Goroleak = &Analyzer{
+	Name:     "goroleak",
+	Doc:      "flags `go` statements in internal/campaign and internal/runner with no join path (WaitGroup add-before-spawn, done channel, or signalling body) (escape: //simlint:goroleak)",
+	Suppress: "goroleak",
+	Run:      runGoroleak,
+}
+
+func runGoroleak(pass *Pass) {
+	if !concurrencyPackages[pass.Path()] {
+		return
+	}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkSpawns(pass, fd.Body)
+		}
+	}
+}
+
+// checkSpawns flags unjoined go statements in one function body,
+// treating nested function literals as part of the same body (an Add
+// in the enclosing function still precedes a spawn inside a closure).
+func checkSpawns(pass *Pass, body *ast.BlockStmt) {
+	addPositions := waitGroupAdds(pass, body)
+	ast.Inspect(body, func(n ast.Node) bool {
+		gs, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		for _, addPos := range addPositions {
+			if addPos < gs.Pos() {
+				return true // add-before-spawn
+			}
+		}
+		if spawnSignals(pass, gs.Call) {
+			return true // done channel / WaitGroup.Done in the body
+		}
+		pass.Reportf(gs.Pos(),
+			"goroutine has no join path: add to a WaitGroup before spawning, or have the body signal completion (done channel, close, WaitGroup.Done) (escape: //simlint:goroleak)")
+		return true
+	})
+}
+
+// waitGroupAdds collects the positions of every sync.WaitGroup .Add
+// call in the body.
+func waitGroupAdds(pass *Pass, body *ast.BlockStmt) []token.Pos {
+	var out []token.Pos
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(pass.Info(), call)
+		if fn != nil && fn.FullName() == "(*sync.WaitGroup).Add" {
+			out = append(out, call.Pos())
+		}
+		return true
+	})
+	return out
+}
+
+// spawnSignals reports whether the spawned call's body signals
+// completion: for a function literal, the behavior fact of the literal
+// body; for a named function or method, its fact-engine summary.
+func spawnSignals(pass *Pass, call *ast.CallExpr) bool {
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		ff := behaviorFact(pass.Unit, pass.Facts(), lit.Body)
+		return ff.Signals
+	}
+	if fn := calleeFunc(pass.Info(), call); fn != nil {
+		return pass.Facts().FuncFact(fn).Signals
+	}
+	return false
+}

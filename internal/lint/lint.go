@@ -25,6 +25,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 )
 
 // An Analyzer is one static check. Run inspects a type-checked package
@@ -54,6 +55,12 @@ type Diagnostic struct {
 	Analyzer string
 	Pos      token.Position
 	Message  string
+	// Justification carries, for the "simlint" pseudo-analyzer's
+	// malformed/unused annotation findings, the annotation's quoted
+	// justification string (empty for ordinary analyzer findings). It
+	// rides along so `simlint -json` consumers see why an escape hatch
+	// claimed to exist.
+	Justification string
 }
 
 // String renders the diagnostic in the conventional file:line:col form.
@@ -74,6 +81,11 @@ type Unit struct {
 	// Pkg and Info carry the go/types results for Files.
 	Pkg  *types.Package
 	Info *types.Info
+	// Facts is the load-wide cross-package fact set (facts.go); the
+	// loader populates it in dependency order, so by the time an
+	// analyzer sees this unit, every imported module package already
+	// has computed facts. Nil only for hand-built units in tests.
+	Facts *FactSet
 }
 
 // A Pass connects one Analyzer to one Unit and collects its findings.
@@ -99,6 +111,12 @@ func (p *Pass) Info() *types.Info { return p.Unit.Info }
 
 // Path returns the unit's import path.
 func (p *Pass) Path() string { return p.Unit.Path }
+
+// Facts returns the load-wide cross-package fact set. A nil result is
+// safe to query: every FactSet method tolerates a nil receiver and
+// still resolves the standard-library seed table, so analyzers never
+// need to nil-check.
+func (p *Pass) Facts() *FactSet { return p.Unit.Facts }
 
 // IsTestFile reports whether the file at pos is a _test.go file.
 func (p *Pass) IsTestFile(pos token.Pos) bool {
@@ -141,15 +159,38 @@ type Options struct {
 // Options.ReportUnusedAnnotations — every justified annotation that
 // never suppressed a diagnostic.
 func Run(units []*Unit, analyzers []*Analyzer, opts Options) []Diagnostic {
+	diags, _ := RunTimed(units, analyzers, opts)
+	return diags
+}
+
+// AnalyzerTiming is one analyzer's accumulated wall time across every
+// unit of a run, for the `simlint -time` summary. Timing a *lint* in
+// wall-clock terms is fine — the linter is host tooling, outside the
+// simulated clock domain the wallclock analyzer polices.
+type AnalyzerTiming struct {
+	// Name is the analyzer name ("simlint" covers annotation parsing
+	// and bookkeeping).
+	Name string
+	// Elapsed is the total wall time the analyzer's Run consumed.
+	Elapsed time.Duration
+}
+
+// RunTimed is Run plus a per-analyzer wall-time summary, ordered by
+// the analyzer order given (with the "simlint" annotation bookkeeping
+// entry last).
+func RunTimed(units []*Unit, analyzers []*Analyzer, opts Options) ([]Diagnostic, []AnalyzerTiming) {
 	valid := map[string]bool{}
 	for _, a := range analyzers {
 		if a.Suppress != "" {
 			valid[a.Suppress] = true
 		}
 	}
+	elapsed := map[string]time.Duration{}
 	var diags []Diagnostic
 	for _, u := range units {
+		annStart := time.Now()
 		ann := parseAnnotations(u.Fset, u.Files, valid)
+		elapsed["simlint"] += time.Since(annStart)
 		for _, a := range analyzers {
 			files := u.Files
 			if !a.IncludeTests {
@@ -161,21 +202,31 @@ func Run(units []*Unit, analyzers []*Analyzer, opts Options) []Diagnostic {
 				}
 			}
 			pass := &Pass{Analyzer: a, Unit: u, Files: files, ann: ann, diags: &diags}
+			start := time.Now()
 			a.Run(pass)
+			elapsed[a.Name] += time.Since(start)
 		}
+		annStart = time.Now()
 		for _, a := range ann.list {
 			if a.malformed != "" {
-				diags = append(diags, Diagnostic{Analyzer: "simlint", Pos: a.pos, Message: a.malformed})
+				diags = append(diags, Diagnostic{Analyzer: "simlint", Pos: a.pos, Message: a.malformed, Justification: a.justification})
 			} else if opts.ReportUnusedAnnotations && !a.used {
 				diags = append(diags, Diagnostic{
 					Analyzer: "simlint",
 					Pos:      a.pos,
 					Message: fmt.Sprintf("unused //simlint:%s annotation: it suppresses no diagnostic and should be removed",
 						a.name),
+					Justification: a.justification,
 				})
 			}
 		}
+		elapsed["simlint"] += time.Since(annStart)
 	}
+	timings := make([]AnalyzerTiming, 0, len(analyzers)+1)
+	for _, a := range analyzers {
+		timings = append(timings, AnalyzerTiming{Name: a.Name, Elapsed: elapsed[a.Name]})
+	}
+	timings = append(timings, AnalyzerTiming{Name: "simlint", Elapsed: elapsed["simlint"]})
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -189,12 +240,13 @@ func Run(units []*Unit, analyzers []*Analyzer, opts Options) []Diagnostic {
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return diags
+	return diags, timings
 }
 
 // All returns the full simlint analyzer suite in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{Detmap, Wallclock, Unitsafe, EventDiscipline, MetricsReg}
+	return []*Analyzer{Detmap, Wallclock, Unitsafe, EventDiscipline, MetricsReg,
+		Ctxpoll, Goroleak, Boundalloc, Locksafe}
 }
 
 // simDomain is the set of deterministic simulation packages: everything

@@ -40,6 +40,37 @@ func TestMetricsReg(t *testing.T) {
 		"ropsim/internal/memctrl")
 }
 
+func TestCtxpoll(t *testing.T) {
+	linttest.Run(t, "testdata/ctxpoll", lint.Ctxpoll,
+		"ropsim/internal/campaign")
+}
+
+func TestGoroleak(t *testing.T) {
+	linttest.Run(t, "testdata/goroleak", lint.Goroleak,
+		"ropsim/internal/runner")
+}
+
+func TestBoundalloc(t *testing.T) {
+	linttest.Run(t, "testdata/boundalloc", lint.Boundalloc,
+		"ropsim/internal/trace")
+}
+
+func TestLocksafe(t *testing.T) {
+	linttest.Run(t, "testdata/locksafe", lint.Locksafe,
+		"ropsim/internal/campaign")
+}
+
+// TestAnnotationScopes pins the scoping grammar's edge cases: a
+// file-scope directive above the package clause, line scope beating an
+// overlapping package scope, and two analyzers' annotations sharing a
+// line with only the suppressing one counted as used.
+func TestAnnotationScopes(t *testing.T) {
+	linttest.RunSuite(t, "testdata/annscope",
+		[]*lint.Analyzer{lint.Detmap, lint.Wallclock},
+		lint.Options{ReportUnusedAnnotations: true},
+		"ropsim/internal/sim")
+}
+
 func TestUnusedAnnotationReporting(t *testing.T) {
 	linttest.RunWithOptions(t, "testdata/unused", lint.Detmap,
 		lint.Options{ReportUnusedAnnotations: true},

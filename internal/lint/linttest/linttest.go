@@ -39,11 +39,20 @@ func Run(t *testing.T, srcRoot string, a *lint.Analyzer, pkgPaths ...string) {
 // exercise unused-annotation reporting (the lint-fix-check mode).
 func RunWithOptions(t *testing.T, srcRoot string, a *lint.Analyzer, opts lint.Options, pkgPaths ...string) {
 	t.Helper()
+	RunSuite(t, srcRoot, []*lint.Analyzer{a}, opts, pkgPaths...)
+}
+
+// RunSuite runs several analyzers together over one fixture tree —
+// the shape the annotation-scoping tests need, since which annotation
+// names are valid (and which suppressions count as used) depends on
+// the full analyzer set of a run.
+func RunSuite(t *testing.T, srcRoot string, analyzers []*lint.Analyzer, opts lint.Options, pkgPaths ...string) {
+	t.Helper()
 	units, err := lint.LoadTree(srcRoot, pkgPaths...)
 	if err != nil {
 		t.Fatalf("loading fixtures: %v", err)
 	}
-	diags := lint.Run(units, []*lint.Analyzer{a}, opts)
+	diags := lint.Run(units, analyzers, opts)
 
 	type key struct {
 		file string

@@ -83,7 +83,19 @@ func exportLookup(exports map[string]string) func(path string) (io.ReadCloser, e
 // patterns (relative to dir), returning one Unit per package with test
 // files included. The packages must build; a compile error surfaces as
 // a load error, which is the right failure mode for a lint gate.
+// Cross-package facts are computed in dependency order (no cache).
 func Load(dir string, patterns []string) ([]*Unit, error) {
+	return LoadCached(dir, patterns, "")
+}
+
+// LoadCached is Load with a fact-cache directory: serialized
+// per-package fact summaries (facts.go) are reused when a package's
+// sources and its dependencies' facts are unchanged — the same
+// `go list -export` package graph keys both the type-check and the
+// cache. Empty cacheDir disables caching. This is the `simlint
+// -factcache` path; CI points it at a restored actions/cache
+// directory.
+func LoadCached(dir string, patterns []string, cacheDir string) ([]*Unit, error) {
 	pkgs, err := goList(dir, patterns)
 	if err != nil {
 		return nil, err
@@ -167,6 +179,12 @@ func Load(dir string, patterns []string) ([]*Unit, error) {
 			Pkg:   pkg,
 			Info:  info,
 		})
+	}
+	// `go list -deps` emits dependencies before dependents, and the
+	// unit slice preserves that order, so the fact fixpoint for each
+	// package sees finished summaries for everything it imports.
+	if _, err := computeAllFacts(out, cacheDir); err != nil {
+		return nil, err
 	}
 	return out, nil
 }

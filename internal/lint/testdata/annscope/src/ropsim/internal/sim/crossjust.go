@@ -1,0 +1,15 @@
+// Cross-analyzer interaction: a line can carry annotations for two
+// different analyzers. Only the one that actually suppresses a finding
+// counts as used; the other is stale even though the line it covers
+// does have (a different analyzer's) finding.
+package sim
+
+import "time"
+
+// stamp has a wallclock finding; the hostcode annotation suppresses it
+// and the ordered annotation on the same line suppresses nothing.
+func stamp() int64 {
+	//simlint:hostcode "fixture probe: pretend this is a host-side timestamp"
+	//simlint:ordered "no map iteration happens here, so this claim is dead weight" // want `unused //simlint:ordered annotation`
+	return time.Now().UnixNano()
+}

@@ -1,0 +1,25 @@
+// A file-scope annotation placed above the package clause must still
+// be parsed and must suppress every matching finding in this file —
+// and only this file.
+
+//simlint:ordered:file "every fold in this file is commutative; visit order cannot change a result"
+
+package sim
+
+// foldA is suppressed by the file-scope annotation above.
+func foldA(m map[string]int) int {
+	t := 0
+	for _, v := range m {
+		t += v
+	}
+	return t
+}
+
+// foldB in the same file rides the same annotation.
+func foldB(m map[string]bool) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,17 @@
+// Overlapping scopes: a line-scope annotation wins over a package-scope
+// one covering the same finding, so the package-scope directive
+// suppresses nothing and must be reported as stale under -unused.
+package sim
+
+//simlint:ordered:package "blanket claim that never gets used because narrower scopes win" // want `unused //simlint:ordered annotation`
+
+// overlapped carries its own line-scope justification; the package
+// annotation above must not be the one credited.
+func overlapped(m map[string]int) int {
+	t := 0
+	//simlint:ordered "product of positive ints is commutative"
+	for _, v := range m {
+		t *= v
+	}
+	return t
+}

@@ -1,0 +1,124 @@
+// Package trace mirrors the .ropt readers: every allocation sized by a
+// wire-decoded integer must pass a clamping comparison first, so a
+// hostile header can never drive memory use.
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+
+	"ropsim/internal/trace/wire"
+)
+
+// maxRecords is the named bound the canonical clamp compares against.
+const maxRecords = 1 << 20
+
+// badDirect allocates straight from a decoded length.
+func badDirect(hdr []byte) []byte {
+	n := binary.LittleEndian.Uint32(hdr)
+	return make([]byte, n) // want `derives from wire input with no clamping comparison`
+}
+
+// badArithmetic launders the taint through arithmetic.
+func badArithmetic(hdr []byte) []byte {
+	n := int(binary.LittleEndian.Uint16(hdr)) * 16
+	return make([]byte, n+8) // want `derives from wire input with no clamping comparison`
+}
+
+// badCopyN drives an io.CopyN byte count from the wire.
+func badCopyN(dst io.Writer, hdr []byte, r io.Reader) error {
+	n := binary.LittleEndian.Uint64(hdr)
+	_, err := io.CopyN(dst, r, int64(n)) // want `derives from wire input with no clamping comparison`
+	return err
+}
+
+// badCrossPackage allocates from a count a dependency decoded and
+// returned unclamped — only wire.Count's WireResults fact reveals it.
+func badCrossPackage(hdr []byte) []byte {
+	n := wire.Count(hdr)
+	return make([]byte, n) // want `derives from wire input with no clamping comparison`
+}
+
+// goodClamped passes the canonical named-constant clamp.
+func goodClamped(hdr []byte) []byte {
+	n := binary.LittleEndian.Uint32(hdr)
+	if n > maxRecords {
+		return nil
+	}
+	return make([]byte, n)
+}
+
+// goodEqualityBound binds the count to a structurally implied size:
+// an equality check is as hard a clamp as a range check.
+func goodEqualityBound(hdr []byte, want uint32) []byte {
+	n := binary.LittleEndian.Uint32(hdr)
+	if n != want {
+		return nil
+	}
+	return make([]byte, n)
+}
+
+// goodCrossPackageClamped consumes a dependency count that the
+// dependency itself validated before returning.
+func goodCrossPackageClamped(hdr []byte) []byte {
+	n := wire.SafeCount(hdr)
+	return make([]byte, n)
+}
+
+// goodConstSize never touches the wire.
+func goodConstSize(r io.Reader) ([]byte, error) {
+	buf := make([]byte, 64)
+	_, err := io.ReadFull(r, buf)
+	return buf, err
+}
+
+// header stores a validated count: the constructor clamps before the
+// field assignment, so the accessor's allocations stay clean.
+type header struct {
+	count uint32
+}
+
+// parseHeader validates before storing.
+func parseHeader(hdr []byte) (header, bool) {
+	n := binary.LittleEndian.Uint32(hdr)
+	if n > maxRecords {
+		return header{}, false
+	}
+	return header{count: n}, true
+}
+
+// alloc sizes from the validated field.
+func (h header) alloc() []byte {
+	return make([]byte, h.count)
+}
+
+// rawHeader stores the count unvalidated, so field reads stay tainted.
+type rawHeader struct {
+	count uint32
+}
+
+// parseRawHeader skips validation.
+func parseRawHeader(hdr []byte) rawHeader {
+	return rawHeader{count: binary.LittleEndian.Uint32(hdr)}
+}
+
+// badFieldAlloc allocates from the unvalidated field.
+func (h rawHeader) badFieldAlloc() []byte {
+	return make([]byte, h.count) // want `derives from wire input with no clamping comparison`
+}
+
+// justified documents a bound the walker cannot see.
+func justified(hdr []byte) *bytes.Buffer {
+	n := binary.LittleEndian.Uint16(hdr)
+	//simlint:boundalloc "a uint16 length is bounded at 64 KiB by its type, below every budget in the reader"
+	buf := bytes.NewBuffer(make([]byte, n))
+	return buf
+}
+
+// unjustified must both fail to suppress and be reported itself.
+func unjustified(hdr []byte) []byte {
+	n := binary.LittleEndian.Uint32(hdr)
+	//simlint:boundalloc // want `requires a non-empty quoted justification`
+	return make([]byte, n) // want `derives from wire input with no clamping comparison`
+}

@@ -1,0 +1,25 @@
+// Package wire supplies cross-package wire-decoding helpers for the
+// boundalloc fixtures: whether a returned count is still tainted is a
+// WireResults fact computed here and consumed in the trace fixture
+// package.
+package wire
+
+import "encoding/binary"
+
+// wireMax bounds SafeCount's result.
+const wireMax = 4096
+
+// Count returns a decoded length without validating it — its first
+// result carries the WireDerived fact.
+func Count(hdr []byte) uint32 {
+	return binary.LittleEndian.Uint32(hdr)
+}
+
+// SafeCount clamps before returning, discharging the taint.
+func SafeCount(hdr []byte) uint32 {
+	n := binary.LittleEndian.Uint32(hdr)
+	if n > wireMax {
+		return 0
+	}
+	return n
+}

@@ -1,0 +1,130 @@
+// Package campaign mirrors the coordinator/worker loops: any loop that
+// can block — directly or through a callee the fact engine marks
+// MayBlock — must consult its context so drain/abort can interrupt it.
+package campaign
+
+import (
+	"context"
+	"sync"
+
+	"ropsim/internal/campaign/dep"
+)
+
+// badRecv blocks on a channel every iteration and never looks at ctx.
+func badRecv(ctx context.Context, ch chan int) int {
+	total := 0
+	for { // want `loop may block \(chan\) without consulting its context`
+		v, ok := <-ch
+		if !ok {
+			return total
+		}
+		total += v
+	}
+}
+
+// badCallee blocks through a cross-package callee: dep.Recv's fact
+// says it blocks on channels, even though nothing here does directly.
+func badCallee(ctx context.Context, ch chan int) {
+	for i := 0; i < 10; i++ { // want `loop may block \(chan\) without consulting its context`
+		dep.Recv(ch)
+	}
+}
+
+// badWait blocks on a WaitGroup join inside the loop.
+func badWait(ctx context.Context, wg *sync.WaitGroup) {
+	for i := 0; i < 3; i++ { // want `loop may block \(chan\) without consulting its context`
+		wg.Wait()
+	}
+}
+
+// goodSelect consults via a Done select case.
+func goodSelect(ctx context.Context, ch chan int) int {
+	total := 0
+	for {
+		select {
+		case <-ctx.Done():
+			return total
+		case v := <-ch:
+			total += v
+		}
+	}
+}
+
+// goodPoll consults by polling Err each iteration.
+func goodPoll(ctx context.Context, ch chan int) int {
+	total := 0
+	for {
+		if ctx.Err() != nil {
+			return total
+		}
+		total += <-ch
+	}
+}
+
+// goodCondition consults in the loop condition itself.
+func goodCondition(ctx context.Context, ch chan int) int {
+	total := 0
+	for ctx.Err() == nil {
+		total += <-ch
+	}
+	return total
+}
+
+// goodNonBlocking never blocks, so no consult is required.
+func goodNonBlocking(ctx context.Context, xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+// goodNoCtx has no context in scope: other cancellation mechanisms
+// (a done channel) are outside ctxpoll's jurisdiction.
+func goodNoCtx(ch chan int, done chan struct{}) int {
+	total := 0
+	for {
+		select {
+		case <-done:
+			return total
+		case v := <-ch:
+			total += v
+		}
+	}
+}
+
+// goodSpawn only blocks inside a spawned goroutine, which runs on its
+// own; the loop itself never blocks.
+func goodSpawn(ctx context.Context, ch chan int, wg *sync.WaitGroup) {
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-ch
+		}()
+	}
+}
+
+// justified carries a reasoned escape hatch: the drain-loop shape
+// whose waiters are bounded elsewhere.
+func justified(ctx context.Context, ch chan int) int {
+	total := 0
+	//simlint:ctxpoll "every sender is bound to ctx by its own select, so the receive cannot outlive cancellation"
+	for v := range ch {
+		total += v
+	}
+	return total
+}
+
+// unjustified must both fail to suppress and be reported itself.
+func unjustified(ctx context.Context, ch chan int) int {
+	total := 0
+	//simlint:ctxpoll // want `requires a non-empty quoted justification`
+	for { // want `loop may block \(chan\) without consulting its context`
+		v, ok := <-ch
+		if !ok {
+			return total
+		}
+		total += v
+	}
+}

@@ -1,0 +1,11 @@
+// Package dep supplies cross-package callees whose blocking behavior
+// the fact engine must surface to the ctxpoll fixtures: nothing in the
+// campaign fixture package tells the analyzer Recv blocks — only this
+// package's computed facts do.
+package dep
+
+// Recv blocks on a channel receive.
+func Recv(ch chan int) int { return <-ch }
+
+// Pure never blocks.
+func Pure(x int) int { return x * 2 }

@@ -1,0 +1,19 @@
+// Package dep supplies cross-package spawn targets for the goroleak
+// fixtures: whether a spawned function signals completion is a fact
+// computed here and consumed in the runner fixture package.
+package dep
+
+// Quiet does work and never signals anyone.
+func Quiet(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+// Notify closes the channel when done — a join path for whoever holds
+// the other end.
+func Notify(done chan struct{}) {
+	close(done)
+}

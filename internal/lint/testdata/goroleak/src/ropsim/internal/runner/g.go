@@ -1,0 +1,90 @@
+// Package runner mirrors the pool's goroutine lifecycles: every spawn
+// needs a join path — a WaitGroup added to before the spawn, or a body
+// that signals completion (done channel, close, WaitGroup.Done).
+package runner
+
+import (
+	"sync"
+
+	"ropsim/internal/runner/dep"
+)
+
+// work is a plain callee with no completion signal of its own.
+func work(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+// badNaked is a fire-and-forget spawn: nobody can ever learn it
+// finished.
+func badNaked(xs []int) {
+	go func() { // want `goroutine has no join path`
+		work(xs)
+	}()
+}
+
+// badNamed spawns a named function that the fact engine knows never
+// signals.
+func badNamed(xs []int) {
+	go dep.Quiet(xs) // want `goroutine has no join path`
+}
+
+// goodAddBeforeSpawn is the classic WaitGroup lifecycle.
+func goodAddBeforeSpawn(xs []int, wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work(xs)
+	}()
+}
+
+// goodDoneChannel closes a channel the spawner can receive from.
+func goodDoneChannel(xs []int) chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		work(xs)
+	}()
+	return done
+}
+
+// goodResultChannel sends its result, which is itself the join.
+func goodResultChannel(xs []int) chan int {
+	out := make(chan int, 1)
+	go func() {
+		out <- work(xs)
+	}()
+	return out
+}
+
+// goodNamedSignal spawns a cross-package function whose fact says it
+// signals completion (dep.Notify closes its channel).
+func goodNamedSignal(done chan struct{}) {
+	go dep.Notify(done)
+}
+
+// goodTransitive signals through a callee: the closure calls a local
+// helper whose fact carries Signals.
+func goodTransitive(xs []int, out chan int) {
+	go func() {
+		deliver(out, work(xs))
+	}()
+}
+
+// deliver sends the result on the channel.
+func deliver(out chan int, v int) { out <- v }
+
+// justified records why a deliberately unjoined goroutine is safe.
+func justified(xs []int) {
+	//simlint:goroleak "per-connection handler: joining would let a wedged peer block drain; sockets unblock it on close"
+	go work(xs)
+}
+
+// unjustified must both fail to suppress and be reported itself.
+func unjustified(xs []int) {
+	//simlint:goroleak // want `requires a non-empty quoted justification`
+	go work(xs) // want `goroutine has no join path`
+}

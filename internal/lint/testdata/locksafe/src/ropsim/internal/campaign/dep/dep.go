@@ -1,0 +1,22 @@
+// Package dep supplies a cross-package blocking callee for the
+// locksafe fixtures: that Flush blocks on I/O is a fact computed here,
+// invisible to the campaign fixture's own syntax.
+package dep
+
+import (
+	"encoding/binary"
+	"io"
+)
+
+// Flush writes the batch to the sink — host I/O, per the io.Writer
+// seed fact.
+func Flush(w io.Writer, xs []int) error {
+	buf := make([]byte, 8)
+	for _, x := range xs {
+		binary.LittleEndian.PutUint64(buf, uint64(x))
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}

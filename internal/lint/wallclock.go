@@ -51,10 +51,17 @@ var wallclockGlobalRand = map[string]bool{
 // sanctioned host-timing stays confined to its package annotation; the
 // campaign coordinator/worker is included so every heartbeat and
 // deadline goes through the injected Clock seam (no annotation exists
-// there — the package must stay violation-free outright).
+// there — the package must stay violation-free outright). The worker
+// binary and the experiment driver's worker loop are included for the
+// same reason: they host campaign sessions, so any wall-clock use must
+// either flow through the Clock seam or carry an explicit
+// //simlint:hostcode justification where wall time genuinely is the
+// job.
 var wallclockHostPackages = map[string]bool{
 	"ropsim/internal/runner":   true,
 	"ropsim/internal/campaign": true,
+	"ropsim/cmd/ropworker":     true,
+	"ropsim/cmd/ropexp":        true,
 }
 
 func runWallclock(pass *Pass) {
